@@ -1,0 +1,55 @@
+//! Figure: repeated steal attempts, rate sweep (Section 2.5).
+//!
+//! Mean time in system and π_T as the retry rate r grows. Expected
+//! shape: W decreases monotonically in r; π_T → 0 as r → ∞ (a processor
+//! holding T tasks is robbed almost immediately); the tail ratio matches
+//! λ/(1 + r(1 − λ) + λ − π₂).
+
+use loadsteal_bench::{print_header, print_row, Protocol};
+use loadsteal_core::fixed_point::{solve, FixedPointOptions};
+use loadsteal_core::models::{RepeatedSteal, ThresholdWs};
+use loadsteal_core::tail::TailVector;
+use loadsteal_sim::{SimConfig, StealPolicy};
+
+fn main() {
+    let protocol = Protocol::from_env();
+    let opts = FixedPointOptions::default();
+    for (lambda, threshold) in [(0.9, 2usize), (0.9, 3)] {
+        let single = ThresholdWs::new(lambda, threshold)
+            .unwrap()
+            .closed_form_mean_time();
+        print_header(
+            &format!("Figure: retry-rate sweep, λ = {lambda}, T = {threshold} (single-attempt W = {single:.3})"),
+            &protocol,
+            &["r", "Estimate W", "π_T", "tail ratio", "predicted"],
+        );
+        for r in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 64.0] {
+            let m = RepeatedSteal::new(lambda, r, threshold).expect("valid");
+            let fp = solve(&m, &opts).expect("fp");
+            let tails = TailVector::from_slice(&fp.task_tails[1..]);
+            print_row(&[
+                r,
+                fp.mean_time_in_system,
+                fp.task_tails[threshold],
+                fp.tail_ratio().unwrap_or(f64::NAN),
+                m.asymptotic_tail_ratio(&tails),
+            ]);
+        }
+    }
+
+    // Simulation spot checks.
+    let lambda = 0.9;
+    println!("\nsimulation spot check (n = 128, λ = {lambda}, T = 2):");
+    for r in [1.0, 4.0] {
+        let mut cfg = SimConfig::paper_default(128, lambda);
+        cfg.policy = StealPolicy::Repeated {
+            rate: r,
+            threshold: 2,
+        };
+        let sim = protocol.mean_sojourn(cfg, 7000 + r as u64);
+        let m = RepeatedSteal::new(lambda, r, 2).unwrap();
+        let est = solve(&m, &opts).unwrap().mean_time_in_system;
+        println!("  r = {r}: sim {sim:.3} vs estimate {est:.3}");
+    }
+    println!("\nshape check: W ↓ in r, π_T → 0 as r → ∞ (Section 2.5's limit).");
+}

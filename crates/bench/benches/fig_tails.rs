@@ -1,0 +1,66 @@
+//! Figure: the geometric tail law (Sections 2.2–2.3).
+//!
+//! Prints the fixed-point occupancy tails of no-stealing vs simple WS vs
+//! threshold WS, the measured simulation tails at n = 128, and the
+//! decay ratios against the apparent-service-rate prediction
+//! `λ/(1 + λ − π₂)`. Expected shape: both model and simulation tails are
+//! geometric; stealing's ratio is strictly below λ.
+
+use loadsteal_bench::{print_header, Protocol};
+use loadsteal_core::models::{NoSteal, SimpleWs, ThresholdWs};
+use loadsteal_sim::{replicate, SimConfig, StealPolicy};
+
+fn main() {
+    let protocol = Protocol::from_env();
+    let lambda = 0.9;
+    let no_steal = NoSteal::new(lambda).unwrap();
+    let simple = SimpleWs::new(lambda).unwrap();
+    let threshold = ThresholdWs::new(lambda, 4).unwrap();
+
+    let mut cfg = SimConfig::paper_default(128, lambda);
+    cfg.policy = StealPolicy::simple_ws();
+    protocol.apply(&mut cfg);
+    let sim = replicate(&cfg, protocol.runs, 5000).mean_load_tails();
+
+    print_header(
+        "Figure: occupancy tails s_i at λ = 0.9",
+        &protocol,
+        &["i", "M/M/1", "simple WS", "T=4 WS", "sim simple"],
+    );
+    let nt = no_steal.closed_form_tails();
+    let st = simple.closed_form_tails();
+    let tt = threshold.closed_form_tails();
+    for i in 1..=12usize {
+        println!(
+            "{i:>12} {:>12.6} {:>12.6} {:>12.6} {:>12.6}",
+            nt.get(i),
+            st.get(i),
+            tt.get(i),
+            sim.get(i).copied().unwrap_or(0.0)
+        );
+    }
+    println!("\ndecay ratios (deep tail):");
+    println!("  M/M/1:      λ = {lambda}");
+    println!(
+        "  simple WS:  ρ' = λ/(1+λ−π₂) = {:.6} (π₂ = {:.6})",
+        simple.rho_prime(),
+        simple.pi2()
+    );
+    println!(
+        "  T=4 WS:     ρ' = {:.6} (π₂ = {:.6})",
+        threshold.rho_prime(),
+        threshold.pi2()
+    );
+    let mut ratios = Vec::new();
+    for i in 3..=7 {
+        if sim.get(i + 1).copied().unwrap_or(0.0) > 1e-4 {
+            ratios.push(sim[i + 1] / sim[i]);
+        }
+    }
+    if !ratios.is_empty() {
+        let mean: f64 = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        println!("  sim simple: measured ratio ≈ {mean:.4}");
+    }
+    println!("\nshape check: stealing tails decay strictly faster than λ^i, at the");
+    println!("predicted 'apparent service rate' ratio.");
+}

@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks for the substrates: derivative evaluation
+//! throughput, fixed-point solves, and simulator event throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use loadsteal_core::fixed_point::{solve, FixedPointOptions};
+use loadsteal_core::models::{MeanFieldModel, Rebalance, RebalanceRateFn, SimpleWs, TransferWs};
+use loadsteal_ode::{AdaptiveOptions, DormandPrince45, OdeSystem};
+use loadsteal_sim::{run, SimConfig};
+
+fn bench_deriv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("deriv");
+    let simple = SimpleWs::new(0.95).unwrap();
+    let y = simple.closed_form_tails().into_vec();
+    let mut dy = vec![0.0; y.len()];
+    g.bench_function("simple_ws_dim_~500", |b| {
+        b.iter(|| simple.deriv(0.0, black_box(&y), &mut dy))
+    });
+    let transfer = TransferWs::new(0.9, 0.25, 4).unwrap();
+    let yt = transfer.empty_state();
+    let mut dyt = vec![0.0; yt.len()];
+    g.bench_function("transfer_ws", |b| {
+        b.iter(|| transfer.deriv(0.0, black_box(&yt), &mut dyt))
+    });
+    let reb = Rebalance::new(0.9, RebalanceRateFn::Constant(1.0)).unwrap();
+    let yr = SimpleWs::new(0.9).unwrap().closed_form_tails().into_vec();
+    let yr = {
+        let mut v = yr;
+        v.resize(reb.dim(), 0.0);
+        v
+    };
+    let mut dyr = vec![0.0; yr.len()];
+    g.bench_function("rebalance_quadratic", |b| {
+        b.iter(|| reb.deriv(0.0, black_box(&yr), &mut dyr))
+    });
+    g.finish();
+}
+
+fn bench_integrate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("integrate");
+    g.sample_size(10);
+    let m = SimpleWs::new(0.9).unwrap();
+    g.bench_function("simple_ws_to_t100", |b| {
+        b.iter_batched(
+            || (m.empty_state(), DormandPrince45::new(AdaptiveOptions::default())),
+            |(mut y, mut dp)| {
+                dp.integrate(&m, 0.0, 100.0, &mut y).unwrap();
+                y
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("simple_ws_fixed_point", |b| {
+        b.iter(|| solve(&m, &FixedPointOptions::default()).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    let mut cfg = SimConfig::paper_default(128, 0.9);
+    cfg.horizon = 500.0;
+    cfg.warmup = 50.0;
+    // ~115k events per iteration at these settings.
+    g.bench_function("simple_ws_n128_500s", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            run(&cfg, seed)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_deriv, bench_integrate, bench_simulator);
+criterion_main!(benches);

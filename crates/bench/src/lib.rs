@@ -1,0 +1,135 @@
+//! Shared harness for the reproduction benches.
+//!
+//! Every table and figure of the paper has a `[[bench]]` target in this
+//! crate (`cargo bench -p loadsteal-bench --bench table1`, …); each
+//! prints the same rows the paper reports, with the simulation protocol
+//! controlled by environment variables:
+//!
+//! | Variable | Meaning | Default |
+//! |----------|---------|---------|
+//! | `LOADSTEAL_RUNS` | replications per cell | 3 |
+//! | `LOADSTEAL_HORIZON` | simulated seconds per run | 20 000 |
+//! | `LOADSTEAL_WARMUP` | discarded prefix | horizon/10 |
+//! | `LOADSTEAL_FULL=1` | the paper's exact protocol (10 × 100 000 s, 10 000 s warmup) | off |
+//!
+//! The defaults regenerate every table in minutes on a laptop with
+//! sampling error well under the model-vs-simulation differences being
+//! demonstrated; `LOADSTEAL_FULL=1` reproduces the paper's protocol
+//! verbatim.
+
+use loadsteal_queueing::ConfidenceInterval;
+use loadsteal_sim::{replicate, SimConfig};
+
+/// Simulation protocol (replications / horizon / warmup).
+#[derive(Debug, Clone, Copy)]
+pub struct Protocol {
+    /// Replications per table cell.
+    pub runs: usize,
+    /// Simulated time per run.
+    pub horizon: f64,
+    /// Discarded warmup prefix.
+    pub warmup: f64,
+}
+
+impl Protocol {
+    /// Read the protocol from the environment (see crate docs).
+    pub fn from_env() -> Self {
+        if env_flag("LOADSTEAL_FULL") {
+            return Self {
+                runs: 10,
+                horizon: 100_000.0,
+                warmup: 10_000.0,
+            };
+        }
+        let runs = env_parse("LOADSTEAL_RUNS").unwrap_or(3);
+        let horizon = env_parse("LOADSTEAL_HORIZON").unwrap_or(20_000.0);
+        let warmup = env_parse("LOADSTEAL_WARMUP").unwrap_or(horizon / 10.0);
+        Self {
+            runs,
+            horizon,
+            warmup,
+        }
+    }
+
+    /// Apply the protocol to a config.
+    pub fn apply(&self, cfg: &mut SimConfig) {
+        cfg.horizon = self.horizon;
+        cfg.warmup = self.warmup;
+    }
+
+    /// Run the protocol on `cfg` and return the mean sojourn time.
+    pub fn mean_sojourn(&self, mut cfg: SimConfig, seed: u64) -> f64 {
+        self.apply(&mut cfg);
+        replicate(&cfg, self.runs, seed).mean_sojourn()
+    }
+
+    /// Run the protocol and return mean ± CI.
+    pub fn sojourn_ci(&self, mut cfg: SimConfig, seed: u64) -> ConfidenceInterval {
+        self.apply(&mut cfg);
+        replicate(&cfg, self.runs, seed).sojourn_ci()
+    }
+
+    /// One-line description for bench headers.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} runs × {:.0} s (warmup {:.0} s); paper: 10 × 100000 s (LOADSTEAL_FULL=1)",
+            self.runs, self.horizon, self.warmup
+        )
+    }
+}
+
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).map(|v| v == "1" || v.eq_ignore_ascii_case("true")).unwrap_or(false)
+}
+
+fn env_parse<T: std::str::FromStr>(name: &str) -> Option<T> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+/// Print a table header: a title line, the protocol, and column names.
+pub fn print_header(title: &str, protocol: &Protocol, columns: &[&str]) {
+    println!("\n=== {title} ===");
+    println!("protocol: {}", protocol.describe());
+    for c in columns {
+        print!("{c:>12}");
+    }
+    println!();
+    println!("{}", "-".repeat(12 * columns.len()));
+}
+
+/// Print one row of f64 cells (NaN renders as a dash).
+pub fn print_row(cells: &[f64]) {
+    for &c in cells {
+        if c.is_nan() {
+            print!("{:>12}", "—");
+        } else {
+            print!("{c:>12.3}");
+        }
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_protocol_is_reasonable() {
+        let p = Protocol::from_env();
+        assert!(p.runs >= 1);
+        assert!(p.warmup < p.horizon);
+    }
+
+    #[test]
+    fn protocol_applies_to_config() {
+        let p = Protocol {
+            runs: 2,
+            horizon: 500.0,
+            warmup: 50.0,
+        };
+        let mut cfg = SimConfig::paper_default(8, 0.5);
+        p.apply(&mut cfg);
+        assert_eq!(cfg.horizon, 500.0);
+        assert_eq!(cfg.warmup, 50.0);
+    }
+}

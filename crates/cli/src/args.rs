@@ -1,0 +1,127 @@
+//! Minimal `--key value` argument parsing (no external dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parse flags from an iterator of raw arguments (after the
+    /// subcommand). `--flag value` and `--flag=value` are both accepted.
+    pub fn parse(raw: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut flags = BTreeMap::new();
+        let mut raw = raw.peekable();
+        while let Some(arg) = raw.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument: {arg}"));
+            };
+            if let Some((k, v)) = name.split_once('=') {
+                flags.insert(k.to_string(), v.to_string());
+            } else {
+                let value = raw
+                    .next()
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                flags.insert(name.to_string(), value);
+            }
+        }
+        Ok(Self { flags })
+    }
+
+    /// A required flag, parsed.
+    pub fn required<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
+        let v = self
+            .flags
+            .get(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))?;
+        v.parse()
+            .map_err(|_| format!("flag --{name}: cannot parse {v:?}"))
+    }
+
+    /// An optional flag with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{name}: cannot parse {v:?}")),
+        }
+    }
+
+    /// An optional flag.
+    pub fn get<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.flags.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("flag --{name}: cannot parse {v:?}")),
+        }
+    }
+
+    /// Raw string flag.
+    pub fn raw(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(|s| s.as_str())
+    }
+
+    /// Reject unknown flags (catches typos early).
+    pub fn ensure_known(&self, known: &[&str]) -> Result<(), String> {
+        for k in self.flags.keys() {
+            if !known.contains(&k.as_str()) {
+                return Err(format!(
+                    "unknown flag --{k}; known flags: {}",
+                    known.join(", ")
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Args {
+        Args::parse(parts.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn parses_separate_and_equals_forms() {
+        let a = parse(&["--lambda", "0.9", "--threshold=4"]);
+        assert_eq!(a.required::<f64>("lambda").unwrap(), 0.9);
+        assert_eq!(a.required::<usize>("threshold").unwrap(), 4);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse(&["--lambda", "0.5"]);
+        assert_eq!(a.get_or("runs", 3usize).unwrap(), 3);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Args::parse(["--lambda".to_string()].into_iter()).is_err());
+    }
+
+    #[test]
+    fn positional_arguments_are_rejected() {
+        assert!(Args::parse(["oops".to_string()].into_iter()).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_caught() {
+        let a = parse(&["--lambda", "0.5", "--tresh", "2"]);
+        assert!(a.ensure_known(&["lambda", "threshold"]).is_err());
+        assert!(a.ensure_known(&["lambda", "tresh"]).is_ok());
+    }
+
+    #[test]
+    fn bad_parse_reports_flag_name() {
+        let a = parse(&["--lambda", "abc"]);
+        let err = a.required::<f64>("lambda").unwrap_err();
+        assert!(err.contains("lambda"));
+    }
+}

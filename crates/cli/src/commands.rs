@@ -1,0 +1,246 @@
+//! Command implementations.
+
+use loadsteal_core::fixed_point::{solve as solve_fp, FixedPoint, FixedPointOptions};
+use loadsteal_core::models::{
+    ErlangStages, GeneralWs, Heterogeneous, MeanFieldModel, MultiChoice, MultiSteal, NoSteal,
+    Preemptive, Rebalance, RebalanceRateFn, RepeatedSteal, SimpleWs, StaticDrain, ThresholdWs,
+    TransferWs,
+};
+use loadsteal_core::stability::{check_l1_contraction, theorem_condition_holds};
+use loadsteal_core::tail::TailVector;
+use loadsteal_sim::{replicate, RebalanceRate, SimConfig, StealPolicy, TransferTime};
+
+use crate::args::Args;
+
+const MODEL_FLAGS: &[&str] = &[
+    "model", "lambda", "threshold", "choices", "batch", "begin", "rate", "stages", "per-task",
+    "fast-frac", "fast", "slow", "levels", "internal",
+];
+
+/// Solve a model's fixed point, dispatching on `--model`.
+fn solve_model(a: &Args) -> Result<(String, FixedPoint), String> {
+    a.ensure_known(MODEL_FLAGS)?;
+    let lambda: f64 = a.required("lambda")?;
+    let opts = FixedPointOptions::default();
+    let model = a.raw("model").unwrap_or("simple");
+
+    macro_rules! fp {
+        ($m:expr) => {{
+            let m = $m;
+            let name = m.name();
+            let fp = solve_fp(&m, &opts).map_err(|e| e.to_string())?;
+            Ok((name, fp))
+        }};
+    }
+
+    match model {
+        "simple" => fp!(SimpleWs::new(lambda)?),
+        "nosteal" => fp!(NoSteal::new(lambda)?),
+        "threshold" => fp!(ThresholdWs::new(lambda, a.get_or("threshold", 2)?)?),
+        "general" => fp!(GeneralWs::new(
+            lambda,
+            a.get_or("threshold", 2)?,
+            a.get_or("choices", 1u32)?,
+            a.get_or("batch", 1)?,
+        )?),
+        "multichoice" => fp!(MultiChoice::new(
+            lambda,
+            a.get_or("choices", 2u32)?,
+            a.get_or("threshold", 2)?,
+        )?),
+        "multisteal" => fp!(MultiSteal::new(
+            lambda,
+            a.get_or("batch", 2)?,
+            a.get_or("threshold", 4)?,
+        )?),
+        "preemptive" => fp!(Preemptive::new(
+            lambda,
+            a.get_or("begin", 1)?,
+            a.get_or("threshold", 3)?,
+        )?),
+        "repeated" => fp!(RepeatedSteal::new(
+            lambda,
+            a.get_or("rate", 1.0)?,
+            a.get_or("threshold", 2)?,
+        )?),
+        "erlang" => fp!(ErlangStages::new(lambda, a.get_or("stages", 10)?)?),
+        "transfer" => fp!(TransferWs::new(
+            lambda,
+            a.get_or("rate", 0.25)?,
+            a.get_or("threshold", 4)?,
+        )?),
+        "rebalance" => {
+            let r: f64 = a.get_or("rate", 1.0)?;
+            let rate = if a.get_or("per-task", false)? {
+                RebalanceRateFn::PerTask(r)
+            } else {
+                RebalanceRateFn::Constant(r)
+            };
+            fp!(Rebalance::new(lambda, rate)?)
+        }
+        "heterogeneous" => fp!(Heterogeneous::new(
+            lambda,
+            a.get_or("fast-frac", 0.5)?,
+            a.get_or("fast", 1.5)?,
+            a.get_or("slow", 0.8)?,
+            a.get_or("threshold", 2)?,
+        )?),
+        other => Err(format!("unknown model {other:?} (see `loadsteal help`)")),
+    }
+}
+
+/// `loadsteal solve` — fixed point metrics.
+pub fn solve(a: &Args) -> Result<(), String> {
+    let (name, fp) = solve_model(a)?;
+    println!("model:                 {name}");
+    println!("truncation levels:     {}", fp.truncation);
+    println!("residual ‖F(π)‖∞:      {:.3e}{}", fp.residual,
+        if fp.polished { " (Newton-polished)" } else { " (integration only)" });
+    println!("busy fraction s₁:      {:.6}", fp.task_tails.get(1).copied().unwrap_or(0.0));
+    println!("mean tasks / proc L:   {:.6}", fp.mean_tasks);
+    println!("mean time in system W: {:.6}", fp.mean_time_in_system);
+    if let Some(r) = fp.tail_ratio() {
+        println!("tail decay ratio:      {r:.6}");
+    }
+    Ok(())
+}
+
+/// `loadsteal tails` — fixed point occupancy tails.
+pub fn tails(a: &Args) -> Result<(), String> {
+    let levels: usize = a.get_or("levels", 12)?;
+    let (name, fp) = solve_model(a)?;
+    println!("model: {name}");
+    println!("{:>4} {:>14}", "i", "s_i");
+    for i in 0..=levels {
+        println!("{i:>4} {:>14.8}", fp.task_tails.get(i).copied().unwrap_or(0.0));
+    }
+    Ok(())
+}
+
+const SIM_FLAGS: &[&str] = &[
+    "n", "lambda", "policy", "threshold", "choices", "batch", "begin", "rate", "transfer-rate",
+    "runs", "horizon", "warmup", "seed", "internal", "service-stages", "constant-service",
+];
+
+/// `loadsteal simulate` — run the discrete-event simulator.
+pub fn simulate(a: &Args) -> Result<(), String> {
+    a.ensure_known(SIM_FLAGS)?;
+    let n: usize = a.required("n")?;
+    let lambda: f64 = a.required("lambda")?;
+    let mut cfg = SimConfig::paper_default(n, lambda);
+    cfg.horizon = a.get_or("horizon", 20_000.0)?;
+    cfg.warmup = a.get_or("warmup", cfg.horizon / 10.0)?;
+    cfg.internal_lambda = a.get_or("internal", 0.0)?;
+    if a.get_or("constant-service", false)? {
+        cfg.service = loadsteal_queueing::ServiceDistribution::unit_deterministic();
+    } else if let Some(stages) = a.get::<u32>("service-stages")? {
+        cfg.service = loadsteal_queueing::ServiceDistribution::unit_erlang(stages);
+    }
+    cfg.policy = match a.raw("policy").unwrap_or("simple") {
+        "none" => StealPolicy::None,
+        "simple" => StealPolicy::simple_ws(),
+        "threshold" => StealPolicy::OnEmpty {
+            threshold: a.get_or("threshold", 2)?,
+            choices: a.get_or("choices", 1)?,
+            batch: a.get_or("batch", 1)?,
+        },
+        "preemptive" => StealPolicy::Preemptive {
+            begin_at: a.get_or("begin", 1)?,
+            rel_threshold: a.get_or("threshold", 3)?,
+        },
+        "repeated" => StealPolicy::Repeated {
+            rate: a.get_or("rate", 1.0)?,
+            threshold: a.get_or("threshold", 2)?,
+        },
+        "rebalance" => StealPolicy::Rebalance {
+            rate: RebalanceRate::Constant(a.get_or("rate", 1.0)?),
+        },
+        other => return Err(format!("unknown policy {other:?}")),
+    };
+    if let Some(r) = a.get::<f64>("transfer-rate")? {
+        cfg.transfer = Some(TransferTime::exponential(r));
+    }
+    cfg.validate()?;
+    let runs: usize = a.get_or("runs", 3)?;
+    let seed: u64 = a.get_or("seed", 42)?;
+    let result = replicate(&cfg, runs, seed);
+    let ci = result.sojourn_ci();
+    println!("config:              n = {n}, λ = {lambda}, policy = {:?}", cfg.policy);
+    println!("protocol:            {runs} × {:.0} s (warmup {:.0} s), seed {seed}", cfg.horizon, cfg.warmup);
+    println!("mean time in system: {:.4} ± {:.4} (95% CI over runs)", ci.mean, ci.half_width);
+    let r0 = &result.runs[0];
+    println!("per run ≈ {} tasks, steal success rate {:.1}%",
+        r0.tasks_completed, 100.0 * r0.steal_success_rate());
+    let tails = result.mean_load_tails();
+    print!("tails s₁..s₈:        ");
+    for i in 1..=8 {
+        print!("{:.4} ", tails.get(i).copied().unwrap_or(0.0));
+    }
+    println!();
+    Ok(())
+}
+
+/// `loadsteal stability` — Section 4 contraction check.
+pub fn stability(a: &Args) -> Result<(), String> {
+    a.ensure_known(&["lambda", "t-max"])?;
+    let lambda: f64 = a.required("lambda")?;
+    let t_max: f64 = a.get_or("t-max", 50_000.0)?;
+    let m = SimpleWs::new(lambda)?;
+    let fp = solve_fp(&m, &FixedPointOptions::default()).map_err(|e| e.to_string())?;
+    println!(
+        "Theorem 1 hypothesis π₂ < 1/2: {} (π₂ = {:.4})",
+        if theorem_condition_holds(lambda) { "holds" } else { "does NOT hold" },
+        m.pi2()
+    );
+    for (name, start) in [
+        ("empty", m.empty_state()),
+        ("uniform load 4", TailVector::uniform_load(4, m.truncation()).into_vec()),
+        ("geometric 0.97", TailVector::geometric(0.97, m.truncation()).into_vec()),
+    ] {
+        let rep = check_l1_contraction(&m, &start, &fp.state, 1e-6, t_max)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "start {name:>16}: D₀ = {:.4}, max increase {:.2e}, converged at {}, decay γ ≈ {}",
+            rep.initial_distance,
+            rep.max_increase,
+            rep.converged_at
+                .map(|t| format!("t = {t:.1}"))
+                .unwrap_or_else(|| "— (not within horizon)".into()),
+            rep.decay_rate()
+                .map(|g| format!("{g:.4}"))
+                .unwrap_or_else(|| "—".into()),
+        );
+    }
+    Ok(())
+}
+
+/// `loadsteal drain` — static system drain comparison.
+pub fn drain(a: &Args) -> Result<(), String> {
+    a.ensure_known(&["initial", "n", "internal", "runs", "seed"])?;
+    let initial: usize = a.required("initial")?;
+    let n: usize = a.get_or("n", 128)?;
+    let internal: f64 = a.get_or("internal", 0.0)?;
+    let model = StaticDrain::new(0.0, internal, 4 * initial + 16)?;
+    let predicted = model.drain_time(initial, 1e-3, 1e6).map_err(|e| e.to_string())?;
+    println!("mean-field drain time (n → ∞): {predicted:.2}");
+
+    let mut cfg = SimConfig::paper_default(n, 0.0);
+    cfg.lambda = 0.0;
+    cfg.internal_lambda = internal;
+    cfg.run_until_drained = true;
+    cfg.initial_load = initial;
+    cfg.warmup = 0.0;
+    cfg.policy = StealPolicy::Repeated {
+        rate: 8.0,
+        threshold: 2,
+    };
+    let runs: usize = a.get_or("runs", 5)?;
+    let seed: u64 = a.get_or("seed", 42)?;
+    let result = replicate(&cfg, runs, seed);
+    println!(
+        "simulated makespan (n = {n}, {runs} runs): {:.2} ± {:.2}",
+        result.makespan_mean.mean(),
+        result.makespan_mean.confidence_interval(0.95).half_width
+    );
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! `loadsteal` — command-line interface to the mean-field work-stealing
+//! models (Mitzenmacher, SPAA 1998) and the companion simulator.
+//!
+//! ```text
+//! loadsteal solve    --model simple --lambda 0.9
+//! loadsteal solve    --model general --lambda 0.9 --threshold 6 --choices 2 --batch 3
+//! loadsteal tails    --model threshold --lambda 0.9 --threshold 4 --levels 12
+//! loadsteal simulate --n 128 --lambda 0.9 --policy simple --runs 5
+//! loadsteal stability --lambda 0.9
+//! loadsteal drain    --initial 20 --n 128
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let Some(cmd) = argv.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let parsed = match args::Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "solve" => commands::solve(&parsed),
+        "tails" => commands::tails(&parsed),
+        "simulate" => commands::simulate(&parsed),
+        "stability" => commands::stability(&parsed),
+        "drain" => commands::drain(&parsed),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+loadsteal — mean-field analyses of load stealing (Mitzenmacher, SPAA 1998)
+
+USAGE:
+  loadsteal solve --model <MODEL> --lambda <λ> [model flags]
+      Fixed point and metrics of a mean-field model.
+  loadsteal tails --model <MODEL> --lambda <λ> [--levels N] [model flags]
+      Print the fixed-point occupancy tails s_i.
+  loadsteal simulate --n <N> --lambda <λ> [--policy P] [sim flags]
+      Discrete-event simulation of the finite system.
+  loadsteal stability --lambda <λ> [--t-max T]
+      L1-contraction check towards the fixed point (Section 4).
+  loadsteal drain --initial <m0> [--n N] [--internal λint]
+      Static-system drain: mean-field vs simulated makespan.
+
+MODELS (for solve/tails):
+  simple                           λ only
+  nosteal                          λ only
+  threshold                        --threshold T
+  general                          --threshold T --choices d --batch k
+  multichoice                      --threshold T --choices d
+  multisteal                       --threshold T --batch k
+  preemptive                       --begin B --threshold T (relative)
+  repeated                         --rate r --threshold T
+  erlang                           --stages c
+  transfer                         --rate r --threshold T
+  rebalance                        --rate r [--per-task true]
+  heterogeneous                    --fast-frac α --fast μf --slow μs --threshold T
+
+SIM POLICIES (for simulate):
+  none | simple | threshold | preemptive | repeated | rebalance
+  with flags --threshold, --choices, --batch, --begin, --rate,
+  --transfer-rate, --runs, --horizon, --warmup, --seed
+";

@@ -1,0 +1,101 @@
+//! End-to-end tests of the `loadsteal` binary.
+
+use std::process::Command;
+
+fn loadsteal(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_loadsteal"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_prints_usage() {
+    let (ok, stdout, _) = loadsteal(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("solve"));
+}
+
+#[test]
+fn no_arguments_fails_with_usage() {
+    let (ok, _, stderr) = loadsteal(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("USAGE"));
+}
+
+#[test]
+fn solve_simple_reports_table1_estimate() {
+    let (ok, stdout, stderr) = loadsteal(&["solve", "--model", "simple", "--lambda", "0.9"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("mean time in system"), "{stdout}");
+    // λ = 0.9 estimate is 3.541 (paper Table 1).
+    assert!(stdout.contains("3.541"), "{stdout}");
+}
+
+#[test]
+fn solve_threshold_takes_flags_in_both_forms() {
+    let (ok, a, _) = loadsteal(&["solve", "--model", "threshold", "--lambda", "0.8", "--threshold", "4"]);
+    assert!(ok);
+    let (ok2, b, _) = loadsteal(&["solve", "--model=threshold", "--lambda=0.8", "--threshold=4"]);
+    assert!(ok2);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn tails_prints_monotone_levels() {
+    let (ok, stdout, _) = loadsteal(&["tails", "--model", "simple", "--lambda", "0.7", "--levels", "6"]);
+    assert!(ok);
+    let values: Vec<f64> = stdout
+        .lines()
+        .filter_map(|l| l.split_whitespace().nth(1).and_then(|v| v.parse().ok()))
+        .collect();
+    assert!(values.len() >= 6, "{stdout}");
+    for w in values.windows(2) {
+        assert!(w[0] >= w[1] - 1e-12, "{stdout}");
+    }
+}
+
+#[test]
+fn simulate_runs_a_short_experiment() {
+    let (ok, stdout, stderr) = loadsteal(&[
+        "simulate", "--n", "16", "--lambda", "0.5", "--runs", "2", "--horizon", "500",
+        "--warmup", "50", "--seed", "1",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("mean time in system"), "{stdout}");
+}
+
+#[test]
+fn unknown_model_is_a_clean_error() {
+    let (ok, _, stderr) = loadsteal(&["solve", "--model", "bogus", "--lambda", "0.5"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown model"), "{stderr}");
+}
+
+#[test]
+fn unknown_flag_is_a_clean_error() {
+    let (ok, _, stderr) = loadsteal(&["solve", "--model", "simple", "--lambda", "0.5", "--tresh", "2"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag"), "{stderr}");
+}
+
+#[test]
+fn invalid_lambda_is_a_clean_error() {
+    let (ok, _, stderr) = loadsteal(&["solve", "--model", "simple", "--lambda", "1.5"]);
+    assert!(!ok);
+    assert!(stderr.contains("arrival rate"), "{stderr}");
+}
+
+#[test]
+fn drain_reports_both_numbers() {
+    let (ok, stdout, stderr) = loadsteal(&["drain", "--initial", "5", "--n", "16", "--runs", "2"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("mean-field drain time"));
+    assert!(stdout.contains("simulated makespan"));
+}

@@ -1,0 +1,313 @@
+//! Erlang's method of stages: (nearly) constant service times —
+//! Section 3.1.
+//!
+//! A constant unit service is approximated by `c` exponential stages of
+//! mean `1/c` each (a gamma/Erlang-c service law; `c → ∞` gives a
+//! constant). The state tracks *stages*: `s_i` = fraction of processors
+//! with at least `i` stages of work left. A queued task carries `c`
+//! stages, so a processor with ≥ 2 tasks is one with ≥ c + 1 stages.
+//! Stealing is the simple policy (steal whenever a random victim has at
+//! least two tasks, i.e. `T = 2`):
+//!
+//! ```text
+//! ds_1/dt = λ(s_0 − s_1) − c(s_1 − s_2)(1 − s_{c+1})
+//! ds_i/dt = λ(s_0 − s_i) + c(s_1 − s_2) s_{i+c} − c(s_i − s_{i+1}),       2 ≤ i ≤ c
+//! ds_i/dt = λ(s_{i−c} − s_i) − c(s_i − s_{i+1})
+//!              − c(s_i − s_{i+c})(s_1 − s_2),                             i ≥ c+1
+//! ```
+//!
+//! (An arrival adds `c` stages at once, which is why `s_i` for `i ≤ c`
+//! feeds from `s_0`; a steal moves exactly `c` stages from victim to
+//! thief.) The paper's Table 2 compares the `c = 10` and `c = 20` fixed
+//! points against simulations with truly constant service times.
+
+use loadsteal_ode::OdeSystem;
+
+use crate::tail::{truncation_for_ratio, TailVector};
+
+use super::{check_lambda, MeanFieldModel};
+
+/// Mean-field model of simple WS with Erlang-`c` (≈ constant) service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErlangStages {
+    lambda: f64,
+    stages: usize,
+    threshold: usize,
+    levels: usize,
+}
+
+impl ErlangStages {
+    /// Create the model for `0 < λ < 1` and `c ≥ 1` service stages with
+    /// the paper's steal-whenever-possible policy (`T = 2`).
+    pub fn new(lambda: f64, stages: usize) -> Result<Self, String> {
+        Self::with_threshold(lambda, stages, 2)
+    }
+
+    /// Like [`Self::new`] but with a victim-load threshold `T ≥ 2`
+    /// (a victim must hold at least `T` tasks, i.e. `(T−1)c + 1`
+    /// stages) — the Section 2.3 and 3.1 extensions combined.
+    pub fn with_threshold(lambda: f64, stages: usize, threshold: usize) -> Result<Self, String> {
+        check_lambda(lambda)?;
+        if stages == 0 {
+            return Err("need at least one service stage".into());
+        }
+        if threshold < 2 {
+            return Err(format!("threshold must be >= 2, got {threshold}"));
+        }
+        // Per-task tails decay at least as fast as the exponential-service
+        // stealing system's ρ'; per-stage that is ρ'^(1/c).
+        let rho_task = {
+            let disc = (1.0 + lambda) * (1.0 + lambda) - 4.0 * lambda * lambda;
+            let pi2 = 0.5 * (1.0 + lambda - disc.sqrt());
+            lambda / (1.0 + lambda - pi2)
+        };
+        let stage_ratio = rho_task.powf(1.0 / stages as f64);
+        let levels = truncation_for_ratio(stage_ratio, 1e-14, stages * 8, 60_000)
+            .max((threshold + 1) * stages + 8);
+        Ok(Self {
+            lambda,
+            stages,
+            threshold,
+            levels,
+        })
+    }
+
+    /// The number of service stages `c`.
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// The victim-load threshold `T` (in tasks).
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// The threshold in *stages*: a victim holds ≥ T tasks iff it holds
+    /// ≥ (T−1)c + 1 stages.
+    fn stage_threshold(&self) -> usize {
+        (self.threshold - 1) * self.stages + 1
+    }
+
+    #[inline]
+    fn s(&self, y: &[f64], i: usize) -> f64 {
+        if i == 0 {
+            1.0
+        } else if i <= y.len() {
+            y[i - 1]
+        } else {
+            0.0
+        }
+    }
+
+    #[inline]
+    fn s_signed(&self, y: &[f64], i: isize) -> f64 {
+        if i <= 0 {
+            1.0
+        } else {
+            self.s(y, i as usize)
+        }
+    }
+}
+
+impl OdeSystem for ErlangStages {
+    fn dim(&self) -> usize {
+        self.levels
+    }
+
+    fn deriv(&self, _t: f64, y: &[f64], dy: &mut [f64]) {
+        let lambda = self.lambda;
+        let c = self.stages;
+        let cf = c as f64;
+        let s1 = self.s(y, 1);
+        let s2 = self.s(y, 2);
+        // Rate of steal attempts = rate of final-stage completions; a
+        // victim qualifies with ≥ T tasks, i.e. ≥ q = (T−1)c+1 stages.
+        let steal_rate = cf * (s1 - s2);
+        let q = self.stage_threshold();
+        let sq = self.s(y, q);
+        dy[0] = lambda * (1.0 - s1) - steal_rate * (1.0 - sq);
+        for i in 2..=self.levels {
+            // Arrivals add c fresh stages: any processor with ≥ i−c
+            // stages reaches ≥ i (s_0 = 1 covers i ≤ c).
+            let arrivals = lambda * (self.s_signed(y, i as isize - c as isize) - self.s(y, i));
+            let stage_dep = cf * (self.s(y, i) - self.s(y, i + 1));
+            // Thief side: a successful steal lifts an empty processor to
+            // exactly c stages, feeding every level i ≤ c.
+            let gain = if i <= c { steal_rate * sq } else { 0.0 };
+            // Victim side: qualifying victims with stages in
+            // [max(i, q), i+c−1] drop below i when robbed of c stages.
+            let lo = i.max(q);
+            let loss = if i + c > q {
+                steal_rate * (self.s(y, lo) - self.s(y, i + c))
+            } else {
+                0.0
+            };
+            dy[i - 1] = arrivals - stage_dep + gain - loss;
+        }
+    }
+
+    fn project(&self, y: &mut [f64]) {
+        TailVector::project_slice(y);
+    }
+}
+
+impl MeanFieldModel for ErlangStages {
+    fn name(&self) -> String {
+        format!(
+            "erlang-stage WS (λ = {}, c = {} stages, T = {})",
+            self.lambda, self.stages, self.threshold
+        )
+    }
+
+    fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    fn truncation(&self) -> usize {
+        self.levels
+    }
+
+    fn with_truncation(&self, levels: usize) -> Self {
+        Self {
+            levels: levels.max(self.stages * 4),
+            ..self.clone()
+        }
+    }
+
+    fn empty_state(&self) -> Vec<f64> {
+        vec![0.0; self.levels]
+    }
+
+    /// Mean *tasks* per processor: a processor has ≥ k tasks iff it has
+    /// ≥ (k−1)c + 1 stages, so `L = Σ_{k≥1} s_{(k−1)c+1}`.
+    fn mean_tasks(&self, y: &[f64]) -> f64 {
+        let mut total = 0.0;
+        let mut idx = 1;
+        while idx <= self.levels {
+            total += self.s(y, idx);
+            idx += self.stages;
+        }
+        total
+    }
+
+    fn task_tails(&self, y: &[f64]) -> Vec<f64> {
+        let mut tails = vec![1.0];
+        let mut idx = 1;
+        while idx <= self.levels {
+            tails.push(self.s(y, idx));
+            idx += self.stages;
+        }
+        tails
+    }
+
+    fn boundary_mass(&self, y: &[f64]) -> f64 {
+        y.last().copied().unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed_point::{solve, FixedPointOptions};
+    use crate::models::SimpleWs;
+
+    fn opts() -> FixedPointOptions {
+        FixedPointOptions::default()
+    }
+
+    #[test]
+    fn one_stage_reduces_to_simple_ws() {
+        let lambda = 0.8;
+        let m = ErlangStages::new(lambda, 1).unwrap();
+        let fp = solve(&m, &opts()).unwrap();
+        let exact = SimpleWs::new(lambda).unwrap().closed_form_mean_time();
+        assert!(
+            (fp.mean_time_in_system - exact).abs() < 1e-6,
+            "c = 1: {} vs simple WS {exact}",
+            fp.mean_time_in_system
+        );
+    }
+
+    #[test]
+    fn throughput_balance_in_stages() {
+        // At the fixed point service output (fraction busy) equals λ.
+        let m = ErlangStages::new(0.7, 10).unwrap();
+        let fp = solve(&m, &opts()).unwrap();
+        assert!((fp.task_tails[1] - 0.7).abs() < 1e-7, "π₁ = {}", fp.task_tails[1]);
+    }
+
+    #[test]
+    fn constant_service_beats_exponential() {
+        // Table 2's headline: lower service variability → smaller W.
+        let lambda = 0.9;
+        let exp_w = SimpleWs::new(lambda).unwrap().closed_form_mean_time();
+        let det_w = solve(&ErlangStages::new(lambda, 10).unwrap(), &opts())
+            .unwrap()
+            .mean_time_in_system;
+        assert!(det_w < exp_w, "c=10 {det_w} vs exponential {exp_w}");
+    }
+
+    #[test]
+    fn reproduces_table2_estimates_c10() {
+        // Table 2, "c = 10" column.
+        for &(lambda, expect) in &[(0.50, 1.405), (0.80, 2.070), (0.90, 2.759)] {
+            let m = ErlangStages::new(lambda, 10).unwrap();
+            let w = solve(&m, &opts()).unwrap().mean_time_in_system;
+            assert!(
+                (w - expect).abs() < 0.02,
+                "λ = {lambda}: computed {w}, paper {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_stages_move_towards_constant() {
+        // W decreases with c (less service variability).
+        let lambda = 0.9;
+        let w10 = solve(&ErlangStages::new(lambda, 10).unwrap(), &opts())
+            .unwrap()
+            .mean_time_in_system;
+        let w20 = solve(&ErlangStages::new(lambda, 20).unwrap(), &opts())
+            .unwrap()
+            .mean_time_in_system;
+        assert!(w20 < w10, "c=20 {w20} vs c=10 {w10}");
+        // And the paper's c = 20 value at λ = 0.9 is 2.700.
+        assert!((w20 - 2.700).abs() < 0.02, "w20 = {w20}");
+    }
+
+    #[test]
+    fn one_stage_with_threshold_matches_threshold_model() {
+        use crate::models::ThresholdWs;
+        let lambda = 0.9;
+        for t in [3usize, 5] {
+            let m = ErlangStages::with_threshold(lambda, 1, t).unwrap();
+            let fp = solve(&m, &opts()).unwrap();
+            let exact = ThresholdWs::new(lambda, t).unwrap().closed_form_mean_time();
+            assert!(
+                (fp.mean_time_in_system - exact).abs() < 1e-6,
+                "c = 1, T = {t}: {} vs {exact}",
+                fp.mean_time_in_system
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_raises_constant_service_times_too() {
+        // Raising T restricts stealing, so W grows (at c = 5, λ = 0.9).
+        let lambda = 0.9;
+        let w2 = solve(&ErlangStages::with_threshold(lambda, 5, 2).unwrap(), &opts())
+            .unwrap()
+            .mean_time_in_system;
+        let w4 = solve(&ErlangStages::with_threshold(lambda, 5, 4).unwrap(), &opts())
+            .unwrap()
+            .mean_time_in_system;
+        assert!(w4 > w2, "T=4 {w4} vs T=2 {w2}");
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(ErlangStages::new(0.5, 0).is_err());
+        assert!(ErlangStages::new(1.2, 10).is_err());
+        assert!(ErlangStages::with_threshold(0.5, 5, 1).is_err());
+    }
+}

@@ -1,0 +1,156 @@
+//! Transient trajectories of the mean-field systems.
+//!
+//! Kurtz's theorem is about *trajectories*, not just fixed points: over
+//! any finite horizon, the empirical tail process of the n-processor
+//! system converges to the ODE solution as `n → ∞` (with fluctuations
+//! of order `1/√n`). This module samples those ODE trajectories on a
+//! uniform grid so they can be compared against simulator snapshots —
+//! the basis of the convergence experiment (`fig_convergence`).
+
+use loadsteal_ode::{AdaptiveOptions, DormandPrince45, IntegrationError};
+
+use crate::models::MeanFieldModel;
+
+/// A sampled trajectory: `(t, folded task tails at t)`.
+pub type Trajectory = Vec<(f64, Vec<f64>)>;
+
+/// Integrate `model` from `start` to `t_end`, sampling the folded task
+/// tails at exactly `dt, 2dt, …` (the integrator is driven segment by
+/// segment, so samples land on the grid points — important when
+/// comparing against simulator snapshots taken at those exact times).
+pub fn sample_tails<M: MeanFieldModel>(
+    model: &M,
+    start: &[f64],
+    t_end: f64,
+    dt: f64,
+) -> Result<Trajectory, IntegrationError> {
+    assert!(dt > 0.0 && t_end > 0.0, "need positive horizon and step");
+    assert_eq!(start.len(), model.dim(), "start state has wrong dimension");
+    let mut y = start.to_vec();
+    let steps = (t_end / dt).floor() as usize;
+    let mut out: Trajectory = Vec::with_capacity(steps);
+    let mut dp = DormandPrince45::new(AdaptiveOptions::default());
+    let mut t = 0.0;
+    for k in 1..=steps {
+        let target = k as f64 * dt;
+        dp.integrate(model, t, target, &mut y)?;
+        t = target;
+        out.push((t, model.task_tails(&y)));
+    }
+    Ok(out)
+}
+
+/// Integrate `model` from `start` until the folded busy fraction
+/// `s_1(t)` falls below `eps`, returning that time — the generic drain
+/// clock for static (no-external-arrival) experiments. Matching
+/// `eps ≈ 1/n` makes this comparable to an n-processor makespan (the
+/// time at which less than one processor's worth of busy mass remains).
+///
+/// Works for any model whose dynamics actually drain from `start`
+/// within `t_max` (use a vanishing arrival rate, e.g. `λ = 1e−9`, for
+/// models that insist on `λ > 0`); returns the time reached otherwise.
+pub fn drain_time<M: MeanFieldModel>(
+    model: &M,
+    start: &[f64],
+    eps: f64,
+    t_max: f64,
+) -> Result<f64, IntegrationError> {
+    use loadsteal_ode::solver::Control;
+    assert!(eps > 0.0, "need a positive drain threshold");
+    assert_eq!(start.len(), model.dim(), "start state has wrong dimension");
+    let mut y = start.to_vec();
+    let mut dp = DormandPrince45::new(AdaptiveOptions::default());
+    dp.integrate_observed(model, 0.0, t_max, &mut y, |_t, y| {
+        if model.task_tails(y)[1] < eps {
+            Control::Stop
+        } else {
+            Control::Continue
+        }
+    })
+}
+
+/// Sup-norm distance between a simulated snapshot train and the model
+/// trajectory, matching samples by index (both must use the same `dt`).
+/// Compares the first `depth` tail levels.
+pub fn sup_distance(model_traj: &Trajectory, sim_traj: &[(f64, Vec<f64>)], depth: usize) -> f64 {
+    let mut worst = 0.0_f64;
+    for ((_, m), (_, s)) in model_traj.iter().zip(sim_traj) {
+        for i in 0..depth {
+            let mv = m.get(i).copied().unwrap_or(0.0);
+            let sv = s.get(i).copied().unwrap_or(0.0);
+            worst = worst.max((mv - sv).abs());
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{MeanFieldModel, SimpleWs};
+
+    #[test]
+    fn trajectory_approaches_fixed_point() {
+        let m = SimpleWs::new(0.7).unwrap();
+        let traj = sample_tails(&m, &m.empty_state(), 200.0, 5.0).unwrap();
+        assert!(traj.len() >= 39, "got {} samples", traj.len());
+        let last = &traj.last().unwrap().1;
+        // s₁ → λ.
+        assert!((last[1] - 0.7).abs() < 1e-4, "s₁(200) = {}", last[1]);
+        // Busy fraction increases from empty.
+        assert!(traj[0].1[1] < last[1]);
+    }
+
+    #[test]
+    fn samples_are_on_the_grid() {
+        let m = SimpleWs::new(0.5).unwrap();
+        let traj = sample_tails(&m, &m.empty_state(), 10.0, 1.0).unwrap();
+        assert_eq!(traj.len(), 10);
+        for (k, (t, _)) in traj.iter().enumerate() {
+            let expect = (k + 1) as f64;
+            assert!((t - expect).abs() < 1e-12, "sample {k} at t = {t}");
+        }
+    }
+
+    #[test]
+    fn drain_time_matches_static_drain_model() {
+        // The generic helper on the StaticDrain model must agree with
+        // the model's own drain_time method.
+        use crate::models::StaticDrain;
+        use crate::tail::TailVector;
+        let m = StaticDrain::new(0.0, 0.0, 64).unwrap();
+        let start = TailVector::uniform_load(10, 64).into_vec();
+        let generic = drain_time(&m, &start, 1e-3, 1e4).unwrap();
+        let method = m.drain_time(10, 1e-3, 1e4).unwrap();
+        assert!((generic - method).abs() < 0.05, "{generic} vs {method}");
+    }
+
+    #[test]
+    fn retries_shorten_the_mean_field_drain_tail() {
+        // Repeated attempts rob stragglers continuously, so the drain
+        // to a small busy fraction ends sooner than one-shot stealing.
+        use crate::models::{RepeatedSteal, StaticDrain};
+        use crate::tail::TailVector;
+        let eps = 1.0 / 256.0;
+        let one_shot = StaticDrain::new(0.0, 0.0, 96).unwrap();
+        let start = TailVector::uniform_load(20, 96).into_vec();
+        let slow = drain_time(&one_shot, &start, eps, 1e4).unwrap();
+        let repeated = RepeatedSteal::new(1e-9, 8.0, 2).unwrap().with_truncation(96);
+        let fast = drain_time(&repeated, &start, eps, 1e4).unwrap();
+        assert!(fast < slow, "repeated {fast} vs one-shot {slow}");
+    }
+
+    #[test]
+    fn sup_distance_of_identical_trajectories_is_zero() {
+        let m = SimpleWs::new(0.6).unwrap();
+        let traj = sample_tails(&m, &m.empty_state(), 20.0, 2.0).unwrap();
+        assert_eq!(sup_distance(&traj, &traj, 8), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive horizon")]
+    fn zero_dt_panics() {
+        let m = SimpleWs::new(0.6).unwrap();
+        let _ = sample_tails(&m, &m.empty_state(), 10.0, 0.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Scalar root finding: bisection and Brent's method.
+//!
+//! Used for the paper's one-dimensional fixed-point constants (e.g. the
+//! threshold model's `π_T` when validating the closed form) and for
+//! inverting performance metrics in the benchmark sweeps.
+
+/// Errors from the scalar root finders.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RootError {
+    /// `f(a)` and `f(b)` have the same sign, so no bracketed root exists.
+    NoBracket {
+        /// `f` at the left endpoint.
+        fa: f64,
+        /// `f` at the right endpoint.
+        fb: f64,
+    },
+    /// The iteration budget was exhausted before convergence.
+    MaxIterations,
+    /// The function returned a non-finite value.
+    NonFinite,
+}
+
+impl std::fmt::Display for RootError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoBracket { fa, fb } => {
+                write!(f, "no sign change on bracket: f(a) = {fa}, f(b) = {fb}")
+            }
+            Self::MaxIterations => write!(f, "root finder exceeded its iteration budget"),
+            Self::NonFinite => write!(f, "function returned a non-finite value"),
+        }
+    }
+}
+
+impl std::error::Error for RootError {}
+
+const MAX_ITERS: usize = 200;
+
+/// Bisection on `[a, b]`; requires `f(a)` and `f(b)` to differ in sign.
+/// Converges linearly but unconditionally; `tol` bounds the bracket
+/// width of the returned root.
+pub fn bisect(mut f: impl FnMut(f64) -> f64, mut a: f64, mut b: f64, tol: f64) -> Result<f64, RootError> {
+    let mut fa = f(a);
+    let fb = f(b);
+    if !fa.is_finite() || !fb.is_finite() {
+        return Err(RootError::NonFinite);
+    }
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(RootError::NoBracket { fa, fb });
+    }
+    for _ in 0..MAX_ITERS {
+        let mid = 0.5 * (a + b);
+        if (b - a).abs() <= tol {
+            return Ok(mid);
+        }
+        let fm = f(mid);
+        if !fm.is_finite() {
+            return Err(RootError::NonFinite);
+        }
+        if fm == 0.0 {
+            return Ok(mid);
+        }
+        if fm.signum() == fa.signum() {
+            a = mid;
+            fa = fm;
+        } else {
+            b = mid;
+        }
+    }
+    Err(RootError::MaxIterations)
+}
+
+/// Brent's method on `[a, b]`; requires a sign change. Combines inverse
+/// quadratic interpolation, secant steps, and bisection for guaranteed
+/// superlinear convergence on continuous functions.
+///
+/// ```
+/// use loadsteal_ode::brent;
+/// // The golden-ratio-like stability threshold of Theorem 1:
+/// // π₂(λ) = 1/2 at the root of λ² − λ/2 − 1/4.
+/// let lambda_star = brent(|l| l * l - 0.5 * l - 0.25, 0.5, 1.0, 1e-14).unwrap();
+/// assert!((lambda_star - 0.25 * (1.0 + 5.0f64.sqrt())).abs() < 1e-12);
+/// ```
+pub fn brent(mut f: impl FnMut(f64) -> f64, a: f64, b: f64, tol: f64) -> Result<f64, RootError> {
+    let (mut a, mut b) = (a, b);
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if !fa.is_finite() || !fb.is_finite() {
+        return Err(RootError::NonFinite);
+    }
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(RootError::NoBracket { fa, fb });
+    }
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut mflag = true;
+    for _ in 0..MAX_ITERS {
+        if fb == 0.0 || (b - a).abs() <= tol {
+            return Ok(b);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            b - fb * (b - a) / (fb - fa)
+        };
+        let lo = (3.0 * a + b) / 4.0;
+        let cond1 = !((s > lo.min(b) && s < lo.max(b)) || (s < lo.min(b) && s > lo.max(b)));
+        let cond2 = mflag && (s - b).abs() >= (b - c).abs() / 2.0;
+        let cond3 = !mflag && (s - b).abs() >= d.abs() / 2.0;
+        let cond4 = mflag && (b - c).abs() < tol;
+        let cond5 = !mflag && d.abs() < tol;
+        if cond1 || cond2 || cond3 || cond4 || cond5 {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+        let fs = f(s);
+        if !fs.is_finite() {
+            return Err(RootError::NonFinite);
+        }
+        d = b - c;
+        c = b;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(RootError::MaxIterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12).unwrap();
+        assert!((r - 2.0_f64.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_finds_sqrt2_fast() {
+        let mut evals = 0;
+        let r = brent(
+            |x| {
+                evals += 1;
+                x * x - 2.0
+            },
+            0.0,
+            2.0,
+            1e-14,
+        )
+        .unwrap();
+        assert!((r - 2.0_f64.sqrt()).abs() < 1e-12);
+        // Superlinear: far fewer evaluations than bisection's ~47 for
+        // a 2-wide bracket at 1e-14.
+        assert!(evals < 45, "brent used {evals} evaluations");
+    }
+
+    #[test]
+    fn brent_on_transcendental() {
+        let r = brent(|x| x.cos() - x, 0.0, 1.0, 1e-14).unwrap();
+        assert!((r.cos() - r).abs() < 1e-12);
+    }
+
+    #[test]
+    fn endpoints_that_are_roots_short_circuit() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-12).unwrap(), 0.0);
+        assert_eq!(brent(|x| x - 1.0, 0.0, 1.0, 1e-12).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn no_bracket_is_an_error() {
+        assert!(matches!(
+            bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-9),
+            Err(RootError::NoBracket { .. })
+        ));
+        assert!(matches!(
+            brent(|x| x * x + 1.0, -1.0, 1.0, 1e-9),
+            Err(RootError::NoBracket { .. })
+        ));
+    }
+
+    #[test]
+    fn nonfinite_function_is_an_error() {
+        assert!(matches!(
+            brent(|x| if x > 0.5 { f64::NAN } else { -1.0 }, 0.0, 1.0, 1e-9),
+            Err(RootError::NonFinite)
+        ));
+    }
+}

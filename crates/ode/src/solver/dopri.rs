@@ -1,0 +1,467 @@
+//! Adaptive Dormand–Prince 5(4) integrator with FSAL and PI step control.
+
+use crate::norms::{error_norm, max_abs};
+use crate::system::OdeSystem;
+
+use super::{Control, IntegrationError, SteadyReport, SteadyStateOptions};
+
+// Butcher tableau for the Dormand–Prince 5(4) pair (DOPRI5).
+const C: [f64; 7] = [0.0, 1.0 / 5.0, 3.0 / 10.0, 4.0 / 5.0, 8.0 / 9.0, 1.0, 1.0];
+const A2: [f64; 1] = [1.0 / 5.0];
+const A3: [f64; 2] = [3.0 / 40.0, 9.0 / 40.0];
+const A4: [f64; 3] = [44.0 / 45.0, -56.0 / 15.0, 32.0 / 9.0];
+const A5: [f64; 4] = [
+    19372.0 / 6561.0,
+    -25360.0 / 2187.0,
+    64448.0 / 6561.0,
+    -212.0 / 729.0,
+];
+const A6: [f64; 5] = [
+    9017.0 / 3168.0,
+    -355.0 / 33.0,
+    46732.0 / 5247.0,
+    49.0 / 176.0,
+    -5103.0 / 18656.0,
+];
+// Fifth-order solution weights (also the last stage's A row — FSAL).
+const B5: [f64; 6] = [
+    35.0 / 384.0,
+    0.0,
+    500.0 / 1113.0,
+    125.0 / 192.0,
+    -2187.0 / 6784.0,
+    11.0 / 84.0,
+];
+// Error weights: b5 - b4 (embedded fourth-order solution).
+const E: [f64; 7] = [
+    71.0 / 57600.0,
+    0.0,
+    -71.0 / 16695.0,
+    71.0 / 1920.0,
+    -17253.0 / 339200.0,
+    22.0 / 525.0,
+    -1.0 / 40.0,
+];
+
+/// Tolerances and limits for [`DormandPrince45`].
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveOptions {
+    /// Absolute error tolerance per component.
+    pub atol: f64,
+    /// Relative error tolerance per component.
+    pub rtol: f64,
+    /// Initial step size.
+    pub h_init: f64,
+    /// Hard floor on the step size; going below it is an error.
+    pub h_min: f64,
+    /// Hard ceiling on the step size.
+    pub h_max: f64,
+    /// Budget of accepted + rejected steps per `integrate*` call.
+    pub max_steps: u64,
+}
+
+impl Default for AdaptiveOptions {
+    fn default() -> Self {
+        Self {
+            atol: 1e-12,
+            rtol: 1e-9,
+            h_init: 1e-3,
+            h_min: 1e-13,
+            h_max: f64::INFINITY,
+            max_steps: 200_000_000,
+        }
+    }
+}
+
+/// The Dormand–Prince 5(4) embedded Runge–Kutta pair.
+///
+/// This is the workhorse integrator of the repository: it computes the
+/// trajectories of every mean-field model and drives them to their fixed
+/// points ([`Self::integrate_to_steady`]). It uses the first-same-as-last
+/// property to spend six derivative evaluations per accepted step, and a
+/// PI controller (Gustafsson) for smooth step-size adaptation.
+#[derive(Debug, Clone)]
+pub struct DormandPrince45 {
+    opts: AdaptiveOptions,
+    k: [Vec<f64>; 7],
+    ytmp: Vec<f64>,
+    ynew: Vec<f64>,
+    err: Vec<f64>,
+    /// Error estimate of the previous accepted step, for the PI term.
+    err_old: f64,
+}
+
+impl DormandPrince45 {
+    /// Create an integrator with the given options.
+    ///
+    /// # Panics
+    /// Panics if tolerances or step bounds are non-positive or
+    /// inconsistent.
+    pub fn new(opts: AdaptiveOptions) -> Self {
+        assert!(opts.atol > 0.0 && opts.rtol > 0.0, "tolerances must be > 0");
+        assert!(
+            opts.h_min > 0.0 && opts.h_init >= opts.h_min && opts.h_init <= opts.h_max,
+            "inconsistent step bounds"
+        );
+        Self {
+            opts,
+            k: Default::default(),
+            ytmp: Vec::new(),
+            ynew: Vec::new(),
+            err: Vec::new(),
+            err_old: 1e-4,
+        }
+    }
+
+    /// The active options.
+    pub fn options(&self) -> &AdaptiveOptions {
+        &self.opts
+    }
+
+    fn ensure_dim(&mut self, n: usize) {
+        for k in &mut self.k {
+            k.resize(n, 0.0);
+        }
+        self.ytmp.resize(n, 0.0);
+        self.ynew.resize(n, 0.0);
+        self.err.resize(n, 0.0);
+    }
+
+    /// Attempt one step of size `h` from `(t, y)`.
+    ///
+    /// On entry `k[0]` must hold `f(t, y)`. On success (`Some(err_norm)`
+    /// with `err_norm <= 1`), `ynew` holds the fifth-order solution and
+    /// `k[6]` holds `f(t + h, ynew)`.
+    // Stage combinations index several k-slices in lockstep.
+    #[allow(clippy::needless_range_loop)]
+    fn try_step(&mut self, sys: &impl OdeSystem, t: f64, h: f64, y: &[f64]) -> f64 {
+        let n = y.len();
+        macro_rules! stage {
+            ($idx:expr, $arow:expr) => {{
+                let a: &[f64] = &$arow;
+                for i in 0..n {
+                    let mut acc = 0.0;
+                    for (j, &aij) in a.iter().enumerate() {
+                        acc += aij * self.k[j][i];
+                    }
+                    self.ytmp[i] = y[i] + h * acc;
+                }
+                let (done, rest) = self.k.split_at_mut($idx);
+                let _ = done;
+                sys.deriv(t + C[$idx] * h, &self.ytmp, &mut rest[0]);
+            }};
+        }
+        stage!(1, A2);
+        stage!(2, A3);
+        stage!(3, A4);
+        stage!(4, A5);
+        stage!(5, A6);
+        // Fifth-order solution (B5 row; stage 7 shares it — FSAL).
+        for i in 0..n {
+            let mut acc = 0.0;
+            for (j, &bj) in B5.iter().enumerate() {
+                acc += bj * self.k[j][i];
+            }
+            self.ynew[i] = y[i] + h * acc;
+        }
+        {
+            let (done, rest) = self.k.split_at_mut(6);
+            let _ = done;
+            sys.deriv(t + h, &self.ynew, &mut rest[0]);
+        }
+        for i in 0..n {
+            let mut acc = 0.0;
+            for (j, &ej) in E.iter().enumerate() {
+                acc += ej * self.k[j][i];
+            }
+            self.err[i] = h * acc;
+        }
+        error_norm(&self.err, y, &self.ynew, self.opts.atol, self.opts.rtol)
+    }
+
+    /// Integrate `y` from `t0` to `t1`.
+    pub fn integrate(
+        &mut self,
+        sys: &impl OdeSystem,
+        t0: f64,
+        t1: f64,
+        y: &mut [f64],
+    ) -> Result<(), IntegrationError> {
+        self.integrate_observed(sys, t0, t1, y, |_, _| Control::Continue)
+            .map(|_| ())
+    }
+
+    /// Integrate `y` from `t0` to `t1`, invoking `observer` after every
+    /// accepted step. Returns the time reached (< `t1` only if the
+    /// observer stopped early).
+    pub fn integrate_observed(
+        &mut self,
+        sys: &impl OdeSystem,
+        t0: f64,
+        t1: f64,
+        y: &mut [f64],
+        mut observer: impl FnMut(f64, &[f64]) -> Control,
+    ) -> Result<f64, IntegrationError> {
+        // `steady_tol = 0` disables steady-state stopping (residuals are
+        // non-negative).
+        let (t, _steps, _res) = self.drive(sys, t0, t1, y, 0.0, 0.0, |t, y| observer(t, y))?;
+        Ok(t)
+    }
+
+    /// Integrate from `t0` until `‖dy/dt‖∞ < opts.tol` (or `opts.t_max`).
+    ///
+    /// Starting from any state, the well-behaved mean-field systems flow
+    /// to their fixed point; this is the numerical fixed-point primitive
+    /// used throughout `loadsteal-core`.
+    pub fn integrate_to_steady(
+        &mut self,
+        sys: &impl OdeSystem,
+        t0: f64,
+        y: &mut [f64],
+        steady: &SteadyStateOptions,
+    ) -> Result<SteadyReport, IntegrationError> {
+        let (t, steps, residual) = self.drive(
+            sys,
+            t0,
+            t0 + steady.t_max,
+            y,
+            steady.tol,
+            t0 + steady.min_time,
+            |_, _| Control::Continue,
+        )?;
+        Ok(SteadyReport {
+            t,
+            residual,
+            converged: residual < steady.tol,
+            steps,
+        })
+    }
+
+    /// Core adaptive loop. Stops at `t1`, or when the derivative norm
+    /// drops below `steady_tol` after `steady_after`, or when the
+    /// observer requests it. Returns `(t, accepted_steps, residual)`.
+    #[allow(clippy::too_many_arguments)]
+    fn drive(
+        &mut self,
+        sys: &impl OdeSystem,
+        t0: f64,
+        t1: f64,
+        y: &mut [f64],
+        steady_tol: f64,
+        steady_after: f64,
+        mut observer: impl FnMut(f64, &[f64]) -> Control,
+    ) -> Result<(f64, u64, f64), IntegrationError> {
+        let n = sys.dim();
+        assert_eq!(y.len(), n, "state length must match system dimension");
+        self.ensure_dim(n);
+        if t1 <= t0 || n == 0 {
+            sys.deriv(t0, y, &mut self.k[0]);
+            return Ok((t0, 0, max_abs(&self.k[0])));
+        }
+
+        let mut t = t0;
+        let mut h = self.opts.h_init.min(t1 - t0).min(self.opts.h_max);
+        sys.deriv(t, y, &mut self.k[0]);
+        let mut residual = max_abs(&self.k[0]);
+        let mut accepted: u64 = 0;
+        let mut nsteps: u64 = 0;
+        // PI controller exponents for a fifth-order method.
+        const ALPHA: f64 = 0.7 / 5.0;
+        const BETA: f64 = 0.4 / 5.0;
+        const SAFETY: f64 = 0.9;
+
+        loop {
+            if t >= t1 {
+                return Ok((t, accepted, residual));
+            }
+            nsteps += 1;
+            if nsteps > self.opts.max_steps {
+                return Err(IntegrationError::MaxStepsExceeded { t });
+            }
+            let h_eff = h.min(t1 - t);
+            let err = self.try_step(sys, t, h_eff, y);
+            if !err.is_finite() {
+                // Reject hard and shrink; if we're already at the floor,
+                // the right-hand side itself is producing non-finite
+                // values.
+                if h_eff <= self.opts.h_min * 2.0 {
+                    return Err(IntegrationError::NonFinite { t });
+                }
+                h = (h * 0.1).max(self.opts.h_min);
+                continue;
+            }
+            if err <= 1.0 {
+                // Accept.
+                t += h_eff;
+                y.copy_from_slice(&self.ynew);
+                sys.project(y);
+                // FSAL: k[6] = f(t, ynew); projection may perturb y by
+                // ~ulp which is irrelevant to the derivative estimate.
+                self.k.swap(0, 6);
+                accepted += 1;
+                residual = max_abs(&self.k[0]);
+                let scale = SAFETY * err.max(1e-10).powf(-ALPHA) * self.err_old.powf(BETA);
+                self.err_old = err.max(1e-10);
+                h = (h_eff * scale.clamp(0.2, 6.0)).min(self.opts.h_max);
+                if residual < steady_tol && t >= steady_after {
+                    return Ok((t, accepted, residual));
+                }
+                if observer(t, y) == Control::Stop {
+                    return Ok((t, accepted, residual));
+                }
+            } else {
+                // Reject: classic controller (no PI memory on rejects).
+                let scale = (SAFETY * err.powf(-0.2)).clamp(0.1, 1.0);
+                h = h_eff * scale;
+                if h < self.opts.h_min {
+                    return Err(IntegrationError::StepSizeUnderflow { t });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::FnSystem;
+
+    fn opts() -> AdaptiveOptions {
+        AdaptiveOptions::default()
+    }
+
+    #[test]
+    fn decay_matches_exact_solution() {
+        let sys = FnSystem {
+            dim: 1,
+            f: |_t, y: &[f64], dy: &mut [f64]| dy[0] = -y[0],
+        };
+        let mut y = vec![1.0];
+        let mut dp = DormandPrince45::new(opts());
+        dp.integrate(&sys, 0.0, 10.0, &mut y).unwrap();
+        assert!((y[0] - (-10.0f64).exp()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn oscillator_conserves_energy() {
+        let sys = FnSystem {
+            dim: 2,
+            f: |_t, y: &[f64], dy: &mut [f64]| {
+                dy[0] = y[1];
+                dy[1] = -y[0];
+            },
+        };
+        let mut y = vec![1.0, 0.0];
+        let mut dp = DormandPrince45::new(opts());
+        dp.integrate(&sys, 0.0, 20.0 * std::f64::consts::PI, &mut y)
+            .unwrap();
+        let energy = y[0] * y[0] + y[1] * y[1];
+        assert!((energy - 1.0).abs() < 1e-6, "energy drift: {energy}");
+    }
+
+    #[test]
+    fn time_dependent_rhs_is_handled() {
+        // y' = 2t  => y(t) = t^2.
+        let sys = FnSystem {
+            dim: 1,
+            f: |t, _y: &[f64], dy: &mut [f64]| dy[0] = 2.0 * t,
+        };
+        let mut y = vec![0.0];
+        let mut dp = DormandPrince45::new(opts());
+        dp.integrate(&sys, 0.0, 3.0, &mut y).unwrap();
+        assert!((y[0] - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn steady_state_detection_finds_fixed_point() {
+        // Logistic: y' = y (1 - y); attracting fixed point at 1.
+        let sys = FnSystem {
+            dim: 1,
+            f: |_t, y: &[f64], dy: &mut [f64]| dy[0] = y[0] * (1.0 - y[0]),
+        };
+        let mut y = vec![0.01];
+        let mut dp = DormandPrince45::new(opts());
+        let report = dp
+            .integrate_to_steady(&sys, 0.0, &mut y, &SteadyStateOptions::default())
+            .unwrap();
+        assert!(report.converged, "residual {}", report.residual);
+        assert!((y[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn steady_state_respects_t_max() {
+        // Constant drift never becomes steady.
+        let sys = FnSystem {
+            dim: 1,
+            f: |_t, _y: &[f64], dy: &mut [f64]| dy[0] = 1.0,
+        };
+        let mut y = vec![0.0];
+        let mut dp = DormandPrince45::new(opts());
+        let report = dp
+            .integrate_to_steady(
+                &sys,
+                0.0,
+                &mut y,
+                &SteadyStateOptions {
+                    tol: 1e-9,
+                    t_max: 5.0,
+                    min_time: 0.0,
+                },
+            )
+            .unwrap();
+        assert!(!report.converged);
+        assert!((report.t - 5.0).abs() < 1e-9);
+        assert!((y[0] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observer_stops_integration() {
+        let sys = FnSystem {
+            dim: 1,
+            f: |_t, y: &[f64], dy: &mut [f64]| dy[0] = -y[0],
+        };
+        let mut y = vec![1.0];
+        let mut dp = DormandPrince45::new(opts());
+        let t = dp
+            .integrate_observed(&sys, 0.0, 100.0, &mut y, |_t, y| {
+                if y[0] < 0.5 {
+                    Control::Stop
+                } else {
+                    Control::Continue
+                }
+            })
+            .unwrap();
+        assert!(t < 1.5);
+    }
+
+    #[test]
+    fn tolerances_control_accuracy() {
+        let sys = FnSystem {
+            dim: 1,
+            f: |_t, y: &[f64], dy: &mut [f64]| dy[0] = -y[0],
+        };
+        let exact = (-5.0f64).exp();
+        let run = |rtol: f64| {
+            let mut y = vec![1.0];
+            let mut dp = DormandPrince45::new(AdaptiveOptions {
+                rtol,
+                atol: rtol * 1e-3,
+                ..opts()
+            });
+            dp.integrate(&sys, 0.0, 5.0, &mut y).unwrap();
+            (y[0] - exact).abs()
+        };
+        assert!(run(1e-10) < run(1e-4));
+    }
+
+    #[test]
+    fn empty_system_is_a_noop() {
+        let sys = FnSystem {
+            dim: 0,
+            f: |_t, _y: &[f64], _dy: &mut [f64]| {},
+        };
+        let mut y: Vec<f64> = vec![];
+        let mut dp = DormandPrince45::new(opts());
+        dp.integrate(&sys, 0.0, 1.0, &mut y).unwrap();
+    }
+}

@@ -1,0 +1,321 @@
+//! Fixed-step explicit integrators: forward Euler and classic RK4.
+
+use crate::system::OdeSystem;
+
+use super::{Control, IntegrationError};
+
+/// Forward Euler with a fixed step.
+///
+/// First-order accurate; used as a baseline in convergence tests and for
+/// quick qualitative trajectory sketches. Prefer
+/// [`super::DormandPrince45`] for anything quantitative.
+#[derive(Debug, Clone)]
+pub struct Euler {
+    h: f64,
+    dy: Vec<f64>,
+}
+
+impl Euler {
+    /// Create an integrator with step size `h > 0`.
+    ///
+    /// # Panics
+    /// Panics if `h` is not a positive finite number.
+    pub fn new(h: f64) -> Self {
+        assert!(h.is_finite() && h > 0.0, "Euler: step size must be > 0");
+        Self { h, dy: Vec::new() }
+    }
+
+    /// The configured step size.
+    pub fn step_size(&self) -> f64 {
+        self.h
+    }
+
+    /// Advance `y` by one step from time `t`.
+    pub fn step(&mut self, sys: &impl OdeSystem, t: f64, y: &mut [f64]) {
+        self.dy.resize(sys.dim(), 0.0);
+        sys.deriv(t, y, &mut self.dy);
+        for (yi, di) in y.iter_mut().zip(&self.dy) {
+            *yi += self.h * di;
+        }
+        sys.project(y);
+    }
+
+    /// Integrate from `t0` to `t1` (the final step is shortened to land
+    /// exactly on `t1`).
+    pub fn integrate(
+        &mut self,
+        sys: &impl OdeSystem,
+        t0: f64,
+        t1: f64,
+        y: &mut [f64],
+    ) -> Result<(), IntegrationError> {
+        integrate_fixed(t0, t1, self.h, y, |t, y, h| {
+            self.dy.resize(sys.dim(), 0.0);
+            sys.deriv(t, y, &mut self.dy);
+            for (yi, di) in y.iter_mut().zip(&self.dy) {
+                *yi += h * di;
+            }
+            sys.project(y);
+        })
+    }
+}
+
+/// Classic fourth-order Runge–Kutta with a fixed step.
+#[derive(Debug, Clone)]
+pub struct Rk4 {
+    h: f64,
+    k1: Vec<f64>,
+    k2: Vec<f64>,
+    k3: Vec<f64>,
+    k4: Vec<f64>,
+    tmp: Vec<f64>,
+}
+
+impl Rk4 {
+    /// Create an integrator with step size `h > 0`.
+    ///
+    /// # Panics
+    /// Panics if `h` is not a positive finite number.
+    pub fn new(h: f64) -> Self {
+        assert!(h.is_finite() && h > 0.0, "Rk4: step size must be > 0");
+        Self {
+            h,
+            k1: Vec::new(),
+            k2: Vec::new(),
+            k3: Vec::new(),
+            k4: Vec::new(),
+            tmp: Vec::new(),
+        }
+    }
+
+    /// The configured step size.
+    pub fn step_size(&self) -> f64 {
+        self.h
+    }
+
+    fn ensure_dim(&mut self, n: usize) {
+        for v in [
+            &mut self.k1,
+            &mut self.k2,
+            &mut self.k3,
+            &mut self.k4,
+            &mut self.tmp,
+        ] {
+            v.resize(n, 0.0);
+        }
+    }
+
+    /// Advance `y` by one step of size `h` from time `t`.
+    // Stage loops index several scratch slices in lockstep; an iterator
+    // chain would obscure the Butcher tableau.
+    #[allow(clippy::needless_range_loop)]
+    fn raw_step(&mut self, sys: &impl OdeSystem, t: f64, h: f64, y: &mut [f64]) {
+        let n = sys.dim();
+        self.ensure_dim(n);
+        sys.deriv(t, y, &mut self.k1);
+        for i in 0..n {
+            self.tmp[i] = y[i] + 0.5 * h * self.k1[i];
+        }
+        sys.deriv(t + 0.5 * h, &self.tmp, &mut self.k2);
+        for i in 0..n {
+            self.tmp[i] = y[i] + 0.5 * h * self.k2[i];
+        }
+        sys.deriv(t + 0.5 * h, &self.tmp, &mut self.k3);
+        for i in 0..n {
+            self.tmp[i] = y[i] + h * self.k3[i];
+        }
+        sys.deriv(t + h, &self.tmp, &mut self.k4);
+        for i in 0..n {
+            y[i] += h / 6.0 * (self.k1[i] + 2.0 * self.k2[i] + 2.0 * self.k3[i] + self.k4[i]);
+        }
+        sys.project(y);
+    }
+
+    /// Advance `y` by one configured-size step from time `t`.
+    pub fn step(&mut self, sys: &impl OdeSystem, t: f64, y: &mut [f64]) {
+        self.raw_step(sys, t, self.h, y);
+    }
+
+    /// Integrate from `t0` to `t1` (the final step is shortened to land
+    /// exactly on `t1`).
+    pub fn integrate(
+        &mut self,
+        sys: &impl OdeSystem,
+        t0: f64,
+        t1: f64,
+        y: &mut [f64],
+    ) -> Result<(), IntegrationError> {
+        // `self` is borrowed inside the closure; split the borrow by
+        // moving the step body here via a small state machine instead.
+        let h = self.h;
+        let mut t = t0;
+        if t1 <= t0 {
+            return Ok(());
+        }
+        loop {
+            let remaining = t1 - t;
+            if remaining <= 0.0 {
+                return Ok(());
+            }
+            let step = h.min(remaining);
+            self.raw_step(sys, t, step, y);
+            if y.iter().any(|v| !v.is_finite()) {
+                return Err(IntegrationError::NonFinite { t });
+            }
+            t += step;
+            if step >= remaining {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Integrate while reporting every accepted state to `observer`.
+    /// Returns the time reached.
+    pub fn integrate_observed(
+        &mut self,
+        sys: &impl OdeSystem,
+        t0: f64,
+        t1: f64,
+        y: &mut [f64],
+        mut observer: impl FnMut(f64, &[f64]) -> Control,
+    ) -> Result<f64, IntegrationError> {
+        let h = self.h;
+        let mut t = t0;
+        while t < t1 {
+            let step = h.min(t1 - t);
+            self.raw_step(sys, t, step, y);
+            if y.iter().any(|v| !v.is_finite()) {
+                return Err(IntegrationError::NonFinite { t });
+            }
+            t += step;
+            if observer(t, y) == Control::Stop {
+                break;
+            }
+        }
+        Ok(t)
+    }
+}
+
+/// Shared fixed-step driver: repeatedly applies `step(t, y, h)` with the
+/// final step shortened to land exactly on `t1`.
+fn integrate_fixed(
+    t0: f64,
+    t1: f64,
+    h: f64,
+    y: &mut [f64],
+    mut step: impl FnMut(f64, &mut [f64], f64),
+) -> Result<(), IntegrationError> {
+    let mut t = t0;
+    while t < t1 {
+        let dt = h.min(t1 - t);
+        step(t, y, dt);
+        if y.iter().any(|v| !v.is_finite()) {
+            return Err(IntegrationError::NonFinite { t });
+        }
+        t += dt;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::FnSystem;
+
+    fn decay() -> FnSystem<impl Fn(f64, &[f64], &mut [f64])> {
+        FnSystem {
+            dim: 1,
+            f: |_t, y: &[f64], dy: &mut [f64]| dy[0] = -y[0],
+        }
+    }
+
+    #[test]
+    fn euler_converges_first_order() {
+        let sys = decay();
+        let exact = (-1.0f64).exp();
+        let mut errs = Vec::new();
+        for h in [1e-2, 1e-3] {
+            let mut y = vec![1.0];
+            Euler::new(h).integrate(&sys, 0.0, 1.0, &mut y).unwrap();
+            errs.push((y[0] - exact).abs());
+        }
+        // Halving h by 10 should reduce the error by roughly 10.
+        let ratio = errs[0] / errs[1];
+        assert!(ratio > 5.0 && ratio < 20.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn rk4_converges_fourth_order() {
+        let sys = decay();
+        let exact = (-1.0f64).exp();
+        let mut errs = Vec::new();
+        for h in [1e-1, 5e-2] {
+            let mut y = vec![1.0];
+            Rk4::new(h).integrate(&sys, 0.0, 1.0, &mut y).unwrap();
+            errs.push((y[0] - exact).abs());
+        }
+        let ratio = errs[0] / errs[1];
+        assert!(ratio > 10.0 && ratio < 24.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn rk4_is_accurate_on_oscillator() {
+        // y'' = -y as a 2-d system; energy should be conserved closely.
+        let sys = FnSystem {
+            dim: 2,
+            f: |_t, y: &[f64], dy: &mut [f64]| {
+                dy[0] = y[1];
+                dy[1] = -y[0];
+            },
+        };
+        let mut y = vec![1.0, 0.0];
+        Rk4::new(1e-3)
+            .integrate(&sys, 0.0, 2.0 * std::f64::consts::PI, &mut y)
+            .unwrap();
+        assert!((y[0] - 1.0).abs() < 1e-9);
+        assert!(y[1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn integrate_handles_empty_span() {
+        let sys = decay();
+        let mut y = vec![1.0];
+        Rk4::new(0.1).integrate(&sys, 1.0, 1.0, &mut y).unwrap();
+        assert_eq!(y[0], 1.0);
+    }
+
+    #[test]
+    fn observer_can_stop_early() {
+        let sys = decay();
+        let mut y = vec![1.0];
+        let t = Rk4::new(0.01)
+            .integrate_observed(&sys, 0.0, 10.0, &mut y, |_t, y| {
+                if y[0] < 0.5 {
+                    Control::Stop
+                } else {
+                    Control::Continue
+                }
+            })
+            .unwrap();
+        assert!(t < 1.0, "should stop near ln 2 ≈ 0.69, got {t}");
+        assert!(y[0] <= 0.5);
+    }
+
+    #[test]
+    fn nonfinite_derivative_is_reported() {
+        let sys = FnSystem {
+            dim: 1,
+            f: |_t, y: &[f64], dy: &mut [f64]| dy[0] = y[0] * y[0],
+        };
+        // Blow-up of y' = y^2 from y(0)=1 happens at t=1.
+        let mut y = vec![1.0];
+        let res = Euler::new(0.05).integrate(&sys, 0.0, 5.0, &mut y);
+        assert!(matches!(res, Err(IntegrationError::NonFinite { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "step size must be > 0")]
+    fn zero_step_size_panics() {
+        let _ = Rk4::new(0.0);
+    }
+}

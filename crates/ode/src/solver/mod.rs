@@ -1,0 +1,106 @@
+//! Initial-value integrators.
+//!
+//! Two fixed-step methods ([`Euler`], [`Rk4`]) for cheap trajectory
+//! sketches and regression baselines, and the production integrator
+//! [`DormandPrince45`] — an adaptive embedded Runge–Kutta 5(4) pair with
+//! FSAL and a PI step-size controller.
+//!
+//! All integrators operate in place on a caller-owned state vector and
+//! reuse internal workspace across calls, so integrating many parameter
+//! points in a sweep does not allocate per point.
+
+mod dopri;
+mod fixed;
+
+pub use dopri::{AdaptiveOptions, DormandPrince45};
+pub use fixed::{Euler, Rk4};
+
+/// Flow control returned by trajectory observers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Keep integrating.
+    Continue,
+    /// Stop after the current accepted step.
+    Stop,
+}
+
+/// Why an integration run failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IntegrationError {
+    /// The adaptive controller pushed the step size below its floor
+    /// without meeting the error tolerance (usually a sign of a
+    /// discontinuous or non-finite right-hand side).
+    StepSizeUnderflow {
+        /// Time at which the controller gave up.
+        t: f64,
+    },
+    /// The step budget ran out before reaching the end time.
+    MaxStepsExceeded {
+        /// Time reached when the budget was exhausted.
+        t: f64,
+    },
+    /// The state or derivative became NaN/∞.
+    NonFinite {
+        /// Time of the offending evaluation.
+        t: f64,
+    },
+}
+
+impl std::fmt::Display for IntegrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::StepSizeUnderflow { t } => {
+                write!(f, "step size underflow at t = {t}")
+            }
+            Self::MaxStepsExceeded { t } => {
+                write!(f, "maximum step count exceeded at t = {t}")
+            }
+            Self::NonFinite { t } => write!(f, "non-finite state or derivative at t = {t}"),
+        }
+    }
+}
+
+impl std::error::Error for IntegrationError {}
+
+/// Options for driving an integration until the system stops moving.
+///
+/// The mean-field systems of the paper flow towards an attracting fixed
+/// point; "steady" means `‖dy/dt‖∞ < tol`.
+#[derive(Debug, Clone, Copy)]
+pub struct SteadyStateOptions {
+    /// Declare steady when the max-abs derivative drops below this.
+    pub tol: f64,
+    /// Give up (with `converged = false`) at this time horizon.
+    pub t_max: f64,
+    /// Do not test for steadiness before this time (lets transients
+    /// leave the neighbourhood of a trivial initial state).
+    pub min_time: f64,
+}
+
+impl Default for SteadyStateOptions {
+    fn default() -> Self {
+        // The reachable residual is floored by the integrator's own
+        // tolerances (rtol ~ 1e-9 leaves ~1e-10 of derivative noise near
+        // a fixed point), so the default asks for no more than that;
+        // fixed points needing more precision are Newton-polished.
+        Self {
+            tol: 1e-10,
+            t_max: 1e6,
+            min_time: 1.0,
+        }
+    }
+}
+
+/// Outcome of [`DormandPrince45::integrate_to_steady`].
+#[derive(Debug, Clone, Copy)]
+pub struct SteadyReport {
+    /// Time at which integration stopped.
+    pub t: f64,
+    /// `‖dy/dt‖∞` at the stopping point.
+    pub residual: f64,
+    /// Whether the residual criterion was met (as opposed to hitting
+    /// `t_max`).
+    pub converged: bool,
+    /// Number of accepted steps taken.
+    pub steps: u64,
+}

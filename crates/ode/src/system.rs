@@ -1,0 +1,54 @@
+/// A first-order autonomous-or-nonautonomous ODE system `y' = f(t, y)`.
+///
+/// Implementors describe the right-hand side only; integration state is
+/// owned by the solvers in [`crate::solver`]. The dimension must stay
+/// constant for the lifetime of an integration run (the mean-field models
+/// in `loadsteal-core` re-truncate by constructing a fresh system).
+pub trait OdeSystem {
+    /// Number of state variables.
+    fn dim(&self) -> usize;
+
+    /// Write the derivative of `y` at time `t` into `dy`.
+    ///
+    /// `dy` has length [`Self::dim`] and arrives with unspecified
+    /// contents; every entry must be written.
+    fn deriv(&self, t: f64, y: &[f64], dy: &mut [f64]);
+
+    /// Optional projection applied after every accepted step.
+    ///
+    /// Mean-field tail vectors must remain in `[0, 1]` and
+    /// non-increasing; floating-point drift can violate this by tiny
+    /// amounts near absorbing boundaries. The default is a no-op.
+    fn project(&self, _y: &mut [f64]) {}
+}
+
+impl<T: OdeSystem + ?Sized> OdeSystem for &T {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+    fn deriv(&self, t: f64, y: &[f64], dy: &mut [f64]) {
+        (**self).deriv(t, y, dy);
+    }
+    fn project(&self, y: &mut [f64]) {
+        (**self).project(y);
+    }
+}
+
+/// An [`OdeSystem`] defined by a closure; convenient in tests and small
+/// experiments.
+#[derive(Debug, Clone)]
+pub struct FnSystem<F> {
+    /// State dimension.
+    pub dim: usize,
+    /// Right-hand side `f(t, y, dy)`.
+    pub f: F,
+}
+
+impl<F: Fn(f64, &[f64], &mut [f64])> OdeSystem for FnSystem<F> {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+    fn deriv(&self, t: f64, y: &[f64], dy: &mut [f64]) {
+        (self.f)(t, y, dy);
+    }
+}

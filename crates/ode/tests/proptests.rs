@@ -1,0 +1,102 @@
+//! Property-based tests for the numeric substrate.
+
+use proptest::prelude::*;
+
+use loadsteal_ode::linalg::DenseMatrix;
+use loadsteal_ode::{brent, newton_solve, AdaptiveOptions, DormandPrince45, NewtonOptions, OdeSystem};
+
+/// A diagonally dominant random matrix is well conditioned; LU must
+/// solve it to tight residuals.
+fn dominant_matrix(n: usize, entries: Vec<f64>) -> DenseMatrix {
+    let mut a = DenseMatrix::zeros(n);
+    for i in 0..n {
+        let mut row_sum = 0.0;
+        for j in 0..n {
+            let v = entries[i * n + j];
+            a[(i, j)] = v;
+            row_sum += v.abs();
+        }
+        a[(i, i)] += row_sum + 1.0;
+    }
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lu_solves_diagonally_dominant_systems(
+        n in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let entries: Vec<f64> = (0..n * n).map(|_| next()).collect();
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let a = dominant_matrix(n, entries);
+        let a2 = a.clone();
+        let x = a.lu().unwrap().solve(&b);
+        let ax = a2.mul_vec(&x);
+        for (l, r) in ax.iter().zip(&b) {
+            prop_assert!((l - r).abs() < 1e-9, "residual {}", (l - r).abs());
+        }
+    }
+
+    #[test]
+    fn brent_finds_roots_of_shifted_cubics(shift in -8.0f64..8.0) {
+        // f(x) = x^3 − shift is monotone with a single real root.
+        let f = |x: f64| x * x * x - shift;
+        let root = brent(f, -3.0, 3.0, 1e-13).unwrap();
+        prop_assert!(f(root).abs() < 1e-9, "f({root}) = {}", f(root));
+    }
+
+    #[test]
+    fn newton_inverts_smooth_monotone_maps(target in 0.1f64..10.0) {
+        // Solve exp(x) = target.
+        let mut x = vec![0.0];
+        newton_solve(
+            |v, out| out[0] = v[0].exp() - target,
+            &mut x,
+            &NewtonOptions::default(),
+        )
+        .unwrap();
+        prop_assert!((x[0] - target.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dp45_matches_exact_linear_decay(
+        rate in 0.01f64..5.0,
+        horizon in 0.1f64..10.0,
+        y0 in 0.1f64..10.0,
+    ) {
+        struct Decay(f64);
+        impl OdeSystem for Decay {
+            fn dim(&self) -> usize { 1 }
+            fn deriv(&self, _t: f64, y: &[f64], dy: &mut [f64]) { dy[0] = -self.0 * y[0]; }
+        }
+        let mut y = vec![y0];
+        let mut dp = DormandPrince45::new(AdaptiveOptions::default());
+        dp.integrate(&Decay(rate), 0.0, horizon, &mut y).unwrap();
+        let exact = y0 * (-rate * horizon).exp();
+        prop_assert!((y[0] - exact).abs() < 1e-6 * y0.max(1.0),
+            "got {}, exact {exact}", y[0]);
+    }
+
+    #[test]
+    fn dp45_is_exact_on_quadratic_polynomials(a in -2.0f64..2.0, b in -2.0f64..2.0) {
+        // y' = a t + b integrates exactly (order ≥ 2 method).
+        struct Poly(f64, f64);
+        impl OdeSystem for Poly {
+            fn dim(&self) -> usize { 1 }
+            fn deriv(&self, t: f64, _y: &[f64], dy: &mut [f64]) { dy[0] = self.0 * t + self.1; }
+        }
+        let mut y = vec![0.0];
+        let mut dp = DormandPrince45::new(AdaptiveOptions::default());
+        dp.integrate(&Poly(a, b), 0.0, 2.0, &mut y).unwrap();
+        let exact = a * 2.0 + b * 2.0; // ∫₀² (a t + b) dt = 2a + 2b
+        prop_assert!((y[0] - exact).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,161 @@
+//! Batch-means confidence intervals for single long runs.
+//!
+//! Independent replications (the paper's protocol) are the gold
+//! standard, but a single long run can also yield a confidence interval
+//! if consecutive observations are grouped into batches large enough
+//! that batch means are nearly independent. This is the standard
+//! batch-means method; the simulator's per-task sojourn streams are a
+//! natural fit.
+
+use crate::stats::{ConfidenceInterval, OnlineStats};
+
+/// Accumulates a stream of observations into fixed-size batches and
+/// produces a batch-means confidence interval.
+#[derive(Debug, Clone)]
+pub struct BatchMeans {
+    batch_size: usize,
+    current: OnlineStats,
+    batch_means: OnlineStats,
+    overall: OnlineStats,
+}
+
+impl BatchMeans {
+    /// Create an accumulator with the given batch size (observations per
+    /// batch).
+    ///
+    /// # Panics
+    /// Panics if `batch_size == 0`.
+    pub fn new(batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Self {
+            batch_size,
+            current: OnlineStats::new(),
+            batch_means: OnlineStats::new(),
+            overall: OnlineStats::new(),
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.overall.push(x);
+        self.current.push(x);
+        if self.current.count() as usize >= self.batch_size {
+            self.batch_means.push(self.current.mean());
+            self.current = OnlineStats::new();
+        }
+    }
+
+    /// Number of completed batches.
+    pub fn batches(&self) -> u64 {
+        self.batch_means.count()
+    }
+
+    /// Overall mean (all observations, including the partial batch).
+    pub fn mean(&self) -> f64 {
+        self.overall.mean()
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.overall.count()
+    }
+
+    /// Confidence interval from the batch means (normal approximation
+    /// over batches). Returns `None` with fewer than two complete
+    /// batches.
+    pub fn confidence_interval(&self, level: f64) -> Option<ConfidenceInterval> {
+        if self.batch_means.count() < 2 {
+            return None;
+        }
+        Some(self.batch_means.confidence_interval(level))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A simple AR(1) sequence: autocorrelated like queueing output.
+    fn ar1(n: usize, phi: f64, seed: u64) -> Vec<f64> {
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        let mut x = 0.0;
+        (0..n)
+            .map(|_| {
+                x = phi * x + next();
+                x
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batches_fill_and_count() {
+        let mut bm = BatchMeans::new(10);
+        for i in 0..95 {
+            bm.push(i as f64);
+        }
+        assert_eq!(bm.batches(), 9);
+        assert_eq!(bm.count(), 95);
+        assert!((bm.mean() - 47.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_needs_two_batches() {
+        let mut bm = BatchMeans::new(100);
+        for i in 0..150 {
+            bm.push(i as f64);
+        }
+        assert!(bm.confidence_interval(0.95).is_none());
+        for i in 0..100 {
+            bm.push(i as f64);
+        }
+        assert!(bm.confidence_interval(0.95).is_some());
+    }
+
+    #[test]
+    fn batched_interval_is_wider_than_naive_for_correlated_data() {
+        // With strong positive autocorrelation the naive per-observation
+        // interval is far too optimistic; batch means corrects for it.
+        let data = ar1(100_000, 0.95, 42);
+        let naive: OnlineStats = data.iter().copied().collect();
+        let mut bm = BatchMeans::new(2_000);
+        for &x in &data {
+            bm.push(x);
+        }
+        let naive_ci = naive.confidence_interval(0.95);
+        let batch_ci = bm.confidence_interval(0.95).unwrap();
+        assert!(
+            batch_ci.half_width > 2.0 * naive_ci.half_width,
+            "batched {} vs naive {}",
+            batch_ci.half_width,
+            naive_ci.half_width
+        );
+        // Both center on (nearly) the same mean.
+        assert!((batch_ci.mean - naive_ci.mean).abs() < 0.05);
+    }
+
+    #[test]
+    fn iid_data_gives_similar_intervals_either_way() {
+        let data = ar1(50_000, 0.0, 7);
+        let naive: OnlineStats = data.iter().copied().collect();
+        let mut bm = BatchMeans::new(500);
+        for &x in &data {
+            bm.push(x);
+        }
+        let a = naive.confidence_interval(0.95).half_width;
+        let b = bm.confidence_interval(0.95).unwrap().half_width;
+        let ratio = b / a;
+        assert!((0.6..1.7).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_panics() {
+        let _ = BatchMeans::new(0);
+    }
+}

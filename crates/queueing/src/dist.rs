@@ -1,0 +1,325 @@
+//! Service-time (and inter-arrival) distributions.
+//!
+//! All samplers are inverse-transform (or stage compositions thereof) on
+//! a caller-provided [`rand::Rng`], so replications are reproducible from
+//! a seed and the crate needs no `rand_distr` dependency.
+
+use rand::Rng;
+
+/// A non-negative continuous distribution used for service or
+/// inter-arrival times.
+///
+/// The variants cover the paper's needs: exponential (the base model),
+/// deterministic (Section 3.1's constant service times), Erlang-k (the
+/// method-of-stages approximation to a constant), plus hyperexponential
+/// and uniform for sensitivity experiments on service variability.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceDistribution {
+    /// Exponential with the given rate (mean `1/rate`).
+    Exponential {
+        /// Rate parameter `> 0`.
+        rate: f64,
+    },
+    /// A constant.
+    Deterministic {
+        /// The fixed value `>= 0`.
+        value: f64,
+    },
+    /// Sum of `stages` iid exponentials, each of rate `rate`
+    /// (mean `stages / rate`). As `stages → ∞` with mean held fixed this
+    /// converges to a constant — Erlang's method of stages.
+    Erlang {
+        /// Number of stages `>= 1`.
+        stages: u32,
+        /// Per-stage rate `> 0`.
+        rate: f64,
+    },
+    /// Two-phase hyperexponential: with probability `p` the sample is
+    /// Exponential(`rate1`), otherwise Exponential(`rate2`). Gives a
+    /// squared coefficient of variation above 1.
+    HyperExp {
+        /// Probability of the first branch, in `[0, 1]`.
+        p: f64,
+        /// Rate of the first branch `> 0`.
+        rate1: f64,
+        /// Rate of the second branch `> 0`.
+        rate2: f64,
+    },
+    /// Uniform on `[lo, hi]`.
+    Uniform {
+        /// Lower endpoint `>= 0`.
+        lo: f64,
+        /// Upper endpoint `>= lo`.
+        hi: f64,
+    },
+}
+
+impl ServiceDistribution {
+    /// Exponential with unit mean — the paper's default service law.
+    pub fn unit_exponential() -> Self {
+        Self::Exponential { rate: 1.0 }
+    }
+
+    /// Deterministic with unit mean — Section 3.1's constant service.
+    pub fn unit_deterministic() -> Self {
+        Self::Deterministic { value: 1.0 }
+    }
+
+    /// Erlang with `stages` stages and unit mean (per-stage rate =
+    /// `stages`) — the c-stage approximation of constant service used for
+    /// the Table 2 estimates.
+    pub fn unit_erlang(stages: u32) -> Self {
+        Self::Erlang {
+            stages,
+            rate: stages as f64,
+        }
+    }
+
+    /// Validate the parameters, returning a human-readable reason on
+    /// failure. All constructors are plain enum literals, so this is the
+    /// single choke point callers use before running long simulations.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            Self::Exponential { rate } => {
+                if rate.is_finite() && rate > 0.0 {
+                    Ok(())
+                } else {
+                    Err(format!("exponential rate must be > 0, got {rate}"))
+                }
+            }
+            Self::Deterministic { value } => {
+                if value.is_finite() && value >= 0.0 {
+                    Ok(())
+                } else {
+                    Err(format!("deterministic value must be >= 0, got {value}"))
+                }
+            }
+            Self::Erlang { stages, rate } => {
+                if stages == 0 {
+                    Err("erlang needs at least one stage".into())
+                } else if !(rate.is_finite() && rate > 0.0) {
+                    Err(format!("erlang rate must be > 0, got {rate}"))
+                } else {
+                    Ok(())
+                }
+            }
+            Self::HyperExp { p, rate1, rate2 } => {
+                if !(0.0..=1.0).contains(&p) {
+                    Err(format!("hyperexp p must be in [0,1], got {p}"))
+                } else if !(rate1 > 0.0 && rate2 > 0.0) {
+                    Err("hyperexp rates must be > 0".into())
+                } else {
+                    Ok(())
+                }
+            }
+            Self::Uniform { lo, hi } => {
+                if lo.is_finite() && lo >= 0.0 && hi >= lo {
+                    Ok(())
+                } else {
+                    Err(format!("uniform needs 0 <= lo <= hi, got [{lo}, {hi}]"))
+                }
+            }
+        }
+    }
+
+    /// The mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Self::Exponential { rate } => 1.0 / rate,
+            Self::Deterministic { value } => value,
+            Self::Erlang { stages, rate } => stages as f64 / rate,
+            Self::HyperExp { p, rate1, rate2 } => p / rate1 + (1.0 - p) / rate2,
+            Self::Uniform { lo, hi } => 0.5 * (lo + hi),
+        }
+    }
+
+    /// The variance of the distribution.
+    pub fn variance(&self) -> f64 {
+        match *self {
+            Self::Exponential { rate } => 1.0 / (rate * rate),
+            Self::Deterministic { .. } => 0.0,
+            Self::Erlang { stages, rate } => stages as f64 / (rate * rate),
+            Self::HyperExp { p, rate1, rate2 } => {
+                // Var = E[X^2] - mean^2; branch second moments are 2/rate^2.
+                let m = self.mean();
+                let ex2 = 2.0 * (p / (rate1 * rate1) + (1.0 - p) / (rate2 * rate2));
+                ex2 - m * m
+            }
+            Self::Uniform { lo, hi } => (hi - lo) * (hi - lo) / 12.0,
+        }
+    }
+
+    /// Squared coefficient of variation `Var / mean²` (0 for constants,
+    /// 1 for exponential, `1/k` for Erlang-k, `> 1` for hyperexponential).
+    pub fn scv(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.variance() / (m * m)
+        }
+    }
+
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            Self::Exponential { rate } => exp_sample(rng, rate),
+            Self::Deterministic { value } => value,
+            Self::Erlang { stages, rate } => {
+                // Product-of-uniforms form: sum of k exponentials equals
+                // -ln(U_1 ... U_k)/rate; one log instead of k.
+                let mut prod = 1.0_f64;
+                for _ in 0..stages {
+                    prod *= positive_uniform(rng);
+                }
+                -prod.ln() / rate
+            }
+            Self::HyperExp { p, rate1, rate2 } => {
+                let branch: f64 = rng.random();
+                if branch < p {
+                    exp_sample(rng, rate1)
+                } else {
+                    exp_sample(rng, rate2)
+                }
+            }
+            Self::Uniform { lo, hi } => lo + (hi - lo) * rng.random::<f64>(),
+        }
+    }
+}
+
+/// Sample `Exponential(rate)` by inversion.
+#[inline]
+pub fn exp_sample<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    -positive_uniform(rng).ln() / rate
+}
+
+/// A uniform draw in `(0, 1]`, avoiding `ln(0)`.
+#[inline]
+fn positive_uniform<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    1.0 - rng.random::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn sample_mean_var(dist: &ServiceDistribution, n: usize, seed: u64) -> (f64, f64) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut stats = crate::stats::OnlineStats::new();
+        for _ in 0..n {
+            stats.push(dist.sample(&mut rng));
+        }
+        (stats.mean(), stats.variance())
+    }
+
+    #[test]
+    fn exponential_moments_match() {
+        let d = ServiceDistribution::Exponential { rate: 2.0 };
+        assert_eq!(d.mean(), 0.5);
+        assert_eq!(d.variance(), 0.25);
+        assert!((d.scv() - 1.0).abs() < 1e-12);
+        let (m, v) = sample_mean_var(&d, 200_000, 1);
+        assert!((m - 0.5).abs() < 0.01, "mean {m}");
+        assert!((v - 0.25).abs() < 0.02, "var {v}");
+    }
+
+    #[test]
+    fn deterministic_is_constant() {
+        let d = ServiceDistribution::Deterministic { value: 1.5 };
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 1.5);
+        }
+        assert_eq!(d.scv(), 0.0);
+    }
+
+    #[test]
+    fn erlang_moments_and_scv() {
+        let d = ServiceDistribution::unit_erlang(20);
+        assert!((d.mean() - 1.0).abs() < 1e-12);
+        assert!((d.scv() - 0.05).abs() < 1e-12);
+        let (m, v) = sample_mean_var(&d, 100_000, 2);
+        assert!((m - 1.0).abs() < 0.01, "mean {m}");
+        assert!((v - 0.05).abs() < 0.01, "var {v}");
+    }
+
+    #[test]
+    fn erlang_approaches_constant() {
+        // SCV shrinks like 1/k, so samples concentrate around the mean.
+        let d = ServiceDistribution::unit_erlang(400);
+        let (m, v) = sample_mean_var(&d, 50_000, 3);
+        assert!((m - 1.0).abs() < 0.01);
+        assert!(v < 0.01);
+    }
+
+    #[test]
+    fn hyperexp_moments_match() {
+        let d = ServiceDistribution::HyperExp {
+            p: 0.3,
+            rate1: 0.5,
+            rate2: 2.0,
+        };
+        let mean = 0.3 / 0.5 + 0.7 / 2.0;
+        assert!((d.mean() - mean).abs() < 1e-12);
+        assert!(d.scv() > 1.0, "hyperexp must be more variable than exp");
+        let (m, _) = sample_mean_var(&d, 300_000, 4);
+        assert!((m - mean).abs() < 0.02, "mean {m}");
+    }
+
+    #[test]
+    fn uniform_moments_match() {
+        let d = ServiceDistribution::Uniform { lo: 1.0, hi: 3.0 };
+        assert_eq!(d.mean(), 2.0);
+        assert!((d.variance() - 1.0 / 3.0).abs() < 1e-12);
+        let (m, v) = sample_mean_var(&d, 100_000, 5);
+        assert!((m - 2.0).abs() < 0.01);
+        assert!((v - 1.0 / 3.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn samples_are_non_negative_and_finite() {
+        let dists = [
+            ServiceDistribution::unit_exponential(),
+            ServiceDistribution::unit_deterministic(),
+            ServiceDistribution::unit_erlang(10),
+            ServiceDistribution::HyperExp {
+                p: 0.5,
+                rate1: 1.0,
+                rate2: 10.0,
+            },
+            ServiceDistribution::Uniform { lo: 0.0, hi: 2.0 },
+        ];
+        let mut rng = SmallRng::seed_from_u64(6);
+        for d in &dists {
+            d.validate().unwrap();
+            for _ in 0..10_000 {
+                let x = d.sample(&mut rng);
+                assert!(x.is_finite() && x >= 0.0, "{d:?} produced {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(ServiceDistribution::Exponential { rate: 0.0 }.validate().is_err());
+        assert!(ServiceDistribution::Exponential { rate: -1.0 }.validate().is_err());
+        assert!(ServiceDistribution::Deterministic { value: -0.1 }.validate().is_err());
+        assert!(ServiceDistribution::Erlang { stages: 0, rate: 1.0 }.validate().is_err());
+        assert!(ServiceDistribution::HyperExp { p: 1.5, rate1: 1.0, rate2: 1.0 }
+            .validate()
+            .is_err());
+        assert!(ServiceDistribution::Uniform { lo: 2.0, hi: 1.0 }.validate().is_err());
+    }
+
+    #[test]
+    fn seeded_sampling_is_reproducible() {
+        let d = ServiceDistribution::unit_exponential();
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut a), d.sample(&mut b));
+        }
+    }
+}

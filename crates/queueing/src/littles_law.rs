@@ -1,0 +1,45 @@
+//! Little's law conversions.
+//!
+//! At a fixed point, the paper computes the expected time a task spends
+//! in the system from the mean number of tasks per processor:
+//! `W = L / λ`. These helpers keep that conversion explicit (and tested)
+//! rather than inlined at every call site.
+
+/// Mean time in system from mean occupancy and arrival rate (`W = L/λ`).
+///
+/// # Panics
+/// Panics if `lambda <= 0`.
+pub fn time_in_system(mean_occupancy: f64, lambda: f64) -> f64 {
+    assert!(lambda > 0.0, "Little's law needs a positive arrival rate");
+    mean_occupancy / lambda
+}
+
+/// Mean occupancy from mean time in system and arrival rate (`L = λW`).
+pub fn occupancy(mean_time_in_system: f64, lambda: f64) -> f64 {
+    lambda * mean_time_in_system
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let w = time_in_system(2.5, 0.5);
+        assert_eq!(w, 5.0);
+        assert_eq!(occupancy(w, 0.5), 2.5);
+    }
+
+    #[test]
+    fn matches_mm1_closed_form() {
+        let q = crate::mm1::Mm1::new(0.9, 1.0).unwrap();
+        let w = time_in_system(q.mean_in_system(), q.lambda);
+        assert!((w - q.mean_time_in_system()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive arrival rate")]
+    fn zero_rate_panics() {
+        let _ = time_in_system(1.0, 0.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Closed forms for the uncoupled single-queue baselines.
+//!
+//! Without stealing, each processor in the paper's model is an
+//! independent M/M/1 queue with arrival rate `λ` and service rate 1; its
+//! stationary occupancy tail is `P(N ≥ i) = λ^i` — exactly the fixed
+//! point `π_i = λ^i` of equation (1). Constant service gives M/D/1, whose
+//! Pollaczek–Khinchine mean shows the variance benefit the paper observes
+//! in Table 2.
+
+/// Parameters of an M/M/1 queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mm1 {
+    /// Arrival rate.
+    pub lambda: f64,
+    /// Service rate.
+    pub mu: f64,
+}
+
+impl Mm1 {
+    /// Construct, validating stability (`λ < μ`).
+    pub fn new(lambda: f64, mu: f64) -> Result<Self, String> {
+        if !(lambda >= 0.0 && lambda.is_finite()) {
+            return Err(format!("arrival rate must be finite and >= 0, got {lambda}"));
+        }
+        if !(mu > 0.0 && mu.is_finite()) {
+            return Err(format!("service rate must be finite and > 0, got {mu}"));
+        }
+        if lambda >= mu {
+            return Err(format!("unstable queue: lambda = {lambda} >= mu = {mu}"));
+        }
+        Ok(Self { lambda, mu })
+    }
+
+    /// Utilization `ρ = λ/μ`.
+    pub fn rho(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// Stationary tail `P(N ≥ i) = ρ^i`.
+    pub fn occupancy_tail(&self, i: u32) -> f64 {
+        self.rho().powi(i as i32)
+    }
+
+    /// Mean number in system `L = ρ / (1 − ρ)`.
+    pub fn mean_in_system(&self) -> f64 {
+        let rho = self.rho();
+        rho / (1.0 - rho)
+    }
+
+    /// Mean time in system `W = 1 / (μ − λ)`.
+    pub fn mean_time_in_system(&self) -> f64 {
+        1.0 / (self.mu - self.lambda)
+    }
+
+    /// Mean waiting time (before service) `W_q = ρ / (μ − λ)`.
+    pub fn mean_waiting_time(&self) -> f64 {
+        self.rho() / (self.mu - self.lambda)
+    }
+}
+
+/// Mean time in system of an M/G/1 queue with arrival rate `lambda`,
+/// mean service `es` and squared coefficient of variation `scv`
+/// (Pollaczek–Khinchine): `W = E[S] + λ E[S²] / (2 (1 − ρ))` with
+/// `E[S²] = (1 + scv) E[S]²`.
+pub fn mg1_mean_time_in_system(lambda: f64, es: f64, scv: f64) -> f64 {
+    let rho = lambda * es;
+    assert!(rho < 1.0, "unstable M/G/1: rho = {rho}");
+    let es2 = (1.0 + scv) * es * es;
+    es + lambda * es2 / (2.0 * (1.0 - rho))
+}
+
+/// M/D/1 mean time in system (constant service of length `es`).
+pub fn md1_mean_time_in_system(lambda: f64, es: f64) -> f64 {
+    mg1_mean_time_in_system(lambda, es, 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tails_are_geometric() {
+        let q = Mm1::new(0.8, 1.0).unwrap();
+        assert!((q.occupancy_tail(0) - 1.0).abs() < 1e-15);
+        assert!((q.occupancy_tail(3) - 0.512).abs() < 1e-12);
+        for i in 0..10 {
+            let ratio = q.occupancy_tail(i + 1) / q.occupancy_tail(i);
+            assert!((ratio - 0.8).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn littles_law_holds_internally() {
+        let q = Mm1::new(0.9, 1.0).unwrap();
+        assert!((q.mean_in_system() - q.lambda * q.mean_time_in_system()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn waiting_plus_service_is_total() {
+        let q = Mm1::new(0.5, 2.0).unwrap();
+        assert!((q.mean_waiting_time() + 1.0 / q.mu - q.mean_time_in_system()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unstable_queue_is_rejected() {
+        assert!(Mm1::new(1.0, 1.0).is_err());
+        assert!(Mm1::new(2.0, 1.0).is_err());
+        assert!(Mm1::new(-0.1, 1.0).is_err());
+        assert!(Mm1::new(0.5, 0.0).is_err());
+    }
+
+    #[test]
+    fn mg1_reduces_to_mm1_for_scv_one() {
+        let lambda = 0.7;
+        let w_mm1 = Mm1::new(lambda, 1.0).unwrap().mean_time_in_system();
+        let w_mg1 = mg1_mean_time_in_system(lambda, 1.0, 1.0);
+        assert!((w_mm1 - w_mg1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_service_halves_the_wait() {
+        // Classic result: M/D/1 waiting time is half of M/M/1's.
+        let lambda = 0.8;
+        let wq_mm1 = Mm1::new(lambda, 1.0).unwrap().mean_waiting_time();
+        let wq_md1 = md1_mean_time_in_system(lambda, 1.0) - 1.0;
+        assert!((wq_md1 - 0.5 * wq_mm1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable M/G/1")]
+    fn mg1_panics_when_unstable() {
+        let _ = mg1_mean_time_in_system(1.2, 1.0, 1.0);
+    }
+}

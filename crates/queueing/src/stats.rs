@@ -1,0 +1,296 @@
+//! Online statistics for simulation output analysis.
+
+/// Numerically stable (Welford) accumulator for mean and variance.
+///
+/// ```
+/// use loadsteal_queueing::OnlineStats;
+/// let stats: OnlineStats = [2.0, 4.0, 6.0].into_iter().collect();
+/// assert_eq!(stats.mean(), 4.0);
+/// assert_eq!(stats.variance(), 4.0);
+/// let ci = stats.confidence_interval(0.95);
+/// assert!(ci.contains(4.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Self) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// A normal-approximation confidence interval for the mean.
+    ///
+    /// `level` ∈ {0.90, 0.95, 0.99} pick the matching z-score; other
+    /// levels fall back to 0.95. For the replication counts used here
+    /// (≥ 3 runs × thousands of tasks) the normal approximation is fine.
+    pub fn confidence_interval(&self, level: f64) -> ConfidenceInterval {
+        let z = if (level - 0.90).abs() < 1e-9 {
+            1.6449
+        } else if (level - 0.99).abs() < 1e-9 {
+            2.5758
+        } else {
+            1.96
+        };
+        let half = z * self.std_err();
+        ConfidenceInterval {
+            mean: self.mean(),
+            half_width: half,
+        }
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Self::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+/// A symmetric confidence interval around a sample mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate.
+    pub mean: f64,
+    /// Half-width of the interval.
+    pub half_width: f64,
+}
+
+impl ConfidenceInterval {
+    /// Lower endpoint.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper endpoint.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// Whether the interval contains `x`.
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo() && x <= self.hi()
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal, e.g. the queue
+/// length of a processor over simulated time.
+#[derive(Debug, Clone, Default)]
+pub struct TimeWeighted {
+    last_t: Option<f64>,
+    last_value: f64,
+    integral: f64,
+    duration: f64,
+}
+
+impl TimeWeighted {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that the signal changed to `value` at time `t`.
+    ///
+    /// The signal is assumed to have held its previous value since the
+    /// previous call; times must be non-decreasing.
+    pub fn record(&mut self, t: f64, value: f64) {
+        if let Some(t0) = self.last_t {
+            debug_assert!(t >= t0, "TimeWeighted: time went backwards");
+            self.integral += self.last_value * (t - t0);
+            self.duration += t - t0;
+        }
+        self.last_t = Some(t);
+        self.last_value = value;
+    }
+
+    /// Close the window at time `t` without changing the value.
+    pub fn finish(&mut self, t: f64) {
+        self.record(t, self.last_value);
+    }
+
+    /// The time-weighted mean so far (0 if no time has elapsed).
+    pub fn mean(&self) -> f64 {
+        if self.duration > 0.0 {
+            self.integral / self.duration
+        } else {
+            0.0
+        }
+    }
+
+    /// Total time covered.
+    pub fn duration(&self) -> f64 {
+        self.duration
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive_moments() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, -1.0];
+        let s: OnlineStats = xs.iter().copied().collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.variance() - var).abs() < 1e-12);
+        assert_eq!(s.min(), -1.0);
+        assert_eq!(s.max(), 5.0);
+        assert_eq!(s.count(), 6);
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin()).collect();
+        let whole: OnlineStats = xs.iter().copied().collect();
+        let mut left: OnlineStats = xs[..37].iter().copied().collect();
+        let right: OnlineStats = xs[37..].iter().copied().collect();
+        left.merge(&right);
+        assert!((left.mean() - whole.mean()).abs() < 1e-12);
+        assert!((left.variance() - whole.variance()).abs() < 1e-12);
+        assert_eq!(left.count(), whole.count());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s: OnlineStats = [1.0, 2.0].into_iter().collect();
+        let before = s.clone();
+        s.merge(&OnlineStats::new());
+        assert_eq!(s, before);
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn confidence_interval_shrinks_with_n() {
+        let small: OnlineStats = (0..10).map(|i| i as f64).collect();
+        let large: OnlineStats = (0..1000).map(|i| (i % 10) as f64).collect();
+        assert!(
+            large.confidence_interval(0.95).half_width < small.confidence_interval(0.95).half_width
+        );
+    }
+
+    #[test]
+    fn confidence_levels_are_ordered() {
+        let s: OnlineStats = (0..100).map(|i| (i as f64).sqrt()).collect();
+        let w90 = s.confidence_interval(0.90).half_width;
+        let w95 = s.confidence_interval(0.95).half_width;
+        let w99 = s.confidence_interval(0.99).half_width;
+        assert!(w90 < w95 && w95 < w99);
+    }
+
+    #[test]
+    fn interval_contains_its_mean() {
+        let s: OnlineStats = [2.0, 4.0, 6.0].into_iter().collect();
+        let ci = s.confidence_interval(0.95);
+        assert!(ci.contains(ci.mean));
+        assert!((ci.lo() + ci.hi()) / 2.0 - ci.mean < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_average_of_step_signal() {
+        let mut tw = TimeWeighted::new();
+        tw.record(0.0, 1.0); // value 1 on [0, 2)
+        tw.record(2.0, 3.0); // value 3 on [2, 3)
+        tw.finish(3.0);
+        // (1 * 2 + 3 * 1) / 3 = 5/3
+        assert!((tw.mean() - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(tw.duration(), 3.0);
+    }
+
+    #[test]
+    fn time_weighted_empty_is_zero() {
+        assert_eq!(TimeWeighted::new().mean(), 0.0);
+    }
+}

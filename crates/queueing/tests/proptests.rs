@@ -1,0 +1,85 @@
+//! Property-based tests for distributions and statistics.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use loadsteal_queueing::dist::ServiceDistribution;
+use loadsteal_queueing::mm1::{mg1_mean_time_in_system, Mm1};
+use loadsteal_queueing::stats::OnlineStats;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sample_means_track_analytic_means(
+        which in 0usize..5,
+        p1 in 0.1f64..5.0,
+        p2 in 0.1f64..5.0,
+        seed in any::<u64>(),
+    ) {
+        let dist = match which {
+            0 => ServiceDistribution::Exponential { rate: p1 },
+            1 => ServiceDistribution::Deterministic { value: p1 },
+            2 => ServiceDistribution::Erlang { stages: 1 + (p2 as u32 % 20), rate: p1 },
+            3 => ServiceDistribution::HyperExp { p: 0.4, rate1: p1, rate2: p2 },
+            _ => ServiceDistribution::Uniform { lo: p1.min(p2), hi: p1.max(p2) + 0.1 },
+        };
+        dist.validate().unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let stats: OnlineStats = (0..40_000).map(|_| dist.sample(&mut rng)).collect();
+        let mean = dist.mean();
+        let tol = 6.0 * (dist.variance() / 40_000.0).sqrt() + 1e-9;
+        prop_assert!(
+            (stats.mean() - mean).abs() < tol.max(0.02 * mean),
+            "{dist:?}: sample {} vs analytic {mean}",
+            stats.mean()
+        );
+    }
+
+    #[test]
+    fn all_samples_non_negative(
+        rate in 0.05f64..20.0,
+        seed in any::<u64>(),
+    ) {
+        let dist = ServiceDistribution::Exponential { rate };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..1_000 {
+            let x = dist.sample(&mut rng);
+            prop_assert!(x.is_finite() && x >= 0.0);
+        }
+    }
+
+    #[test]
+    fn welford_merge_is_associative_enough(
+        xs in prop::collection::vec(-1e3f64..1e3, 3..200),
+        split in 0usize..200,
+    ) {
+        let split = split % xs.len();
+        let whole: OnlineStats = xs.iter().copied().collect();
+        let mut left: OnlineStats = xs[..split].iter().copied().collect();
+        let right: OnlineStats = xs[split..].iter().copied().collect();
+        left.merge(&right);
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-8);
+        prop_assert!((left.variance() - whole.variance()).abs() < 1e-6 * (1.0 + whole.variance()));
+        prop_assert_eq!(left.count(), whole.count());
+    }
+
+    #[test]
+    fn mm1_metrics_satisfy_littles_law(lambda in 0.01f64..0.99) {
+        let q = Mm1::new(lambda, 1.0).unwrap();
+        prop_assert!((q.mean_in_system() - lambda * q.mean_time_in_system()).abs() < 1e-10);
+        // Tail sum identity: Σ_{i≥1} ρ^i = L.
+        let tail_sum: f64 = (1..2000).map(|i| q.occupancy_tail(i)).sum();
+        prop_assert!((tail_sum - q.mean_in_system()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn service_variability_orders_mg1_waits(lambda in 0.05f64..0.9) {
+        // scv 0 (constant) ≤ scv 1 (exponential) ≤ scv 4 (bursty).
+        let w0 = mg1_mean_time_in_system(lambda, 1.0, 0.0);
+        let w1 = mg1_mean_time_in_system(lambda, 1.0, 1.0);
+        let w4 = mg1_mean_time_in_system(lambda, 1.0, 4.0);
+        prop_assert!(w0 <= w1 && w1 <= w4);
+    }
+}

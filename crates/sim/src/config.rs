@@ -1,0 +1,433 @@
+//! Simulation configuration: the dynamic work-stealing system of the
+//! paper with every variant it analyzes.
+
+use loadsteal_queueing::ServiceDistribution;
+
+/// How an idle (or nearly idle) processor acquires work.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StealPolicy {
+    /// No stealing: `n` independent queues (the paper's eq. (1) baseline).
+    None,
+    /// Steal when the queue empties (Sections 2.2–2.3, 3.3, 3.4).
+    ///
+    /// The thief samples `choices` victims independently and uniformly at
+    /// random, picks the most loaded, and — if that victim holds at least
+    /// `threshold` tasks — takes `batch` tasks from the tail of its
+    /// queue. The paper's simple WS algorithm is
+    /// `threshold = 2, choices = 1, batch = 1`.
+    OnEmpty {
+        /// Minimum victim load `T ≥ 2` for a steal to happen.
+        threshold: usize,
+        /// Number of iid victim candidates `d ≥ 1` (Section 3.3).
+        choices: usize,
+        /// Tasks taken per successful steal, `k ≥ 1`, `2k ≤ T`
+        /// (Section 3.4).
+        batch: usize,
+    },
+    /// Preemptive stealing (Section 2.4): when a service completion
+    /// leaves `j ≤ begin_at` tasks, attempt to steal one task from a
+    /// victim with at least `j + rel_threshold` tasks.
+    Preemptive {
+        /// `B`: start stealing when the queue drops to this many tasks.
+        begin_at: usize,
+        /// `T`: required victim surplus over the thief's current load.
+        rel_threshold: usize,
+    },
+    /// Repeated attempts (Section 2.5): empty processors retry failed
+    /// steals at exponential rate `rate`; a victim must hold at least
+    /// `threshold` tasks.
+    Repeated {
+        /// Retry rate `r > 0` per empty processor.
+        rate: f64,
+        /// Minimum victim load `T ≥ 2`.
+        threshold: usize,
+    },
+    /// Pairwise rebalancing (Section 3.4, after Rudolph–Slivkin-Allalouf–
+    /// Upfal): at rate `rate(i)` a processor with `i` tasks picks a
+    /// uniform partner and the two equalize their loads (the initially
+    /// larger keeps the ceiling).
+    Rebalance {
+        /// Rate at which a processor initiates a rebalance.
+        rate: RebalanceRate,
+    },
+    /// Sender-initiated work *sharing* (the paper's Introduction foil):
+    /// an arrival landing on a processor already holding at least
+    /// `send_threshold` tasks probes one uniform target and is forwarded
+    /// there if the target holds fewer than `recv_threshold` tasks.
+    Share {
+        /// Forward arrivals when the local queue is at least this long.
+        send_threshold: usize,
+        /// The probed target accepts if its queue is shorter than this.
+        recv_threshold: usize,
+    },
+}
+
+impl StealPolicy {
+    /// The paper's simple WS policy (steal one task whenever a random
+    /// victim has at least two).
+    pub fn simple_ws() -> Self {
+        Self::OnEmpty {
+            threshold: 2,
+            choices: 1,
+            batch: 1,
+        }
+    }
+}
+
+/// Load-dependent rebalance initiation rate `r(i)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RebalanceRate {
+    /// `r(i) = rate` for every processor regardless of load.
+    Constant(f64),
+    /// `r(i) = rate · i`: busier processors rebalance more often.
+    PerTask(f64),
+}
+
+impl RebalanceRate {
+    /// Evaluate `r(i)`.
+    #[inline]
+    pub fn rate(&self, load: usize) -> f64 {
+        match *self {
+            Self::Constant(r) => r,
+            Self::PerTask(r) => r * load as f64,
+        }
+    }
+}
+
+/// Time for a stolen task to move from victim to thief (Section 3.2).
+/// While a transfer is outstanding the thief does not steal again.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferTime {
+    /// Transfer-duration distribution; the paper uses `Exp(rate r)`.
+    pub dist: ServiceDistribution,
+}
+
+impl TransferTime {
+    /// Exponential transfers with the given rate (paper's default form).
+    pub fn exponential(rate: f64) -> Self {
+        Self {
+            dist: ServiceDistribution::Exponential { rate },
+        }
+    }
+}
+
+/// Processor speed profile (Section 3.5).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpeedProfile {
+    /// All processors serve at rate 1.
+    Homogeneous,
+    /// Speed classes `(fraction, speed)`; fractions must sum to 1.
+    /// Processor `p` belongs to the class covering index `p` when the
+    /// fractions are laid out contiguously over `0..n`.
+    Classes(Vec<(f64, f64)>),
+}
+
+impl SpeedProfile {
+    /// Speed of processor `p` out of `n`.
+    pub fn speed_of(&self, p: usize, n: usize) -> f64 {
+        match self {
+            Self::Homogeneous => 1.0,
+            Self::Classes(classes) => {
+                let mut boundary = 0.0;
+                for &(frac, speed) in classes {
+                    boundary += frac;
+                    if (p as f64) < boundary * n as f64 - 1e-9 || boundary >= 1.0 {
+                        return speed;
+                    }
+                }
+                classes.last().map_or(1.0, |c| c.1)
+            }
+        }
+    }
+}
+
+/// Full configuration of one simulated system.
+///
+/// ```
+/// use loadsteal_sim::{SimConfig, StealPolicy};
+/// let mut cfg = SimConfig::paper_default(128, 0.9);
+/// cfg.policy = StealPolicy::OnEmpty { threshold: 4, choices: 2, batch: 2 };
+/// cfg.validate().unwrap();
+/// // Inconsistent knobs are caught before a long run starts:
+/// cfg.policy = StealPolicy::OnEmpty { threshold: 4, choices: 2, batch: 3 };
+/// assert!(cfg.validate().is_err()); // 2k > T
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Number of processors `n`.
+    pub n: usize,
+    /// External Poisson arrival rate per processor (`λ` or `λ_ext`).
+    pub lambda: f64,
+    /// Internal arrival rate (`λ_int`): new tasks spawned by a processor
+    /// while it has at least one task (Section 3.5). Usually 0.
+    pub internal_lambda: f64,
+    /// Service requirement distribution (mean 1 in the paper).
+    pub service: ServiceDistribution,
+    /// Inter-arrival distribution per processor. `None` means
+    /// exponential with rate `lambda` (Poisson arrivals, the paper's
+    /// base model); `Some(d)` must have mean `1/lambda` so Little's-law
+    /// accounting stays consistent (e.g. Erlang stages approximating
+    /// constant inter-arrival times, Section 3.1).
+    pub arrival: Option<ServiceDistribution>,
+    /// Stealing policy.
+    pub policy: StealPolicy,
+    /// Optional transfer delay for stolen tasks.
+    pub transfer: Option<TransferTime>,
+    /// Processor speed profile.
+    pub speeds: SpeedProfile,
+    /// Tasks pre-loaded on every processor at `t = 0` (static
+    /// experiments; their arrival time is 0).
+    pub initial_load: usize,
+    /// Simulated time horizon.
+    pub horizon: f64,
+    /// Tasks completing before this time are not measured (the paper
+    /// throws away the first 10% of each run).
+    pub warmup: f64,
+    /// Whether a thief's uniform victim draw may hit itself (a self-draw
+    /// always fails to steal). `true` matches the mean-field probability
+    /// `s_T` exactly; `false` matches a "choose among the other n − 1"
+    /// reading.
+    pub allow_self_victim: bool,
+    /// Stop when the system has drained (no queued or in-flight tasks).
+    /// Requires `lambda == 0`; used for makespan experiments.
+    pub run_until_drained: bool,
+    /// Record instantaneous occupancy tails every this many simulated
+    /// seconds (for transient/convergence studies against the ODE
+    /// trajectory). `None` disables snapshots.
+    pub snapshot_interval: Option<f64>,
+}
+
+impl SimConfig {
+    /// A paper-default configuration: `n` processors, arrival rate
+    /// `lambda`, unit-exponential service, simple WS stealing,
+    /// 100,000 s horizon with 10,000 s warmup.
+    pub fn paper_default(n: usize, lambda: f64) -> Self {
+        Self {
+            n,
+            lambda,
+            internal_lambda: 0.0,
+            service: ServiceDistribution::unit_exponential(),
+            arrival: None,
+            policy: StealPolicy::simple_ws(),
+            transfer: None,
+            speeds: SpeedProfile::Homogeneous,
+            initial_load: 0,
+            horizon: 100_000.0,
+            warmup: 10_000.0,
+            allow_self_victim: true,
+            run_until_drained: false,
+            snapshot_interval: None,
+        }
+    }
+
+    /// Validate the configuration; returns a human-readable reason when
+    /// it is inconsistent.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n == 0 {
+            return Err("need at least one processor".into());
+        }
+        if !(self.lambda >= 0.0 && self.lambda.is_finite()) {
+            return Err(format!("lambda must be finite and >= 0, got {}", self.lambda));
+        }
+        if !(self.internal_lambda >= 0.0 && self.internal_lambda.is_finite()) {
+            return Err("internal_lambda must be finite and >= 0".into());
+        }
+        self.service.validate()?;
+        if let Some(arrival) = &self.arrival {
+            arrival.validate()?;
+            if self.lambda <= 0.0 {
+                return Err("an explicit arrival distribution needs lambda > 0".into());
+            }
+            let mean = arrival.mean();
+            if (mean * self.lambda - 1.0).abs() > 1e-9 {
+                return Err(format!(
+                    "arrival distribution mean {mean} is inconsistent with lambda {} \
+                     (need mean = 1/lambda)",
+                    self.lambda
+                ));
+            }
+        }
+        if let Some(t) = &self.transfer {
+            t.dist.validate()?;
+        }
+        match &self.policy {
+            StealPolicy::None => {}
+            StealPolicy::OnEmpty {
+                threshold,
+                choices,
+                batch,
+            } => {
+                if *threshold < 2 {
+                    return Err("steal threshold must be >= 2".into());
+                }
+                if *choices == 0 {
+                    return Err("need at least one victim choice".into());
+                }
+                if *batch == 0 || batch * 2 > *threshold {
+                    return Err(format!(
+                        "batch k must satisfy 1 <= k <= T/2 (got k = {batch}, T = {threshold})"
+                    ));
+                }
+                if self.transfer.is_some() && *batch != 1 {
+                    return Err("transfer delays are modeled for single-task steals only".into());
+                }
+            }
+            StealPolicy::Preemptive {
+                rel_threshold: t, ..
+            } => {
+                if *t < 2 {
+                    return Err("preemptive relative threshold must be >= 2".into());
+                }
+            }
+            StealPolicy::Repeated { rate, threshold } => {
+                if !rate.is_finite() || *rate <= 0.0 {
+                    return Err("repeated steal rate must be > 0".into());
+                }
+                if *threshold < 2 {
+                    return Err("steal threshold must be >= 2".into());
+                }
+                if self.transfer.is_some() {
+                    return Err("repeated attempts with transfer delays are not modeled".into());
+                }
+            }
+            StealPolicy::Share {
+                send_threshold,
+                recv_threshold,
+            } => {
+                if *send_threshold == 0 || *recv_threshold == 0 {
+                    return Err("sharing thresholds must be >= 1".into());
+                }
+                if self.transfer.is_some() {
+                    return Err("sharing with transfer delays is not modeled".into());
+                }
+            }
+            StealPolicy::Rebalance { rate } => {
+                let r = match rate {
+                    RebalanceRate::Constant(r) | RebalanceRate::PerTask(r) => *r,
+                };
+                if !(r > 0.0 && r.is_finite()) {
+                    return Err("rebalance rate must be > 0".into());
+                }
+                if self.transfer.is_some() {
+                    return Err("rebalancing with transfer delays is not modeled".into());
+                }
+            }
+        }
+        if let SpeedProfile::Classes(classes) = &self.speeds {
+            if classes.is_empty() {
+                return Err("speed classes must be non-empty".into());
+            }
+            let total: f64 = classes.iter().map(|c| c.0).sum();
+            if (total - 1.0).abs() > 1e-9 {
+                return Err(format!("speed-class fractions must sum to 1, got {total}"));
+            }
+            if classes.iter().any(|c| c.0 < 0.0 || c.1 <= 0.0) {
+                return Err("speed-class fractions must be >= 0 and speeds > 0".into());
+            }
+        }
+        if let Some(dt) = self.snapshot_interval {
+            if !(dt > 0.0 && dt.is_finite()) {
+                return Err(format!("snapshot interval must be > 0, got {dt}"));
+            }
+        }
+        if self.run_until_drained {
+            if self.lambda > 0.0 {
+                return Err("drained mode requires lambda = 0".into());
+            }
+            if self.initial_load == 0 && self.internal_lambda == 0.0 {
+                return Err("drained mode with no initial load ends immediately".into());
+            }
+        } else {
+            if !(self.horizon > 0.0 && self.horizon.is_finite()) {
+                return Err("horizon must be positive and finite".into());
+            }
+            if !(0.0..self.horizon).contains(&self.warmup) {
+                return Err("warmup must lie in [0, horizon)".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_valid() {
+        SimConfig::paper_default(128, 0.9).validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_thresholds() {
+        let mut cfg = SimConfig::paper_default(8, 0.5);
+        cfg.policy = StealPolicy::OnEmpty {
+            threshold: 1,
+            choices: 1,
+            batch: 1,
+        };
+        assert!(cfg.validate().is_err());
+        cfg.policy = StealPolicy::OnEmpty {
+            threshold: 4,
+            choices: 1,
+            batch: 3, // 2k > T
+        };
+        assert!(cfg.validate().is_err());
+        cfg.policy = StealPolicy::OnEmpty {
+            threshold: 4,
+            choices: 1,
+            batch: 2,
+        };
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_transfer_with_batch_steals() {
+        let mut cfg = SimConfig::paper_default(8, 0.5);
+        cfg.transfer = Some(TransferTime::exponential(0.25));
+        cfg.policy = StealPolicy::OnEmpty {
+            threshold: 4,
+            choices: 1,
+            batch: 2,
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn drained_mode_requires_zero_lambda() {
+        let mut cfg = SimConfig::paper_default(8, 0.5);
+        cfg.run_until_drained = true;
+        cfg.initial_load = 10;
+        assert!(cfg.validate().is_err());
+        cfg.lambda = 0.0;
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn speed_classes_must_sum_to_one() {
+        let mut cfg = SimConfig::paper_default(8, 0.5);
+        cfg.speeds = SpeedProfile::Classes(vec![(0.5, 2.0), (0.4, 1.0)]);
+        assert!(cfg.validate().is_err());
+        cfg.speeds = SpeedProfile::Classes(vec![(0.5, 2.0), (0.5, 1.0)]);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn speed_of_assigns_contiguous_classes() {
+        let profile = SpeedProfile::Classes(vec![(0.25, 2.0), (0.75, 1.0)]);
+        let n = 8;
+        let speeds: Vec<f64> = (0..n).map(|p| profile.speed_of(p, n)).collect();
+        assert_eq!(speeds, vec![2.0, 2.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn homogeneous_speed_is_one() {
+        assert_eq!(SpeedProfile::Homogeneous.speed_of(3, 10), 1.0);
+    }
+
+    #[test]
+    fn rebalance_rate_forms() {
+        assert_eq!(RebalanceRate::Constant(0.5).rate(7), 0.5);
+        assert_eq!(RebalanceRate::PerTask(0.5).rate(4), 2.0);
+    }
+}

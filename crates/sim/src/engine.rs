@@ -1,0 +1,832 @@
+//! The discrete-event engine: one run of the n-processor work-stealing
+//! system.
+//!
+//! Design notes:
+//!
+//! * A single `BinaryHeap` orders all future events; time ties break by
+//!   sequence number so runs are deterministic given a seed.
+//! * Service completions are never stale — steals and rebalances only
+//!   move *tail* tasks, so the task at the head of a queue can only
+//!   leave by completing. Everything whose rate depends on mutable state
+//!   (retry probes, rebalance ticks, internal arrivals) carries an epoch
+//!   and is lazily invalidated; exponential interarrival times make
+//!   resampling on every rate change statistically exact.
+//! * Victims are sampled uniformly over all `n` processors by default
+//!   (a self-draw simply fails), which is exactly the limiting
+//!   probability `s_T` used by the differential equations.
+
+use std::collections::{BinaryHeap, VecDeque};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use loadsteal_queueing::dist::exp_sample;
+use loadsteal_queueing::OnlineStats;
+
+use crate::config::{SimConfig, SpeedProfile, StealPolicy};
+use crate::event::{Event, EventKind};
+use crate::metrics::{LoadHistogram, SimResult};
+
+/// A task: when it entered the system and how much work it carries.
+#[derive(Debug, Clone, Copy)]
+struct Task {
+    arrived: f64,
+    work: f64,
+}
+
+/// Per-processor state.
+#[derive(Debug, Clone)]
+struct Proc {
+    /// FIFO queue; the front task is in service.
+    queue: VecDeque<Task>,
+    /// Invalidates steal probes and rebalance ticks.
+    probe_epoch: u32,
+    /// Invalidates internal-arrival events.
+    internal_epoch: u32,
+    /// A stolen task is in flight towards this processor.
+    waiting_transfer: bool,
+    /// Service speed (rate multiplier).
+    speed: f64,
+}
+
+/// Run one simulation to completion and collect its measurements.
+///
+/// # Panics
+/// Panics if the configuration fails [`SimConfig::validate`].
+pub fn run(cfg: &SimConfig, seed: u64) -> SimResult {
+    if let Err(e) = cfg.validate() {
+        panic!("invalid simulation config: {e}");
+    }
+    Engine::new(cfg, seed).run()
+}
+
+struct Engine<'a> {
+    cfg: &'a SimConfig,
+    procs: Vec<Proc>,
+    heap: BinaryHeap<Event>,
+    rng: SmallRng,
+    seq: u64,
+    t: f64,
+    tasks_in_system: u64,
+    tasks_arrived: u64,
+    tasks_completed: u64,
+    steal_attempts: u64,
+    steal_successes: u64,
+    tasks_migrated: u64,
+    sojourn: OnlineStats,
+    hist: LoadHistogram,
+    makespan: Option<f64>,
+    snapshots: Vec<(f64, Vec<f64>)>,
+    next_snapshot: f64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(cfg: &'a SimConfig, seed: u64) -> Self {
+        let rng = SmallRng::seed_from_u64(seed);
+        let procs = (0..cfg.n)
+            .map(|p| Proc {
+                queue: VecDeque::new(),
+                probe_epoch: 0,
+                internal_epoch: 0,
+                waiting_transfer: false,
+                speed: match &cfg.speeds {
+                    SpeedProfile::Homogeneous => 1.0,
+                    profile => profile.speed_of(p, cfg.n),
+                },
+            })
+            .collect();
+        Self {
+            cfg,
+            procs,
+            heap: BinaryHeap::new(),
+            rng,
+            seq: 0,
+            t: 0.0,
+            tasks_in_system: 0,
+            tasks_arrived: 0,
+            tasks_completed: 0,
+            steal_attempts: 0,
+            steal_successes: 0,
+            tasks_migrated: 0,
+            sojourn: OnlineStats::new(),
+            hist: LoadHistogram::new(cfg.n, cfg.initial_load, cfg.warmup),
+            makespan: None,
+            snapshots: Vec::new(),
+            next_snapshot: cfg.snapshot_interval.unwrap_or(f64::INFINITY),
+        }
+    }
+
+    #[inline]
+    fn schedule(&mut self, time: f64, kind: EventKind) {
+        self.seq += 1;
+        self.heap.push(Event {
+            time,
+            seq: self.seq,
+            kind,
+        });
+    }
+
+    #[inline]
+    fn sample_work(&mut self) -> f64 {
+        self.cfg.service.sample(&mut self.rng)
+    }
+
+    fn initialize(&mut self) {
+        // Pre-loaded tasks (static experiments).
+        if self.cfg.initial_load > 0 {
+            for p in 0..self.cfg.n {
+                for _ in 0..self.cfg.initial_load {
+                    let work = self.sample_work();
+                    self.procs[p].queue.push_back(Task { arrived: 0.0, work });
+                }
+                self.tasks_in_system += self.cfg.initial_load as u64;
+                self.tasks_arrived += self.cfg.initial_load as u64;
+                // The histogram was constructed at this initial load;
+                // only service needs starting.
+                let front = self.procs[p].queue.front().copied().unwrap();
+                self.schedule_completion(p, front.work);
+            }
+        }
+        // External arrival streams.
+        if self.cfg.lambda > 0.0 {
+            for p in 0..self.cfg.n {
+                let dt = self.sample_interarrival();
+                self.schedule(dt, EventKind::ExtArrival { proc: p as u32 });
+            }
+        }
+        // Internal arrival streams for initially busy processors.
+        if self.cfg.internal_lambda > 0.0 {
+            for p in 0..self.cfg.n {
+                if !self.procs[p].queue.is_empty() {
+                    self.schedule_internal_arrival(p);
+                }
+            }
+        }
+        // Repeated-steal probes for initially empty processors.
+        if let StealPolicy::Repeated { rate, .. } = self.cfg.policy {
+            for p in 0..self.cfg.n {
+                if self.procs[p].queue.is_empty() {
+                    self.schedule_steal_probe(p, rate);
+                }
+            }
+        }
+        // Rebalance ticks for every processor.
+        if let StealPolicy::Rebalance { rate } = self.cfg.policy {
+            for p in 0..self.cfg.n {
+                let r = rate.rate(self.procs[p].queue.len());
+                self.schedule_rebalance_tick(p, r);
+            }
+        }
+    }
+
+    fn run(mut self) -> SimResult {
+        self.initialize();
+        let horizon = if self.cfg.run_until_drained {
+            f64::INFINITY
+        } else {
+            self.cfg.horizon
+        };
+        while let Some(ev) = self.heap.pop() {
+            // Snapshots capture the state *just before* the first event
+            // past each snapshot time (loads are piecewise constant).
+            while self.next_snapshot <= ev.time && self.next_snapshot <= horizon {
+                let tails = self.hist.instant_tails(self.cfg.n);
+                self.snapshots.push((self.next_snapshot, tails));
+                self.next_snapshot += self.cfg.snapshot_interval.unwrap();
+            }
+            if ev.time > horizon {
+                self.t = horizon;
+                break;
+            }
+            self.t = ev.time;
+            match ev.kind {
+                EventKind::ExtArrival { proc } => self.on_ext_arrival(proc as usize),
+                EventKind::IntArrival { proc, epoch } => self.on_int_arrival(proc as usize, epoch),
+                EventKind::Completion { proc } => self.on_completion(proc as usize),
+                EventKind::StealProbe { proc, epoch } => self.on_steal_probe(proc as usize, epoch),
+                EventKind::RebalanceTick { proc, epoch } => {
+                    self.on_rebalance_tick(proc as usize, epoch)
+                }
+                EventKind::TransferArrive {
+                    proc,
+                    arrived,
+                    work,
+                } => self.on_transfer_arrive(proc as usize, arrived, work),
+            }
+            if self.cfg.run_until_drained && self.tasks_in_system == 0 {
+                self.makespan = Some(self.t);
+                break;
+            }
+        }
+        let end = if self.cfg.run_until_drained {
+            self.t
+        } else {
+            self.cfg.horizon
+        };
+        self.hist.finish(end);
+        SimResult {
+            sojourn: self.sojourn,
+            tasks_arrived: self.tasks_arrived,
+            tasks_completed: self.tasks_completed,
+            steal_attempts: self.steal_attempts,
+            steal_successes: self.steal_successes,
+            tasks_migrated: self.tasks_migrated,
+            load_tails: self.hist.tails(self.cfg.n),
+            snapshots: self.snapshots,
+            end_time: end,
+            makespan: self.makespan,
+            seed: 0, // filled by the caller-facing wrapper below
+        }
+    }
+
+    // ----- event handlers -------------------------------------------------
+
+    fn on_ext_arrival(&mut self, p: usize) {
+        let work = self.sample_work();
+        self.route_arrival(p, Task { arrived: self.t, work });
+        let dt = self.sample_interarrival();
+        self.schedule(self.t + dt, EventKind::ExtArrival { proc: p as u32 });
+    }
+
+    /// Deliver a fresh arrival, applying the work-sharing forward rule
+    /// when the `Share` policy is active.
+    fn route_arrival(&mut self, p: usize, task: Task) {
+        if let StealPolicy::Share {
+            send_threshold,
+            recv_threshold,
+        } = self.cfg.policy
+        {
+            if self.procs[p].queue.len() >= send_threshold {
+                self.steal_attempts += 1; // a probe message
+                let target = self.pick_victim(p, 1);
+                if target != p && self.procs[target].queue.len() < recv_threshold {
+                    self.steal_successes += 1;
+                    self.tasks_migrated += 1;
+                    self.admit_task(target, task);
+                    return;
+                }
+            }
+        }
+        self.admit_task(p, task);
+    }
+
+    #[inline]
+    fn sample_interarrival(&mut self) -> f64 {
+        match &self.cfg.arrival {
+            None => exp_sample(&mut self.rng, self.cfg.lambda),
+            Some(dist) => dist.sample(&mut self.rng),
+        }
+    }
+
+    fn on_int_arrival(&mut self, p: usize, epoch: u32) {
+        if self.procs[p].internal_epoch != epoch {
+            return;
+        }
+        debug_assert!(!self.procs[p].queue.is_empty());
+        let work = self.sample_work();
+        self.route_arrival(p, Task { arrived: self.t, work });
+        self.schedule_internal_arrival(p);
+    }
+
+    fn on_completion(&mut self, p: usize) {
+        let old_len = self.procs[p].queue.len();
+        let task = self.procs[p]
+            .queue
+            .pop_front()
+            .expect("completion fired on an empty queue");
+        self.tasks_in_system -= 1;
+        self.tasks_completed += 1;
+        if self.t >= self.cfg.warmup {
+            self.sojourn.push(self.t - task.arrived);
+        }
+        // Start the next task before stealing: a steal sees a consistent
+        // queue and can never take the in-service task.
+        if let Some(next) = self.procs[p].queue.front().copied() {
+            self.schedule_completion(p, next.work);
+        }
+        self.on_load_changed(p, old_len);
+
+        let remaining = self.procs[p].queue.len();
+        match self.cfg.policy {
+            StealPolicy::None | StealPolicy::Rebalance { .. } | StealPolicy::Share { .. } => {}
+            StealPolicy::OnEmpty {
+                threshold,
+                choices,
+                batch,
+            } => {
+                if remaining == 0 && !self.procs[p].waiting_transfer {
+                    self.attempt_steal(p, threshold, choices, batch);
+                }
+            }
+            StealPolicy::Preemptive {
+                begin_at,
+                rel_threshold,
+            } => {
+                if remaining <= begin_at && !self.procs[p].waiting_transfer {
+                    self.attempt_steal(p, remaining + rel_threshold, 1, 1);
+                }
+            }
+            StealPolicy::Repeated { rate, threshold } => {
+                if remaining == 0 {
+                    let stolen = self.attempt_steal(p, threshold, 1, 1);
+                    if !stolen && self.procs[p].queue.is_empty() {
+                        self.schedule_steal_probe(p, rate);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_steal_probe(&mut self, p: usize, epoch: u32) {
+        if self.procs[p].probe_epoch != epoch {
+            return;
+        }
+        let StealPolicy::Repeated { rate, threshold } = self.cfg.policy else {
+            return;
+        };
+        debug_assert!(self.procs[p].queue.is_empty());
+        let stolen = self.attempt_steal(p, threshold, 1, 1);
+        if !stolen && self.procs[p].queue.is_empty() {
+            self.schedule_steal_probe(p, rate);
+        }
+    }
+
+    fn on_rebalance_tick(&mut self, p: usize, epoch: u32) {
+        if self.procs[p].probe_epoch != epoch {
+            return;
+        }
+        let StealPolicy::Rebalance { rate } = self.cfg.policy else {
+            return;
+        };
+        self.steal_attempts += 1;
+        // Partner: uniform among the other processors.
+        let partner = if self.cfg.n == 1 {
+            p
+        } else {
+            let mut q = self.rng.random_range(0..self.cfg.n - 1);
+            if q >= p {
+                q += 1;
+            }
+            q
+        };
+        if partner != p {
+            self.rebalance_pair(p, partner);
+        }
+        // If our load changed, `on_load_changed` already rescheduled the
+        // tick under a fresh epoch; otherwise continue this stream.
+        if self.procs[p].probe_epoch == epoch {
+            let r = rate.rate(self.procs[p].queue.len());
+            self.schedule_rebalance_tick(p, r);
+        }
+    }
+
+    fn on_transfer_arrive(&mut self, p: usize, arrived: f64, work: f64) {
+        debug_assert!(self.procs[p].waiting_transfer);
+        self.procs[p].waiting_transfer = false;
+        // The task re-enters a queue; it was counted in-system throughout.
+        let old_len = self.procs[p].queue.len();
+        self.procs[p].queue.push_back(Task { arrived, work });
+        if old_len == 0 {
+            let front = self.procs[p].queue.front().copied().unwrap();
+            self.schedule_completion(p, front.work);
+        }
+        self.on_load_changed(p, old_len);
+    }
+
+    // ----- mechanics ------------------------------------------------------
+
+    /// A genuinely new task enters the system at processor `p`.
+    fn admit_task(&mut self, p: usize, task: Task) {
+        self.tasks_in_system += 1;
+        self.tasks_arrived += 1;
+        let old_len = self.procs[p].queue.len();
+        self.procs[p].queue.push_back(task);
+        if old_len == 0 {
+            self.schedule_completion(p, task.work);
+        }
+        self.on_load_changed(p, old_len);
+    }
+
+    fn schedule_completion(&mut self, p: usize, work: f64) {
+        let duration = work / self.procs[p].speed;
+        self.schedule(self.t + duration, EventKind::Completion { proc: p as u32 });
+    }
+
+    fn schedule_internal_arrival(&mut self, p: usize) {
+        let dt = exp_sample(&mut self.rng, self.cfg.internal_lambda);
+        let epoch = self.procs[p].internal_epoch;
+        self.schedule(self.t + dt, EventKind::IntArrival { proc: p as u32, epoch });
+    }
+
+    fn schedule_steal_probe(&mut self, p: usize, rate: f64) {
+        let dt = exp_sample(&mut self.rng, rate);
+        let epoch = self.procs[p].probe_epoch;
+        self.schedule(self.t + dt, EventKind::StealProbe { proc: p as u32, epoch });
+    }
+
+    fn schedule_rebalance_tick(&mut self, p: usize, rate: f64) {
+        if rate <= 0.0 {
+            return;
+        }
+        let dt = exp_sample(&mut self.rng, rate);
+        let epoch = self.procs[p].probe_epoch;
+        self.schedule(
+            self.t + dt,
+            EventKind::RebalanceTick { proc: p as u32, epoch },
+        );
+    }
+
+    /// Bookkeeping after processor `p`'s queue length changed.
+    fn on_load_changed(&mut self, p: usize, old_len: usize) {
+        let new_len = self.procs[p].queue.len();
+        if new_len == old_len {
+            return;
+        }
+        self.hist.transition(old_len, new_len, self.t);
+        // Anything whose rate depends on the load is invalidated.
+        self.procs[p].probe_epoch = self.procs[p].probe_epoch.wrapping_add(1);
+        if let StealPolicy::Rebalance { rate } = self.cfg.policy {
+            let r = rate.rate(new_len);
+            self.schedule_rebalance_tick(p, r);
+        }
+        // Internal arrivals run exactly while the processor is busy.
+        if self.cfg.internal_lambda > 0.0 {
+            if old_len == 0 && new_len > 0 {
+                self.schedule_internal_arrival(p);
+            } else if old_len > 0 && new_len == 0 {
+                self.procs[p].internal_epoch = self.procs[p].internal_epoch.wrapping_add(1);
+            }
+        }
+    }
+
+    /// Pick a victim: the most loaded of `choices` iid uniform draws.
+    fn pick_victim(&mut self, thief: usize, choices: usize) -> usize {
+        let mut best = usize::MAX;
+        let mut best_load = 0;
+        for _ in 0..choices {
+            let v = if self.cfg.allow_self_victim {
+                self.rng.random_range(0..self.cfg.n)
+            } else if self.cfg.n == 1 {
+                thief
+            } else {
+                let mut v = self.rng.random_range(0..self.cfg.n - 1);
+                if v >= thief {
+                    v += 1;
+                }
+                v
+            };
+            let load = self.procs[v].queue.len();
+            if best == usize::MAX || load > best_load {
+                best = v;
+                best_load = load;
+            }
+        }
+        best
+    }
+
+    /// Attempt a steal of up to `batch` tasks for `thief` against a
+    /// victim-load requirement. Returns whether tasks moved (or, with
+    /// transfer delays, started moving).
+    fn attempt_steal(
+        &mut self,
+        thief: usize,
+        need_victim_load: usize,
+        choices: usize,
+        batch: usize,
+    ) -> bool {
+        self.steal_attempts += 1;
+        let victim = self.pick_victim(thief, choices);
+        if victim == thief {
+            return false;
+        }
+        let victim_len = self.procs[victim].queue.len();
+        if victim_len < need_victim_load {
+            return false;
+        }
+        self.steal_successes += 1;
+
+        if self.cfg.transfer.is_some() {
+            // Single-task steal with a transfer delay: the task leaves
+            // the victim now and reaches the thief later.
+            debug_assert_eq!(batch, 1);
+            let task = self.procs[victim].queue.pop_back().unwrap();
+            self.tasks_migrated += 1;
+            self.on_load_changed(victim, victim_len);
+            self.procs[thief].waiting_transfer = true;
+            let delay = self
+                .cfg
+                .transfer
+                .as_ref()
+                .unwrap()
+                .dist
+                .sample(&mut self.rng);
+            self.schedule(
+                self.t + delay,
+                EventKind::TransferArrive {
+                    proc: thief as u32,
+                    arrived: task.arrived,
+                    work: task.work,
+                },
+            );
+            return true;
+        }
+
+        // Instantaneous steal of `batch` tail tasks, preserving their
+        // relative order on the thief.
+        let take = batch.min(victim_len.saturating_sub(1));
+        debug_assert!(take >= 1);
+        let thief_old = self.procs[thief].queue.len();
+        let split_at = victim_len - take;
+        let mut moved = self.procs[victim].queue.split_off(split_at);
+        self.procs[thief].queue.append(&mut moved);
+        self.tasks_migrated += take as u64;
+        self.on_load_changed(victim, victim_len);
+        if thief_old == 0 {
+            let front = self.procs[thief].queue.front().copied().unwrap();
+            self.schedule_completion(thief, front.work);
+        }
+        self.on_load_changed(thief, thief_old);
+        true
+    }
+
+    /// Equalize the loads of `a` and `b` (Section 3.4): the initially
+    /// larger queue keeps `⌈total/2⌉`, donating tail tasks to the other.
+    fn rebalance_pair(&mut self, a: usize, b: usize) {
+        let (la, lb) = (self.procs[a].queue.len(), self.procs[b].queue.len());
+        let (hi, lo, lhi, llo) = if la >= lb { (a, b, la, lb) } else { (b, a, lb, la) };
+        let total = lhi + llo;
+        let keep = total.div_ceil(2);
+        let moves = lhi - keep;
+        if moves == 0 {
+            return;
+        }
+        self.steal_successes += 1;
+        let lo_old = self.procs[lo].queue.len();
+        let mut moved = self.procs[hi].queue.split_off(lhi - moves);
+        self.procs[lo].queue.append(&mut moved);
+        self.tasks_migrated += moves as u64;
+        self.on_load_changed(hi, lhi);
+        if lo_old == 0 {
+            let front = self.procs[lo].queue.front().copied().unwrap();
+            self.schedule_completion(lo, front.work);
+        }
+        self.on_load_changed(lo, lo_old);
+    }
+}
+
+/// Run one simulation with the seed recorded in the result.
+pub fn run_seeded(cfg: &SimConfig, seed: u64) -> SimResult {
+    let mut r = run(cfg, seed);
+    r.seed = seed;
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{RebalanceRate, StealPolicy, TransferTime};
+    use loadsteal_queueing::mm1::{md1_mean_time_in_system, Mm1};
+    use loadsteal_queueing::ServiceDistribution;
+
+    fn base(n: usize, lambda: f64) -> SimConfig {
+        let mut cfg = SimConfig::paper_default(n, lambda);
+        cfg.horizon = 20_000.0;
+        cfg.warmup = 2_000.0;
+        cfg
+    }
+
+    #[test]
+    fn single_queue_matches_mm1() {
+        let mut cfg = base(1, 0.5);
+        cfg.policy = StealPolicy::None;
+        let r = run(&cfg, 1);
+        let w = Mm1::new(0.5, 1.0).unwrap().mean_time_in_system();
+        assert!(
+            (r.mean_sojourn() - w).abs() < 0.1,
+            "sim {} vs theory {w}",
+            r.mean_sojourn()
+        );
+    }
+
+    #[test]
+    fn no_steal_tails_are_geometric() {
+        let mut cfg = base(16, 0.6);
+        cfg.policy = StealPolicy::None;
+        let r = run(&cfg, 2);
+        // s_i should be close to lambda^i.
+        for i in 1..4 {
+            let expect = 0.6f64.powi(i);
+            let got = r.load_tails[i as usize];
+            assert!(
+                (got - expect).abs() < 0.05,
+                "s_{i}: sim {got} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_service_beats_exponential_without_stealing() {
+        let mut cfg = base(1, 0.8);
+        cfg.policy = StealPolicy::None;
+        let exp = run(&cfg, 3).mean_sojourn();
+        cfg.service = ServiceDistribution::unit_deterministic();
+        let det = run(&cfg, 3).mean_sojourn();
+        let w_md1 = md1_mean_time_in_system(0.8, 1.0);
+        assert!(det < exp, "M/D/1 {det} should beat M/M/1 {exp}");
+        assert!((det - w_md1).abs() < 0.25, "sim {det} vs P-K {w_md1}");
+    }
+
+    #[test]
+    fn stealing_reduces_sojourn_time() {
+        let mut cfg = base(64, 0.9);
+        cfg.policy = StealPolicy::None;
+        let none = run(&cfg, 4).mean_sojourn();
+        cfg.policy = StealPolicy::simple_ws();
+        let ws = run(&cfg, 4).mean_sojourn();
+        assert!(
+            ws < 0.6 * none,
+            "work stealing should help substantially: {ws} vs {none}"
+        );
+    }
+
+    #[test]
+    fn task_conservation_holds() {
+        let cfg = base(32, 0.8);
+        let r = run(&cfg, 5);
+        assert!(r.tasks_completed <= r.tasks_arrived);
+        // In steady state nearly everything that arrived completes.
+        let ratio = r.tasks_completed as f64 / r.tasks_arrived as f64;
+        assert!(ratio > 0.99, "completion ratio {ratio}");
+    }
+
+    #[test]
+    fn tails_start_at_one_and_decrease() {
+        let cfg = base(32, 0.9);
+        let r = run(&cfg, 6);
+        assert!((r.load_tails[0] - 1.0).abs() < 1e-9);
+        for w in r.load_tails.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn two_choices_beat_one_at_high_load() {
+        let mut cfg = base(64, 0.95);
+        cfg.policy = StealPolicy::OnEmpty { threshold: 2, choices: 1, batch: 1 };
+        let one = run(&cfg, 7).mean_sojourn();
+        cfg.policy = StealPolicy::OnEmpty { threshold: 2, choices: 2, batch: 1 };
+        let two = run(&cfg, 7).mean_sojourn();
+        assert!(two < one, "2 choices {two} should beat 1 choice {one}");
+    }
+
+    #[test]
+    fn transfer_delay_slows_things_down() {
+        let mut cfg = base(32, 0.8);
+        cfg.policy = StealPolicy::OnEmpty { threshold: 4, choices: 1, batch: 1 };
+        let instant = run(&cfg, 8).mean_sojourn();
+        cfg.transfer = Some(TransferTime::exponential(0.25));
+        let delayed = run(&cfg, 8).mean_sojourn();
+        assert!(delayed > instant, "transfers {delayed} vs instant {instant}");
+    }
+
+    #[test]
+    fn preemptive_stealing_runs_and_helps() {
+        let mut cfg = base(32, 0.9);
+        cfg.policy = StealPolicy::None;
+        let none = run(&cfg, 9).mean_sojourn();
+        cfg.policy = StealPolicy::Preemptive { begin_at: 1, rel_threshold: 2 };
+        let pre = run(&cfg, 9).mean_sojourn();
+        assert!(pre < none);
+    }
+
+    #[test]
+    fn repeated_attempts_beat_single_attempt() {
+        let mut cfg = base(32, 0.9);
+        cfg.policy = StealPolicy::OnEmpty { threshold: 2, choices: 1, batch: 1 };
+        let single = run(&cfg, 10).mean_sojourn();
+        cfg.policy = StealPolicy::Repeated { rate: 4.0, threshold: 2 };
+        let repeated = run(&cfg, 10).mean_sojourn();
+        assert!(repeated < single, "repeated {repeated} vs single {single}");
+    }
+
+    #[test]
+    fn rebalancing_helps_at_high_load() {
+        let mut cfg = base(32, 0.9);
+        cfg.policy = StealPolicy::None;
+        let none = run(&cfg, 11).mean_sojourn();
+        cfg.policy = StealPolicy::Rebalance { rate: RebalanceRate::Constant(1.0) };
+        let reb = run(&cfg, 11).mean_sojourn();
+        assert!(reb < none, "rebalance {reb} vs none {none}");
+    }
+
+    #[test]
+    fn batch_steals_run_with_high_threshold() {
+        let mut cfg = base(32, 0.9);
+        cfg.policy = StealPolicy::OnEmpty { threshold: 6, choices: 1, batch: 3 };
+        let r = run(&cfg, 12);
+        assert!(r.steal_successes > 0);
+        assert!(r.tasks_migrated >= r.steal_successes * 3);
+    }
+
+    #[test]
+    fn drained_mode_reports_makespan() {
+        let mut cfg = base(16, 0.0);
+        cfg.lambda = 0.0;
+        cfg.run_until_drained = true;
+        cfg.initial_load = 20;
+        cfg.warmup = 0.0;
+        cfg.policy = StealPolicy::simple_ws();
+        let r = run(&cfg, 13);
+        let makespan = r.makespan.expect("must drain");
+        assert!(makespan > 15.0, "20 unit-mean tasks can't finish in {makespan}");
+        assert_eq!(r.tasks_completed, 16 * 20);
+        assert_eq!(r.tasks_arrived, 16 * 20);
+    }
+
+    #[test]
+    fn stealing_shortens_drain_time() {
+        // The one-shot WS policy can leave the straggler untouched (an
+        // idle processor that fails its single attempt never retries),
+        // so use the repeated-attempt policy, which provably keeps
+        // probing until the system drains.
+        let mut cfg = base(16, 0.0);
+        cfg.lambda = 0.0;
+        cfg.run_until_drained = true;
+        cfg.initial_load = 30;
+        cfg.warmup = 0.0;
+        cfg.policy = StealPolicy::None;
+        let slow = run(&cfg, 14).makespan.unwrap();
+        cfg.policy = StealPolicy::Repeated {
+            rate: 2.0,
+            threshold: 2,
+        };
+        let fast = run(&cfg, 14).makespan.unwrap();
+        assert!(fast < slow, "steal {fast} vs none {slow}");
+    }
+
+    #[test]
+    fn internal_arrivals_increase_load() {
+        let mut cfg = base(16, 0.4);
+        cfg.policy = StealPolicy::simple_ws();
+        let quiet = run(&cfg, 15);
+        cfg.internal_lambda = 0.3;
+        let busy = run(&cfg, 15);
+        assert!(busy.tasks_arrived > quiet.tasks_arrived);
+        assert!(busy.mean_sojourn() > quiet.mean_sojourn());
+    }
+
+    #[test]
+    fn heterogeneous_speeds_run_and_conserve() {
+        use crate::config::SpeedProfile;
+        let mut cfg = base(16, 0.8);
+        cfg.speeds = SpeedProfile::Classes(vec![(0.5, 2.0), (0.5, 1.0)]);
+        let r = run(&cfg, 16);
+        let ratio = r.tasks_completed as f64 / r.tasks_arrived as f64;
+        assert!(ratio > 0.99);
+    }
+
+    #[test]
+    fn excluding_self_victim_also_works() {
+        let mut cfg = base(8, 0.9);
+        cfg.allow_self_victim = false;
+        let r = run(&cfg, 17);
+        assert!(r.steal_successes > 0);
+    }
+
+    #[test]
+    fn erlang_service_runs() {
+        let mut cfg = base(16, 0.8);
+        cfg.service = ServiceDistribution::unit_erlang(10);
+        let r = run(&cfg, 18);
+        assert!(r.mean_sojourn() > 1.0);
+    }
+
+    #[test]
+    fn snapshots_record_transient_tails() {
+        let mut cfg = base(32, 0.8);
+        cfg.horizon = 100.0;
+        cfg.warmup = 0.0;
+        cfg.snapshot_interval = Some(10.0);
+        let r = run(&cfg, 20);
+        assert_eq!(r.snapshots.len(), 10, "expected one snapshot per 10 s");
+        // Starting empty, the early busy fraction is below the late one.
+        let early = r.snapshots[0].1.get(1).copied().unwrap_or(0.0);
+        let late = r.snapshots[9].1.get(1).copied().unwrap_or(0.0);
+        assert!(early <= late + 0.2, "early {early} vs late {late}");
+        for (t, tails) in &r.snapshots {
+            assert!(*t > 0.0);
+            assert!((tails[0] - 1.0).abs() < 1e-9);
+            for w in tails.windows(2) {
+                assert!(w[0] >= w[1] - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid simulation config")]
+    fn invalid_config_panics() {
+        let mut cfg = base(0, 0.5);
+        cfg.n = 0;
+        let _ = run(&cfg, 1);
+    }
+}

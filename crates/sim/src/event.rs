@@ -1,0 +1,123 @@
+//! The future-event list: a binary min-heap ordered by time with a
+//! sequence number for deterministic tie-breaking.
+
+use std::cmp::Ordering;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// External Poisson arrival at a processor.
+    ExtArrival {
+        /// Target processor.
+        proc: u32,
+    },
+    /// Internal (spawned-while-busy) arrival; valid only if the
+    /// processor's internal epoch still matches.
+    IntArrival {
+        /// Target processor.
+        proc: u32,
+        /// Epoch at scheduling time.
+        epoch: u32,
+    },
+    /// The task at the head of a processor's queue finishes service.
+    /// Never stale: steals and rebalances only move tail tasks.
+    Completion {
+        /// Serving processor.
+        proc: u32,
+    },
+    /// A repeated-steal retry by an empty processor (Section 2.5);
+    /// valid only if the probe epoch still matches.
+    StealProbe {
+        /// The thief.
+        proc: u32,
+        /// Epoch at scheduling time.
+        epoch: u32,
+    },
+    /// A pairwise rebalance initiation (Section 3.4); valid only if the
+    /// probe epoch still matches (the rate depends on the load).
+    RebalanceTick {
+        /// The initiating processor.
+        proc: u32,
+        /// Epoch at scheduling time.
+        epoch: u32,
+    },
+    /// A stolen task reaches its thief after a transfer delay
+    /// (Section 3.2). Carries the task inline.
+    TransferArrive {
+        /// The thief.
+        proc: u32,
+        /// Original arrival time of the task (sojourn accounting).
+        arrived: f64,
+        /// Remaining service requirement of the task.
+        work: f64,
+    },
+}
+
+/// A scheduled event.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// Firing time.
+    pub time: f64,
+    /// Monotone sequence number breaking time ties deterministically.
+    pub seq: u64,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    /// Reversed so that `BinaryHeap<Event>` pops the *earliest* event.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    fn ev(time: f64, seq: u64) -> Event {
+        Event {
+            time,
+            seq,
+            kind: EventKind::ExtArrival { proc: 0 },
+        }
+    }
+
+    #[test]
+    fn heap_pops_in_time_order() {
+        let mut heap = BinaryHeap::new();
+        for (i, t) in [3.0, 1.0, 2.0, 0.5].into_iter().enumerate() {
+            heap.push(ev(t, i as u64));
+        }
+        let times: Vec<f64> = std::iter::from_fn(|| heap.pop()).map(|e| e.time).collect();
+        assert_eq!(times, vec![0.5, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn ties_break_by_sequence() {
+        let mut heap = BinaryHeap::new();
+        heap.push(ev(1.0, 5));
+        heap.push(ev(1.0, 2));
+        heap.push(ev(1.0, 9));
+        let seqs: Vec<u64> = std::iter::from_fn(|| heap.pop()).map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 5, 9]);
+    }
+}

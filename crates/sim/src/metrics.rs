@@ -1,0 +1,221 @@
+//! Measurement collection: per-task sojourn times, steal counters, and a
+//! time-weighted load histogram for comparing against the mean-field
+//! tails `s_i`.
+
+use loadsteal_queueing::OnlineStats;
+
+/// Time-weighted histogram of processor loads.
+///
+/// Maintains `count[l]` = number of processors currently holding `l`
+/// tasks and integrates each count over post-warmup time, so that
+/// `fraction(l)` estimates the stationary `p_l` and [`Self::tails`]
+/// estimates the paper's `s_i`.
+#[derive(Debug, Clone)]
+pub struct LoadHistogram {
+    warmup: f64,
+    counts: Vec<u64>,
+    integrals: Vec<f64>,
+    last_update: Vec<f64>,
+    end_time: f64,
+}
+
+impl LoadHistogram {
+    /// Create a histogram for `n` processors all starting at load
+    /// `initial`, measuring from `warmup` onwards.
+    pub fn new(n: usize, initial: usize, warmup: f64) -> Self {
+        let mut counts = vec![0u64; (initial + 1).max(8)];
+        counts[initial] = n as u64;
+        let len = counts.len();
+        Self {
+            warmup,
+            counts,
+            integrals: vec![0.0; len],
+            last_update: vec![warmup; len],
+            end_time: warmup,
+        }
+    }
+
+    fn ensure_len(&mut self, load: usize) {
+        if load >= self.counts.len() {
+            self.counts.resize(load + 1, 0);
+            self.integrals.resize(load + 1, 0.0);
+            // New bins have held count 0 since the warmup boundary.
+            self.last_update.resize(load + 1, self.warmup);
+        }
+    }
+
+    fn settle(&mut self, load: usize, t: f64) {
+        if t > self.warmup {
+            let since = self.last_update[load].max(self.warmup);
+            if t > since {
+                self.integrals[load] += self.counts[load] as f64 * (t - since);
+            }
+        }
+        self.last_update[load] = t;
+    }
+
+    /// Record one processor moving from load `from` to load `to` at
+    /// time `t`.
+    pub fn transition(&mut self, from: usize, to: usize, t: f64) {
+        if from == to {
+            return;
+        }
+        self.ensure_len(from.max(to));
+        self.settle(from, t);
+        self.settle(to, t);
+        debug_assert!(self.counts[from] > 0, "histogram underflow at load {from}");
+        self.counts[from] -= 1;
+        self.counts[to] += 1;
+        self.end_time = self.end_time.max(t);
+    }
+
+    /// Close the measurement window at time `t`.
+    pub fn finish(&mut self, t: f64) {
+        for l in 0..self.counts.len() {
+            self.settle(l, t);
+        }
+        self.end_time = self.end_time.max(t);
+    }
+
+    /// Measured span (post-warmup time covered).
+    pub fn span(&self) -> f64 {
+        (self.end_time - self.warmup).max(0.0)
+    }
+
+    /// Time-averaged number of processors at each load.
+    pub fn mean_counts(&self) -> Vec<f64> {
+        let span = self.span();
+        if span == 0.0 {
+            return vec![0.0; self.integrals.len()];
+        }
+        self.integrals.iter().map(|&v| v / span).collect()
+    }
+
+    /// Instantaneous tail fractions `s_i` from the current counts (used
+    /// for transient snapshots; no time averaging).
+    pub fn instant_tails(&self, n: usize) -> Vec<f64> {
+        let mut acc = 0u64;
+        let mut tails = vec![0.0; self.counts.len() + 1];
+        for (l, &c) in self.counts.iter().enumerate().rev() {
+            acc += c;
+            tails[l] = acc as f64 / n as f64;
+        }
+        tails
+    }
+
+    /// Time-averaged tail fractions `s_i = fraction of processors with
+    /// load ≥ i`, given the total processor count `n`.
+    pub fn tails(&self, n: usize) -> Vec<f64> {
+        let means = self.mean_counts();
+        let mut acc = 0.0;
+        let mut tails = vec![0.0; means.len() + 1];
+        for (l, &m) in means.iter().enumerate().rev() {
+            acc += m;
+            tails[l] = acc / n as f64;
+        }
+        tails
+    }
+}
+
+/// Counters and statistics from a single simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Sojourn time (arrival → completion) of post-warmup completions.
+    pub sojourn: OnlineStats,
+    /// Total tasks that arrived (including pre-loaded ones).
+    pub tasks_arrived: u64,
+    /// Total tasks completed.
+    pub tasks_completed: u64,
+    /// Steal attempts (including failed ones and rebalance initiations).
+    pub steal_attempts: u64,
+    /// Steals that moved at least one task.
+    pub steal_successes: u64,
+    /// Tasks moved between processors by steals/rebalances.
+    pub tasks_migrated: u64,
+    /// Time-averaged tail fractions `s_i` (post-warmup).
+    pub load_tails: Vec<f64>,
+    /// Instantaneous tail snapshots `(t, s)` when
+    /// `snapshot_interval` was set.
+    pub snapshots: Vec<(f64, Vec<f64>)>,
+    /// Time at which the run ended (horizon, or drain time).
+    pub end_time: f64,
+    /// Drain time when `run_until_drained` was set.
+    pub makespan: Option<f64>,
+    /// Seed that produced this run.
+    pub seed: u64,
+}
+
+impl SimResult {
+    /// Mean sojourn time of measured tasks.
+    pub fn mean_sojourn(&self) -> f64 {
+        self.sojourn.mean()
+    }
+
+    /// Fraction of steal attempts that succeeded (0 if none were made).
+    pub fn steal_success_rate(&self) -> f64 {
+        if self.steal_attempts == 0 {
+            0.0
+        } else {
+            self.steal_successes as f64 / self.steal_attempts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_tracks_constant_state() {
+        let mut h = LoadHistogram::new(4, 0, 0.0);
+        h.finish(10.0);
+        let means = h.mean_counts();
+        assert!((means[0] - 4.0).abs() < 1e-12);
+        let tails = h.tails(4);
+        assert!((tails[0] - 1.0).abs() < 1e-12);
+        assert_eq!(tails[1], 0.0);
+    }
+
+    #[test]
+    fn histogram_integrates_transitions() {
+        let mut h = LoadHistogram::new(2, 0, 0.0);
+        h.transition(0, 1, 5.0); // one proc at load 1 for the last half
+        h.finish(10.0);
+        let tails = h.tails(2);
+        // s_1: one of two processors loaded for 5 of 10 seconds = 0.25.
+        assert!((tails[1] - 0.25).abs() < 1e-12, "{tails:?}");
+        assert!((tails[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warmup_period_is_excluded() {
+        let mut h = LoadHistogram::new(1, 0, 10.0);
+        h.transition(0, 3, 2.0); // pre-warmup: loads still tracked
+        h.finish(20.0);
+        let tails = h.tails(1);
+        // Load 3 held for the whole measured window.
+        assert!((tails[3] - 1.0).abs() < 1e-12, "{tails:?}");
+        assert!((h.span() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tails_are_non_increasing() {
+        let mut h = LoadHistogram::new(3, 0, 0.0);
+        h.transition(0, 1, 1.0);
+        h.transition(0, 2, 2.0);
+        h.transition(2, 1, 4.0);
+        h.finish(8.0);
+        let tails = h.tails(3);
+        for w in tails.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12, "{tails:?}");
+        }
+    }
+
+    #[test]
+    fn histogram_grows_for_large_loads() {
+        let mut h = LoadHistogram::new(1, 0, 0.0);
+        h.transition(0, 100, 1.0);
+        h.finish(2.0);
+        assert!(h.tails(1)[100] > 0.0);
+    }
+}

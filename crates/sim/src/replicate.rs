@@ -1,0 +1,202 @@
+//! Parallel independent replications.
+//!
+//! The paper reports "the average of 10 simulations of 100,000 seconds
+//! each". Replications are independent given distinct seeds, so they run
+//! on the rayon thread pool and are reduced with run-level statistics
+//! (mean of run means plus a confidence interval over runs).
+
+use rayon::prelude::*;
+
+use loadsteal_queueing::{ConfidenceInterval, OnlineStats};
+
+use crate::config::SimConfig;
+use crate::engine::run_seeded;
+use crate::metrics::SimResult;
+
+/// Aggregated outcome of a set of replications.
+#[derive(Debug, Clone)]
+pub struct ReplicateResult {
+    /// One result per run, in seed order.
+    pub runs: Vec<SimResult>,
+    /// Run-level statistics of the mean sojourn time.
+    pub sojourn_mean: OnlineStats,
+    /// Run-level statistics of the makespan (drained mode only).
+    pub makespan_mean: OnlineStats,
+}
+
+impl ReplicateResult {
+    /// Grand mean of per-run mean sojourn times (the paper's "Sim"
+    /// columns).
+    pub fn mean_sojourn(&self) -> f64 {
+        self.sojourn_mean.mean()
+    }
+
+    /// 95% confidence interval over runs for the mean sojourn time.
+    pub fn sojourn_ci(&self) -> ConfidenceInterval {
+        self.sojourn_mean.confidence_interval(0.95)
+    }
+
+    /// Average measured tail vector `s_i` across runs, padded with zeros
+    /// to the longest run.
+    pub fn mean_load_tails(&self) -> Vec<f64> {
+        let len = self
+            .runs
+            .iter()
+            .map(|r| r.load_tails.len())
+            .max()
+            .unwrap_or(0);
+        let mut acc = vec![0.0; len];
+        for r in &self.runs {
+            for (i, &v) in r.load_tails.iter().enumerate() {
+                acc[i] += v;
+            }
+        }
+        let n = self.runs.len().max(1) as f64;
+        for v in &mut acc {
+            *v /= n;
+        }
+        acc
+    }
+}
+
+/// Run `runs` independent replications in parallel, seeded
+/// `base_seed, base_seed + 1, …`.
+///
+/// # Panics
+/// Panics if `runs == 0` or the configuration is invalid.
+pub fn replicate(cfg: &SimConfig, runs: usize, base_seed: u64) -> ReplicateResult {
+    assert!(runs > 0, "need at least one replication");
+    cfg.validate().unwrap_or_else(|e| panic!("invalid simulation config: {e}"));
+    let results: Vec<SimResult> = (0..runs as u64)
+        .into_par_iter()
+        .map(|i| run_seeded(cfg, base_seed.wrapping_add(i)))
+        .collect();
+    let mut sojourn_mean = OnlineStats::new();
+    let mut makespan_mean = OnlineStats::new();
+    for r in &results {
+        if r.sojourn.count() > 0 {
+            sojourn_mean.push(r.sojourn.mean());
+        }
+        if let Some(m) = r.makespan {
+            makespan_mean.push(m);
+        }
+    }
+    ReplicateResult {
+        runs: results,
+        sojourn_mean,
+        makespan_mean,
+    }
+}
+
+/// Run replications in batches until the 95% confidence interval of the
+/// mean sojourn time is narrower than `target_half_width` (or `max_runs`
+/// is reached). Returns the aggregate over all runs performed.
+///
+/// Batches of `batch` runs execute in parallel; precision typically
+/// improves like `1/√runs`, so the loop predicts little and simply
+/// re-checks after each batch.
+pub fn replicate_until(
+    cfg: &SimConfig,
+    target_half_width: f64,
+    max_runs: usize,
+    base_seed: u64,
+) -> ReplicateResult {
+    assert!(target_half_width > 0.0, "need a positive precision target");
+    assert!(max_runs >= 2, "need at least two runs for an interval");
+    let batch = 4;
+    let mut result = replicate(cfg, batch.min(max_runs), base_seed);
+    while result.runs.len() < max_runs {
+        let ci = result.sojourn_ci();
+        if ci.half_width <= target_half_width && result.runs.len() >= 3 {
+            break;
+        }
+        let next = batch.min(max_runs - result.runs.len());
+        let more = replicate(cfg, next, base_seed + result.runs.len() as u64);
+        for r in more.runs {
+            if r.sojourn.count() > 0 {
+                result.sojourn_mean.push(r.sojourn.mean());
+            }
+            if let Some(m) = r.makespan {
+                result.makespan_mean.push(m);
+            }
+            result.runs.push(r);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StealPolicy;
+
+    fn quick_cfg() -> SimConfig {
+        let mut cfg = SimConfig::paper_default(16, 0.5);
+        cfg.horizon = 2_000.0;
+        cfg.warmup = 200.0;
+        cfg
+    }
+
+    #[test]
+    fn replications_are_deterministic_per_seed() {
+        let cfg = quick_cfg();
+        let a = replicate(&cfg, 3, 7);
+        let b = replicate(&cfg, 3, 7);
+        for (x, y) in a.runs.iter().zip(&b.runs) {
+            assert_eq!(x.sojourn.mean(), y.sojourn.mean());
+            assert_eq!(x.tasks_completed, y.tasks_completed);
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_runs() {
+        let cfg = quick_cfg();
+        let r = replicate(&cfg, 2, 100);
+        assert_ne!(r.runs[0].sojourn.mean(), r.runs[1].sojourn.mean());
+        assert_eq!(r.runs[0].seed, 100);
+        assert_eq!(r.runs[1].seed, 101);
+    }
+
+    #[test]
+    fn aggregate_mean_is_mean_of_run_means() {
+        let cfg = quick_cfg();
+        let r = replicate(&cfg, 4, 11);
+        let manual: f64 =
+            r.runs.iter().map(|x| x.sojourn.mean()).sum::<f64>() / r.runs.len() as f64;
+        assert!((r.mean_sojourn() - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replicate_until_stops_on_precision() {
+        let cfg = quick_cfg();
+        // A loose target stops at the first batch…
+        let loose = replicate_until(&cfg, 1.0, 32, 7);
+        assert!(loose.runs.len() <= 4);
+        // …a tight one keeps going (but respects the cap).
+        let tight = replicate_until(&cfg, 1e-4, 8, 7);
+        assert_eq!(tight.runs.len(), 8);
+        // More runs means a narrower interval.
+        assert!(tight.sojourn_ci().half_width <= loose.sojourn_ci().half_width);
+    }
+
+    #[test]
+    fn replicate_until_uses_distinct_seeds() {
+        let cfg = quick_cfg();
+        let r = replicate_until(&cfg, 1e-4, 8, 100);
+        let mut seeds: Vec<u64> = r.runs.iter().map(|x| x.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), r.runs.len(), "duplicate seeds: {seeds:?}");
+    }
+
+    #[test]
+    fn no_steal_mode_runs_too() {
+        let mut cfg = quick_cfg();
+        cfg.policy = StealPolicy::None;
+        let r = replicate(&cfg, 2, 5);
+        assert!(r.mean_sojourn() > 1.0);
+        for run in &r.runs {
+            assert_eq!(run.steal_attempts, 0);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests on simulator invariants across random
+//! configurations: conservation laws, tail monotonicity, determinism.
+
+use proptest::prelude::*;
+
+use loadsteal_queueing::ServiceDistribution;
+use loadsteal_sim::{run, SimConfig, StealPolicy};
+
+fn arb_policy() -> impl Strategy<Value = StealPolicy> {
+    prop_oneof![
+        Just(StealPolicy::None),
+        (2usize..6, 1usize..3).prop_map(|(t, d)| StealPolicy::OnEmpty {
+            threshold: t,
+            choices: d,
+            batch: 1,
+        }),
+        (4usize..8).prop_map(|t| StealPolicy::OnEmpty {
+            threshold: t,
+            choices: 1,
+            batch: t / 2,
+        }),
+        (0usize..2, 2usize..3).prop_map(|(b, extra)| StealPolicy::Preemptive {
+            begin_at: b,
+            rel_threshold: b + extra,
+        }),
+        (0.5f64..4.0, 2usize..4).prop_map(|(r, t)| StealPolicy::Repeated {
+            rate: r,
+            threshold: t,
+        }),
+    ]
+}
+
+fn arb_service() -> impl Strategy<Value = ServiceDistribution> {
+    prop_oneof![
+        Just(ServiceDistribution::unit_exponential()),
+        Just(ServiceDistribution::unit_deterministic()),
+        (2u32..12).prop_map(ServiceDistribution::unit_erlang),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn invariants_hold_for_random_configs(
+        n in 2usize..24,
+        lambda in 0.2f64..0.9,
+        policy in arb_policy(),
+        service in arb_service(),
+        seed in any::<u64>(),
+    ) {
+        let mut cfg = SimConfig::paper_default(n, lambda);
+        cfg.policy = policy;
+        cfg.service = service;
+        cfg.horizon = 800.0;
+        cfg.warmup = 100.0;
+        let r = run(&cfg, seed);
+
+        // Conservation: completions never exceed arrivals.
+        prop_assert!(r.tasks_completed <= r.tasks_arrived);
+        // Tails: start at 1, non-increasing, within [0, 1].
+        prop_assert!((r.load_tails[0] - 1.0).abs() < 1e-9);
+        for w in r.load_tails.windows(2) {
+            prop_assert!(w[0] + 1e-12 >= w[1]);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&w[1]));
+        }
+        // Successes never exceed attempts; migrations imply successes.
+        prop_assert!(r.steal_successes <= r.steal_attempts);
+        if r.tasks_migrated > 0 {
+            prop_assert!(r.steal_successes > 0);
+        }
+        // Sojourn times are at least 0 and the mean is finite.
+        if r.sojourn.count() > 0 {
+            prop_assert!(r.sojourn.min() >= 0.0);
+            prop_assert!(r.mean_sojourn().is_finite());
+        }
+    }
+
+    #[test]
+    fn identical_seeds_are_bitwise_reproducible(
+        n in 2usize..16,
+        lambda in 0.3f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        let cfg = SimConfig::paper_default(n, lambda);
+        let mut cfg = cfg;
+        cfg.horizon = 500.0;
+        cfg.warmup = 50.0;
+        let a = run(&cfg, seed);
+        let b = run(&cfg, seed);
+        prop_assert_eq!(a.tasks_arrived, b.tasks_arrived);
+        prop_assert_eq!(a.tasks_completed, b.tasks_completed);
+        prop_assert_eq!(a.steal_attempts, b.steal_attempts);
+        prop_assert!(a.mean_sojourn() == b.mean_sojourn());
+    }
+
+    #[test]
+    fn drained_runs_complete_every_task(
+        n in 2usize..12,
+        initial in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let mut cfg = SimConfig::paper_default(n, 0.0);
+        cfg.lambda = 0.0;
+        cfg.run_until_drained = true;
+        cfg.initial_load = initial;
+        cfg.warmup = 0.0;
+        let r = run(&cfg, seed);
+        prop_assert_eq!(r.tasks_completed, (n * initial) as u64);
+        prop_assert!(r.makespan.is_some());
+        prop_assert!(r.makespan.unwrap() > 0.0);
+    }
+}

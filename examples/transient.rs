@@ -1,0 +1,61 @@
+//! Transient behaviour: the ODEs describe the whole trajectory, not just
+//! the fixed point.
+//!
+//! Starts an empty system at λ = 0.9, integrates the mean-field
+//! equations, and overlays the simulated busy fraction `s₁(t)` and
+//! two-task tail `s₂(t)` for n = 64 and n = 512 — the finite systems
+//! hug the deterministic trajectory with `O(1/√n)` fluctuations
+//! (Kurtz's theorem, which underwrites every table in the paper).
+//!
+//! Run with: `cargo run --release --example transient`
+
+use loadsteal::meanfield::models::{MeanFieldModel, SimpleWs};
+use loadsteal::meanfield::trajectory::sample_tails;
+use loadsteal::sim::{run_seeded, SimConfig};
+
+fn main() {
+    let lambda = 0.9;
+    let horizon = 30.0;
+    let dt = 2.0;
+
+    let model = SimpleWs::new(lambda).expect("valid λ");
+    let ode = sample_tails(&model, &model.empty_state(), horizon, dt).expect("trajectory");
+
+    let sim_traj = |n: usize| {
+        let mut cfg = SimConfig::paper_default(n, lambda);
+        cfg.horizon = horizon;
+        cfg.warmup = 0.0;
+        cfg.snapshot_interval = Some(dt);
+        run_seeded(&cfg, 2024).snapshots
+    };
+    let sim64 = sim_traj(64);
+    let sim512 = sim_traj(512);
+
+    println!("Growing from empty at λ = {lambda}: s₁(t) (busy fraction)\n");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10}   {:>10} {:>10} {:>10}",
+        "t", "ODE s₁", "n=64", "n=512", "ODE s₂", "n=64", "n=512"
+    );
+    for (k, (t, tails)) in ode.iter().enumerate() {
+        let g = |traj: &[(f64, Vec<f64>)], i: usize| {
+            traj.get(k)
+                .and_then(|(_, s)| s.get(i))
+                .copied()
+                .unwrap_or(f64::NAN)
+        };
+        println!(
+            "{t:>6.1} {:>10.4} {:>10.4} {:>10.4}   {:>10.4} {:>10.4} {:>10.4}",
+            tails[1],
+            g(&sim64, 1),
+            g(&sim512, 1),
+            tails[2],
+            g(&sim64, 2),
+            g(&sim512, 2),
+        );
+    }
+    println!(
+        "\nfixed point: s₁ → {lambda}, s₂ → {:.4}; the n = 512 column sticks ~2× closer\n\
+         to the ODE than n = 64 (fluctuations shrink like 1/√n).",
+        model.pi2()
+    );
+}

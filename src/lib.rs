@@ -1,0 +1,9 @@
+//! `loadsteal` — mean-field analyses of randomized work stealing.
+//!
+//! Facade crate re-exporting the workspace members. See the README and
+//! the `loadsteal-core` crate documentation for the full story.
+
+pub use loadsteal_core as meanfield;
+pub use loadsteal_ode as ode;
+pub use loadsteal_queueing as queueing;
+pub use loadsteal_sim as sim;

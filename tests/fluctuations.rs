@@ -1,0 +1,70 @@
+//! The second-order part of the mean-field story: fluctuations around
+//! the deterministic trajectory shrink like `1/√n` (the functional CLT
+//! that accompanies Kurtz's law of large numbers).
+
+use loadsteal::queueing::OnlineStats;
+use loadsteal::sim::{run_seeded, SimConfig};
+
+/// Variance of the busy fraction `s₁(t = 20)` across replications.
+fn busy_fraction_variance(n: usize, runs: usize, seed: u64) -> f64 {
+    let mut cfg = SimConfig::paper_default(n, 0.8);
+    cfg.horizon = 20.0;
+    cfg.warmup = 0.0;
+    cfg.snapshot_interval = Some(20.0);
+    let stats: OnlineStats = (0..runs as u64)
+        .map(|r| {
+            let res = run_seeded(&cfg, seed + r);
+            res.snapshots
+                .last()
+                .and_then(|(_, tails)| tails.get(1))
+                .copied()
+                .expect("snapshot at t = 20")
+        })
+        .collect();
+    stats.variance()
+}
+
+#[test]
+fn fluctuations_scale_inversely_with_n() {
+    let runs = 48;
+    let var_small = busy_fraction_variance(32, runs, 900);
+    let var_large = busy_fraction_variance(256, runs, 900);
+    let ratio = var_small / var_large;
+    // Theory: ratio = 256/32 = 8. With 48 replications the variance
+    // estimates themselves carry ~±40% noise, so accept a broad window
+    // that still excludes both "no scaling" (≈1) and "1/n²" (≈64).
+    assert!(
+        (2.5..26.0).contains(&ratio),
+        "variance ratio {ratio}: var(32) = {var_small:.2e}, var(256) = {var_large:.2e}"
+    );
+}
+
+#[test]
+fn mean_of_fluctuations_sits_on_the_trajectory() {
+    use loadsteal::meanfield::models::{MeanFieldModel, SimpleWs};
+    use loadsteal::meanfield::trajectory::sample_tails;
+
+    let model = SimpleWs::new(0.8).unwrap();
+    let ode = sample_tails(&model, &model.empty_state(), 20.0, 20.0).unwrap();
+    let ode_busy = ode.last().unwrap().1[1];
+
+    let mut cfg = SimConfig::paper_default(128, 0.8);
+    cfg.horizon = 20.0;
+    cfg.warmup = 0.0;
+    cfg.snapshot_interval = Some(20.0);
+    let stats: OnlineStats = (0..32u64)
+        .map(|r| {
+            run_seeded(&cfg, 2_000 + r)
+                .snapshots
+                .last()
+                .map(|(_, t)| t[1])
+                .unwrap()
+        })
+        .collect();
+    assert!(
+        (stats.mean() - ode_busy).abs() < 4.0 * stats.std_err() + 0.01,
+        "sim mean {} vs ODE {}",
+        stats.mean(),
+        ode_busy
+    );
+}

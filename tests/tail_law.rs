@@ -1,0 +1,133 @@
+#![allow(clippy::needless_range_loop)] // loop vars are occupancy levels
+
+//! The tail law: simulated occupancy tails match the fixed-point tails,
+//! and decay geometrically at the predicted "apparent service" ratio.
+
+use loadsteal::meanfield::fixed_point::{solve, FixedPointOptions};
+use loadsteal::meanfield::models::{NoSteal, SimpleWs, ThresholdWs};
+use loadsteal::sim::{replicate, SimConfig, StealPolicy};
+
+fn simulate_tails(lambda: f64, policy: StealPolicy) -> Vec<f64> {
+    let mut cfg = SimConfig::paper_default(128, lambda);
+    cfg.horizon = 15_000.0;
+    cfg.warmup = 1_500.0;
+    cfg.policy = policy;
+    replicate(&cfg, 4, 21).mean_load_tails()
+}
+
+#[test]
+fn simple_ws_tails_match_fixed_point() {
+    let lambda = 0.9;
+    let sim = simulate_tails(lambda, StealPolicy::simple_ws());
+    let model = SimpleWs::new(lambda).unwrap();
+    let tails = model.closed_form_tails();
+    for i in 1..=6usize {
+        let expect = tails.get(i);
+        let got = sim[i];
+        assert!(
+            (got - expect).abs() < 0.02 + 0.05 * expect,
+            "s_{i}: sim {got:.5} vs fixed point {expect:.5}"
+        );
+    }
+}
+
+#[test]
+fn stealing_tails_are_strictly_tighter_than_mm1() {
+    let lambda = 0.9;
+    let ws = simulate_tails(lambda, StealPolicy::simple_ws());
+    let none = NoSteal::new(lambda).unwrap().closed_form_tails();
+    // Already by level 4 the separation is large.
+    for i in 3..=6usize {
+        assert!(
+            ws[i] < none.get(i) * 0.8,
+            "s_{i}: WS sim {:.5} not tighter than M/M/1 {:.5}",
+            ws[i],
+            none.get(i)
+        );
+    }
+}
+
+#[test]
+fn simulated_decay_ratio_matches_apparent_service_rate() {
+    let lambda = 0.9;
+    let sim = simulate_tails(lambda, StealPolicy::simple_ws());
+    let model = SimpleWs::new(lambda).unwrap();
+    let predicted = model.rho_prime();
+    // Measure the empirical ratio over a mid-tail window where the
+    // statistics are still good.
+    let mut ratios = Vec::new();
+    for i in 3..=6 {
+        if sim[i] > 1e-3 {
+            ratios.push(sim[i + 1] / sim[i]);
+        }
+    }
+    let mean_ratio: f64 = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    assert!(
+        (mean_ratio - predicted).abs() < 0.05,
+        "measured ratio {mean_ratio:.4} vs ρ' = {predicted:.4}"
+    );
+}
+
+#[test]
+fn threshold_model_tails_match_below_and_above_t() {
+    let lambda = 0.85;
+    let threshold = 4;
+    let sim = simulate_tails(
+        lambda,
+        StealPolicy::OnEmpty {
+            threshold,
+            choices: 1,
+            batch: 1,
+        },
+    );
+    let tails = ThresholdWs::new(lambda, threshold).unwrap().closed_form_tails();
+    for i in 1..=7usize {
+        let expect = tails.get(i);
+        assert!(
+            (sim[i] - expect).abs() < 0.02 + 0.06 * expect,
+            "s_{i}: sim {:.5} vs fixed point {expect:.5}",
+            sim[i]
+        );
+    }
+}
+
+#[test]
+fn busy_fraction_equals_lambda_for_every_policy() {
+    // Throughput balance in steady state: s₁ = λ regardless of policy.
+    let lambda = 0.8;
+    for policy in [
+        StealPolicy::None,
+        StealPolicy::simple_ws(),
+        StealPolicy::OnEmpty {
+            threshold: 4,
+            choices: 2,
+            batch: 2,
+        },
+        StealPolicy::Repeated {
+            rate: 2.0,
+            threshold: 2,
+        },
+    ] {
+        let sim = simulate_tails(lambda, policy.clone());
+        assert!(
+            (sim[1] - lambda).abs() < 0.02,
+            "{policy:?}: busy fraction {:.4}",
+            sim[1]
+        );
+    }
+}
+
+#[test]
+fn fixed_point_solver_and_closed_form_agree_on_tails() {
+    let m = SimpleWs::new(0.95).unwrap();
+    let fp = solve(&m, &FixedPointOptions::default()).unwrap();
+    let exact = m.closed_form_tails();
+    for i in 1..=20usize {
+        assert!(
+            (fp.task_tails[i] - exact.get(i)).abs() < 1e-8,
+            "level {i}: {} vs {}",
+            fp.task_tails[i],
+            exact.get(i)
+        );
+    }
+}
