@@ -1,0 +1,240 @@
+//! Offline shim for the subset of the `criterion` API used by the
+//! `perf.rs` micro-benchmarks.
+//!
+//! The build image has no crates.io access, so this crate provides a
+//! small wall-clock harness behind criterion's names: warm up, pick an
+//! iteration count targeting a fixed measurement window, take
+//! `sample_size` samples, and report median / mean / min ns-per-iter on
+//! stdout. Good enough to compare two builds of the same benchmark
+//! (e.g. the NullRecorder-overhead acceptance check); not a statistical
+//! twin of upstream criterion.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost (accepted, not acted on —
+/// the shim always runs setup per batch element).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            group: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        run_bench("", name, self.sample_size, f);
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    group: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(&self.group, name, self.sample_size, f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(group: &str, name: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher {
+        sample_size,
+        samples_ns: Vec::new(),
+    };
+    f(&mut b);
+    let mut s = b.samples_ns;
+    if s.is_empty() {
+        println!("  {group}/{name}: no samples");
+        return;
+    }
+    s.sort_by(f64::total_cmp);
+    let median = s[s.len() / 2];
+    let mean = s.iter().sum::<f64>() / s.len() as f64;
+    let label = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
+    println!(
+        "  {label}: median {} mean {} min {} ({} samples)",
+        fmt_ns(median),
+        fmt_ns(mean),
+        fmt_ns(s[0]),
+        s.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Timing context handed to the benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+/// Target wall time per sample.
+const SAMPLE_WINDOW: Duration = Duration::from_millis(40);
+
+impl Bencher {
+    /// Benchmark a routine by running it repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup + calibration: how many iters fill the window?
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < SAMPLE_WINDOW / 4 {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        let per_iter = (start.elapsed().as_nanos() as f64 / iters as f64).max(1.0);
+        let batch = ((SAMPLE_WINDOW.as_nanos() as f64 / per_iter) as u64).clamp(1, 1 << 24);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.samples_ns
+                .push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    /// Benchmark a routine that consumes a fresh setup value each run;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<S, O, Setup, Routine>(
+        &mut self,
+        mut setup: Setup,
+        mut routine: Routine,
+        _size: BatchSize,
+    ) where
+        Setup: FnMut() -> S,
+        Routine: FnMut(S) -> O,
+    {
+        // Calibrate.
+        let mut iters = 0u64;
+        let mut spent = Duration::ZERO;
+        while spent < SAMPLE_WINDOW / 4 {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            spent += t0.elapsed();
+            iters += 1;
+        }
+        let per_iter = (spent.as_nanos() as f64 / iters as f64).max(1.0);
+        let batch = ((SAMPLE_WINDOW.as_nanos() as f64 / per_iter) as u64).clamp(1, 1 << 16);
+        for _ in 0..self.sample_size {
+            let mut ns = 0.0;
+            for _ in 0..batch {
+                let input = setup();
+                let t0 = Instant::now();
+                std::hint::black_box(routine(input));
+                ns += t0.elapsed().as_nanos() as f64;
+            }
+            self.samples_ns.push(ns / batch as f64);
+        }
+    }
+}
+
+/// Declare a group of benchmark functions as one runnable unit.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main` from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        let mut ran = 0u64;
+        g.bench_function("noop", |b| b.iter(|| ran += 1));
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_and_routine() {
+        let mut c = Criterion::default();
+        let mut made = 0u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    made += 1;
+                    vec![1u8; 16]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(made > 0);
+    }
+}

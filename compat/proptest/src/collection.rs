@@ -1,0 +1,64 @@
+//! Collection strategies: `prop::collection::vec(element, size)`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Anything usable as a vector-length specification: a fixed length or
+/// a half-open range of lengths.
+pub trait IntoSizeRange {
+    /// Draw a concrete length.
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl IntoSizeRange for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty vec-length range");
+        self.start + rng.below(self.end - self.start)
+    }
+}
+
+/// Strategy for vectors of `element`-generated values.
+pub struct VecStrategy<S, L> {
+    element: S,
+    len: L,
+}
+
+impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.pick(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Generate vectors whose elements come from `element` and whose length
+/// comes from `len` (a `usize` or `Range<usize>`).
+pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+    VecStrategy { element, len }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn fixed_and_ranged_lengths() {
+        let mut rng = TestRng::deterministic("fixed_and_ranged_lengths");
+        let fixed = vec(0.0f64..1.0, 7usize);
+        assert_eq!(fixed.sample(&mut rng).len(), 7);
+        let ranged = vec(0.0f64..1.0, 3usize..6);
+        for _ in 0..50 {
+            let v = ranged.sample(&mut rng);
+            assert!((3..6).contains(&v.len()));
+            assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Deterministic case generation for [`crate::proptest!`].
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// How many cases each property runs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// The RNG driving input generation.
+///
+/// Seeded from the fully-qualified test name so runs are reproducible,
+/// or from `PROPTEST_SEED` when the environment sets it.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// Deterministic RNG for the named test.
+    pub fn deterministic(name: &str) -> Self {
+        let seed = match std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+        {
+            Some(s) => s,
+            None => fnv1a(name.as_bytes()),
+        };
+        Self {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform draw on `[0, 1)`.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.random()
+    }
+
+    /// Uniform index below `n`.
+    #[inline]
+    pub fn below(&mut self, n: usize) -> usize {
+        self.inner.random_range(0..n)
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}

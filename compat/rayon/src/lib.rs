@@ -1,0 +1,197 @@
+//! Offline shim for the subset of the `rayon` API used in this
+//! workspace: `range.into_par_iter().map(f).collect::<Vec<_>>()`.
+//!
+//! The build image has no crates.io access, so this crate provides the
+//! same import paths backed by `std::thread::scope`. Work items are
+//! handed out through an atomic cursor (dynamic scheduling), results
+//! come back in input order, and panics in workers propagate to the
+//! caller — the three properties the replication driver relies on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The rayon-style prelude: `use rayon::prelude::*;`.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Parallel iterator machinery.
+pub mod iter {
+    use super::*;
+
+    /// Conversion into a parallel iterator.
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item: Send;
+        /// The resulting parallel iterator.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Convert `self` into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// A value-producing parallel pipeline.
+    pub trait ParallelIterator: Sized {
+        /// Element type.
+        type Item: Send;
+
+        /// Drive the pipeline, returning elements in input order.
+        fn run(self) -> Vec<Self::Item>;
+
+        /// Map each element through `f` (evaluated on worker threads).
+        fn map<F, R>(self, f: F) -> Map<Self, F>
+        where
+            F: Fn(Self::Item) -> R + Sync,
+            R: Send,
+        {
+            Map { base: self, f }
+        }
+
+        /// Execute the pipeline and collect the results.
+        fn collect<C: FromIterator<Self::Item>>(self) -> C {
+            self.run().into_iter().collect()
+        }
+    }
+
+    macro_rules! impl_range_source {
+        ($($t:ty),*) => {$(
+            impl IntoParallelIterator for std::ops::Range<$t> {
+                type Item = $t;
+                type Iter = VecSource<$t>;
+                fn into_par_iter(self) -> VecSource<$t> {
+                    VecSource { items: self.collect() }
+                }
+            }
+        )*};
+    }
+
+    impl_range_source!(usize, u64, u32, i64, i32);
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = VecSource<T>;
+        fn into_par_iter(self) -> VecSource<T> {
+            VecSource { items: self }
+        }
+    }
+
+    /// A materialized source of work items.
+    pub struct VecSource<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParallelIterator for VecSource<T> {
+        type Item = T;
+        fn run(self) -> Vec<T> {
+            self.items
+        }
+    }
+
+    /// Lazily mapped parallel iterator (see [`ParallelIterator::map`]).
+    pub struct Map<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B, F, R> ParallelIterator for Map<B, F>
+    where
+        B: ParallelIterator,
+        F: Fn(B::Item) -> R + Sync,
+        R: Send,
+    {
+        type Item = R;
+        fn run(self) -> Vec<R> {
+            parallel_map(self.base.run(), &self.f)
+        }
+    }
+}
+
+/// Evaluate `f` over `items` on a scoped thread pool, preserving input
+/// order. Items are claimed through an atomic cursor so uneven run
+/// times balance themselves.
+fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+    let n = items.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<(Option<T>, Option<R>)>> = items
+        .into_iter()
+        .map(|t| Mutex::new((Some(t), None)))
+        .collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .unwrap()
+                    .0
+                    .take()
+                    .expect("item claimed once");
+                let out = f(item);
+                slots[i].lock().unwrap().1 = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().1.expect("worker finished"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<u64> = (0u64..100).into_par_iter().map(|i| i * i).collect();
+        let expect: Vec<u64> = (0u64..100).map(|i| i * i).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u64> = (0u64..0).into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn actually_runs_concurrently_or_at_least_correctly() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let touched = AtomicU32::new(0);
+        let out: Vec<u32> = vec![1u32; 64]
+            .into_par_iter()
+            .map(|v| {
+                touched.fetch_add(1, Ordering::Relaxed);
+                v + 1
+            })
+            .collect();
+        assert_eq!(touched.load(Ordering::Relaxed), 64);
+        assert!(out.iter().all(|&v| v == 2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        let _: Vec<u64> = (0u64..8)
+            .into_par_iter()
+            .map(|i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+                i
+            })
+            .collect();
+    }
+}

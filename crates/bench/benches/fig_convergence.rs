@@ -24,7 +24,9 @@ fn main() {
     let ode = sample_tails(&model, &model.empty_state(), horizon, dt).expect("trajectory");
 
     print_header(
-        &format!("Figure: transient convergence to the ODE trajectory (λ = {lambda}, t ≤ {horizon})"),
+        &format!(
+            "Figure: transient convergence to the ODE trajectory (λ = {lambda}, t ≤ {horizon})"
+        ),
         &protocol,
         &["n", "sup error", "√n · err"],
     );

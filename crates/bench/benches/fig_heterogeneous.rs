@@ -19,7 +19,14 @@ fn main() {
     print_header(
         &format!("Figure: two speed classes (α = 0.5, capacity 1.15, λ = {lambda})"),
         &protocol,
-        &["μ_fast", "μ_slow", "Est W", "Sim(128) W", "slow s₁", "fast s₁"],
+        &[
+            "μ_fast",
+            "μ_slow",
+            "Est W",
+            "Sim(128) W",
+            "slow s₁",
+            "fast s₁",
+        ],
     );
     for (mf, ms) in pairs {
         let m = Heterogeneous::new(lambda, 0.5, mf, ms, 2).expect("valid");

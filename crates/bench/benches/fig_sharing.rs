@@ -19,7 +19,13 @@ fn main() {
     print_header(
         "Figure: stealing (pull) vs sharing (push), T = F = R = 2, n = 128",
         &protocol,
-        &["λ", "W steal", "W share", "probes/s steal", "probes/s share"],
+        &[
+            "λ",
+            "W steal",
+            "W share",
+            "probes/s steal",
+            "probes/s share",
+        ],
     );
     for lambda in [0.50, 0.70, 0.80, 0.90, 0.95, 0.99] {
         let steal_model = SimpleWs::new(lambda).unwrap();
@@ -43,9 +49,7 @@ fn main() {
             },
             15_100,
         );
-        println!(
-            "{lambda:>12.2} {w_steal:>12.3} {w_share:>12.3} {p_steal:>14.4} {p_share:>14.4}"
-        );
+        println!("{lambda:>12.2} {w_steal:>12.3} {w_share:>12.3} {p_steal:>14.4} {p_share:>14.4}");
         println!(
             "{:>12} {:>12.3} {:>12.3} {:>14.4} {:>14.4}",
             "(estimates)",

@@ -33,7 +33,13 @@ fn main() {
         let fp = solve(&m, &opts).unwrap();
         for (name, start) in starts(&m) {
             let rep = check_l1_contraction(&m, &start, &fp.state, 1e-6, 100_000.0).unwrap();
-            print_line("simple", lambda, theorem_condition_holds(lambda), name, &rep);
+            print_line(
+                "simple",
+                lambda,
+                theorem_condition_holds(lambda),
+                name,
+                &rep,
+            );
         }
         // Threshold T = 4 (Theorem 2).
         let m = ThresholdWs::new(lambda, 4).unwrap();

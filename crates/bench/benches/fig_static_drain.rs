@@ -41,7 +41,9 @@ fn simulate_makespan(
     } else {
         StealPolicy::simple_ws()
     };
-    replicate(&cfg, protocol.runs.max(5), seed).makespan_mean.mean()
+    replicate(&cfg, protocol.runs.max(5), seed)
+        .makespan_mean
+        .mean()
 }
 
 fn mean_field_drain(initial: usize, internal: f64, retries: bool, eps: f64) -> f64 {
@@ -64,7 +66,15 @@ fn main() {
     print_header(
         "Figure: static drain — mean-field s₁ < 1/n vs simulated makespan",
         &protocol,
-        &["m₀", "λ_int", "retries", "MF(1/64)", "Sim n=64", "MF(1/256)", "Sim n=256"],
+        &[
+            "m₀",
+            "λ_int",
+            "retries",
+            "MF(1/64)",
+            "Sim n=64",
+            "MF(1/256)",
+            "Sim n=256",
+        ],
     );
     // (initial load, λ_int, retries?)
     let rows = [
@@ -78,8 +88,14 @@ fn main() {
         let mf64 = mean_field_drain(initial, internal, retries, 1.0 / 64.0);
         let mf256 = mean_field_drain(initial, internal, retries, 1.0 / 256.0);
         let s64 = simulate_makespan(&protocol, 64, initial, internal, retries, 12_000 + k as u64);
-        let s256 =
-            simulate_makespan(&protocol, 256, initial, internal, retries, 12_100 + k as u64);
+        let s256 = simulate_makespan(
+            &protocol,
+            256,
+            initial,
+            internal,
+            retries,
+            12_100 + k as u64,
+        );
         print_row(&[
             initial as f64,
             internal,

@@ -43,7 +43,12 @@ fn bench_integrate(c: &mut Criterion) {
     let m = SimpleWs::new(0.9).unwrap();
     g.bench_function("simple_ws_to_t100", |b| {
         b.iter_batched(
-            || (m.empty_state(), DormandPrince45::new(AdaptiveOptions::default())),
+            || {
+                (
+                    m.empty_state(),
+                    DormandPrince45::new(AdaptiveOptions::default()),
+                )
+            },
             |(mut y, mut dp)| {
                 dp.integrate(&m, 0.0, 100.0, &mut y).unwrap();
                 y

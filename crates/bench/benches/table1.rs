@@ -15,10 +15,20 @@ fn main() {
     print_header(
         "Table 1: simple work stealing (steal one task on empty, victim ≥ 2)",
         &protocol,
-        &["λ", "Sim(16)", "Sim(32)", "Sim(64)", "Sim(128)", "Estimate", "RelErr(%)"],
+        &[
+            "λ",
+            "Sim(16)",
+            "Sim(32)",
+            "Sim(64)",
+            "Sim(128)",
+            "Estimate",
+            "RelErr(%)",
+        ],
     );
     for (row, &lambda) in [0.50, 0.70, 0.80, 0.90, 0.95, 0.99].iter().enumerate() {
-        let estimate = SimpleWs::new(lambda).expect("valid λ").closed_form_mean_time();
+        let estimate = SimpleWs::new(lambda)
+            .expect("valid λ")
+            .closed_form_mean_time();
         let mut cells = vec![lambda];
         let mut sim128 = f64::NAN;
         for (col, n) in [16usize, 32, 64, 128].into_iter().enumerate() {

@@ -17,7 +17,9 @@ fn main() {
     print_header(
         "Table 2: constant service times (T = 2), stage estimates c = 10, 20",
         &protocol,
-        &["λ", "Sim(16)", "Sim(32)", "Sim(64)", "Sim(128)", "c=10", "c=20"],
+        &[
+            "λ", "Sim(16)", "Sim(32)", "Sim(64)", "Sim(128)", "c=10", "c=20",
+        ],
     );
     for (row, &lambda) in [0.50, 0.70, 0.80, 0.90, 0.95, 0.99].iter().enumerate() {
         let mut cells = vec![lambda];

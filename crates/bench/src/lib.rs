@@ -79,7 +79,9 @@ impl Protocol {
 }
 
 fn env_flag(name: &str) -> bool {
-    std::env::var(name).map(|v| v == "1" || v.eq_ignore_ascii_case("true")).unwrap_or(false)
+    std::env::var(name)
+        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+        .unwrap_or(false)
 }
 
 fn env_parse<T: std::str::FromStr>(name: &str) -> Option<T> {

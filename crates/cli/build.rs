@@ -1,0 +1,17 @@
+//! Embeds the git revision (when available) for run manifests.
+
+use std::process::Command;
+
+fn main() {
+    let rev = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_default();
+    println!("cargo:rustc-env=LOADSTEAL_GIT_REV={rev}");
+    // Re-run when HEAD moves; harmless if the path does not exist.
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

@@ -2,17 +2,31 @@
 
 use std::collections::BTreeMap;
 
-/// Parsed command line: a subcommand plus `--key value` flags.
+/// Parsed command line: a subcommand plus `--key value` flags and
+/// boolean `--switch` flags.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     flags: BTreeMap<String, String>,
+    switches: Vec<String>,
 }
 
 impl Args {
     /// Parse flags from an iterator of raw arguments (after the
     /// subcommand). `--flag value` and `--flag=value` are both accepted.
+    #[cfg_attr(not(test), allow(dead_code))] // switch-free entry point, exercised by tests
     pub fn parse(raw: impl Iterator<Item = String>) -> Result<Self, String> {
+        Self::parse_with_switches(raw, &[])
+    }
+
+    /// [`Self::parse`], but the named flags are value-less boolean
+    /// switches (`--quiet`): present or absent, never consuming the
+    /// following argument.
+    pub fn parse_with_switches(
+        raw: impl Iterator<Item = String>,
+        switch_names: &[&str],
+    ) -> Result<Self, String> {
         let mut flags = BTreeMap::new();
+        let mut switches = Vec::new();
         let mut raw = raw.peekable();
         while let Some(arg) = raw.next() {
             let Some(name) = arg.strip_prefix("--") else {
@@ -20,6 +34,8 @@ impl Args {
             };
             if let Some((k, v)) = name.split_once('=') {
                 flags.insert(k.to_string(), v.to_string());
+            } else if switch_names.contains(&name) {
+                switches.push(name.to_string());
             } else {
                 let value = raw
                     .next()
@@ -27,7 +43,12 @@ impl Args {
                 flags.insert(name.to_string(), value);
             }
         }
-        Ok(Self { flags })
+        Ok(Self { flags, switches })
+    }
+
+    /// Whether a boolean switch (declared at parse time) was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
     }
 
     /// A required flag, parsed.
@@ -66,7 +87,9 @@ impl Args {
         self.flags.get(name).map(|s| s.as_str())
     }
 
-    /// Reject unknown flags (catches typos early).
+    /// Reject unknown flags (catches typos early). Switches were
+    /// validated against their declared names at parse time, so only
+    /// valued flags are checked here.
     pub fn ensure_known(&self, known: &[&str]) -> Result<(), String> {
         for k in self.flags.keys() {
             if !known.contains(&k.as_str()) {
@@ -123,5 +146,34 @@ mod tests {
         let a = parse(&["--lambda", "abc"]);
         let err = a.required::<f64>("lambda").unwrap_err();
         assert!(err.contains("lambda"));
+    }
+
+    #[test]
+    fn switches_do_not_consume_values() {
+        let a = Args::parse_with_switches(
+            ["--quiet", "--lambda", "0.9"].iter().map(|s| s.to_string()),
+            &["quiet"],
+        )
+        .unwrap();
+        assert!(a.switch("quiet"));
+        assert_eq!(a.required::<f64>("lambda").unwrap(), 0.9);
+        assert!(!a.switch("verbose"));
+    }
+
+    #[test]
+    fn trailing_switch_is_not_a_missing_value() {
+        let a = Args::parse_with_switches(
+            ["--lambda", "0.9", "--quiet"].iter().map(|s| s.to_string()),
+            &["quiet"],
+        )
+        .unwrap();
+        assert!(a.switch("quiet"));
+    }
+
+    #[test]
+    fn undeclared_switch_still_needs_a_value() {
+        // Without the declaration, `--quiet` is a valued flag and a
+        // trailing one is an error — the seed behaviour is preserved.
+        assert!(Args::parse(["--quiet".to_string()].into_iter()).is_err());
     }
 }

@@ -1,6 +1,6 @@
 //! Command implementations.
 
-use loadsteal_core::fixed_point::{solve as solve_fp, FixedPoint, FixedPointOptions};
+use loadsteal_core::fixed_point::{solve as solve_fp, solve_traced, FixedPoint, FixedPointOptions};
 use loadsteal_core::models::{
     ErlangStages, GeneralWs, Heterogeneous, MeanFieldModel, MultiChoice, MultiSteal, NoSteal,
     Preemptive, Rebalance, RebalanceRateFn, RepeatedSteal, SimpleWs, StaticDrain, ThresholdWs,
@@ -8,18 +8,34 @@ use loadsteal_core::models::{
 };
 use loadsteal_core::stability::{check_l1_contraction, theorem_condition_holds};
 use loadsteal_core::tail::TailVector;
-use loadsteal_sim::{replicate, RebalanceRate, SimConfig, StealPolicy, TransferTime};
+use loadsteal_obs::{EventCounts, NullRecorder, Recorder, Registry, SharedRecorder};
+use loadsteal_sim::{
+    replicate, replicate_recorded, RebalanceRate, SimConfig, StealPolicy, TransferTime,
+};
 
 use crate::args::Args;
+use crate::obs::{manifest, say, Narrator, ObsOpts, OBS_FLAGS};
 
 const MODEL_FLAGS: &[&str] = &[
-    "model", "lambda", "threshold", "choices", "batch", "begin", "rate", "stages", "per-task",
-    "fast-frac", "fast", "slow", "levels", "internal",
+    "model",
+    "lambda",
+    "threshold",
+    "choices",
+    "batch",
+    "begin",
+    "rate",
+    "stages",
+    "per-task",
+    "fast-frac",
+    "fast",
+    "slow",
+    "levels",
+    "internal",
 ];
 
-/// Solve a model's fixed point, dispatching on `--model`.
-fn solve_model(a: &Args) -> Result<(String, FixedPoint), String> {
-    a.ensure_known(MODEL_FLAGS)?;
+/// Solve a model's fixed point, dispatching on `--model`, with the
+/// integrator's convergence trace sent to `rec`.
+fn solve_model(a: &Args, rec: &mut dyn Recorder) -> Result<(String, FixedPoint), String> {
     let lambda: f64 = a.required("lambda")?;
     let opts = FixedPointOptions::default();
     let model = a.raw("model").unwrap_or("simple");
@@ -28,7 +44,7 @@ fn solve_model(a: &Args) -> Result<(String, FixedPoint), String> {
         ($m:expr) => {{
             let m = $m;
             let name = m.name();
-            let fp = solve_fp(&m, &opts).map_err(|e| e.to_string())?;
+            let fp = solve_traced(&m, &opts, rec).map_err(|e| e.to_string())?;
             Ok((name, fp))
         }};
     }
@@ -89,42 +105,173 @@ fn solve_model(a: &Args) -> Result<(String, FixedPoint), String> {
     }
 }
 
+/// Add the solver counters common to every traced command.
+fn solver_metrics(reg: &Registry, c: &EventCounts) {
+    reg.counter("solver.steps_accepted").add(c.solver_accepted);
+    reg.counter("solver.steps_rejected").add(c.solver_rejected);
+    reg.counter("solver.steady_samples").add(c.solver_steady);
+    reg.counter("solver.integrations").add(c.solver_done);
+    reg.gauge("solver.max_reject_streak")
+        .set(c.solver_max_reject_streak as f64);
+    reg.gauge("solver.stiffness_hint")
+        .set(if c.solver_max_reject_streak >= 5 {
+            1.0
+        } else {
+            0.0
+        });
+}
+
 /// `loadsteal solve` — fixed point metrics.
 pub fn solve(a: &Args) -> Result<(), String> {
-    let (name, fp) = solve_model(a)?;
-    println!("model:                 {name}");
-    println!("truncation levels:     {}", fp.truncation);
-    println!("residual ‖F(π)‖∞:      {:.3e}{}", fp.residual,
-        if fp.polished { " (Newton-polished)" } else { " (integration only)" });
-    println!("busy fraction s₁:      {:.6}", fp.task_tails.get(1).copied().unwrap_or(0.0));
-    println!("mean tasks / proc L:   {:.6}", fp.mean_tasks);
-    println!("mean time in system W: {:.6}", fp.mean_time_in_system);
+    let mut known = MODEL_FLAGS.to_vec();
+    known.extend_from_slice(OBS_FLAGS);
+    a.ensure_known(&known)?;
+    let obs = ObsOpts::from_args(a);
+    let out = Narrator::new(obs.json_on_stdout());
+    let mut rec = obs.recorder()?;
+    let (name, fp) = solve_model(a, &mut rec)?;
+    let (counts, trace_lines) = rec.finish()?;
+    say!(out, "model:                 {name}");
+    say!(out, "truncation levels:     {}", fp.truncation);
+    say!(
+        out,
+        "residual ‖F(π)‖∞:      {:.3e}{}",
+        fp.residual,
+        if fp.polished {
+            " (Newton-polished)"
+        } else {
+            " (integration only)"
+        }
+    );
+    say!(
+        out,
+        "busy fraction s₁:      {:.6}",
+        fp.task_tails.get(1).copied().unwrap_or(0.0)
+    );
+    say!(out, "mean tasks / proc L:   {:.6}", fp.mean_tasks);
+    say!(out, "mean time in system W: {:.6}", fp.mean_time_in_system);
     if let Some(r) = fp.tail_ratio() {
-        println!("tail decay ratio:      {r:.6}");
+        say!(out, "tail decay ratio:      {r:.6}");
+    }
+    if obs.metrics_json.is_some() {
+        let reg = Registry::new();
+        solver_metrics(&reg, &counts);
+        reg.gauge("solver.residual").set(fp.residual);
+        reg.gauge("solver.truncation").set(fp.truncation as f64);
+        reg.gauge("solver.mean_tasks").set(fp.mean_tasks);
+        reg.gauge("solver.mean_time_in_system")
+            .set(fp.mean_time_in_system);
+        if trace_lines > 0 {
+            reg.counter("trace.lines").add(trace_lines);
+        }
+        let mut m = manifest();
+        m.config("model", a.raw("model").unwrap_or("simple"))
+            .config("lambda", a.required::<f64>("lambda")?);
+        obs.emit(&m, &reg.snapshot())?;
     }
     Ok(())
 }
 
 /// `loadsteal tails` — fixed point occupancy tails.
 pub fn tails(a: &Args) -> Result<(), String> {
+    a.ensure_known(MODEL_FLAGS)?;
     let levels: usize = a.get_or("levels", 12)?;
-    let (name, fp) = solve_model(a)?;
+    let (name, fp) = solve_model(a, &mut NullRecorder)?;
     println!("model: {name}");
     println!("{:>4} {:>14}", "i", "s_i");
     for i in 0..=levels {
-        println!("{i:>4} {:>14.8}", fp.task_tails.get(i).copied().unwrap_or(0.0));
+        println!(
+            "{i:>4} {:>14.8}",
+            fp.task_tails.get(i).copied().unwrap_or(0.0)
+        );
     }
     Ok(())
 }
 
 const SIM_FLAGS: &[&str] = &[
-    "n", "lambda", "policy", "threshold", "choices", "batch", "begin", "rate", "transfer-rate",
-    "runs", "horizon", "warmup", "seed", "internal", "service-stages", "constant-service",
+    "n",
+    "lambda",
+    "policy",
+    "threshold",
+    "choices",
+    "batch",
+    "begin",
+    "rate",
+    "transfer-rate",
+    "runs",
+    "horizon",
+    "warmup",
+    "seed",
+    "internal",
+    "service-stages",
+    "constant-service",
 ];
+
+/// Solve the mean-field companion of a simulation policy, feeding the
+/// solver's convergence trace into `rec`, so a simulation's metrics
+/// report carries solver counters next to the simulator's. Model
+/// construction or convergence failures (e.g. an unstable λ) are not
+/// fatal: the companion is simply reported as unavailable.
+fn companion_fixed_point(
+    a: &Args,
+    lambda: f64,
+    rec: &mut dyn Recorder,
+) -> Option<(String, FixedPoint)> {
+    match companion_solve(a, lambda, rec) {
+        Ok(v) => Some(v),
+        Err(e) => {
+            loadsteal_obs::debug!("mean-field companion unavailable: {e}");
+            None
+        }
+    }
+}
+
+fn companion_solve(
+    a: &Args,
+    lambda: f64,
+    rec: &mut dyn Recorder,
+) -> Result<(String, FixedPoint), String> {
+    let opts = FixedPointOptions::default();
+    macro_rules! fp {
+        ($m:expr) => {{
+            let m = $m;
+            let name = m.name();
+            let fp = solve_traced(&m, &opts, rec).map_err(|e| e.to_string())?;
+            Ok((name, fp))
+        }};
+    }
+    match a.raw("policy").unwrap_or("simple") {
+        "none" => fp!(NoSteal::new(lambda)?),
+        "simple" => fp!(SimpleWs::new(lambda)?),
+        "threshold" => fp!(GeneralWs::new(
+            lambda,
+            a.get_or("threshold", 2)?,
+            a.get_or("choices", 1u32)?,
+            a.get_or("batch", 1)?,
+        )?),
+        "preemptive" => fp!(Preemptive::new(
+            lambda,
+            a.get_or("begin", 1)?,
+            a.get_or("threshold", 3)?,
+        )?),
+        "repeated" => fp!(RepeatedSteal::new(
+            lambda,
+            a.get_or("rate", 1.0)?,
+            a.get_or("threshold", 2)?,
+        )?),
+        "rebalance" => fp!(Rebalance::new(
+            lambda,
+            RebalanceRateFn::Constant(a.get_or("rate", 1.0)?),
+        )?),
+        other => Err(format!("no mean-field companion for policy {other:?}")),
+    }
+}
 
 /// `loadsteal simulate` — run the discrete-event simulator.
 pub fn simulate(a: &Args) -> Result<(), String> {
-    a.ensure_known(SIM_FLAGS)?;
+    let mut known = SIM_FLAGS.to_vec();
+    known.extend_from_slice(OBS_FLAGS);
+    a.ensure_known(&known)?;
     let n: usize = a.required("n")?;
     let lambda: f64 = a.required("lambda")?;
     let mut cfg = SimConfig::paper_default(n, lambda);
@@ -163,20 +310,115 @@ pub fn simulate(a: &Args) -> Result<(), String> {
     cfg.validate()?;
     let runs: usize = a.get_or("runs", 3)?;
     let seed: u64 = a.get_or("seed", 42)?;
-    let result = replicate(&cfg, runs, seed);
+
+    let obs = ObsOpts::from_args(a);
+    let out = Narrator::new(obs.json_on_stdout());
+    let mut rec = obs.recorder()?;
+    let observing = rec.enabled();
+
+    let mean_field = if observing {
+        companion_fixed_point(a, lambda, &mut rec)
+    } else {
+        None
+    };
+
+    let shared = SharedRecorder::new(rec);
+    let result = replicate_recorded(&cfg, runs, seed, &shared);
+    let rec = shared
+        .try_into_inner()
+        .expect("replication worker handles are released");
+    let (counts, trace_lines) = rec.finish()?;
+
     let ci = result.sojourn_ci();
-    println!("config:              n = {n}, λ = {lambda}, policy = {:?}", cfg.policy);
-    println!("protocol:            {runs} × {:.0} s (warmup {:.0} s), seed {seed}", cfg.horizon, cfg.warmup);
-    println!("mean time in system: {:.4} ± {:.4} (95% CI over runs)", ci.mean, ci.half_width);
-    let r0 = &result.runs[0];
-    println!("per run ≈ {} tasks, steal success rate {:.1}%",
-        r0.tasks_completed, 100.0 * r0.steal_success_rate());
-    let tails = result.mean_load_tails();
-    print!("tails s₁..s₈:        ");
-    for i in 1..=8 {
-        print!("{:.4} ", tails.get(i).copied().unwrap_or(0.0));
+    say!(
+        out,
+        "config:              n = {n}, λ = {lambda}, policy = {:?}",
+        cfg.policy
+    );
+    say!(
+        out,
+        "protocol:            {runs} × {:.0} s (warmup {:.0} s), seed {seed}",
+        cfg.horizon,
+        cfg.warmup
+    );
+    say!(
+        out,
+        "mean time in system: {:.4} ± {:.4} (95% CI over runs)",
+        ci.mean,
+        ci.half_width
+    );
+    if let Some((mname, fp)) = &mean_field {
+        say!(
+            out,
+            "mean-field W (n→∞):  {:.4} ({mname})",
+            fp.mean_time_in_system
+        );
     }
-    println!();
+    let r0 = &result.runs[0];
+    say!(
+        out,
+        "per run ≈ {} tasks, steal success rate {:.1}%",
+        r0.tasks_completed,
+        100.0 * r0.steal_success_rate()
+    );
+    let tails = result.mean_load_tails();
+    let mut tail_line = String::from("tails s₁..s₈:        ");
+    for i in 1..=8 {
+        tail_line.push_str(&format!("{:.4} ", tails.get(i).copied().unwrap_or(0.0)));
+    }
+    say!(out, "{}", tail_line.trim_end());
+
+    if obs.metrics_json.is_some() {
+        let reg = Registry::new();
+        reg.counter("sim.arrivals").add(counts.arrivals);
+        reg.counter("sim.completions").add(counts.completions);
+        reg.counter("sim.steal_attempts").add(counts.steal_attempts);
+        reg.counter("sim.steal_successes")
+            .add(counts.steal_successes);
+        reg.counter("sim.migrations").add(counts.migrations);
+        reg.counter("sim.tasks_migrated").add(counts.tasks_migrated);
+        reg.counter("sim.heartbeats").add(counts.heartbeats);
+        reg.counter("sim.replicates").add(counts.replicates);
+        let (mut events, mut attempts, mut successes) = (0u64, 0u64, 0u64);
+        let wall_hist = reg.histogram("sim.run_wall_ms");
+        let ev_hist = reg.histogram("sim.run_events");
+        for r in &result.runs {
+            events += r.events_processed;
+            attempts += r.steal_attempts;
+            successes += r.steal_successes;
+            wall_hist.record(r.wall_ms.round() as u64);
+            ev_hist.record(r.events_processed);
+        }
+        reg.counter("sim.events").add(events);
+        reg.gauge("sim.mean_sojourn").set(ci.mean);
+        reg.gauge("sim.sojourn_ci_half_width").set(ci.half_width);
+        reg.gauge("sim.steal_success_rate").set(if attempts == 0 {
+            0.0
+        } else {
+            successes as f64 / attempts as f64
+        });
+        solver_metrics(&reg, &counts);
+        if let Some((_, fp)) = &mean_field {
+            reg.gauge("solver.residual").set(fp.residual);
+            reg.gauge("solver.mean_time_in_system")
+                .set(fp.mean_time_in_system);
+        }
+        if trace_lines > 0 {
+            reg.counter("trace.lines").add(trace_lines);
+        }
+        let mut m = manifest();
+        m.seed = Some(seed);
+        m.config("n", n)
+            .config("lambda", lambda)
+            .config("policy", a.raw("policy").unwrap_or("simple"))
+            .config("runs", runs)
+            .config("horizon", cfg.horizon)
+            .config("warmup", cfg.warmup);
+        if let Some((mname, _)) = &mean_field {
+            m.config("mean_field_model", mname.as_str());
+        }
+        obs.emit(&m, &reg.snapshot())?;
+    }
     Ok(())
 }
 
@@ -189,16 +431,26 @@ pub fn stability(a: &Args) -> Result<(), String> {
     let fp = solve_fp(&m, &FixedPointOptions::default()).map_err(|e| e.to_string())?;
     println!(
         "Theorem 1 hypothesis π₂ < 1/2: {} (π₂ = {:.4})",
-        if theorem_condition_holds(lambda) { "holds" } else { "does NOT hold" },
+        if theorem_condition_holds(lambda) {
+            "holds"
+        } else {
+            "does NOT hold"
+        },
         m.pi2()
     );
     for (name, start) in [
         ("empty", m.empty_state()),
-        ("uniform load 4", TailVector::uniform_load(4, m.truncation()).into_vec()),
-        ("geometric 0.97", TailVector::geometric(0.97, m.truncation()).into_vec()),
+        (
+            "uniform load 4",
+            TailVector::uniform_load(4, m.truncation()).into_vec(),
+        ),
+        (
+            "geometric 0.97",
+            TailVector::geometric(0.97, m.truncation()).into_vec(),
+        ),
     ] {
-        let rep = check_l1_contraction(&m, &start, &fp.state, 1e-6, t_max)
-            .map_err(|e| e.to_string())?;
+        let rep =
+            check_l1_contraction(&m, &start, &fp.state, 1e-6, t_max).map_err(|e| e.to_string())?;
         println!(
             "start {name:>16}: D₀ = {:.4}, max increase {:.2e}, converged at {}, decay γ ≈ {}",
             rep.initial_distance,
@@ -221,7 +473,9 @@ pub fn drain(a: &Args) -> Result<(), String> {
     let n: usize = a.get_or("n", 128)?;
     let internal: f64 = a.get_or("internal", 0.0)?;
     let model = StaticDrain::new(0.0, internal, 4 * initial + 16)?;
-    let predicted = model.drain_time(initial, 1e-3, 1e6).map_err(|e| e.to_string())?;
+    let predicted = model
+        .drain_time(initial, 1e-3, 1e6)
+        .map_err(|e| e.to_string())?;
     println!("mean-field drain time (n → ∞): {predicted:.2}");
 
     let mut cfg = SimConfig::paper_default(n, 0.0);

@@ -12,8 +12,12 @@
 
 mod args;
 mod commands;
+mod obs;
 
 use std::process::ExitCode;
+
+/// Value-less boolean flags, recognized by every subcommand.
+const SWITCHES: &[&str] = &["quiet"];
 
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1);
@@ -21,13 +25,16 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let parsed = match args::Args::parse(argv) {
+    let parsed = match args::Args::parse_with_switches(argv, SWITCHES) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
             return ExitCode::FAILURE;
         }
     };
+    if parsed.switch("quiet") {
+        loadsteal_obs::log::set_quiet(true);
+    }
     let result = match cmd.as_str() {
         "solve" => commands::solve(&parsed),
         "tails" => commands::tails(&parsed),
@@ -82,4 +89,12 @@ SIM POLICIES (for simulate):
   none | simple | threshold | preemptive | repeated | rebalance
   with flags --threshold, --choices, --batch, --begin, --rate,
   --transfer-rate, --runs, --horizon, --warmup, --seed
+
+OBSERVABILITY (solve and simulate):
+  --trace <file.ndjson>     stream every solver/simulator event as NDJSON
+  --metrics-json <file|->   write the loadsteal.run.v1 document (manifest
+                            + metrics); `-` prints to stdout and moves the
+                            human narrative to stderr
+  --quiet                   silence the human narrative entirely
+  LOADSTEAL_LOG=off|info|debug   stderr diagnostics filter (default info)
 ";

@@ -1,0 +1,168 @@
+//! CLI-side observability plumbing: the composite recorder behind
+//! `--trace` / `--metrics-json`, narrative output routing, and run
+//! document emission.
+
+use std::fs::File;
+use std::io::BufWriter;
+
+use loadsteal_obs::log::{level_enabled, Level};
+use loadsteal_obs::{
+    CountingRecorder, Event, EventCounts, MetricsReport, NdjsonRecorder, Recorder, RunManifest,
+};
+
+use crate::args::Args;
+
+/// Flags handled by this module; commands append them to their own
+/// known-flag lists.
+pub const OBS_FLAGS: &[&str] = &["trace", "metrics-json"];
+
+/// Observability options parsed from the command line.
+#[derive(Debug, Clone, Default)]
+pub struct ObsOpts {
+    /// `--trace <file.ndjson>`: stream every event as NDJSON.
+    pub trace: Option<String>,
+    /// `--metrics-json <file|->`: emit the `loadsteal.run.v1` document.
+    pub metrics_json: Option<String>,
+}
+
+impl ObsOpts {
+    /// Read the observability flags from parsed arguments.
+    pub fn from_args(a: &Args) -> Self {
+        Self {
+            trace: a.raw("trace").map(str::to_owned),
+            metrics_json: a.raw("metrics-json").map(str::to_owned),
+        }
+    }
+
+    /// Whether the machine-readable document goes to stdout — which
+    /// moves the human narrative to stderr so stdout stays parseable.
+    pub fn json_on_stdout(&self) -> bool {
+        self.metrics_json.as_deref() == Some("-")
+    }
+
+    /// Build the recorder for this invocation. Disabled (and therefore
+    /// free for the instrumented hot loops) when neither output was
+    /// requested.
+    pub fn recorder(&self) -> Result<CliRecorder, String> {
+        let trace = match &self.trace {
+            None => None,
+            Some(path) => {
+                let f = File::create(path)
+                    .map_err(|e| format!("--trace: cannot create {path:?}: {e}"))?;
+                Some(NdjsonRecorder::new(BufWriter::new(f)))
+            }
+        };
+        Ok(CliRecorder {
+            counts: CountingRecorder::new(),
+            metrics_wanted: self.metrics_json.is_some(),
+            trace,
+        })
+    }
+
+    /// Write the finished run document to the chosen destination.
+    pub fn emit(&self, manifest: &RunManifest, report: &MetricsReport) -> Result<(), String> {
+        let Some(dest) = &self.metrics_json else {
+            return Ok(());
+        };
+        let doc = manifest.to_run_document(report);
+        if dest == "-" {
+            println!("{doc}");
+            Ok(())
+        } else {
+            std::fs::write(dest, format!("{doc}\n"))
+                .map_err(|e| format!("--metrics-json: cannot write {dest:?}: {e}"))
+        }
+    }
+}
+
+/// Counts every event (feeding the metrics report) and optionally tees
+/// it to an NDJSON trace file.
+#[derive(Debug)]
+pub struct CliRecorder {
+    counts: CountingRecorder,
+    metrics_wanted: bool,
+    trace: Option<NdjsonRecorder<BufWriter<File>>>,
+}
+
+impl CliRecorder {
+    /// Flush the trace, surface any deferred I/O error, and return the
+    /// tallies plus the number of trace lines written.
+    pub fn finish(mut self) -> Result<(EventCounts, u64), String> {
+        let mut lines = 0;
+        if let Some(t) = self.trace.take() {
+            lines = t.lines();
+            let (_, err) = t.into_inner();
+            if let Some(e) = err {
+                return Err(format!("--trace: write failed: {e}"));
+            }
+        }
+        Ok((self.counts.counts(), lines))
+    }
+}
+
+impl Recorder for CliRecorder {
+    fn enabled(&self) -> bool {
+        self.metrics_wanted || self.trace.is_some()
+    }
+
+    fn record(&mut self, ev: &Event) {
+        self.counts.record(ev);
+        if let Some(t) = &mut self.trace {
+            t.record(ev);
+        }
+    }
+
+    fn flush(&mut self) {
+        if let Some(t) = &mut self.trace {
+            Recorder::flush(t);
+        }
+    }
+}
+
+/// Routes the human-readable narrative: stdout normally, stderr when
+/// stdout carries the JSON document, nowhere under `--quiet` (or
+/// `LOADSTEAL_LOG=off`).
+#[derive(Debug, Clone, Copy)]
+pub struct Narrator {
+    to_stderr: bool,
+}
+
+impl Narrator {
+    /// A narrator that diverts to stderr when `json_on_stdout` is set.
+    pub fn new(json_on_stdout: bool) -> Self {
+        Self {
+            to_stderr: json_on_stdout,
+        }
+    }
+
+    /// Print one narrative line (subject to the quiet/level filter).
+    pub fn say(&self, args: std::fmt::Arguments<'_>) {
+        if !level_enabled(Level::Info) {
+            return;
+        }
+        if self.to_stderr {
+            eprintln!("{args}");
+        } else {
+            println!("{args}");
+        }
+    }
+}
+
+/// `println!`-style narrative line through a [`Narrator`].
+macro_rules! say {
+    ($n:expr, $($t:tt)*) => { $n.say(format_args!($($t)*)) };
+}
+pub(crate) use say;
+
+/// Start a run manifest stamped with the crate version, the git
+/// revision (when built from a checkout), and the reconstructed
+/// command line.
+pub fn manifest() -> RunManifest {
+    let command: Vec<String> = std::env::args().skip(1).collect();
+    let mut m = RunManifest::new(env!("CARGO_PKG_VERSION"), &command.join(" "));
+    let rev = env!("LOADSTEAL_GIT_REV");
+    if !rev.is_empty() {
+        m.git = Some(rev.to_owned());
+    }
+    m
+}

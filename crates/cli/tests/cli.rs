@@ -40,16 +40,31 @@ fn solve_simple_reports_table1_estimate() {
 
 #[test]
 fn solve_threshold_takes_flags_in_both_forms() {
-    let (ok, a, _) = loadsteal(&["solve", "--model", "threshold", "--lambda", "0.8", "--threshold", "4"]);
+    let (ok, a, _) = loadsteal(&[
+        "solve",
+        "--model",
+        "threshold",
+        "--lambda",
+        "0.8",
+        "--threshold",
+        "4",
+    ]);
     assert!(ok);
-    let (ok2, b, _) = loadsteal(&["solve", "--model=threshold", "--lambda=0.8", "--threshold=4"]);
+    let (ok2, b, _) = loadsteal(&[
+        "solve",
+        "--model=threshold",
+        "--lambda=0.8",
+        "--threshold=4",
+    ]);
     assert!(ok2);
     assert_eq!(a, b);
 }
 
 #[test]
 fn tails_prints_monotone_levels() {
-    let (ok, stdout, _) = loadsteal(&["tails", "--model", "simple", "--lambda", "0.7", "--levels", "6"]);
+    let (ok, stdout, _) = loadsteal(&[
+        "tails", "--model", "simple", "--lambda", "0.7", "--levels", "6",
+    ]);
     assert!(ok);
     let values: Vec<f64> = stdout
         .lines()
@@ -64,8 +79,19 @@ fn tails_prints_monotone_levels() {
 #[test]
 fn simulate_runs_a_short_experiment() {
     let (ok, stdout, stderr) = loadsteal(&[
-        "simulate", "--n", "16", "--lambda", "0.5", "--runs", "2", "--horizon", "500",
-        "--warmup", "50", "--seed", "1",
+        "simulate",
+        "--n",
+        "16",
+        "--lambda",
+        "0.5",
+        "--runs",
+        "2",
+        "--horizon",
+        "500",
+        "--warmup",
+        "50",
+        "--seed",
+        "1",
     ]);
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("mean time in system"), "{stdout}");
@@ -80,7 +106,9 @@ fn unknown_model_is_a_clean_error() {
 
 #[test]
 fn unknown_flag_is_a_clean_error() {
-    let (ok, _, stderr) = loadsteal(&["solve", "--model", "simple", "--lambda", "0.5", "--tresh", "2"]);
+    let (ok, _, stderr) = loadsteal(&[
+        "solve", "--model", "simple", "--lambda", "0.5", "--tresh", "2",
+    ]);
     assert!(!ok);
     assert!(stderr.contains("unknown flag"), "{stderr}");
 }

@@ -9,6 +9,7 @@
 //! `F(π) = 0` to (near) machine precision. The truncation is grown and
 //! the solve repeated whenever mass reaches the boundary.
 
+use loadsteal_obs::{NullRecorder, Recorder};
 use loadsteal_ode::solver::SteadyStateOptions;
 use loadsteal_ode::{
     newton_solve, AdaptiveOptions, DormandPrince45, IntegrationError, NewtonError, NewtonOptions,
@@ -122,10 +123,24 @@ impl From<IntegrationError> for SolveError {
 
 /// Compute the fixed point of `model` (integrate from empty, grow the
 /// truncation as needed, Newton-polish when feasible).
-pub fn solve<M: MeanFieldModel>(model: &M, opts: &FixedPointOptions) -> Result<FixedPoint, SolveError> {
+pub fn solve<M: MeanFieldModel>(
+    model: &M,
+    opts: &FixedPointOptions,
+) -> Result<FixedPoint, SolveError> {
+    solve_traced(model, opts, &mut NullRecorder)
+}
+
+/// [`solve`] with the integrator's convergence trace (per-step
+/// residuals, accept/reject decisions, end-of-run summaries) sent to
+/// `rec`. One `SolverDone` event is emitted per integration chunk.
+pub fn solve_traced<M: MeanFieldModel>(
+    model: &M,
+    opts: &FixedPointOptions,
+    rec: &mut dyn Recorder,
+) -> Result<FixedPoint, SolveError> {
     let mut m = model.clone();
     loop {
-        let (state, residual, polished) = solve_at_truncation(&m, opts)?;
+        let (state, residual, polished) = solve_at_truncation(&m, opts, rec)?;
         let boundary = m.boundary_mass(&state);
         if boundary > opts.boundary_tol {
             let next = (m.truncation() * 3 / 2).max(m.truncation() + 16);
@@ -162,6 +177,7 @@ pub fn solve<M: MeanFieldModel>(model: &M, opts: &FixedPointOptions) -> Result<F
 fn solve_at_truncation<M: MeanFieldModel>(
     m: &M,
     opts: &FixedPointOptions,
+    rec: &mut dyn Recorder,
 ) -> Result<(Vec<f64>, f64, bool), SolveError> {
     let mut y = m.empty_state();
     let mut dp = DormandPrince45::new(opts.adaptive);
@@ -175,7 +191,7 @@ fn solve_at_truncation<M: MeanFieldModel>(
             t_max: (t + chunk).min(opts.steady.t_max) - t,
             ..opts.steady
         };
-        let report = dp.integrate_to_steady(m, t, &mut y, &stage)?;
+        let report = dp.integrate_to_steady_traced(m, t, &mut y, &stage, rec)?;
         t = report.t;
         residual = report.residual;
 

@@ -67,6 +67,6 @@ pub mod stability;
 pub mod tail;
 pub mod trajectory;
 
-pub use fixed_point::{solve, FixedPoint, FixedPointOptions, SolveError};
+pub use fixed_point::{solve, solve_traced, FixedPoint, FixedPointOptions, SolveError};
 pub use models::MeanFieldModel;
 pub use tail::TailVector;

@@ -224,7 +224,11 @@ mod tests {
     fn throughput_balance_holds() {
         let m = ErlangArrivals::new(0.8, 5, 2).unwrap();
         let fp = solve(&m, &opts()).unwrap();
-        assert!((fp.task_tails[1] - 0.8).abs() < 1e-7, "s₁ = {}", fp.task_tails[1]);
+        assert!(
+            (fp.task_tails[1] - 0.8).abs() < 1e-7,
+            "s₁ = {}",
+            fp.task_tails[1]
+        );
     }
 
     #[test]
@@ -236,7 +240,10 @@ mod tests {
         let regular = solve(&ErlangArrivals::new(lambda, 10, 2).unwrap(), &opts())
             .unwrap()
             .mean_time_in_system;
-        assert!(regular < poisson, "Erlang-10 arrivals {regular} vs Poisson {poisson}");
+        assert!(
+            regular < poisson,
+            "Erlang-10 arrivals {regular} vs Poisson {poisson}"
+        );
     }
 
     #[test]

@@ -233,7 +233,11 @@ mod tests {
         // At the fixed point service output (fraction busy) equals λ.
         let m = ErlangStages::new(0.7, 10).unwrap();
         let fp = solve(&m, &opts()).unwrap();
-        assert!((fp.task_tails[1] - 0.7).abs() < 1e-7, "π₁ = {}", fp.task_tails[1]);
+        assert!(
+            (fp.task_tails[1] - 0.7).abs() < 1e-7,
+            "π₁ = {}",
+            fp.task_tails[1]
+        );
     }
 
     #[test]
@@ -295,12 +299,18 @@ mod tests {
     fn threshold_raises_constant_service_times_too() {
         // Raising T restricts stealing, so W grows (at c = 5, λ = 0.9).
         let lambda = 0.9;
-        let w2 = solve(&ErlangStages::with_threshold(lambda, 5, 2).unwrap(), &opts())
-            .unwrap()
-            .mean_time_in_system;
-        let w4 = solve(&ErlangStages::with_threshold(lambda, 5, 4).unwrap(), &opts())
-            .unwrap()
-            .mean_time_in_system;
+        let w2 = solve(
+            &ErlangStages::with_threshold(lambda, 5, 2).unwrap(),
+            &opts(),
+        )
+        .unwrap()
+        .mean_time_in_system;
+        let w4 = solve(
+            &ErlangStages::with_threshold(lambda, 5, 4).unwrap(),
+            &opts(),
+        )
+        .unwrap()
+        .mean_time_in_system;
         assert!(w4 > w2, "T=4 {w4} vs T=2 {w2}");
     }
 

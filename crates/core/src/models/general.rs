@@ -201,7 +201,11 @@ mod tests {
         for (lambda, t) in [(0.7, 3), (0.9, 5)] {
             let g = GeneralWs::new(lambda, t, 1, 1).unwrap();
             let exact = ThresholdWs::new(lambda, t).unwrap().closed_form_mean_time();
-            assert!((w(&g) - exact).abs() < 1e-6, "T = {t}: {} vs {exact}", w(&g));
+            assert!(
+                (w(&g) - exact).abs() < 1e-6,
+                "T = {t}: {} vs {exact}",
+                w(&g)
+            );
         }
     }
 

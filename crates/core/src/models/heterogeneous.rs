@@ -51,7 +51,9 @@ impl Heterogeneous {
             return Err(format!("arrival rate must be positive, got {lambda}"));
         }
         if !(0.0 < fast_fraction && fast_fraction < 1.0) {
-            return Err(format!("fast fraction must be in (0, 1), got {fast_fraction}"));
+            return Err(format!(
+                "fast fraction must be in (0, 1), got {fast_fraction}"
+            ));
         }
         if !(fast_rate > 0.0 && slow_rate > 0.0) {
             return Err("service rates must be positive".into());
@@ -69,8 +71,7 @@ impl Heterogeneous {
         // λ/μ_s; if that exceeds 1, stealing carries the surplus and the
         // tails still decay, so fall back to the aggregate utilization.
         let ratio = (lambda / slow_rate).min(0.999).max(lambda / capacity);
-        let levels =
-            crate::tail::truncation_for_ratio(ratio, 1e-14, 32, 8_192).max(threshold + 8);
+        let levels = crate::tail::truncation_for_ratio(ratio, 1e-14, 32, 8_192).max(threshold + 8);
         Ok(Self {
             lambda,
             fast_fraction,
@@ -137,8 +138,7 @@ impl OdeSystem for Heterogeneous {
     fn deriv(&self, _t: f64, y: &[f64], dy: &mut [f64]) {
         let (lambda, t) = (self.lambda, self.threshold);
         let (mf, ms) = (self.fast_rate, self.slow_rate);
-        let thief_rate =
-            mf * (self.f(y, 1) - self.f(y, 2)) + ms * (self.g(y, 1) - self.g(y, 2));
+        let thief_rate = mf * (self.f(y, 1) - self.f(y, 2)) + ms * (self.g(y, 1) - self.g(y, 2));
         let success = self.f(y, t) + self.g(y, t);
         for i in 1..=self.levels {
             // Fast class.

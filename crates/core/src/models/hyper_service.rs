@@ -64,8 +64,8 @@ impl HyperService {
         if rho >= 1.0 {
             return Err(format!("unstable: λ·E[S] = {rho} >= 1"));
         }
-        let levels = crate::tail::truncation_for_ratio(rho.max(0.05), 1e-14, 32, 8_192)
-            .max(threshold + 8);
+        let levels =
+            crate::tail::truncation_for_ratio(rho.max(0.05), 1e-14, 32, 8_192).max(threshold + 8);
         let _ = default_truncation; // λ-based default replaced by ρ-based
         Ok(Self {
             lambda,
@@ -155,11 +155,10 @@ impl OdeSystem for HyperService {
         for b in 0..2 {
             // Completions by either branch whose next task lands in b.
             for i in 1..=self.levels {
-                let restart_gain = probs[b]
-                    * (mus[0] * self.h(y, 0, i + 1) + mus[1] * self.h(y, 1, i + 1));
+                let restart_gain =
+                    probs[b] * (mus[0] * self.h(y, 0, i + 1) + mus[1] * self.h(y, 1, i + 1));
                 let d = if i == 1 {
-                    lambda * probs[b] * (1.0 - h1) + restart_gain
-                        + probs[b] * thief_rate * success
+                    lambda * probs[b] * (1.0 - h1) + restart_gain + probs[b] * thief_rate * success
                         - mus[b] * self.h(y, b, 1)
                 } else {
                     let arrivals = lambda * (self.h(y, b, i - 1) - self.h(y, b, i));

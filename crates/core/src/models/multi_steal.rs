@@ -228,7 +228,10 @@ mod tests {
         // Arrivals − services = λ − s_1 (per processor); steals conserve
         // tasks, so dL/dt must equal it (up to truncation leakage).
         let expect = 0.8 - 0.7;
-        assert!((dl - expect).abs() < 1e-9, "dL/dt = {dl}, expected {expect}");
+        assert!(
+            (dl - expect).abs() < 1e-9,
+            "dL/dt = {dl}, expected {expect}"
+        );
     }
 
     #[test]

@@ -67,8 +67,8 @@ impl OdeSystem for NoSteal {
     fn deriv(&self, _t: f64, y: &[f64], dy: &mut [f64]) {
         let lambda = self.lambda;
         for i in 1..=self.levels {
-            dy[i - 1] = lambda * (self.s(y, i - 1) - self.s(y, i))
-                - (self.s(y, i) - self.s(y, i + 1));
+            dy[i - 1] =
+                lambda * (self.s(y, i - 1) - self.s(y, i)) - (self.s(y, i) - self.s(y, i + 1));
         }
     }
 

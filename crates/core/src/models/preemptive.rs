@@ -187,7 +187,11 @@ mod tests {
     fn fixed_point_satisfies_throughput_balance() {
         let m = Preemptive::new(0.9, 1, 3).unwrap();
         let fp = solve(&m, &FixedPointOptions::default()).unwrap();
-        assert!((fp.task_tails[1] - 0.9).abs() < 1e-8, "π₁ = {}", fp.task_tails[1]);
+        assert!(
+            (fp.task_tails[1] - 0.9).abs() < 1e-8,
+            "π₁ = {}",
+            fp.task_tails[1]
+        );
     }
 
     #[test]

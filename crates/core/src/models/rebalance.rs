@@ -62,7 +62,9 @@ impl Rebalance {
             RebalanceRateFn::Constant(r) | RebalanceRateFn::PerTask(r) => r,
         };
         if !(base > 0.0 && base.is_finite()) {
-            return Err(format!("rebalance rate must be positive and finite, got {base}"));
+            return Err(format!(
+                "rebalance rate must be positive and finite, got {base}"
+            ));
         }
         Ok(Self {
             lambda,
@@ -214,14 +216,21 @@ mod tests {
         m.deriv(0.0, &state, &mut dy);
         let dl: f64 = dy.iter().sum();
         let expect = 0.8 - 0.75; // λ − s₁
-        assert!((dl - expect).abs() < 1e-8, "dL/dt = {dl}, expected {expect}");
+        assert!(
+            (dl - expect).abs() < 1e-8,
+            "dL/dt = {dl}, expected {expect}"
+        );
     }
 
     #[test]
     fn throughput_balance_holds() {
         let m = Rebalance::new(0.8, RebalanceRateFn::Constant(0.5)).unwrap();
         let fp = solve(&m, &opts()).unwrap();
-        assert!((fp.task_tails[1] - 0.8).abs() < 1e-7, "π₁ = {}", fp.task_tails[1]);
+        assert!(
+            (fp.task_tails[1] - 0.8).abs() < 1e-7,
+            "π₁ = {}",
+            fp.task_tails[1]
+        );
     }
 
     #[test]

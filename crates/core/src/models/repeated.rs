@@ -38,7 +38,9 @@ impl RepeatedSteal {
     pub fn new(lambda: f64, rate: f64, threshold: usize) -> Result<Self, String> {
         check_lambda(lambda)?;
         if !(rate > 0.0 && rate.is_finite()) {
-            return Err(format!("retry rate must be positive and finite, got {rate}"));
+            return Err(format!(
+                "retry rate must be positive and finite, got {rate}"
+            ));
         }
         if threshold < 2 {
             return Err(format!("threshold must be >= 2, got {threshold}"));

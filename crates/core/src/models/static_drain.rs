@@ -74,7 +74,12 @@ impl StaticDrain {
     /// Trajectory from a uniformly loaded start (`initial_load` tasks on
     /// every processor) until `s_1 < eps` or `t_max`; returns the drain
     /// time. Meaningful in the static regime (`λ_ext = 0`).
-    pub fn drain_time(&self, initial_load: usize, eps: f64, t_max: f64) -> Result<f64, IntegrationError> {
+    pub fn drain_time(
+        &self,
+        initial_load: usize,
+        eps: f64,
+        t_max: f64,
+    ) -> Result<f64, IntegrationError> {
         let mut y = TailVector::uniform_load(initial_load, self.levels).into_vec();
         let mut dp = DormandPrince45::new(AdaptiveOptions::default());
         dp.integrate_observed(self, 0.0, t_max, &mut y, |_t, y| {

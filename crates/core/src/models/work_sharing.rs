@@ -103,7 +103,11 @@ impl OdeSystem for WorkSharing {
             let step = self.s(y, i - 1) - self.s(y, i);
             // Arrivals kept locally: everything below the sender
             // threshold, a thinned stream above it.
-            let local = if i <= f { lambda * step } else { lambda * step * sr };
+            let local = if i <= f {
+                lambda * step
+            } else {
+                lambda * step * sr
+            };
             // Forwarded arrivals land only below the receiver threshold.
             let forwarded = if i <= r { lambda * sf * step } else { 0.0 };
             let service = self.s(y, i) - self.s(y, i + 1);
@@ -204,7 +208,10 @@ mod tests {
             let sharing = WorkSharing::new(lambda, 2, 2).unwrap();
             let fp = solve(&sharing, &opts).unwrap();
             let probes = sharing.probe_rate(&fp.state);
-            assert!(probes > last_sharing, "λ = {lambda}: sharing probes {probes}");
+            assert!(
+                probes > last_sharing,
+                "λ = {lambda}: sharing probes {probes}"
+            );
             last_sharing = probes;
 
             // Stealing probes = rate processors empty = (π₁ − π₂)(1 − …)

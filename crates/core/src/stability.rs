@@ -26,7 +26,9 @@ pub fn simple_ws_stability_threshold() -> f64 {
 /// Whether the Theorem 1/2 hypothesis `π_2 < 1/2` holds for the simple
 /// system at arrival rate `lambda`.
 pub fn theorem_condition_holds(lambda: f64) -> bool {
-    SimpleWs::new(lambda).map(|m| m.pi2() < 0.5).unwrap_or(false)
+    SimpleWs::new(lambda)
+        .map(|m| m.pi2() < 0.5)
+        .unwrap_or(false)
 }
 
 /// Outcome of a numeric L₁-contraction check.
@@ -71,7 +73,9 @@ impl ContractionReport {
         }
         let tail = &pts[pts.len() / 2..];
         let n = tail.len() as f64;
-        let (st, sd): (f64, f64) = tail.iter().fold((0.0, 0.0), |(a, b), (t, l)| (a + t, b + l));
+        let (st, sd): (f64, f64) = tail
+            .iter()
+            .fold((0.0, 0.0), |(a, b), (t, l)| (a + t, b + l));
         let (mt, md) = (st / n, sd / n);
         let (mut num, mut den) = (0.0, 0.0);
         for (t, l) in tail {
@@ -111,7 +115,11 @@ pub fn check_l1_contraction<M: MeanFieldModel>(
         max_increase = max_increase.max(d - last);
         last = d;
         // Thin the trajectory: keep ~1 sample per unit time.
-        if trajectory.last().map(|&(tt, _)| t - tt >= 1.0).unwrap_or(true) {
+        if trajectory
+            .last()
+            .map(|&(tt, _)| t - tt >= 1.0)
+            .unwrap_or(true)
+        {
             trajectory.push((t, d));
         }
         if d < tol {
@@ -153,7 +161,10 @@ mod tests {
         let fp = solve(&m, &FixedPointOptions::default()).unwrap();
         let start = TailVector::uniform_load(5, m.truncation()).into_vec();
         let report = check_l1_contraction(&m, &start, &fp.state, 1e-8, 2_000.0).unwrap();
-        assert!(report.converged_at.is_some(), "did not converge: {report:?}");
+        assert!(
+            report.converged_at.is_some(),
+            "did not converge: {report:?}"
+        );
         // Theorem 1 regime: monotone up to integrator noise.
         assert!(
             report.is_monotone(1e-7),

@@ -135,7 +135,9 @@ mod tests {
         let one_shot = StaticDrain::new(0.0, 0.0, 96).unwrap();
         let start = TailVector::uniform_load(20, 96).into_vec();
         let slow = drain_time(&one_shot, &start, eps, 1e4).unwrap();
-        let repeated = RepeatedSteal::new(1e-9, 8.0, 2).unwrap().with_truncation(96);
+        let repeated = RepeatedSteal::new(1e-9, 8.0, 2)
+            .unwrap()
+            .with_truncation(96);
         let fast = drain_time(&repeated, &start, eps, 1e4).unwrap();
         assert!(fast < slow, "repeated {fast} vs one-shot {slow}");
     }

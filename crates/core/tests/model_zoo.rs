@@ -56,8 +56,11 @@ fn every_model_reaches_a_clean_fixed_point() {
             "{name}: residual {} too large",
             fp.residual
         );
-        assert!(fp.mean_time_in_system.is_finite() && fp.mean_time_in_system > 1.0,
-            "{name}: W = {}", fp.mean_time_in_system);
+        assert!(
+            fp.mean_time_in_system.is_finite() && fp.mean_time_in_system > 1.0,
+            "{name}: W = {}",
+            fp.mean_time_in_system
+        );
     }
 }
 
@@ -87,7 +90,11 @@ fn every_fixed_point_tail_is_a_valid_tail_vector() {
     for (name, solve_it) in zoo() {
         let (_, fp) = solve_it();
         let t = TailVector::from_slice(&fp.task_tails[1..]);
-        assert!(t.is_valid(1e-8), "{name}: invalid tail {:?}…", &fp.task_tails[..5]);
+        assert!(
+            t.is_valid(1e-8),
+            "{name}: invalid tail {:?}…",
+            &fp.task_tails[..5]
+        );
         assert!((fp.task_tails[0] - 1.0).abs() < 1e-12, "{name}: s₀ ≠ 1");
     }
 }

@@ -1,0 +1,259 @@
+//! The typed event model: everything a solver, simulator, or
+//! replication driver can report, with an NDJSON rendering.
+
+use crate::json::JsonBuf;
+
+/// What kind of simulator activity a [`Event::Sim`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimEventKind {
+    /// A task entered the system.
+    Arrival,
+    /// A task finished service.
+    Completion,
+    /// A steal (or rebalance/share) probe was initiated.
+    StealAttempt,
+    /// A probe found an eligible victim.
+    StealSuccess,
+    /// Tasks moved between processors (`count` of them).
+    Migration,
+}
+
+impl SimEventKind {
+    /// Stable wire name used in traces and counter keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Arrival => "arrival",
+            Self::Completion => "completion",
+            Self::StealAttempt => "steal_attempt",
+            Self::StealSuccess => "steal_success",
+            Self::Migration => "migration",
+        }
+    }
+}
+
+/// One structured observation.
+///
+/// Events are small `Copy` values so emitting one costs a branch and a
+/// few register moves when a recorder is attached, and nothing at all
+/// when the hot loop has cached `Recorder::enabled() == false`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// One attempted step of an adaptive ODE integrator.
+    SolverStep {
+        /// Whether the error controller accepted the step.
+        accepted: bool,
+        /// Time *before* the step.
+        t: f64,
+        /// Step size attempted.
+        h: f64,
+        /// Weighted error-norm estimate (≤ 1 means accepted).
+        err_norm: f64,
+    },
+    /// Steady-state drive progress: the residual after an accepted step.
+    SolverSteady {
+        /// Integration time.
+        t: f64,
+        /// `‖dy/dt‖∞` at `t`.
+        residual: f64,
+    },
+    /// End-of-integration summary.
+    SolverDone {
+        /// Accepted step count.
+        accepted: u64,
+        /// Rejected step count.
+        rejected: u64,
+        /// Smallest accepted step size.
+        min_h: f64,
+        /// Largest accepted step size.
+        max_h: f64,
+        /// Longest run of consecutive rejections (a stiffness hint when
+        /// large).
+        max_reject_streak: u64,
+        /// Whether a steady-state target (if any) was met.
+        converged: bool,
+        /// Final residual `‖dy/dt‖∞`.
+        residual: f64,
+    },
+    /// One simulator event.
+    Sim {
+        /// Event kind.
+        kind: SimEventKind,
+        /// Simulated time.
+        t: f64,
+        /// Processor involved (thief for steals, receiver for
+        /// migrations).
+        proc: u32,
+        /// Multiplicity (tasks moved for migrations, 1 otherwise).
+        count: u32,
+    },
+    /// Periodic progress heartbeat from a long simulation run.
+    Heartbeat {
+        /// Simulated time.
+        t: f64,
+        /// Events processed so far in this run.
+        events: u64,
+        /// Tasks currently in the system.
+        tasks_in_system: u64,
+    },
+    /// One finished replication.
+    ReplicateDone {
+        /// Seed of the run.
+        seed: u64,
+        /// Wall-clock duration in milliseconds.
+        wall_ms: f64,
+        /// Events processed.
+        events: u64,
+        /// Throughput (events per wall-clock second).
+        events_per_sec: f64,
+    },
+}
+
+impl Event {
+    /// Stable wire name of the event type.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::SolverStep { .. } => "solver_step",
+            Self::SolverSteady { .. } => "solver_steady",
+            Self::SolverDone { .. } => "solver_done",
+            Self::Sim { kind, .. } => kind.name(),
+            Self::Heartbeat { .. } => "heartbeat",
+            Self::ReplicateDone { .. } => "replicate_done",
+        }
+    }
+
+    /// Render the event as a single-line JSON object (no trailing
+    /// newline) — the NDJSON wire format.
+    pub fn to_json_line(&self) -> String {
+        let mut j = JsonBuf::new();
+        j.begin_obj().field_str("ev", self.name());
+        match *self {
+            Self::SolverStep {
+                accepted,
+                t,
+                h,
+                err_norm,
+            } => {
+                j.field_bool("accepted", accepted)
+                    .field_f64("t", t)
+                    .field_f64("h", h)
+                    .field_f64("err_norm", err_norm);
+            }
+            Self::SolverSteady { t, residual } => {
+                j.field_f64("t", t).field_f64("residual", residual);
+            }
+            Self::SolverDone {
+                accepted,
+                rejected,
+                min_h,
+                max_h,
+                max_reject_streak,
+                converged,
+                residual,
+            } => {
+                j.field_u64("accepted", accepted)
+                    .field_u64("rejected", rejected)
+                    .field_f64("min_h", min_h)
+                    .field_f64("max_h", max_h)
+                    .field_u64("max_reject_streak", max_reject_streak)
+                    .field_bool("converged", converged)
+                    .field_f64("residual", residual);
+            }
+            Self::Sim { t, proc, count, .. } => {
+                j.field_f64("t", t).field_u64("proc", proc as u64);
+                if count != 1 {
+                    j.field_u64("count", count as u64);
+                }
+            }
+            Self::Heartbeat {
+                t,
+                events,
+                tasks_in_system,
+            } => {
+                j.field_f64("t", t)
+                    .field_u64("events", events)
+                    .field_u64("tasks_in_system", tasks_in_system);
+            }
+            Self::ReplicateDone {
+                seed,
+                wall_ms,
+                events,
+                events_per_sec,
+            } => {
+                j.field_u64("seed", seed)
+                    .field_f64("wall_ms", wall_ms)
+                    .field_u64("events", events)
+                    .field_f64("events_per_sec", events_per_sec);
+            }
+        }
+        j.end_obj();
+        j.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_event_renders_one_json_object() {
+        let events = [
+            Event::SolverStep {
+                accepted: true,
+                t: 1.0,
+                h: 0.5,
+                err_norm: 0.3,
+            },
+            Event::SolverSteady {
+                t: 2.0,
+                residual: 1e-9,
+            },
+            Event::SolverDone {
+                accepted: 10,
+                rejected: 2,
+                min_h: 1e-3,
+                max_h: 4.0,
+                max_reject_streak: 1,
+                converged: true,
+                residual: 5e-11,
+            },
+            Event::Sim {
+                kind: SimEventKind::Migration,
+                t: 3.0,
+                proc: 7,
+                count: 3,
+            },
+            Event::Heartbeat {
+                t: 4.0,
+                events: 100,
+                tasks_in_system: 12,
+            },
+            Event::ReplicateDone {
+                seed: 42,
+                wall_ms: 15.5,
+                events: 1000,
+                events_per_sec: 64516.0,
+            },
+        ];
+        for ev in events {
+            let line = ev.to_json_line();
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(!line.contains('\n'));
+            assert!(
+                line.contains(&format!("\"ev\":\"{}\"", ev.name())),
+                "{line}"
+            );
+        }
+    }
+
+    #[test]
+    fn unit_count_is_elided() {
+        let line = Event::Sim {
+            kind: SimEventKind::Arrival,
+            t: 0.0,
+            proc: 0,
+            count: 1,
+        }
+        .to_json_line();
+        assert!(!line.contains("count"), "{line}");
+    }
+}

@@ -1,0 +1,246 @@
+//! A minimal hand-rolled JSON writer.
+//!
+//! The workspace deliberately avoids serde; every serialized artifact
+//! (NDJSON trace lines, metrics reports, run manifests) goes through
+//! [`JsonBuf`], which handles comma placement, string escaping, and
+//! non-finite floats (serialized as `null`, since JSON has no
+//! infinities).
+
+/// An append-only JSON document builder.
+///
+/// Objects and arrays are opened/closed explicitly; the builder tracks
+/// whether a separator comma is needed at each nesting level. Misuse
+/// (closing more than was opened) panics in debug builds and produces
+/// invalid JSON in release — callers are internal and tested.
+#[derive(Debug, Default)]
+pub struct JsonBuf {
+    out: String,
+    /// One "needs a comma before the next item" flag per open scope.
+    stack: Vec<bool>,
+}
+
+impl JsonBuf {
+    /// Fresh empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume the builder, returning the document.
+    pub fn finish(self) -> String {
+        debug_assert!(self.stack.is_empty(), "unclosed JSON scopes");
+        self.out
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
+    fn sep(&mut self) {
+        if let Some(needs) = self.stack.last_mut() {
+            if *needs {
+                self.out.push(',');
+            }
+            *needs = true;
+        }
+    }
+
+    /// Open an object as the next value.
+    pub fn begin_obj(&mut self) -> &mut Self {
+        self.sep();
+        self.out.push('{');
+        self.stack.push(false);
+        self
+    }
+
+    /// Close the innermost object.
+    pub fn end_obj(&mut self) -> &mut Self {
+        self.stack.pop();
+        self.out.push('}');
+        self
+    }
+
+    /// Open an array as the next value.
+    pub fn begin_arr(&mut self) -> &mut Self {
+        self.sep();
+        self.out.push('[');
+        self.stack.push(false);
+        self
+    }
+
+    /// Close the innermost array.
+    pub fn end_arr(&mut self) -> &mut Self {
+        self.stack.pop();
+        self.out.push(']');
+        self
+    }
+
+    /// Write an object key; the next write supplies its value.
+    pub fn key(&mut self, k: &str) -> &mut Self {
+        self.sep();
+        write_escaped(&mut self.out, k);
+        self.out.push(':');
+        // The value that follows must not emit another comma.
+        if let Some(needs) = self.stack.last_mut() {
+            *needs = false;
+        }
+        self
+    }
+
+    /// Write a string value.
+    pub fn str_val(&mut self, v: &str) -> &mut Self {
+        self.sep();
+        write_escaped(&mut self.out, v);
+        self
+    }
+
+    /// Write an `f64` value (`null` when non-finite).
+    pub fn f64_val(&mut self, v: f64) -> &mut Self {
+        self.sep();
+        if v.is_finite() {
+            // `{:?}` prints the shortest representation that round-trips,
+            // which is also valid JSON for finite values.
+            self.out.push_str(&format!("{v:?}"));
+        } else {
+            self.out.push_str("null");
+        }
+        self
+    }
+
+    /// Write a `u64` value.
+    pub fn u64_val(&mut self, v: u64) -> &mut Self {
+        self.sep();
+        self.out.push_str(&v.to_string());
+        self
+    }
+
+    /// Write an `i64` value.
+    pub fn i64_val(&mut self, v: i64) -> &mut Self {
+        self.sep();
+        self.out.push_str(&v.to_string());
+        self
+    }
+
+    /// Write a boolean value.
+    pub fn bool_val(&mut self, v: bool) -> &mut Self {
+        self.sep();
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Write a `null` value.
+    pub fn null_val(&mut self) -> &mut Self {
+        self.sep();
+        self.out.push_str("null");
+        self
+    }
+
+    /// Splice a pre-rendered JSON value (trusted to be valid).
+    pub fn raw_val(&mut self, v: &str) -> &mut Self {
+        self.sep();
+        self.out.push_str(v);
+        self
+    }
+
+    // ---- key+value conveniences -------------------------------------
+
+    /// `"k": "v"`.
+    pub fn field_str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k).str_val(v)
+    }
+
+    /// `"k": 1.5`.
+    pub fn field_f64(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k).f64_val(v)
+    }
+
+    /// `"k": 7`.
+    pub fn field_u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k).u64_val(v)
+    }
+
+    /// `"k": true`.
+    pub fn field_bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k).bool_val(v)
+    }
+}
+
+/// Escape `s` as a JSON string (with surrounding quotes) onto `out`.
+pub fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_document_renders() {
+        let mut j = JsonBuf::new();
+        j.begin_obj()
+            .field_str("name", "run")
+            .field_u64("seed", 42)
+            .key("tails")
+            .begin_arr()
+            .f64_val(1.0)
+            .f64_val(0.5)
+            .end_arr()
+            .key("inner")
+            .begin_obj()
+            .field_bool("ok", true)
+            .end_obj()
+            .end_obj();
+        assert_eq!(
+            j.finish(),
+            r#"{"name":"run","seed":42,"tails":[1.0,0.5],"inner":{"ok":true}}"#
+        );
+    }
+
+    #[test]
+    fn escaping_covers_specials_and_controls() {
+        let mut out = String::new();
+        write_escaped(&mut out, "a\"b\\c\nd\te\u{1}f");
+        assert_eq!(out, r#""a\"b\\c\nd\te\u0001f""#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut j = JsonBuf::new();
+        j.begin_obj()
+            .field_f64("inf", f64::INFINITY)
+            .field_f64("nan", f64::NAN)
+            .field_f64("x", 0.25)
+            .end_obj();
+        assert_eq!(j.finish(), r#"{"inf":null,"nan":null,"x":0.25}"#);
+    }
+
+    #[test]
+    fn float_formatting_round_trips_and_is_json() {
+        for v in [0.9, 1e-12, 3.541, 123456789.0, -0.0, 2e300] {
+            let mut j = JsonBuf::new();
+            j.f64_val(v);
+            let s = j.finish();
+            let parsed: f64 = s.parse().unwrap();
+            assert_eq!(parsed, v, "{s}");
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! `loadsteal-obs` — the observability layer of the loadsteal
+//! workspace: structured tracing, a metrics registry, and run
+//! manifests, with zero heavy dependencies.
+//!
+//! The crate is organized around four ideas:
+//!
+//! * **Typed events** ([`Event`]): everything the solver and the
+//!   simulator can report — ODE step acceptances/rejections,
+//!   steady-state convergence residuals, per-event simulator activity,
+//!   progress heartbeats, and per-replicate throughput.
+//! * **Recorders** ([`Recorder`]): sinks for those events.
+//!   [`NullRecorder`] is free (its `enabled()` hint lets hot loops skip
+//!   event construction entirely), [`CountingRecorder`] aggregates
+//!   in-memory tallies, [`NdjsonRecorder`] streams one JSON object per
+//!   event line, and [`SharedRecorder`] makes any sink shareable across
+//!   replication worker threads.
+//! * **Metrics** ([`registry::Registry`]): named counters, gauges, and
+//!   log2-bucketed histograms, snapshottable into a JSON
+//!   [`registry::MetricsReport`] — the machine-readable footprint of a
+//!   run.
+//! * **Manifests** ([`manifest::RunManifest`]): the reproducibility
+//!   header (command, version, seed, configuration) that turns a
+//!   metrics report into a self-describing artifact.
+//!
+//! Supporting cast: [`json`] is the hand-rolled JSON writer everything
+//! serializes through (no serde), [`timer`] provides scoped wall-clock
+//! timers feeding histograms, and [`log`] is the `LOADSTEAL_LOG`
+//! env-filtered diagnostic logger.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod json;
+pub mod log;
+pub mod manifest;
+pub mod recorder;
+pub mod registry;
+pub mod timer;
+
+pub use event::{Event, SimEventKind};
+pub use manifest::{ConfigValue, RunManifest};
+pub use recorder::{
+    CountingRecorder, EventCounts, NdjsonRecorder, NullRecorder, Recorder, SharedRecorder,
+};
+pub use registry::{Counter, Gauge, Histogram, MetricsReport, Registry};
+pub use timer::{ScopedTimer, Stopwatch};

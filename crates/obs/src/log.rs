@@ -1,0 +1,121 @@
+//! A tiny leveled diagnostic logger filtered by the `LOADSTEAL_LOG`
+//! environment variable (`off`, `info`, or `debug`; default `info`).
+//!
+//! This is for human-facing progress/diagnostic lines on stderr; the
+//! structured data path is [`crate::Recorder`]. A process-wide quiet
+//! override (the CLI's `--quiet`) silences everything regardless of the
+//! environment.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Log verbosity levels, ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Nothing.
+    Off = 0,
+    /// Progress and summaries.
+    Info = 1,
+    /// Detailed diagnostics.
+    Debug = 2,
+}
+
+impl Level {
+    /// Parse a level name (case-insensitive). Unknown names map to
+    /// `Info` so a typo degrades gracefully instead of silencing.
+    pub fn parse(s: &str) -> Level {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" | "0" => Level::Off,
+            "debug" | "trace" | "2" => Level::Debug,
+            _ => Level::Info,
+        }
+    }
+}
+
+fn env_level() -> Level {
+    static LEVEL: OnceLock<Level> = OnceLock::new();
+    *LEVEL.get_or_init(|| match std::env::var("LOADSTEAL_LOG") {
+        Ok(v) => Level::parse(&v),
+        Err(_) => Level::Info,
+    })
+}
+
+/// 0 = follow the environment, 1 = forced off (`--quiet`).
+static QUIET: AtomicU8 = AtomicU8::new(0);
+
+/// Force all logging off (or back on) process-wide; used by `--quiet`.
+pub fn set_quiet(quiet: bool) {
+    QUIET.store(quiet as u8, Ordering::Relaxed);
+}
+
+/// Whether a message at `level` should currently be printed.
+pub fn level_enabled(level: Level) -> bool {
+    if QUIET.load(Ordering::Relaxed) != 0 {
+        return false;
+    }
+    level <= env_level()
+}
+
+/// Print a formatted message to stderr if `level` is enabled.
+/// Prefer the [`info!`](crate::info) / [`debug!`](crate::debug) macros.
+pub fn log_at(level: Level, args: std::fmt::Arguments<'_>) {
+    if level_enabled(level) {
+        let tag = match level {
+            Level::Off => return,
+            Level::Info => "info",
+            Level::Debug => "debug",
+        };
+        eprintln!("[loadsteal {tag}] {args}");
+    }
+}
+
+/// Log at info level (stderr, filtered by `LOADSTEAL_LOG` / `--quiet`).
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        $crate::log::log_at($crate::log::Level::Info, format_args!($($arg)*))
+    };
+}
+
+/// Log at debug level (stderr, filtered by `LOADSTEAL_LOG` / `--quiet`).
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        $crate::log::log_at($crate::log::Level::Debug, format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parsing() {
+        assert_eq!(Level::parse("off"), Level::Off);
+        assert_eq!(Level::parse("OFF"), Level::Off);
+        assert_eq!(Level::parse("0"), Level::Off);
+        assert_eq!(Level::parse("info"), Level::Info);
+        assert_eq!(Level::parse("debug"), Level::Debug);
+        assert_eq!(Level::parse("bogus"), Level::Info);
+    }
+
+    #[test]
+    fn quiet_overrides_everything() {
+        set_quiet(true);
+        assert!(!level_enabled(Level::Info));
+        assert!(!level_enabled(Level::Debug));
+        set_quiet(false);
+        // Default env (unset) is Info in the test environment unless
+        // the caller exported LOADSTEAL_LOG; either way Off events are
+        // never printed and Debug implies Info.
+        if level_enabled(Level::Debug) {
+            assert!(level_enabled(Level::Info));
+        }
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(Level::Off < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+}

@@ -1,0 +1,363 @@
+//! Event sinks.
+//!
+//! A [`Recorder`] receives [`Event`]s from instrumented code. Hot loops
+//! are expected to cache [`Recorder::enabled`] in a local once per
+//! run/batch and skip event construction entirely when it is `false`,
+//! which makes the disabled path (a [`NullRecorder`]) essentially free.
+
+use crate::event::{Event, SimEventKind};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// A sink for structured events.
+pub trait Recorder {
+    /// Whether this recorder wants events at all.
+    ///
+    /// Instrumented loops should read this once (per run, per batch)
+    /// and branch on the cached value; the default is `true`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Accept one event.
+    fn record(&mut self, ev: &Event);
+
+    /// Flush any buffered output. Default: no-op.
+    fn flush(&mut self) {}
+}
+
+impl<R: Recorder + ?Sized> Recorder for Box<R> {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    fn record(&mut self, ev: &Event) {
+        (**self).record(ev);
+    }
+
+    fn flush(&mut self) {
+        (**self).flush();
+    }
+}
+
+/// The do-nothing recorder: `enabled()` is `false` so instrumented code
+/// skips event construction entirely.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _ev: &Event) {}
+}
+
+/// Tallies of events seen by a [`CountingRecorder`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EventCounts {
+    /// Accepted solver steps.
+    pub solver_accepted: u64,
+    /// Rejected solver steps.
+    pub solver_rejected: u64,
+    /// Steady-state residual samples.
+    pub solver_steady: u64,
+    /// Solver end-of-integration summaries.
+    pub solver_done: u64,
+    /// Task arrivals.
+    pub arrivals: u64,
+    /// Task completions.
+    pub completions: u64,
+    /// Steal attempts.
+    pub steal_attempts: u64,
+    /// Successful steals.
+    pub steal_successes: u64,
+    /// Migration events.
+    pub migrations: u64,
+    /// Tasks moved across processors (sum of migration multiplicities).
+    pub tasks_migrated: u64,
+    /// Heartbeats.
+    pub heartbeats: u64,
+    /// Finished replications.
+    pub replicates: u64,
+    /// Longest consecutive step-rejection streak reported by any
+    /// `solver_done` summary (a stiffness hint; not an event count).
+    pub solver_max_reject_streak: u64,
+}
+
+impl EventCounts {
+    /// Total events tallied.
+    pub fn total(&self) -> u64 {
+        self.solver_accepted
+            + self.solver_rejected
+            + self.solver_steady
+            + self.solver_done
+            + self.arrivals
+            + self.completions
+            + self.steal_attempts
+            + self.steal_successes
+            + self.migrations
+            + self.heartbeats
+            + self.replicates
+    }
+}
+
+/// A recorder that keeps in-memory tallies — cheap enough for tests and
+/// for overhead measurements, and the basis of metrics aggregation.
+#[derive(Debug, Default, Clone)]
+pub struct CountingRecorder {
+    counts: EventCounts,
+}
+
+impl CountingRecorder {
+    /// Fresh recorder with zeroed tallies.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of the tallies so far.
+    pub fn counts(&self) -> EventCounts {
+        self.counts
+    }
+}
+
+impl Recorder for CountingRecorder {
+    fn record(&mut self, ev: &Event) {
+        let c = &mut self.counts;
+        match *ev {
+            Event::SolverStep { accepted, .. } => {
+                if accepted {
+                    c.solver_accepted += 1;
+                } else {
+                    c.solver_rejected += 1;
+                }
+            }
+            Event::SolverSteady { .. } => c.solver_steady += 1,
+            Event::SolverDone {
+                max_reject_streak, ..
+            } => {
+                c.solver_done += 1;
+                c.solver_max_reject_streak = c.solver_max_reject_streak.max(max_reject_streak);
+            }
+            Event::Sim { kind, count, .. } => match kind {
+                SimEventKind::Arrival => c.arrivals += 1,
+                SimEventKind::Completion => c.completions += 1,
+                SimEventKind::StealAttempt => c.steal_attempts += 1,
+                SimEventKind::StealSuccess => c.steal_successes += 1,
+                SimEventKind::Migration => {
+                    c.migrations += 1;
+                    c.tasks_migrated += count as u64;
+                }
+            },
+            Event::Heartbeat { .. } => c.heartbeats += 1,
+            Event::ReplicateDone { .. } => c.replicates += 1,
+        }
+    }
+}
+
+/// Streams events as NDJSON (one JSON object per line) to any writer.
+#[derive(Debug)]
+pub struct NdjsonRecorder<W: Write> {
+    w: W,
+    lines: u64,
+    /// First I/O error encountered, if any; recording keeps counting
+    /// but stops writing.
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> NdjsonRecorder<W> {
+    /// Wrap a writer. Callers that care about syscall overhead should
+    /// pass a `BufWriter`.
+    pub fn new(w: W) -> Self {
+        Self {
+            w,
+            lines: 0,
+            error: None,
+        }
+    }
+
+    /// Lines written (or attempted) so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// First I/O error encountered while writing, if any.
+    pub fn io_error(&self) -> Option<&std::io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Flush and return the inner writer (and the first error, if any).
+    pub fn into_inner(mut self) -> (W, Option<std::io::Error>) {
+        let _ = self.w.flush();
+        (self.w, self.error)
+    }
+}
+
+impl<W: Write> Recorder for NdjsonRecorder<W> {
+    fn record(&mut self, ev: &Event) {
+        self.lines += 1;
+        if self.error.is_some() {
+            return;
+        }
+        let line = ev.to_json_line();
+        if let Err(e) = self
+            .w
+            .write_all(line.as_bytes())
+            .and_then(|_| self.w.write_all(b"\n"))
+        {
+            self.error = Some(e);
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.error.is_none() {
+            if let Err(e) = self.w.flush() {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+/// A cloneable handle that lets several owners (e.g. replication worker
+/// threads) feed one underlying recorder through a mutex.
+#[derive(Debug)]
+pub struct SharedRecorder<R: Recorder> {
+    inner: Arc<Mutex<R>>,
+    enabled: bool,
+}
+
+impl<R: Recorder> Clone for SharedRecorder<R> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+            enabled: self.enabled,
+        }
+    }
+}
+
+impl<R: Recorder> SharedRecorder<R> {
+    /// Wrap a recorder for shared use. The `enabled` hint is sampled
+    /// once here (lock-free reads afterwards).
+    pub fn new(inner: R) -> Self {
+        let enabled = inner.enabled();
+        Self {
+            inner: Arc::new(Mutex::new(inner)),
+            enabled,
+        }
+    }
+
+    /// Run `f` against the underlying recorder.
+    pub fn with<T>(&self, f: impl FnOnce(&mut R) -> T) -> T {
+        f(&mut self.inner.lock().expect("recorder mutex poisoned"))
+    }
+
+    /// Unwrap if this is the last handle; otherwise returns `None`.
+    pub fn try_into_inner(self) -> Option<R> {
+        Arc::try_unwrap(self.inner)
+            .ok()
+            .map(|m| m.into_inner().expect("recorder mutex poisoned"))
+    }
+}
+
+impl<R: Recorder> Recorder for SharedRecorder<R> {
+    fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn record(&mut self, ev: &Event) {
+        self.inner
+            .lock()
+            .expect("recorder mutex poisoned")
+            .record(ev);
+    }
+
+    fn flush(&mut self) {
+        self.inner.lock().expect("recorder mutex poisoned").flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(kind: SimEventKind, count: u32) -> Event {
+        Event::Sim {
+            kind,
+            t: 1.0,
+            proc: 0,
+            count,
+        }
+    }
+
+    #[test]
+    fn null_recorder_reports_disabled() {
+        assert!(!NullRecorder.enabled());
+    }
+
+    #[test]
+    fn counting_recorder_tallies_by_kind() {
+        let mut r = CountingRecorder::new();
+        r.record(&sim(SimEventKind::Arrival, 1));
+        r.record(&sim(SimEventKind::Arrival, 1));
+        r.record(&sim(SimEventKind::StealAttempt, 1));
+        r.record(&sim(SimEventKind::StealSuccess, 1));
+        r.record(&sim(SimEventKind::Migration, 5));
+        r.record(&Event::SolverStep {
+            accepted: false,
+            t: 0.0,
+            h: 0.1,
+            err_norm: 2.0,
+        });
+        let c = r.counts();
+        assert_eq!(c.arrivals, 2);
+        assert_eq!(c.steal_attempts, 1);
+        assert_eq!(c.steal_successes, 1);
+        assert_eq!(c.migrations, 1);
+        assert_eq!(c.tasks_migrated, 5);
+        assert_eq!(c.solver_rejected, 1);
+        assert_eq!(c.total(), 6);
+    }
+
+    #[test]
+    fn ndjson_recorder_writes_one_line_per_event() {
+        let mut r = NdjsonRecorder::new(Vec::new());
+        r.record(&sim(SimEventKind::Completion, 1));
+        r.record(&Event::Heartbeat {
+            t: 2.0,
+            events: 10,
+            tasks_in_system: 3,
+        });
+        r.flush();
+        let (buf, err) = r.into_inner();
+        assert!(err.is_none());
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(text.contains("\"ev\":\"completion\""));
+        assert!(text.contains("\"ev\":\"heartbeat\""));
+    }
+
+    #[test]
+    fn shared_recorder_funnels_to_one_sink() {
+        let shared = SharedRecorder::new(CountingRecorder::new());
+        assert!(shared.enabled());
+        let mut a = shared.clone();
+        let mut b = shared.clone();
+        a.record(&sim(SimEventKind::Arrival, 1));
+        b.record(&sim(SimEventKind::Completion, 1));
+        drop(a);
+        drop(b);
+        let counts = shared.with(|r| r.counts());
+        assert_eq!(counts.arrivals, 1);
+        assert_eq!(counts.completions, 1);
+    }
+
+    #[test]
+    fn shared_null_recorder_stays_disabled() {
+        let shared = SharedRecorder::new(NullRecorder);
+        assert!(!shared.enabled());
+    }
+}

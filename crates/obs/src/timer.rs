@@ -1,0 +1,88 @@
+//! Scoped wall-clock timers.
+
+use crate::registry::Histogram;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A simple wall-clock stopwatch.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed milliseconds (fractional).
+    pub fn elapsed_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Elapsed microseconds, saturating into `u64`.
+    pub fn elapsed_us(&self) -> u64 {
+        let us = self.start.elapsed().as_secs_f64() * 1e6;
+        if us >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            us as u64
+        }
+    }
+}
+
+/// Records the wall-clock duration of a scope into a histogram (in
+/// microseconds) when dropped.
+#[derive(Debug)]
+pub struct ScopedTimer {
+    sink: Arc<Histogram>,
+    watch: Stopwatch,
+}
+
+impl ScopedTimer {
+    /// Start timing; the elapsed microseconds are recorded into `sink`
+    /// on drop.
+    pub fn new(sink: Arc<Histogram>) -> Self {
+        Self {
+            sink,
+            watch: Stopwatch::start(),
+        }
+    }
+}
+
+impl Drop for ScopedTimer {
+    fn drop(&mut self) {
+        self.sink.record(self.watch.elapsed_us());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_moves_forward() {
+        let w = Stopwatch::start();
+        std::hint::black_box((0..1000).sum::<u64>());
+        assert!(w.elapsed_ms() >= 0.0);
+        assert!(w.elapsed_us() < 60_000_000, "test took over a minute?");
+    }
+
+    #[test]
+    fn scoped_timer_records_on_drop() {
+        let h = Arc::new(Histogram::default());
+        {
+            let _t = ScopedTimer::new(Arc::clone(&h));
+        }
+        assert_eq!(h.count(), 1);
+    }
+}

@@ -60,6 +60,6 @@ pub use newton::{newton_solve, NewtonError, NewtonOptions, NewtonReport};
 pub use roots::{bisect, brent, RootError};
 pub use solver::{
     AdaptiveOptions, Control, DormandPrince45, Euler, IntegrationError, Rk4, SteadyReport,
-    SteadyStateOptions,
+    SteadyStateOptions, StepStats,
 };
 pub use system::{FnSystem, OdeSystem};

@@ -230,7 +230,9 @@ mod tests {
         let n = 25;
         let mut seed: u64 = 0x9E3779B97F4A7C15;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         };
         let mut a = DenseMatrix::zeros(n);
@@ -244,7 +246,11 @@ mod tests {
         let a2 = a.clone();
         let x = a.lu().unwrap().solve(&b);
         let ax = a2.mul_vec(&x);
-        let resid: f64 = ax.iter().zip(&b).map(|(p, q)| (p - q).abs()).fold(0.0, f64::max);
+        let resid: f64 = ax
+            .iter()
+            .zip(&b)
+            .map(|(p, q)| (p - q).abs())
+            .fold(0.0, f64::max);
         assert!(resid < 1e-11, "residual {resid}");
     }
 

@@ -39,7 +39,12 @@ const MAX_ITERS: usize = 200;
 /// Bisection on `[a, b]`; requires `f(a)` and `f(b)` to differ in sign.
 /// Converges linearly but unconditionally; `tol` bounds the bracket
 /// width of the returned root.
-pub fn bisect(mut f: impl FnMut(f64) -> f64, mut a: f64, mut b: f64, tol: f64) -> Result<f64, RootError> {
+pub fn bisect(
+    mut f: impl FnMut(f64) -> f64,
+    mut a: f64,
+    mut b: f64,
+    tol: f64,
+) -> Result<f64, RootError> {
     let mut fa = f(a);
     let fb = f(b);
     if !fa.is_finite() || !fb.is_finite() {

@@ -2,8 +2,9 @@
 
 use crate::norms::{error_norm, max_abs};
 use crate::system::OdeSystem;
+use loadsteal_obs::{Event, NullRecorder, Recorder};
 
-use super::{Control, IntegrationError, SteadyReport, SteadyStateOptions};
+use super::{Control, IntegrationError, SteadyReport, SteadyStateOptions, StepStats};
 
 // Butcher tableau for the Dormand–Prince 5(4) pair (DOPRI5).
 const C: [f64; 7] = [0.0, 1.0 / 5.0, 3.0 / 10.0, 4.0 / 5.0, 8.0 / 9.0, 1.0, 1.0];
@@ -89,6 +90,8 @@ pub struct DormandPrince45 {
     err: Vec<f64>,
     /// Error estimate of the previous accepted step, for the PI term.
     err_old: f64,
+    /// Step-control diagnostics of the most recent `integrate*` call.
+    stats: StepStats,
 }
 
 impl DormandPrince45 {
@@ -110,12 +113,19 @@ impl DormandPrince45 {
             ynew: Vec::new(),
             err: Vec::new(),
             err_old: 1e-4,
+            stats: StepStats::default(),
         }
     }
 
     /// The active options.
     pub fn options(&self) -> &AdaptiveOptions {
         &self.opts
+    }
+
+    /// Step-control diagnostics of the most recent `integrate*` call
+    /// (valid even when the run returned an error).
+    pub fn last_run_stats(&self) -> StepStats {
+        self.stats
     }
 
     fn ensure_dim(&mut self, n: usize) {
@@ -191,6 +201,19 @@ impl DormandPrince45 {
             .map(|_| ())
     }
 
+    /// [`Self::integrate`] with per-step events sent to `rec`.
+    pub fn integrate_traced(
+        &mut self,
+        sys: &impl OdeSystem,
+        t0: f64,
+        t1: f64,
+        y: &mut [f64],
+        rec: &mut dyn Recorder,
+    ) -> Result<(), IntegrationError> {
+        self.drive(sys, t0, t1, y, 0.0, 0.0, |_, _| Control::Continue, rec)
+            .map(|_| ())
+    }
+
     /// Integrate `y` from `t0` to `t1`, invoking `observer` after every
     /// accepted step. Returns the time reached (< `t1` only if the
     /// observer stopped early).
@@ -204,7 +227,16 @@ impl DormandPrince45 {
     ) -> Result<f64, IntegrationError> {
         // `steady_tol = 0` disables steady-state stopping (residuals are
         // non-negative).
-        let (t, _steps, _res) = self.drive(sys, t0, t1, y, 0.0, 0.0, |t, y| observer(t, y))?;
+        let (t, _steps, _res) = self.drive(
+            sys,
+            t0,
+            t1,
+            y,
+            0.0,
+            0.0,
+            |t, y| observer(t, y),
+            &mut NullRecorder,
+        )?;
         Ok(t)
     }
 
@@ -220,6 +252,19 @@ impl DormandPrince45 {
         y: &mut [f64],
         steady: &SteadyStateOptions,
     ) -> Result<SteadyReport, IntegrationError> {
+        self.integrate_to_steady_traced(sys, t0, y, steady, &mut NullRecorder)
+    }
+
+    /// [`Self::integrate_to_steady`] with the convergence trace
+    /// (per-step residuals and step control) sent to `rec`.
+    pub fn integrate_to_steady_traced(
+        &mut self,
+        sys: &impl OdeSystem,
+        t0: f64,
+        y: &mut [f64],
+        steady: &SteadyStateOptions,
+        rec: &mut dyn Recorder,
+    ) -> Result<SteadyReport, IntegrationError> {
         let (t, steps, residual) = self.drive(
             sys,
             t0,
@@ -228,6 +273,7 @@ impl DormandPrince45 {
             steady.tol,
             t0 + steady.min_time,
             |_, _| Control::Continue,
+            rec,
         )?;
         Ok(SteadyReport {
             t,
@@ -237,9 +283,8 @@ impl DormandPrince45 {
         })
     }
 
-    /// Core adaptive loop. Stops at `t1`, or when the derivative norm
-    /// drops below `steady_tol` after `steady_after`, or when the
-    /// observer requests it. Returns `(t, accepted_steps, residual)`.
+    /// Core adaptive loop plus end-of-run reporting: resets the run
+    /// stats, integrates, and emits a `SolverDone` summary to `rec`.
     #[allow(clippy::too_many_arguments)]
     fn drive(
         &mut self,
@@ -249,7 +294,51 @@ impl DormandPrince45 {
         y: &mut [f64],
         steady_tol: f64,
         steady_after: f64,
+        observer: impl FnMut(f64, &[f64]) -> Control,
+        rec: &mut dyn Recorder,
+    ) -> Result<(f64, u64, f64), IntegrationError> {
+        self.stats = StepStats::default();
+        let out = self.drive_inner(sys, t0, t1, y, steady_tol, steady_after, observer, rec);
+        if rec.enabled() {
+            let (converged, residual) = match &out {
+                Ok((t, _, residual)) => {
+                    let converged = if steady_tol > 0.0 {
+                        *residual < steady_tol
+                    } else {
+                        *t >= t1
+                    };
+                    (converged, *residual)
+                }
+                Err(_) => (false, f64::NAN),
+            };
+            let s = self.stats;
+            rec.record(&Event::SolverDone {
+                accepted: s.accepted,
+                rejected: s.rejected,
+                min_h: s.min_h,
+                max_h: s.max_h,
+                max_reject_streak: s.max_reject_streak,
+                converged,
+                residual,
+            });
+        }
+        out
+    }
+
+    /// The adaptive loop proper. Stops at `t1`, or when the derivative
+    /// norm drops below `steady_tol` after `steady_after`, or when the
+    /// observer requests it. Returns `(t, accepted_steps, residual)`.
+    #[allow(clippy::too_many_arguments)]
+    fn drive_inner(
+        &mut self,
+        sys: &impl OdeSystem,
+        t0: f64,
+        t1: f64,
+        y: &mut [f64],
+        steady_tol: f64,
+        steady_after: f64,
         mut observer: impl FnMut(f64, &[f64]) -> Control,
+        rec: &mut dyn Recorder,
     ) -> Result<(f64, u64, f64), IntegrationError> {
         let n = sys.dim();
         assert_eq!(y.len(), n, "state length must match system dimension");
@@ -265,6 +354,10 @@ impl DormandPrince45 {
         let mut residual = max_abs(&self.k[0]);
         let mut accepted: u64 = 0;
         let mut nsteps: u64 = 0;
+        // Sampled once: the disabled path must not pay per-step virtual
+        // calls, only this local bool check.
+        let tracing = rec.enabled();
+        let mut reject_streak: u64 = 0;
         // PI controller exponents for a fifth-order method.
         const ALPHA: f64 = 0.7 / 5.0;
         const BETA: f64 = 0.4 / 5.0;
@@ -280,10 +373,21 @@ impl DormandPrince45 {
             }
             let h_eff = h.min(t1 - t);
             let err = self.try_step(sys, t, h_eff, y);
+            if tracing {
+                rec.record(&Event::SolverStep {
+                    accepted: err.is_finite() && err <= 1.0,
+                    t,
+                    h: h_eff,
+                    err_norm: err,
+                });
+            }
             if !err.is_finite() {
                 // Reject hard and shrink; if we're already at the floor,
                 // the right-hand side itself is producing non-finite
                 // values.
+                self.stats.rejected += 1;
+                reject_streak += 1;
+                self.stats.max_reject_streak = self.stats.max_reject_streak.max(reject_streak);
                 if h_eff <= self.opts.h_min * 2.0 {
                     return Err(IntegrationError::NonFinite { t });
                 }
@@ -300,6 +404,17 @@ impl DormandPrince45 {
                 self.k.swap(0, 6);
                 accepted += 1;
                 residual = max_abs(&self.k[0]);
+                self.stats.accepted += 1;
+                self.stats.min_h = if self.stats.min_h == 0.0 {
+                    h_eff
+                } else {
+                    self.stats.min_h.min(h_eff)
+                };
+                self.stats.max_h = self.stats.max_h.max(h_eff);
+                reject_streak = 0;
+                if tracing && steady_tol > 0.0 {
+                    rec.record(&Event::SolverSteady { t, residual });
+                }
                 let scale = SAFETY * err.max(1e-10).powf(-ALPHA) * self.err_old.powf(BETA);
                 self.err_old = err.max(1e-10);
                 h = (h_eff * scale.clamp(0.2, 6.0)).min(self.opts.h_max);
@@ -311,6 +426,9 @@ impl DormandPrince45 {
                 }
             } else {
                 // Reject: classic controller (no PI memory on rejects).
+                self.stats.rejected += 1;
+                reject_streak += 1;
+                self.stats.max_reject_streak = self.stats.max_reject_streak.max(reject_streak);
                 let scale = (SAFETY * err.powf(-0.2)).clamp(0.1, 1.0);
                 h = h_eff * scale;
                 if h < self.opts.h_min {
@@ -452,6 +570,63 @@ mod tests {
             (y[0] - exact).abs()
         };
         assert!(run(1e-10) < run(1e-4));
+    }
+
+    #[test]
+    fn traced_run_emits_steps_and_summary() {
+        use loadsteal_obs::{CountingRecorder, Recorder as _};
+        let sys = FnSystem {
+            dim: 1,
+            f: |_t, y: &[f64], dy: &mut [f64]| dy[0] = -y[0],
+        };
+        let mut y = vec![1.0];
+        let mut dp = DormandPrince45::new(opts());
+        let mut rec = CountingRecorder::new();
+        dp.integrate_traced(&sys, 0.0, 10.0, &mut y, &mut rec)
+            .unwrap();
+        let c = rec.counts();
+        let stats = dp.last_run_stats();
+        assert_eq!(c.solver_accepted, stats.accepted);
+        assert_eq!(c.solver_rejected, stats.rejected);
+        assert_eq!(c.solver_done, 1);
+        assert!(stats.accepted > 0);
+        assert!(stats.min_h > 0.0 && stats.min_h <= stats.max_h);
+        assert!(!stats.stiffness_hint());
+        assert!(rec.enabled());
+    }
+
+    #[test]
+    fn steady_trace_records_convergence_residuals() {
+        use loadsteal_obs::CountingRecorder;
+        let sys = FnSystem {
+            dim: 1,
+            f: |_t, y: &[f64], dy: &mut [f64]| dy[0] = y[0] * (1.0 - y[0]),
+        };
+        let mut y = vec![0.01];
+        let mut dp = DormandPrince45::new(opts());
+        let mut rec = CountingRecorder::new();
+        let report = dp
+            .integrate_to_steady_traced(&sys, 0.0, &mut y, &SteadyStateOptions::default(), &mut rec)
+            .unwrap();
+        assert!(report.converged);
+        let c = rec.counts();
+        // One residual sample per accepted step, plus the summary.
+        assert_eq!(c.solver_steady, c.solver_accepted);
+        assert_eq!(c.solver_done, 1);
+    }
+
+    #[test]
+    fn untraced_run_still_collects_stats() {
+        let sys = FnSystem {
+            dim: 1,
+            f: |_t, y: &[f64], dy: &mut [f64]| dy[0] = -y[0],
+        };
+        let mut y = vec![1.0];
+        let mut dp = DormandPrince45::new(opts());
+        dp.integrate(&sys, 0.0, 10.0, &mut y).unwrap();
+        let stats = dp.last_run_stats();
+        assert!(stats.accepted > 0);
+        assert!(stats.max_h >= stats.min_h);
     }
 
     #[test]

@@ -91,6 +91,34 @@ impl Default for SteadyStateOptions {
     }
 }
 
+/// Step-control diagnostics for the most recent adaptive run.
+///
+/// Collected unconditionally (the bookkeeping is a handful of scalar
+/// ops per step); retrieve via [`DormandPrince45::last_run_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StepStats {
+    /// Accepted step count.
+    pub accepted: u64,
+    /// Rejected step count (error-controller rejections and non-finite
+    /// retries alike).
+    pub rejected: u64,
+    /// Smallest accepted step size (0 when no step was accepted).
+    pub min_h: f64,
+    /// Largest accepted step size.
+    pub max_h: f64,
+    /// Longest run of consecutive rejections.
+    pub max_reject_streak: u64,
+}
+
+impl StepStats {
+    /// Heuristic stiffness flag: long rejection streaks mean the error
+    /// controller is fighting the problem, the classic symptom of
+    /// integrating a stiff system with an explicit method.
+    pub fn stiffness_hint(&self) -> bool {
+        self.max_reject_streak >= 5
+    }
+}
+
 /// Outcome of [`DormandPrince45::integrate_to_steady`].
 #[derive(Debug, Clone, Copy)]
 pub struct SteadyReport {

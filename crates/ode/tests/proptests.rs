@@ -3,7 +3,9 @@
 use proptest::prelude::*;
 
 use loadsteal_ode::linalg::DenseMatrix;
-use loadsteal_ode::{brent, newton_solve, AdaptiveOptions, DormandPrince45, NewtonOptions, OdeSystem};
+use loadsteal_ode::{
+    brent, newton_solve, AdaptiveOptions, DormandPrince45, NewtonOptions, OdeSystem,
+};
 
 /// A diagonally dominant random matrix is well conditioned; LU must
 /// solve it to tight residuals.

@@ -303,14 +303,31 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_parameters() {
-        assert!(ServiceDistribution::Exponential { rate: 0.0 }.validate().is_err());
-        assert!(ServiceDistribution::Exponential { rate: -1.0 }.validate().is_err());
-        assert!(ServiceDistribution::Deterministic { value: -0.1 }.validate().is_err());
-        assert!(ServiceDistribution::Erlang { stages: 0, rate: 1.0 }.validate().is_err());
-        assert!(ServiceDistribution::HyperExp { p: 1.5, rate1: 1.0, rate2: 1.0 }
+        assert!(ServiceDistribution::Exponential { rate: 0.0 }
             .validate()
             .is_err());
-        assert!(ServiceDistribution::Uniform { lo: 2.0, hi: 1.0 }.validate().is_err());
+        assert!(ServiceDistribution::Exponential { rate: -1.0 }
+            .validate()
+            .is_err());
+        assert!(ServiceDistribution::Deterministic { value: -0.1 }
+            .validate()
+            .is_err());
+        assert!(ServiceDistribution::Erlang {
+            stages: 0,
+            rate: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(ServiceDistribution::HyperExp {
+            p: 1.5,
+            rate1: 1.0,
+            rate2: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(ServiceDistribution::Uniform { lo: 2.0, hi: 1.0 }
+            .validate()
+            .is_err());
     }
 
     #[test]

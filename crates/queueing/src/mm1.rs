@@ -20,7 +20,9 @@ impl Mm1 {
     /// Construct, validating stability (`λ < μ`).
     pub fn new(lambda: f64, mu: f64) -> Result<Self, String> {
         if !(lambda >= 0.0 && lambda.is_finite()) {
-            return Err(format!("arrival rate must be finite and >= 0, got {lambda}"));
+            return Err(format!(
+                "arrival rate must be finite and >= 0, got {lambda}"
+            ));
         }
         if !(mu > 0.0 && mu.is_finite()) {
             return Err(format!("service rate must be finite and > 0, got {mu}"));

@@ -227,7 +227,10 @@ impl SimConfig {
             return Err("need at least one processor".into());
         }
         if !(self.lambda >= 0.0 && self.lambda.is_finite()) {
-            return Err(format!("lambda must be finite and >= 0, got {}", self.lambda));
+            return Err(format!(
+                "lambda must be finite and >= 0, got {}",
+                self.lambda
+            ));
         }
         if !(self.internal_lambda >= 0.0 && self.internal_lambda.is_finite()) {
             return Err("internal_lambda must be finite and >= 0".into());

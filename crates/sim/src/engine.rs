@@ -20,12 +20,17 @@ use std::collections::{BinaryHeap, VecDeque};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use loadsteal_obs::{Event as ObsEvent, NullRecorder, Recorder, SimEventKind};
 use loadsteal_queueing::dist::exp_sample;
 use loadsteal_queueing::OnlineStats;
 
 use crate::config::{SimConfig, SpeedProfile, StealPolicy};
 use crate::event::{Event, EventKind};
 use crate::metrics::{LoadHistogram, SimResult};
+
+/// Emit progress heartbeats every this many processed events (tracing
+/// runs only).
+const HEARTBEAT_EVERY: u64 = 1 << 16;
 
 /// A task: when it entered the system and how much work it carries.
 #[derive(Debug, Clone, Copy)]
@@ -54,14 +59,33 @@ struct Proc {
 /// # Panics
 /// Panics if the configuration fails [`SimConfig::validate`].
 pub fn run(cfg: &SimConfig, seed: u64) -> SimResult {
+    run_recorded(cfg, seed, &mut NullRecorder)
+}
+
+/// [`run`] with per-event observations (arrivals, completions, steal
+/// attempts/successes, migrations, heartbeats) sent to `rec`.
+///
+/// The recorder's [`Recorder::enabled`] hint is sampled once at engine
+/// construction; a disabled recorder costs one predictable branch per
+/// emission site and builds no events. The engine is monomorphized over
+/// `R`, so the [`NullRecorder`] path compiles to the uninstrumented
+/// loop.
+///
+/// # Panics
+/// Panics if the configuration fails [`SimConfig::validate`].
+pub fn run_recorded<R: Recorder>(cfg: &SimConfig, seed: u64, rec: &mut R) -> SimResult {
     if let Err(e) = cfg.validate() {
         panic!("invalid simulation config: {e}");
     }
-    Engine::new(cfg, seed).run()
+    Engine::new(cfg, seed, rec).run()
 }
 
-struct Engine<'a> {
+struct Engine<'a, R: Recorder> {
     cfg: &'a SimConfig,
+    rec: &'a mut R,
+    /// `rec.enabled()`, sampled once.
+    tracing: bool,
+    events_processed: u64,
     procs: Vec<Proc>,
     heap: BinaryHeap<Event>,
     rng: SmallRng,
@@ -80,9 +104,10 @@ struct Engine<'a> {
     next_snapshot: f64,
 }
 
-impl<'a> Engine<'a> {
-    fn new(cfg: &'a SimConfig, seed: u64) -> Self {
+impl<'a, R: Recorder> Engine<'a, R> {
+    fn new(cfg: &'a SimConfig, seed: u64, rec: &'a mut R) -> Self {
         let rng = SmallRng::seed_from_u64(seed);
+        let tracing = rec.enabled();
         let procs = (0..cfg.n)
             .map(|p| Proc {
                 queue: VecDeque::new(),
@@ -97,6 +122,9 @@ impl<'a> Engine<'a> {
             .collect();
         Self {
             cfg,
+            rec,
+            tracing,
+            events_processed: 0,
             procs,
             heap: BinaryHeap::new(),
             rng,
@@ -131,6 +159,19 @@ impl<'a> Engine<'a> {
         self.cfg.service.sample(&mut self.rng)
     }
 
+    /// Report one simulator observation (no-op unless tracing).
+    #[inline]
+    fn emit(&mut self, kind: SimEventKind, p: usize, count: u32) {
+        if self.tracing {
+            self.rec.record(&ObsEvent::Sim {
+                kind,
+                t: self.t,
+                proc: p as u32,
+                count,
+            });
+        }
+    }
+
     fn initialize(&mut self) {
         // Pre-loaded tasks (static experiments).
         if self.cfg.initial_load > 0 {
@@ -138,6 +179,7 @@ impl<'a> Engine<'a> {
                 for _ in 0..self.cfg.initial_load {
                     let work = self.sample_work();
                     self.procs[p].queue.push_back(Task { arrived: 0.0, work });
+                    self.emit(SimEventKind::Arrival, p, 1);
                 }
                 self.tasks_in_system += self.cfg.initial_load as u64;
                 self.tasks_arrived += self.cfg.initial_load as u64;
@@ -180,6 +222,7 @@ impl<'a> Engine<'a> {
     }
 
     fn run(mut self) -> SimResult {
+        let wall = std::time::Instant::now();
         self.initialize();
         let horizon = if self.cfg.run_until_drained {
             f64::INFINITY
@@ -199,6 +242,14 @@ impl<'a> Engine<'a> {
                 break;
             }
             self.t = ev.time;
+            self.events_processed += 1;
+            if self.tracing && self.events_processed % HEARTBEAT_EVERY == 0 {
+                self.rec.record(&ObsEvent::Heartbeat {
+                    t: self.t,
+                    events: self.events_processed,
+                    tasks_in_system: self.tasks_in_system,
+                });
+            }
             match ev.kind {
                 EventKind::ExtArrival { proc } => self.on_ext_arrival(proc as usize),
                 EventKind::IntArrival { proc, epoch } => self.on_int_arrival(proc as usize, epoch),
@@ -224,6 +275,9 @@ impl<'a> Engine<'a> {
             self.cfg.horizon
         };
         self.hist.finish(end);
+        if self.tracing {
+            self.rec.flush();
+        }
         SimResult {
             sojourn: self.sojourn,
             tasks_arrived: self.tasks_arrived,
@@ -231,6 +285,8 @@ impl<'a> Engine<'a> {
             steal_attempts: self.steal_attempts,
             steal_successes: self.steal_successes,
             tasks_migrated: self.tasks_migrated,
+            events_processed: self.events_processed,
+            wall_ms: wall.elapsed().as_secs_f64() * 1e3,
             load_tails: self.hist.tails(self.cfg.n),
             snapshots: self.snapshots,
             end_time: end,
@@ -243,7 +299,13 @@ impl<'a> Engine<'a> {
 
     fn on_ext_arrival(&mut self, p: usize) {
         let work = self.sample_work();
-        self.route_arrival(p, Task { arrived: self.t, work });
+        self.route_arrival(
+            p,
+            Task {
+                arrived: self.t,
+                work,
+            },
+        );
         let dt = self.sample_interarrival();
         self.schedule(self.t + dt, EventKind::ExtArrival { proc: p as u32 });
     }
@@ -258,10 +320,13 @@ impl<'a> Engine<'a> {
         {
             if self.procs[p].queue.len() >= send_threshold {
                 self.steal_attempts += 1; // a probe message
+                self.emit(SimEventKind::StealAttempt, p, 1);
                 let target = self.pick_victim(p, 1);
                 if target != p && self.procs[target].queue.len() < recv_threshold {
                     self.steal_successes += 1;
                     self.tasks_migrated += 1;
+                    self.emit(SimEventKind::StealSuccess, p, 1);
+                    self.emit(SimEventKind::Migration, target, 1);
                     self.admit_task(target, task);
                     return;
                 }
@@ -284,7 +349,13 @@ impl<'a> Engine<'a> {
         }
         debug_assert!(!self.procs[p].queue.is_empty());
         let work = self.sample_work();
-        self.route_arrival(p, Task { arrived: self.t, work });
+        self.route_arrival(
+            p,
+            Task {
+                arrived: self.t,
+                work,
+            },
+        );
         self.schedule_internal_arrival(p);
     }
 
@@ -296,6 +367,7 @@ impl<'a> Engine<'a> {
             .expect("completion fired on an empty queue");
         self.tasks_in_system -= 1;
         self.tasks_completed += 1;
+        self.emit(SimEventKind::Completion, p, 1);
         if self.t >= self.cfg.warmup {
             self.sojourn.push(self.t - task.arrived);
         }
@@ -359,6 +431,7 @@ impl<'a> Engine<'a> {
             return;
         };
         self.steal_attempts += 1;
+        self.emit(SimEventKind::StealAttempt, p, 1);
         // Partner: uniform among the other processors.
         let partner = if self.cfg.n == 1 {
             p
@@ -399,6 +472,7 @@ impl<'a> Engine<'a> {
     fn admit_task(&mut self, p: usize, task: Task) {
         self.tasks_in_system += 1;
         self.tasks_arrived += 1;
+        self.emit(SimEventKind::Arrival, p, 1);
         let old_len = self.procs[p].queue.len();
         self.procs[p].queue.push_back(task);
         if old_len == 0 {
@@ -415,13 +489,25 @@ impl<'a> Engine<'a> {
     fn schedule_internal_arrival(&mut self, p: usize) {
         let dt = exp_sample(&mut self.rng, self.cfg.internal_lambda);
         let epoch = self.procs[p].internal_epoch;
-        self.schedule(self.t + dt, EventKind::IntArrival { proc: p as u32, epoch });
+        self.schedule(
+            self.t + dt,
+            EventKind::IntArrival {
+                proc: p as u32,
+                epoch,
+            },
+        );
     }
 
     fn schedule_steal_probe(&mut self, p: usize, rate: f64) {
         let dt = exp_sample(&mut self.rng, rate);
         let epoch = self.procs[p].probe_epoch;
-        self.schedule(self.t + dt, EventKind::StealProbe { proc: p as u32, epoch });
+        self.schedule(
+            self.t + dt,
+            EventKind::StealProbe {
+                proc: p as u32,
+                epoch,
+            },
+        );
     }
 
     fn schedule_rebalance_tick(&mut self, p: usize, rate: f64) {
@@ -432,7 +518,10 @@ impl<'a> Engine<'a> {
         let epoch = self.procs[p].probe_epoch;
         self.schedule(
             self.t + dt,
-            EventKind::RebalanceTick { proc: p as u32, epoch },
+            EventKind::RebalanceTick {
+                proc: p as u32,
+                epoch,
+            },
         );
     }
 
@@ -495,6 +584,7 @@ impl<'a> Engine<'a> {
         batch: usize,
     ) -> bool {
         self.steal_attempts += 1;
+        self.emit(SimEventKind::StealAttempt, thief, 1);
         let victim = self.pick_victim(thief, choices);
         if victim == thief {
             return false;
@@ -504,6 +594,7 @@ impl<'a> Engine<'a> {
             return false;
         }
         self.steal_successes += 1;
+        self.emit(SimEventKind::StealSuccess, thief, 1);
 
         if self.cfg.transfer.is_some() {
             // Single-task steal with a transfer delay: the task leaves
@@ -511,6 +602,7 @@ impl<'a> Engine<'a> {
             debug_assert_eq!(batch, 1);
             let task = self.procs[victim].queue.pop_back().unwrap();
             self.tasks_migrated += 1;
+            self.emit(SimEventKind::Migration, thief, 1);
             self.on_load_changed(victim, victim_len);
             self.procs[thief].waiting_transfer = true;
             let delay = self
@@ -540,6 +632,7 @@ impl<'a> Engine<'a> {
         let mut moved = self.procs[victim].queue.split_off(split_at);
         self.procs[thief].queue.append(&mut moved);
         self.tasks_migrated += take as u64;
+        self.emit(SimEventKind::Migration, thief, take as u32);
         self.on_load_changed(victim, victim_len);
         if thief_old == 0 {
             let front = self.procs[thief].queue.front().copied().unwrap();
@@ -553,7 +646,11 @@ impl<'a> Engine<'a> {
     /// larger queue keeps `⌈total/2⌉`, donating tail tasks to the other.
     fn rebalance_pair(&mut self, a: usize, b: usize) {
         let (la, lb) = (self.procs[a].queue.len(), self.procs[b].queue.len());
-        let (hi, lo, lhi, llo) = if la >= lb { (a, b, la, lb) } else { (b, a, lb, la) };
+        let (hi, lo, lhi, llo) = if la >= lb {
+            (a, b, la, lb)
+        } else {
+            (b, a, lb, la)
+        };
         let total = lhi + llo;
         let keep = total.div_ceil(2);
         let moves = lhi - keep;
@@ -561,10 +658,12 @@ impl<'a> Engine<'a> {
             return;
         }
         self.steal_successes += 1;
+        self.emit(SimEventKind::StealSuccess, a, 1);
         let lo_old = self.procs[lo].queue.len();
         let mut moved = self.procs[hi].queue.split_off(lhi - moves);
         self.procs[lo].queue.append(&mut moved);
         self.tasks_migrated += moves as u64;
+        self.emit(SimEventKind::Migration, lo, moves as u32);
         self.on_load_changed(hi, lhi);
         if lo_old == 0 {
             let front = self.procs[lo].queue.front().copied().unwrap();
@@ -617,10 +716,7 @@ mod tests {
         for i in 1..4 {
             let expect = 0.6f64.powi(i);
             let got = r.load_tails[i as usize];
-            assert!(
-                (got - expect).abs() < 0.05,
-                "s_{i}: sim {got} vs {expect}"
-            );
+            assert!((got - expect).abs() < 0.05, "s_{i}: sim {got} vs {expect}");
         }
     }
 
@@ -672,9 +768,17 @@ mod tests {
     #[test]
     fn two_choices_beat_one_at_high_load() {
         let mut cfg = base(64, 0.95);
-        cfg.policy = StealPolicy::OnEmpty { threshold: 2, choices: 1, batch: 1 };
+        cfg.policy = StealPolicy::OnEmpty {
+            threshold: 2,
+            choices: 1,
+            batch: 1,
+        };
         let one = run(&cfg, 7).mean_sojourn();
-        cfg.policy = StealPolicy::OnEmpty { threshold: 2, choices: 2, batch: 1 };
+        cfg.policy = StealPolicy::OnEmpty {
+            threshold: 2,
+            choices: 2,
+            batch: 1,
+        };
         let two = run(&cfg, 7).mean_sojourn();
         assert!(two < one, "2 choices {two} should beat 1 choice {one}");
     }
@@ -682,11 +786,18 @@ mod tests {
     #[test]
     fn transfer_delay_slows_things_down() {
         let mut cfg = base(32, 0.8);
-        cfg.policy = StealPolicy::OnEmpty { threshold: 4, choices: 1, batch: 1 };
+        cfg.policy = StealPolicy::OnEmpty {
+            threshold: 4,
+            choices: 1,
+            batch: 1,
+        };
         let instant = run(&cfg, 8).mean_sojourn();
         cfg.transfer = Some(TransferTime::exponential(0.25));
         let delayed = run(&cfg, 8).mean_sojourn();
-        assert!(delayed > instant, "transfers {delayed} vs instant {instant}");
+        assert!(
+            delayed > instant,
+            "transfers {delayed} vs instant {instant}"
+        );
     }
 
     #[test]
@@ -694,7 +805,10 @@ mod tests {
         let mut cfg = base(32, 0.9);
         cfg.policy = StealPolicy::None;
         let none = run(&cfg, 9).mean_sojourn();
-        cfg.policy = StealPolicy::Preemptive { begin_at: 1, rel_threshold: 2 };
+        cfg.policy = StealPolicy::Preemptive {
+            begin_at: 1,
+            rel_threshold: 2,
+        };
         let pre = run(&cfg, 9).mean_sojourn();
         assert!(pre < none);
     }
@@ -702,9 +816,16 @@ mod tests {
     #[test]
     fn repeated_attempts_beat_single_attempt() {
         let mut cfg = base(32, 0.9);
-        cfg.policy = StealPolicy::OnEmpty { threshold: 2, choices: 1, batch: 1 };
+        cfg.policy = StealPolicy::OnEmpty {
+            threshold: 2,
+            choices: 1,
+            batch: 1,
+        };
         let single = run(&cfg, 10).mean_sojourn();
-        cfg.policy = StealPolicy::Repeated { rate: 4.0, threshold: 2 };
+        cfg.policy = StealPolicy::Repeated {
+            rate: 4.0,
+            threshold: 2,
+        };
         let repeated = run(&cfg, 10).mean_sojourn();
         assert!(repeated < single, "repeated {repeated} vs single {single}");
     }
@@ -714,7 +835,9 @@ mod tests {
         let mut cfg = base(32, 0.9);
         cfg.policy = StealPolicy::None;
         let none = run(&cfg, 11).mean_sojourn();
-        cfg.policy = StealPolicy::Rebalance { rate: RebalanceRate::Constant(1.0) };
+        cfg.policy = StealPolicy::Rebalance {
+            rate: RebalanceRate::Constant(1.0),
+        };
         let reb = run(&cfg, 11).mean_sojourn();
         assert!(reb < none, "rebalance {reb} vs none {none}");
     }
@@ -722,7 +845,11 @@ mod tests {
     #[test]
     fn batch_steals_run_with_high_threshold() {
         let mut cfg = base(32, 0.9);
-        cfg.policy = StealPolicy::OnEmpty { threshold: 6, choices: 1, batch: 3 };
+        cfg.policy = StealPolicy::OnEmpty {
+            threshold: 6,
+            choices: 1,
+            batch: 3,
+        };
         let r = run(&cfg, 12);
         assert!(r.steal_successes > 0);
         assert!(r.tasks_migrated >= r.steal_successes * 3);
@@ -738,7 +865,10 @@ mod tests {
         cfg.policy = StealPolicy::simple_ws();
         let r = run(&cfg, 13);
         let makespan = r.makespan.expect("must drain");
-        assert!(makespan > 15.0, "20 unit-mean tasks can't finish in {makespan}");
+        assert!(
+            makespan > 15.0,
+            "20 unit-mean tasks can't finish in {makespan}"
+        );
         assert_eq!(r.tasks_completed, 16 * 20);
         assert_eq!(r.tasks_arrived, 16 * 20);
     }

@@ -38,6 +38,6 @@ pub mod metrics;
 pub mod replicate;
 
 pub use config::{RebalanceRate, SimConfig, SpeedProfile, StealPolicy, TransferTime};
-pub use engine::{run, run_seeded};
+pub use engine::{run, run_recorded, run_seeded};
 pub use metrics::{LoadHistogram, SimResult};
-pub use replicate::{replicate, replicate_until, ReplicateResult};
+pub use replicate::{replicate, replicate_recorded, replicate_until, ReplicateResult};

@@ -64,7 +64,11 @@ impl LoadHistogram {
         self.settle(from, t);
         self.settle(to, t);
         debug_assert!(self.counts[from] > 0, "histogram underflow at load {from}");
-        self.counts[from] -= 1;
+        // A `from` bin at zero means the caller double-reported a
+        // transition. That is a bug (caught above in debug builds), but
+        // in release it must not wrap the counter to 2^64 and poison
+        // every later integral — saturate instead.
+        self.counts[from] = self.counts[from].saturating_sub(1);
         self.counts[to] += 1;
         self.end_time = self.end_time.max(t);
     }
@@ -132,6 +136,10 @@ pub struct SimResult {
     pub steal_successes: u64,
     /// Tasks moved between processors by steals/rebalances.
     pub tasks_migrated: u64,
+    /// Discrete events processed by the engine.
+    pub events_processed: u64,
+    /// Wall-clock duration of the run in milliseconds.
+    pub wall_ms: f64,
     /// Time-averaged tail fractions `s_i` (post-warmup).
     pub load_tails: Vec<f64>,
     /// Instantaneous tail snapshots `(t, s)` when
@@ -157,6 +165,16 @@ impl SimResult {
             0.0
         } else {
             self.steal_successes as f64 / self.steal_attempts as f64
+        }
+    }
+
+    /// Engine throughput in events per wall-clock second (0 when the
+    /// run was too fast to time).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_ms > 0.0 {
+            self.events_processed as f64 / (self.wall_ms / 1e3)
+        } else {
+            0.0
         }
     }
 }
@@ -217,5 +235,74 @@ mod tests {
         h.transition(0, 100, 1.0);
         h.finish(2.0);
         assert!(h.tails(1)[100] > 0.0);
+    }
+
+    /// Release-build behaviour of a double-reported transition: the
+    /// drained bin saturates at zero instead of wrapping to 2^64 and
+    /// poisoning every subsequent time integral.
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn underflow_saturates_in_release() {
+        let mut h = LoadHistogram::new(1, 0, 0.0);
+        h.transition(0, 1, 1.0);
+        // Bogus second report of the same departure: load-0 bin is empty.
+        h.transition(0, 1, 2.0);
+        h.finish(10.0);
+        let means = h.mean_counts();
+        // A wrapped counter would make mean_counts[0] astronomically
+        // large; saturation keeps it at zero.
+        assert_eq!(means[0], 0.0, "{means:?}");
+        assert!(means[1] <= 2.0 + 1e-12, "{means:?}");
+    }
+
+    /// Debug-build twin of `underflow_saturates_in_release`: the same
+    /// misuse is caught loudly by the debug assertion.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "histogram underflow")]
+    fn underflow_panics_in_debug() {
+        let mut h = LoadHistogram::new(1, 0, 0.0);
+        h.transition(0, 1, 1.0);
+        h.transition(0, 1, 2.0);
+    }
+
+    fn result_with_steals(attempts: u64, successes: u64) -> SimResult {
+        SimResult {
+            sojourn: OnlineStats::new(),
+            tasks_arrived: 0,
+            tasks_completed: 0,
+            steal_attempts: attempts,
+            steal_successes: successes,
+            tasks_migrated: 0,
+            events_processed: 0,
+            wall_ms: 0.0,
+            load_tails: Vec::new(),
+            snapshots: Vec::new(),
+            end_time: 0.0,
+            makespan: None,
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn steal_success_rate_divides_successes_by_attempts() {
+        assert_eq!(result_with_steals(8, 2).steal_success_rate(), 0.25);
+        assert_eq!(result_with_steals(5, 5).steal_success_rate(), 1.0);
+    }
+
+    #[test]
+    fn steal_success_rate_with_no_attempts_is_zero() {
+        let r = result_with_steals(0, 0);
+        assert_eq!(r.steal_success_rate(), 0.0);
+        assert!(r.steal_success_rate().is_finite());
+    }
+
+    #[test]
+    fn events_per_sec_handles_untimed_runs() {
+        let mut r = result_with_steals(0, 0);
+        assert_eq!(r.events_per_sec(), 0.0);
+        r.events_processed = 500;
+        r.wall_ms = 250.0;
+        assert_eq!(r.events_per_sec(), 2000.0);
     }
 }

@@ -7,10 +7,11 @@
 
 use rayon::prelude::*;
 
+use loadsteal_obs::{Event as ObsEvent, Recorder, SharedRecorder};
 use loadsteal_queueing::{ConfidenceInterval, OnlineStats};
 
 use crate::config::SimConfig;
-use crate::engine::run_seeded;
+use crate::engine::{run_recorded, run_seeded};
 use crate::metrics::SimResult;
 
 /// Aggregated outcome of a set of replications.
@@ -66,11 +67,57 @@ impl ReplicateResult {
 /// Panics if `runs == 0` or the configuration is invalid.
 pub fn replicate(cfg: &SimConfig, runs: usize, base_seed: u64) -> ReplicateResult {
     assert!(runs > 0, "need at least one replication");
-    cfg.validate().unwrap_or_else(|e| panic!("invalid simulation config: {e}"));
+    cfg.validate()
+        .unwrap_or_else(|e| panic!("invalid simulation config: {e}"));
     let results: Vec<SimResult> = (0..runs as u64)
         .into_par_iter()
         .map(|i| run_seeded(cfg, base_seed.wrapping_add(i)))
         .collect();
+    aggregate(results)
+}
+
+/// [`replicate`] with every run's events — and one `replicate_done`
+/// throughput summary per run — funneled into a shared recorder.
+///
+/// Runs still execute in parallel; the [`SharedRecorder`] serializes
+/// sink access, so an NDJSON trace of a multi-run batch interleaves
+/// events from concurrent runs (each tagged by wall order, not seed).
+/// When the underlying recorder is disabled the engines skip event
+/// construction exactly as in [`replicate`].
+///
+/// # Panics
+/// Panics if `runs == 0` or the configuration is invalid.
+pub fn replicate_recorded<R: Recorder + Send>(
+    cfg: &SimConfig,
+    runs: usize,
+    base_seed: u64,
+    rec: &SharedRecorder<R>,
+) -> ReplicateResult {
+    assert!(runs > 0, "need at least one replication");
+    cfg.validate()
+        .unwrap_or_else(|e| panic!("invalid simulation config: {e}"));
+    let results: Vec<SimResult> = (0..runs as u64)
+        .into_par_iter()
+        .map(|i| {
+            let seed = base_seed.wrapping_add(i);
+            let mut handle = rec.clone();
+            let mut r = run_recorded(cfg, seed, &mut handle);
+            r.seed = seed;
+            if handle.enabled() {
+                handle.record(&ObsEvent::ReplicateDone {
+                    seed,
+                    wall_ms: r.wall_ms,
+                    events: r.events_processed,
+                    events_per_sec: r.events_per_sec(),
+                });
+            }
+            r
+        })
+        .collect();
+    aggregate(results)
+}
+
+fn aggregate(results: Vec<SimResult>) -> ReplicateResult {
     let mut sojourn_mean = OnlineStats::new();
     let mut makespan_mean = OnlineStats::new();
     for r in &results {
@@ -187,6 +234,54 @@ mod tests {
         seeds.sort_unstable();
         seeds.dedup();
         assert_eq!(seeds.len(), r.runs.len(), "duplicate seeds: {seeds:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replication")]
+    fn zero_runs_panics() {
+        let _ = replicate(&quick_cfg(), 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive precision target")]
+    fn replicate_until_rejects_zero_target() {
+        let _ = replicate_until(&quick_cfg(), 0.0, 8, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two runs")]
+    fn replicate_until_rejects_tiny_cap() {
+        let _ = replicate_until(&quick_cfg(), 0.1, 1, 1);
+    }
+
+    #[test]
+    fn recorded_replication_counts_events_and_matches_plain() {
+        use loadsteal_obs::CountingRecorder;
+        let cfg = quick_cfg();
+        let shared = SharedRecorder::new(CountingRecorder::new());
+        let rec = replicate_recorded(&cfg, 2, 7, &shared);
+        let plain = replicate(&cfg, 2, 7);
+        // Instrumentation must not perturb the simulation itself.
+        assert_eq!(rec.mean_sojourn(), plain.mean_sojourn());
+        assert_eq!(rec.runs[0].seed, 7);
+        assert_eq!(rec.runs[1].seed, 8);
+        let counts = shared.with(|r| r.counts());
+        assert_eq!(counts.replicates, 2);
+        let arrived: u64 = rec.runs.iter().map(|r| r.tasks_arrived).sum();
+        let completed: u64 = rec.runs.iter().map(|r| r.tasks_completed).sum();
+        assert_eq!(counts.arrivals, arrived);
+        assert_eq!(counts.completions, completed);
+        assert!(counts.steal_attempts > 0);
+        let events: u64 = rec.runs.iter().map(|r| r.events_processed).sum();
+        assert!(events > 0);
+    }
+
+    #[test]
+    fn disabled_recorder_sees_nothing() {
+        use loadsteal_obs::NullRecorder;
+        let shared = SharedRecorder::new(NullRecorder);
+        let r = replicate_recorded(&quick_cfg(), 1, 3, &shared);
+        assert!(r.runs[0].events_processed > 0);
     }
 
     #[test]

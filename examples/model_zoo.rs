@@ -50,6 +50,9 @@ fn main() {
     row!(WorkSharing::new(lambda, 2, 2).unwrap());
 
     println!("\nReading guide: lower W is better; the no-steal row is the M/M/1");
-    println!("baseline W = 1/(1−λ) = {:.1}; every stealing variant tightens the", 1.0 / (1.0 - lambda));
+    println!(
+        "baseline W = 1/(1−λ) = {:.1}; every stealing variant tightens the",
+        1.0 / (1.0 - lambda)
+    );
     println!("tail ratio below λ = {lambda}.");
 }

@@ -19,14 +19,22 @@ fn main() {
     let model = SimpleWs::new(lambda).expect("valid λ");
     println!("model: {}", model.name());
     println!("  π₂ (fraction with ≥ 2 tasks)   = {:.6}", model.pi2());
-    println!("  tail ratio ρ' = λ/(1+λ−π₂)     = {:.6}", model.rho_prime());
-    println!("  closed-form mean time in system = {:.4}", model.closed_form_mean_time());
+    println!(
+        "  tail ratio ρ' = λ/(1+λ−π₂)     = {:.6}",
+        model.rho_prime()
+    );
+    println!(
+        "  closed-form mean time in system = {:.4}",
+        model.closed_form_mean_time()
+    );
 
     // 2. The numeric pipeline (integrate the ODEs to steady state, then
     //    Newton-polish) agrees to many digits.
     let fp = solve(&model, &FixedPointOptions::default()).expect("fixed point");
-    println!("  numeric mean time in system     = {:.4} (residual {:.1e})",
-        fp.mean_time_in_system, fp.residual);
+    println!(
+        "  numeric mean time in system     = {:.4} (residual {:.1e})",
+        fp.mean_time_in_system, fp.residual
+    );
 
     // 3. A finite system with 128 processors behaves as predicted.
     let mut cfg = SimConfig::paper_default(128, lambda);
@@ -34,14 +42,22 @@ fn main() {
     cfg.warmup = 2_000.0;
     let sim = replicate(&cfg, 5, 42);
     let ci = sim.sojourn_ci();
-    println!("\nsimulation (n = 128, 5 runs): {:.4} ± {:.4}", ci.mean, ci.half_width);
-    println!("prediction error: {:.2}%",
-        100.0 * (ci.mean - fp.mean_time_in_system).abs() / ci.mean);
+    println!(
+        "\nsimulation (n = 128, 5 runs): {:.4} ± {:.4}",
+        ci.mean, ci.half_width
+    );
+    println!(
+        "prediction error: {:.2}%",
+        100.0 * (ci.mean - fp.mean_time_in_system).abs() / ci.mean
+    );
 
     // 4. The tail law: stealing beats independent M/M/1 queues.
     let baseline = NoSteal::new(lambda).expect("valid λ");
     println!("\ntails (fraction of processors with ≥ i tasks):");
-    println!("{:>4} {:>12} {:>12} {:>12}", "i", "no steal", "simple WS", "sim (128)");
+    println!(
+        "{:>4} {:>12} {:>12} {:>12}",
+        "i", "no steal", "simple WS", "sim (128)"
+    );
     let tails = sim.mean_load_tails();
     for i in 1..=8usize {
         println!(
@@ -51,6 +67,8 @@ fn main() {
             tails.get(i).copied().unwrap_or(0.0),
         );
     }
-    println!("\nBoth tails are geometric, but stealing decays at {:.4} < λ = {lambda}.",
-        model.rho_prime());
+    println!(
+        "\nBoth tails are geometric, but stealing decays at {:.4} < λ = {lambda}.",
+        model.rho_prime()
+    );
 }

@@ -34,15 +34,25 @@ fn main() {
         let levels = model.truncation();
         let starts: Vec<(&str, Vec<f64>)> = vec![
             ("empty", model.empty_state()),
-            ("uniform load 4", TailVector::uniform_load(4, levels).into_vec()),
-            ("geometric 0.95", TailVector::geometric(0.95, levels).into_vec()),
+            (
+                "uniform load 4",
+                TailVector::uniform_load(4, levels).into_vec(),
+            ),
+            (
+                "geometric 0.95",
+                TailVector::geometric(0.95, levels).into_vec(),
+            ),
         ];
         for (name, start) in starts {
             let report = check_l1_contraction(&model, &start, &fp.state, 1e-6, 50_000.0)
                 .expect("integration");
             println!(
                 "{lambda:>6.3} {:>10} {name:>16} {:>14.4} {:>14.2e} {:>12}",
-                if theorem_condition_holds(lambda) { "yes" } else { "no" },
+                if theorem_condition_holds(lambda) {
+                    "yes"
+                } else {
+                    "no"
+                },
                 report.initial_distance,
                 report.max_increase,
                 report

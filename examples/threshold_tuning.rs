@@ -19,7 +19,10 @@ fn main() {
     let lambdas = [0.50, 0.70, 0.80, 0.90, 0.95];
     let opts = FixedPointOptions::default();
 
-    println!("Mean time in system with transfer rate r = {rate} (mean delay {}):", 1.0 / rate);
+    println!(
+        "Mean time in system with transfer rate r = {rate} (mean delay {}):",
+        1.0 / rate
+    );
     print!("{:>6}", "λ \\ T");
     for t in thresholds {
         print!("{t:>9}");
@@ -32,7 +35,9 @@ fn main() {
         let mut row = Vec::new();
         for t in thresholds {
             let model = TransferWs::new(lambda, rate, t).expect("valid parameters");
-            let w = solve(&model, &opts).expect("fixed point").mean_time_in_system;
+            let w = solve(&model, &opts)
+                .expect("fixed point")
+                .mean_time_in_system;
             if w < best.1 {
                 best = (t, w);
             }

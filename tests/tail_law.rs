@@ -80,7 +80,9 @@ fn threshold_model_tails_match_below_and_above_t() {
             batch: 1,
         },
     );
-    let tails = ThresholdWs::new(lambda, threshold).unwrap().closed_form_tails();
+    let tails = ThresholdWs::new(lambda, threshold)
+        .unwrap()
+        .closed_form_tails();
     for i in 1..=7usize {
         let expect = tails.get(i);
         assert!(
