@@ -8,11 +8,21 @@
 //! stdout. Good enough to compare two builds of the same benchmark
 //! (e.g. the NullRecorder-overhead acceptance check); not a statistical
 //! twin of upstream criterion.
+//!
+//! On top of the upstream-shaped API the shim adds a snapshot gate:
+//! `-- --save <path>` writes a `loadsteal.bench.v1` JSON file of median
+//! ns-per-iter per benchmark, and `-- --check <path> [--tolerance f]`
+//! compares the current run against such a baseline, exiting nonzero
+//! when any benchmark regressed by more than the tolerance.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod snapshot;
+
 use std::time::{Duration, Instant};
+
+pub use snapshot::{compare, Comparison, Delta, Snapshot};
 
 /// How `iter_batched` amortizes setup cost (accepted, not acted on —
 /// the shim always runs setup per batch element).
@@ -26,31 +36,168 @@ pub enum BatchSize {
     PerIteration,
 }
 
+/// Measured outcome of one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/name` label (bare `name` outside a group).
+    pub label: String,
+    /// Median ns per iteration — the statistic the snapshot gate uses.
+    pub median_ns: f64,
+    /// Mean ns per iteration.
+    pub mean_ns: f64,
+    /// Fastest sample, ns per iteration.
+    pub min_ns: f64,
+    /// Number of timing samples taken.
+    pub samples: usize,
+}
+
+/// Default regression tolerance for `--check`: fail when a benchmark is
+/// more than 10% slower than its baseline median.
+pub const DEFAULT_TOLERANCE: f64 = 0.10;
+
 /// Top-level benchmark driver.
 pub struct Criterion {
     sample_size: usize,
+    filter: Option<String>,
+    save: Option<String>,
+    check: Option<String>,
+    tolerance: f64,
+    results: Vec<BenchResult>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self { sample_size: 20 }
+        Self {
+            sample_size: 20,
+            filter: None,
+            save: None,
+            check: None,
+            tolerance: DEFAULT_TOLERANCE,
+            results: Vec::new(),
+        }
     }
 }
 
 impl Criterion {
+    /// Build a driver from the process arguments (everything cargo
+    /// forwards after `--`, plus the `--bench` flag cargo itself adds).
+    ///
+    /// Recognized: `--save <path>`, `--check <path>`,
+    /// `--tolerance <fraction>`, `--bench` (ignored), and a positional
+    /// substring filter on benchmark labels.
+    pub fn from_args() -> Result<Self, String> {
+        Self::from_arg_list(std::env::args().skip(1))
+    }
+
+    fn from_arg_list<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut c = Self::default();
+        let mut argv = args.into_iter();
+        while let Some(arg) = argv.next() {
+            let mut take = |flag: &str| {
+                argv.next()
+                    .ok_or_else(|| format!("{flag} requires a value"))
+            };
+            match arg.as_str() {
+                "--save" => c.save = Some(take("--save")?),
+                "--check" => c.check = Some(take("--check")?),
+                "--tolerance" => {
+                    let v = take("--tolerance")?;
+                    c.tolerance = v
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|t| t.is_finite() && *t >= 0.0)
+                        .ok_or_else(|| format!("--tolerance: not a fraction >= 0: {v:?}"))?;
+                }
+                "--bench" => {} // added by `cargo bench` for harness = false
+                other if other.starts_with("--") => {
+                    return Err(format!("unknown flag {other:?}"));
+                }
+                filter => c.filter = Some(filter.to_string()),
+            }
+        }
+        Ok(c)
+    }
+
     /// Open a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("group {name}");
         BenchmarkGroup {
             group: name.to_string(),
             sample_size: self.sample_size,
-            _parent: self,
+            parent: self,
         }
     }
 
     /// Run a single benchmark outside any group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
-        run_bench("", name, self.sample_size, f);
+        self.run("", name, self.sample_size, f);
+    }
+
+    /// Results measured so far, in execution order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, group: &str, name: &str, sample_size: usize, f: F) {
+        let label = if group.is_empty() {
+            name.to_string()
+        } else {
+            format!("{group}/{name}")
+        };
+        if let Some(filter) = &self.filter {
+            if !label.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if let Some(r) = run_bench(&label, sample_size, f) {
+            self.results.push(r);
+        }
+    }
+
+    /// Apply `--save` / `--check` to the collected results. Returns the
+    /// process exit code: 0 on success, 1 when the check found a
+    /// regression, 2 on I/O or parse failure.
+    pub fn finalize(self) -> i32 {
+        let current = Snapshot::from_results(&self.results);
+        if let Some(path) = &self.save {
+            if let Err(e) = current.save(path) {
+                eprintln!("error: --save: {e}");
+                return 2;
+            }
+            println!("wrote {} bench medians to {path}", current.benches.len());
+        }
+        let Some(path) = &self.check else {
+            return 0;
+        };
+        let baseline = match Snapshot::load(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: --check: {e}");
+                return 2;
+            }
+        };
+        let cmp = compare(&baseline, &current, self.tolerance);
+        print!("{}", cmp.render(self.tolerance));
+        if self.filter.is_none() {
+            for name in &cmp.missing {
+                eprintln!("warning: baseline bench {name:?} did not run");
+            }
+        }
+        if cmp.regressions.is_empty() {
+            println!(
+                "check OK: {} bench(es) within {:.0}% of {path}",
+                cmp.compared,
+                self.tolerance * 100.0
+            );
+            0
+        } else {
+            eprintln!(
+                "error: {} benchmark(s) regressed beyond {:.0}% of {path}",
+                cmp.regressions.len(),
+                self.tolerance * 100.0
+            );
+            1
+        }
     }
 }
 
@@ -58,7 +205,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     group: String,
     sample_size: usize,
-    _parent: &'a mut Criterion,
+    parent: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
@@ -70,7 +217,8 @@ impl BenchmarkGroup<'_> {
 
     /// Run one benchmark in this group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
-        run_bench(&self.group, name, self.sample_size, f);
+        let (group, n) = (self.group.clone(), self.sample_size);
+        self.parent.run(&group, name, n, f);
         self
     }
 
@@ -78,7 +226,11 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-fn run_bench<F: FnMut(&mut Bencher)>(group: &str, name: &str, sample_size: usize, mut f: F) {
+fn run_bench<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    mut f: F,
+) -> Option<BenchResult> {
     let mut b = Bencher {
         sample_size,
         samples_ns: Vec::new(),
@@ -86,17 +238,12 @@ fn run_bench<F: FnMut(&mut Bencher)>(group: &str, name: &str, sample_size: usize
     f(&mut b);
     let mut s = b.samples_ns;
     if s.is_empty() {
-        println!("  {group}/{name}: no samples");
-        return;
+        println!("  {label}: no samples");
+        return None;
     }
     s.sort_by(f64::total_cmp);
     let median = s[s.len() / 2];
     let mean = s.iter().sum::<f64>() / s.len() as f64;
-    let label = if group.is_empty() {
-        name.to_string()
-    } else {
-        format!("{group}/{name}")
-    };
     println!(
         "  {label}: median {} mean {} min {} ({} samples)",
         fmt_ns(median),
@@ -104,6 +251,13 @@ fn run_bench<F: FnMut(&mut Bencher)>(group: &str, name: &str, sample_size: usize
         fmt_ns(s[0]),
         s.len()
     );
+    Some(BenchResult {
+        label: label.to_string(),
+        median_ns: median,
+        mean_ns: mean,
+        min_ns: s[0],
+        samples: s.len(),
+    })
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -189,19 +343,30 @@ impl Bencher {
 #[macro_export]
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
-        pub fn $name() {
-            let mut c = $crate::Criterion::default();
-            $($target(&mut c);)+
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
         }
     };
 }
 
 /// Declare the benchmark binary's `main` from one or more groups.
+///
+/// The generated `main` reads `--save` / `--check` / `--tolerance`
+/// from the arguments cargo forwards after `--` and exits nonzero when
+/// a `--check` comparison against the baseline finds a regression.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
-            $($group();)+
+            let mut c = match $crate::Criterion::from_args() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            };
+            $($group(&mut c);)+
+            std::process::exit(c.finalize());
         }
     };
 }
@@ -219,6 +384,9 @@ mod tests {
         g.bench_function("noop", |b| b.iter(|| ran += 1));
         g.finish();
         assert!(ran > 0);
+        assert_eq!(c.results().len(), 1);
+        assert_eq!(c.results()[0].label, "t/noop");
+        assert!(c.results()[0].median_ns > 0.0);
     }
 
     #[test]
@@ -236,5 +404,43 @@ mod tests {
             )
         });
         assert!(made > 0);
+        assert_eq!(c.results()[0].label, "batched");
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benches() {
+        let mut c = Criterion {
+            filter: Some("keep".into()),
+            ..Criterion::default()
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("keep_me", |b| b.iter(|| 1 + 1));
+        g.bench_function("drop_me", |b| b.iter(|| 2 + 2));
+        g.finish();
+        let labels: Vec<_> = c.results().iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(labels, ["g/keep_me"]);
+    }
+
+    #[test]
+    fn arg_parsing_recognizes_gate_flags() {
+        let c = Criterion::from_arg_list(
+            [
+                "--bench",
+                "--check",
+                "base.json",
+                "--tolerance",
+                "0.25",
+                "deriv",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(c.check.as_deref(), Some("base.json"));
+        assert_eq!(c.tolerance, 0.25);
+        assert_eq!(c.filter.as_deref(), Some("deriv"));
+        assert!(Criterion::from_arg_list(["--tolerance", "-1"].map(String::from)).is_err());
+        assert!(Criterion::from_arg_list(["--frobnicate".into()]).is_err());
+        assert!(Criterion::from_arg_list(["--save".into()]).is_err());
     }
 }

@@ -1,0 +1,442 @@
+//! Bench snapshot files and the regression gate that compares them.
+//!
+//! A snapshot is a small JSON document (`loadsteal.bench.v1`) mapping
+//! benchmark labels to their median wall time in ns per iteration:
+//!
+//! ```json
+//! {
+//!   "schema": "loadsteal.bench.v1",
+//!   "unit": "ns_per_iter",
+//!   "stat": "median",
+//!   "benches": {
+//!     "deriv/simple_ws_dim_~500": 811.4,
+//!     "simulator/simple_ws_n128_500s": 13954821.0
+//!   }
+//! }
+//! ```
+//!
+//! The writer and reader are hand-rolled (the image has no serde);
+//! the reader accepts any whitespace layout plus `\"`/`\\` escapes in
+//! labels, which covers everything the writer can produce.
+
+use crate::BenchResult;
+
+/// Identifier stamped into every snapshot document.
+pub const SCHEMA: &str = "loadsteal.bench.v1";
+
+/// Median ns-per-iter per benchmark label, in execution order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// `(label, median_ns)` pairs.
+    pub benches: Vec<(String, f64)>,
+}
+
+impl Snapshot {
+    /// Collect the medians out of a finished benchmark run.
+    pub fn from_results(results: &[BenchResult]) -> Self {
+        Self {
+            benches: results
+                .iter()
+                .map(|r| (r.label.clone(), r.median_ns))
+                .collect(),
+        }
+    }
+
+    /// Look up one benchmark's median.
+    pub fn get(&self, label: &str) -> Option<f64> {
+        self.benches
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, v)| *v)
+    }
+
+    /// Serialize to the `loadsteal.bench.v1` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        out.push_str("  \"unit\": \"ns_per_iter\",\n");
+        out.push_str("  \"stat\": \"median\",\n");
+        out.push_str("  \"benches\": {");
+        for (i, (label, ns)) in self.benches.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!("    \"{}\": {}", escape(label), fmt_f64(*ns)));
+        }
+        out.push_str(if self.benches.is_empty() {
+            "}\n"
+        } else {
+            "\n  }\n"
+        });
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parse a `loadsteal.bench.v1` document.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let mut schema = None;
+        let mut benches = None;
+        p.expect(b'{')?;
+        loop {
+            p.skip_ws();
+            if p.peek() == Some(b'}') {
+                p.pos += 1;
+                break;
+            }
+            let key = p.string()?;
+            p.expect(b':')?;
+            match key.as_str() {
+                "schema" => schema = Some(p.string()?),
+                "benches" => benches = Some(p.flat_object()?),
+                // unit/stat (and any future metadata) are informational.
+                _ => p.skip_value()?,
+            }
+            p.skip_ws();
+            match p.peek() {
+                Some(b',') => p.pos += 1,
+                Some(b'}') => {}
+                _ => return Err(p.err("expected ',' or '}'")),
+            }
+        }
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing content after document"));
+        }
+        match schema.as_deref() {
+            Some(SCHEMA) => {}
+            Some(other) => return Err(format!("unsupported schema {other:?}")),
+            None => return Err("missing \"schema\" field".into()),
+        }
+        Ok(Self {
+            benches: benches.ok_or("missing \"benches\" object")?,
+        })
+    }
+
+    /// Write the snapshot to `path`.
+    pub fn save(&self, path: &str) -> Result<(), String> {
+        std::fs::write(path, self.to_json()).map_err(|e| format!("cannot write {path:?}: {e}"))
+    }
+
+    /// Read and parse a snapshot from `path`.
+    pub fn load(path: &str) -> Result<Self, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+        Self::parse(&text).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+/// One benchmark's baseline-vs-current pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Benchmark label.
+    pub name: String,
+    /// Baseline median, ns per iteration.
+    pub baseline_ns: f64,
+    /// Current median, ns per iteration.
+    pub current_ns: f64,
+}
+
+impl Delta {
+    /// current / baseline; > 1 means the current run is slower.
+    pub fn ratio(&self) -> f64 {
+        self.current_ns / self.baseline_ns
+    }
+}
+
+/// Outcome of [`compare`].
+#[derive(Debug, Clone, Default)]
+pub struct Comparison {
+    /// Number of benchmarks present in both snapshots.
+    pub compared: usize,
+    /// All compared pairs, baseline order.
+    pub deltas: Vec<Delta>,
+    /// Pairs slower than `baseline * (1 + tolerance)`.
+    pub regressions: Vec<Delta>,
+    /// Baseline benchmarks absent from the current run.
+    pub missing: Vec<String>,
+    /// Current benchmarks absent from the baseline.
+    pub added: Vec<String>,
+}
+
+impl Comparison {
+    /// Human-readable table of every compared benchmark, flagging
+    /// regressions beyond `tolerance`.
+    pub fn render(&self, tolerance: f64) -> String {
+        let mut out = String::new();
+        for d in &self.deltas {
+            let change = (d.ratio() - 1.0) * 100.0;
+            let flag = if d.current_ns > d.baseline_ns * (1.0 + tolerance) {
+                "  REGRESSION"
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "  {:<34} {:>12.1} -> {:>12.1} ns/iter  {change:>+7.1}%{flag}\n",
+                d.name, d.baseline_ns, d.current_ns
+            ));
+        }
+        for name in &self.added {
+            out.push_str(&format!("  {name:<34} (new, not in baseline)\n"));
+        }
+        out
+    }
+}
+
+/// Compare `current` medians against `baseline`, flagging every
+/// benchmark that got more than `tolerance` (a fraction, e.g. `0.1`)
+/// slower. Benchmarks missing on either side are reported, not failed —
+/// a filtered run legitimately measures a subset.
+pub fn compare(baseline: &Snapshot, current: &Snapshot, tolerance: f64) -> Comparison {
+    let mut cmp = Comparison::default();
+    for (name, base_ns) in &baseline.benches {
+        match current.get(name) {
+            Some(cur_ns) => {
+                let d = Delta {
+                    name: name.clone(),
+                    baseline_ns: *base_ns,
+                    current_ns: cur_ns,
+                };
+                if cur_ns > base_ns * (1.0 + tolerance) {
+                    cmp.regressions.push(d.clone());
+                }
+                cmp.deltas.push(d);
+                cmp.compared += 1;
+            }
+            None => cmp.missing.push(name.clone()),
+        }
+    }
+    for (name, _) in &current.benches {
+        if baseline.get(name).is_none() {
+            cmp.added.push(name.clone());
+        }
+    }
+    cmp
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // Keep every value a JSON number with a decimal point so the
+        // document is unambiguous about being ns, not an integer count.
+        if s.contains('.') || s.contains('e') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".into()
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        _ => return Err(self.err("unsupported escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (labels may hold e.g. '~' or 'µ').
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(b"null") {
+            self.pos += 4;
+            return Ok(f64::NAN);
+        }
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| self.err("expected a number"))
+    }
+
+    /// `{ "name": number, ... }`
+    fn flat_object(&mut self) -> Result<Vec<(String, f64)>, String> {
+        self.expect(b'{')?;
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(out);
+            }
+            let key = self.string()?;
+            self.expect(b':')?;
+            let val = self.number()?;
+            out.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {}
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    /// Skip one string or number value (metadata fields).
+    fn skip_value(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => self.string().map(|_| ()),
+            _ => self.number().map(|_| ()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(pairs: &[(&str, f64)]) -> Snapshot {
+        Snapshot {
+            benches: pairs.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let s = snap(&[
+            ("deriv/simple_ws_dim_~500", 811.4),
+            ("simulator/simple_ws_n128_500s", 13_954_821.0),
+            ("weird \"label\" with \\ chars", 3.25e-2),
+        ]);
+        let back = Snapshot::parse(&s.to_json()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn empty_snapshot_roundtrips() {
+        let s = Snapshot::default();
+        assert_eq!(Snapshot::parse(&s.to_json()).unwrap(), s);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(Snapshot::parse("").is_err());
+        assert!(Snapshot::parse("{}").is_err()); // no schema
+        assert!(Snapshot::parse("{\"schema\": \"other.v9\", \"benches\": {}}").is_err());
+        assert!(Snapshot::parse("{\"schema\": \"loadsteal.bench.v1\"}").is_err()); // no benches
+        let good = snap(&[("a", 1.0)]).to_json();
+        assert!(Snapshot::parse(&good[..good.len() - 3]).is_err()); // truncated
+        assert!(Snapshot::parse(&format!("{good}x")).is_err()); // trailing junk
+    }
+
+    #[test]
+    fn accepts_any_whitespace_layout() {
+        let text = "{\"schema\":\"loadsteal.bench.v1\",\"benches\":{\"a/b\":12.5,\"c\":3.0}}";
+        let s = Snapshot::parse(text).unwrap();
+        assert_eq!(s.get("a/b"), Some(12.5));
+        assert_eq!(s.get("c"), Some(3.0));
+    }
+
+    #[test]
+    fn twenty_percent_slowdown_fails_ten_percent_tolerance() {
+        let baseline = snap(&[("sim", 100.0), ("fp", 50.0)]);
+        let slower = snap(&[("sim", 120.0), ("fp", 50.0)]);
+        let cmp = compare(&baseline, &slower, 0.10);
+        assert_eq!(cmp.compared, 2);
+        assert_eq!(cmp.regressions.len(), 1);
+        assert_eq!(cmp.regressions[0].name, "sim");
+        assert!((cmp.regressions[0].ratio() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_run_passes_and_small_noise_is_tolerated() {
+        let baseline = snap(&[("sim", 100.0), ("fp", 50.0)]);
+        assert!(compare(&baseline, &baseline, 0.10).regressions.is_empty());
+        let noisy = snap(&[("sim", 109.0), ("fp", 45.0)]);
+        assert!(compare(&baseline, &noisy, 0.10).regressions.is_empty());
+    }
+
+    #[test]
+    fn membership_differences_are_reported_not_failed() {
+        let baseline = snap(&[("kept", 10.0), ("renamed_away", 10.0)]);
+        let current = snap(&[("kept", 10.0), ("brand_new", 10.0)]);
+        let cmp = compare(&baseline, &current, 0.10);
+        assert!(cmp.regressions.is_empty());
+        assert_eq!(cmp.missing, ["renamed_away"]);
+        assert_eq!(cmp.added, ["brand_new"]);
+        assert_eq!(cmp.compared, 1);
+    }
+
+    #[test]
+    fn render_flags_regressions() {
+        let baseline = snap(&[("sim", 100.0)]);
+        let cmp = compare(&baseline, &snap(&[("sim", 150.0)]), 0.10);
+        let table = cmp.render(0.10);
+        assert!(table.contains("REGRESSION"), "{table}");
+        assert!(table.contains("+50.0%"), "{table}");
+    }
+}

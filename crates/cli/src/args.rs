@@ -8,6 +8,7 @@ use std::collections::BTreeMap;
 pub struct Args {
     flags: BTreeMap<String, String>,
     switches: Vec<String>,
+    positionals: Vec<String>,
 }
 
 impl Args {
@@ -20,17 +21,31 @@ impl Args {
 
     /// [`Self::parse`], but the named flags are value-less boolean
     /// switches (`--quiet`): present or absent, never consuming the
-    /// following argument.
+    /// following argument. Positional arguments are rejected.
     pub fn parse_with_switches(
+        raw: impl Iterator<Item = String>,
+        switch_names: &[&str],
+    ) -> Result<Self, String> {
+        let a = Self::parse_mixed(raw, switch_names)?;
+        a.ensure_no_positionals()?;
+        Ok(a)
+    }
+
+    /// [`Self::parse_with_switches`], but bare (non-`--`) arguments are
+    /// collected as positionals instead of rejected — for commands like
+    /// `report <trace.ndjson>` that take a file operand.
+    pub fn parse_mixed(
         raw: impl Iterator<Item = String>,
         switch_names: &[&str],
     ) -> Result<Self, String> {
         let mut flags = BTreeMap::new();
         let mut switches = Vec::new();
+        let mut positionals = Vec::new();
         let mut raw = raw.peekable();
         while let Some(arg) = raw.next() {
             let Some(name) = arg.strip_prefix("--") else {
-                return Err(format!("unexpected positional argument: {arg}"));
+                positionals.push(arg);
+                continue;
             };
             if let Some((k, v)) = name.split_once('=') {
                 flags.insert(k.to_string(), v.to_string());
@@ -43,7 +58,25 @@ impl Args {
                 flags.insert(name.to_string(), value);
             }
         }
-        Ok(Self { flags, switches })
+        Ok(Self {
+            flags,
+            switches,
+            positionals,
+        })
+    }
+
+    /// Error out if any positional argument was given (commands that
+    /// take none call this to catch stray operands early).
+    pub fn ensure_no_positionals(&self) -> Result<(), String> {
+        match self.positionals.first() {
+            None => Ok(()),
+            Some(p) => Err(format!("unexpected positional argument: {p}")),
+        }
+    }
+
+    /// The `i`-th positional argument, if present.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(|s| s.as_str())
     }
 
     /// Whether a boolean switch (declared at parse time) was given.
@@ -168,6 +201,22 @@ mod tests {
         )
         .unwrap();
         assert!(a.switch("quiet"));
+    }
+
+    #[test]
+    fn mixed_parsing_collects_positionals() {
+        let a = Args::parse_mixed(
+            ["trace.ndjson", "--warmup", "50", "--lossy"]
+                .iter()
+                .map(|s| s.to_string()),
+            &["lossy"],
+        )
+        .unwrap();
+        assert_eq!(a.positional(0), Some("trace.ndjson"));
+        assert_eq!(a.positional(1), None);
+        assert!(a.switch("lossy"));
+        assert_eq!(a.get_or("warmup", 0.0).unwrap(), 50.0);
+        assert!(a.ensure_no_positionals().is_err());
     }
 
     #[test]

@@ -8,10 +8,15 @@ use loadsteal_core::models::{
 };
 use loadsteal_core::stability::{check_l1_contraction, theorem_condition_holds};
 use loadsteal_core::tail::TailVector;
-use loadsteal_obs::{EventCounts, NullRecorder, Recorder, Registry, SharedRecorder};
+use loadsteal_obs::{
+    prometheus_text, EventCounts, NullRecorder, Recorder, Registry, RegistryRecorder,
+    SharedRecorder,
+};
 use loadsteal_sim::{
     replicate, replicate_recorded, RebalanceRate, SimConfig, StealPolicy, TransferTime,
+    DEFAULT_HEARTBEAT_EVERY,
 };
+use loadsteal_trace::{read_str, MeanFieldPrediction, ReadMode, Timeline, TimelineConfig};
 
 use crate::args::Args;
 use crate::obs::{manifest, say, Narrator, ObsOpts, OBS_FLAGS};
@@ -126,8 +131,8 @@ pub fn solve(a: &Args) -> Result<(), String> {
     let mut known = MODEL_FLAGS.to_vec();
     known.extend_from_slice(OBS_FLAGS);
     a.ensure_known(&known)?;
-    let obs = ObsOpts::from_args(a);
-    let out = Narrator::new(obs.json_on_stdout());
+    let obs = ObsOpts::from_args(a)?;
+    let out = Narrator::new(obs.machine_stdout());
     let mut rec = obs.recorder()?;
     let (name, fp) = solve_model(a, &mut rec)?;
     let (counts, trace_lines) = rec.finish()?;
@@ -205,6 +210,7 @@ const SIM_FLAGS: &[&str] = &[
     "internal",
     "service-stages",
     "constant-service",
+    "heartbeat-every",
 ];
 
 /// Solve the mean-field companion of a simulation policy, feeding the
@@ -267,17 +273,16 @@ fn companion_solve(
     }
 }
 
-/// `loadsteal simulate` — run the discrete-event simulator.
-pub fn simulate(a: &Args) -> Result<(), String> {
-    let mut known = SIM_FLAGS.to_vec();
-    known.extend_from_slice(OBS_FLAGS);
-    a.ensure_known(&known)?;
+/// Build a [`SimConfig`] from the shared simulation flags (used by
+/// `simulate` and `serve`).
+fn sim_config(a: &Args) -> Result<SimConfig, String> {
     let n: usize = a.required("n")?;
     let lambda: f64 = a.required("lambda")?;
     let mut cfg = SimConfig::paper_default(n, lambda);
     cfg.horizon = a.get_or("horizon", 20_000.0)?;
     cfg.warmup = a.get_or("warmup", cfg.horizon / 10.0)?;
     cfg.internal_lambda = a.get_or("internal", 0.0)?;
+    cfg.heartbeat_every = a.get_or("heartbeat-every", DEFAULT_HEARTBEAT_EVERY)?;
     if a.get_or("constant-service", false)? {
         cfg.service = loadsteal_queueing::ServiceDistribution::unit_deterministic();
     } else if let Some(stages) = a.get::<u32>("service-stages")? {
@@ -308,11 +313,26 @@ pub fn simulate(a: &Args) -> Result<(), String> {
         cfg.transfer = Some(TransferTime::exponential(r));
     }
     cfg.validate()?;
+    Ok(cfg)
+}
+
+/// `loadsteal simulate` — run the discrete-event simulator.
+pub fn simulate(a: &Args) -> Result<(), String> {
+    let mut known = SIM_FLAGS.to_vec();
+    known.extend_from_slice(OBS_FLAGS);
+    a.ensure_known(&known)?;
+    let mut cfg = sim_config(a)?;
+    let n = cfg.n;
+    let lambda = cfg.lambda;
     let runs: usize = a.get_or("runs", 3)?;
     let seed: u64 = a.get_or("seed", 42)?;
 
-    let obs = ObsOpts::from_args(a);
-    let out = Narrator::new(obs.json_on_stdout());
+    let obs = ObsOpts::from_args(a)?;
+    // Collect sojourn quantiles whenever the metrics document will be
+    // written; the digest stays off otherwise so the hot loop pays
+    // nothing for it.
+    cfg.sojourn_digest = obs.metrics_json.is_some();
+    let out = Narrator::new(obs.machine_stdout());
     let mut rec = obs.recorder()?;
     let observing = rec.enabled();
 
@@ -390,6 +410,10 @@ pub fn simulate(a: &Args) -> Result<(), String> {
             ev_hist.record(r.events_processed);
         }
         reg.counter("sim.events").add(events);
+        // Streaming sojourn-time quantiles, merged across runs.
+        if let Some(d) = result.merged_sojourn_digest() {
+            reg.sketch("sim.sojourn_time").merge_from(&d);
+        }
         reg.gauge("sim.mean_sojourn").set(ci.mean);
         reg.gauge("sim.sojourn_ci_half_width").set(ci.half_width);
         reg.gauge("sim.steal_success_rate").set(if attempts == 0 {
@@ -496,5 +520,161 @@ pub fn drain(a: &Args) -> Result<(), String> {
         result.makespan_mean.mean(),
         result.makespan_mean.confidence_interval(0.95).half_width
     );
+    Ok(())
+}
+
+/// `loadsteal report <trace.ndjson>` — reconstruct a timeline from a
+/// trace and compare it against the mean-field prediction.
+pub fn report(a: &Args) -> Result<(), String> {
+    a.ensure_known(&["warmup", "lambda", "input"])?;
+    let path = a
+        .positional(0)
+        .or_else(|| a.raw("input"))
+        .ok_or("usage: loadsteal report <trace.ndjson> [--lossy] [--warmup T] [--lambda λ]")?;
+    if a.positional(1).is_some() {
+        return Err("report takes exactly one trace file".into());
+    }
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read trace {path:?}: {e}"))?;
+    let mode = if a.switch("lossy") {
+        ReadMode::Lossy
+    } else {
+        ReadMode::Strict
+    };
+    let parsed = read_str(&text, mode).map_err(|e| format!("{path}: {e} (try --lossy)"))?;
+    if !parsed.skipped.is_empty() {
+        eprintln!(
+            "warning: skipped {} of {} lines (first: {})",
+            parsed.skipped.len(),
+            parsed.lines,
+            parsed.skipped[0]
+        );
+    }
+    let warmup: f64 = a.get_or("warmup", 0.0)?;
+    let tl = Timeline::build(
+        &parsed.events,
+        &TimelineConfig {
+            warmup,
+            ..TimelineConfig::default()
+        },
+    );
+
+    // Mean-field comparison at --lambda, or at the measured arrival
+    // rate when the flag is omitted. The paper's basic work-stealing
+    // model (Section 2) supplies π₂ and the predicted sojourn time; an
+    // unstable or degenerate rate simply drops the prediction columns.
+    let lambda = match a.get::<f64>("lambda")? {
+        Some(l) => Some(l),
+        None => {
+            let l = tl.arrival_rate();
+            (l > 0.0 && l < 1.0).then_some(l)
+        }
+    };
+    let pred = lambda.and_then(|l| {
+        let m = SimpleWs::new(l).ok()?;
+        let fp = solve_fp(&m, &FixedPointOptions::default()).ok()?;
+        Some(MeanFieldPrediction::new(l, m.pi2(), fp.mean_time_in_system))
+    });
+    print!("{}", loadsteal_trace::render_report(&tl, pred.as_ref()));
+    Ok(())
+}
+
+/// `loadsteal serve` — run a simulation while exposing its live metrics
+/// registry as a Prometheus scrape endpoint.
+///
+/// Minimal by design: a `std::net::TcpListener`, one request per
+/// connection, text exposition format 0.0.4. With `--scrapes N` the
+/// process exits after serving N requests (the workload is abandoned if
+/// still running); otherwise it serves until the simulation finishes.
+pub fn serve(a: &Args) -> Result<(), String> {
+    use std::io::{Read as _, Write as _};
+
+    let mut known = SIM_FLAGS.to_vec();
+    known.extend_from_slice(&["prom-addr", "scrapes"]);
+    a.ensure_known(&known)?;
+    let addr = a.raw("prom-addr").unwrap_or("127.0.0.1:9464");
+    let scrapes: u64 = a.get_or("scrapes", 0)?;
+    let mut cfg = sim_config(a)?;
+    cfg.sojourn_digest = true;
+    let runs: usize = a.get_or("runs", 1)?;
+    let seed: u64 = a.get_or("seed", 42)?;
+
+    let registry = std::sync::Arc::new(Registry::new());
+    let rec = SharedRecorder::new(RegistryRecorder::new(registry.clone()));
+    let worker = {
+        let cfg = cfg.clone();
+        let rec = rec.clone();
+        std::thread::spawn(move || {
+            let result = replicate_recorded(&cfg, runs, seed, &rec);
+            if let Some(d) = result.merged_sojourn_digest() {
+                rec.with(|r| r.registry().sketch("sim.sojourn_time").merge_from(&d));
+            }
+        })
+    };
+
+    let listener = std::net::TcpListener::bind(addr)
+        .map_err(|e| format!("--prom-addr: cannot bind {addr:?}: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("--prom-addr: {e}"))?;
+    // The bound address line is a contract: with `--prom-addr host:0`
+    // it is the only way callers learn the chosen port. Flush past any
+    // pipe buffering.
+    {
+        let mut so = std::io::stdout();
+        let _ = writeln!(so, "serving Prometheus metrics at http://{local}/metrics");
+        let _ = so.flush();
+    }
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("--prom-addr: {e}"))?;
+
+    let mut served = 0u64;
+    loop {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(2)));
+                // Drain the request head; the path is irrelevant —
+                // every GET gets the exposition.
+                let mut buf = [0u8; 1024];
+                let mut head = Vec::new();
+                while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+                    match stream.read(&mut buf) {
+                        Ok(0) => break,
+                        Ok(k) => head.extend_from_slice(&buf[..k]),
+                        Err(_) => break,
+                    }
+                    if head.len() > 64 * 1024 {
+                        break;
+                    }
+                }
+                let body = prometheus_text(&registry.snapshot(), "loadsteal");
+                let resp = format!(
+                    "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+                    body.len(),
+                    body
+                );
+                let _ = stream.write_all(resp.as_bytes());
+                let _ = stream.flush();
+                served += 1;
+                if scrapes > 0 && served >= scrapes {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if scrapes == 0 && worker.is_finished() {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            Err(e) => return Err(format!("accept failed: {e}")),
+        }
+    }
+    if worker.is_finished() {
+        worker
+            .join()
+            .map_err(|_| "simulation worker panicked".to_string())?;
+    }
     Ok(())
 }

@@ -17,7 +17,11 @@ mod obs;
 use std::process::ExitCode;
 
 /// Value-less boolean flags, recognized by every subcommand.
-const SWITCHES: &[&str] = &["quiet"];
+const SWITCHES: &[&str] = &["quiet", "lossy"];
+
+/// Commands that take a positional operand (everything else rejects
+/// bare arguments, preserving early typo detection).
+const POSITIONAL_COMMANDS: &[&str] = &["report"];
 
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1);
@@ -25,7 +29,12 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let parsed = match args::Args::parse_with_switches(argv, SWITCHES) {
+    let parsed = match args::Args::parse_mixed(argv, SWITCHES).and_then(|a| {
+        if !POSITIONAL_COMMANDS.contains(&cmd.as_str()) {
+            a.ensure_no_positionals()?;
+        }
+        Ok(a)
+    }) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
@@ -41,6 +50,8 @@ fn main() -> ExitCode {
         "simulate" => commands::simulate(&parsed),
         "stability" => commands::stability(&parsed),
         "drain" => commands::drain(&parsed),
+        "report" => commands::report(&parsed),
+        "serve" => commands::serve(&parsed),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -70,6 +81,13 @@ USAGE:
       L1-contraction check towards the fixed point (Section 4).
   loadsteal drain --initial <m0> [--n N] [--internal λint]
       Static-system drain: mean-field vs simulated makespan.
+  loadsteal report <trace.ndjson> [--lossy] [--warmup T] [--lambda λ]
+      Reconstruct a timeline from an NDJSON trace and compare the
+      measured statistics against the mean-field prediction.
+  loadsteal serve --prom-addr <host:port> --n <N> --lambda <λ> [sim flags]
+      Run a simulation while serving its live metrics registry in
+      Prometheus text format (`--prom-addr host:0` picks a free port;
+      `--scrapes N` exits after N scrapes).
 
 MODELS (for solve/tails):
   simple                           λ only
@@ -91,10 +109,13 @@ SIM POLICIES (for simulate):
   --transfer-rate, --runs, --horizon, --warmup, --seed
 
 OBSERVABILITY (solve and simulate):
-  --trace <file.ndjson>     stream every solver/simulator event as NDJSON
+  --trace <file.ndjson|->   stream every solver/simulator event as NDJSON;
+                            `-` writes to stdout (narrative moves to stderr)
   --metrics-json <file|->   write the loadsteal.run.v1 document (manifest
-                            + metrics); `-` prints to stdout and moves the
-                            human narrative to stderr
+                            + metrics, including sojourn-time quantile
+                            sketches); `-` prints to stdout likewise
+  --heartbeat-every <K>     simulator heartbeat cadence in events
+                            (default 65536; 0 disables)
   --quiet                   silence the human narrative entirely
   LOADSTEAL_LOG=off|info|debug   stderr diagnostics filter (default info)
 ";

@@ -3,7 +3,7 @@
 //! document emission.
 
 use std::fs::File;
-use std::io::BufWriter;
+use std::io::{BufWriter, Write};
 
 use loadsteal_obs::log::{level_enabled, Level};
 use loadsteal_obs::{
@@ -19,37 +19,60 @@ pub const OBS_FLAGS: &[&str] = &["trace", "metrics-json"];
 /// Observability options parsed from the command line.
 #[derive(Debug, Clone, Default)]
 pub struct ObsOpts {
-    /// `--trace <file.ndjson>`: stream every event as NDJSON.
+    /// `--trace <file.ndjson|->`: stream every event as NDJSON (`-`
+    /// writes to stdout and moves the narrative to stderr).
     pub trace: Option<String>,
     /// `--metrics-json <file|->`: emit the `loadsteal.run.v1` document.
     pub metrics_json: Option<String>,
 }
 
 impl ObsOpts {
-    /// Read the observability flags from parsed arguments.
-    pub fn from_args(a: &Args) -> Self {
-        Self {
+    /// Read the observability flags from parsed arguments. Errors when
+    /// both machine-readable streams claim stdout.
+    pub fn from_args(a: &Args) -> Result<Self, String> {
+        let opts = Self {
             trace: a.raw("trace").map(str::to_owned),
             metrics_json: a.raw("metrics-json").map(str::to_owned),
+        };
+        if opts.trace_on_stdout() && opts.json_on_stdout() {
+            return Err(
+                "--trace - and --metrics-json - both want stdout; send one to a file".into(),
+            );
         }
+        Ok(opts)
     }
 
-    /// Whether the machine-readable document goes to stdout — which
-    /// moves the human narrative to stderr so stdout stays parseable.
+    /// Whether the metrics document goes to stdout.
     pub fn json_on_stdout(&self) -> bool {
         self.metrics_json.as_deref() == Some("-")
+    }
+
+    /// Whether the NDJSON trace goes to stdout.
+    pub fn trace_on_stdout(&self) -> bool {
+        self.trace.as_deref() == Some("-")
+    }
+
+    /// Whether stdout carries a machine-readable stream — which moves
+    /// the human narrative to stderr so stdout stays parseable.
+    pub fn machine_stdout(&self) -> bool {
+        self.json_on_stdout() || self.trace_on_stdout()
     }
 
     /// Build the recorder for this invocation. Disabled (and therefore
     /// free for the instrumented hot loops) when neither output was
     /// requested.
     pub fn recorder(&self) -> Result<CliRecorder, String> {
-        let trace = match &self.trace {
+        let trace = match self.trace.as_deref() {
             None => None,
+            Some("-") => {
+                let w: Box<dyn Write + Send> = Box::new(std::io::stdout());
+                Some(NdjsonRecorder::new(w))
+            }
             Some(path) => {
                 let f = File::create(path)
                     .map_err(|e| format!("--trace: cannot create {path:?}: {e}"))?;
-                Some(NdjsonRecorder::new(BufWriter::new(f)))
+                let w: Box<dyn Write + Send> = Box::new(BufWriter::new(f));
+                Some(NdjsonRecorder::new(w))
             }
         };
         Ok(CliRecorder {
@@ -76,12 +99,11 @@ impl ObsOpts {
 }
 
 /// Counts every event (feeding the metrics report) and optionally tees
-/// it to an NDJSON trace file.
-#[derive(Debug)]
+/// it to an NDJSON trace destination (file or stdout).
 pub struct CliRecorder {
     counts: CountingRecorder,
     metrics_wanted: bool,
-    trace: Option<NdjsonRecorder<BufWriter<File>>>,
+    trace: Option<NdjsonRecorder<Box<dyn Write + Send>>>,
 }
 
 impl CliRecorder {

@@ -364,6 +364,206 @@ fn quiet_silences_the_narrative() {
 }
 
 #[test]
+fn trace_to_stdout_is_pure_ndjson() {
+    let out = loadsteal(&quick_sim_with(&["--quiet", "--trace", "-"]));
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert_eq!(stderr(&out), "", "narrative should be silenced");
+    let text = stdout(&out);
+    let mut lines = 0usize;
+    for line in text.lines() {
+        let ev = parse_json(line);
+        ev.get("ev").str();
+        lines += 1;
+    }
+    assert!(lines > 100, "suspiciously short trace: {lines} lines");
+
+    // Without --quiet the narrative moves to stderr, keeping stdout
+    // machine-readable.
+    let out = loadsteal(&quick_sim_with(&["--trace", "-"]));
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("mean time in system"),
+        "{}",
+        stderr(&out)
+    );
+    parse_json(stdout(&out).lines().next().expect("ndjson on stdout"));
+}
+
+#[test]
+fn trace_and_metrics_cannot_both_claim_stdout() {
+    let out = loadsteal(&quick_sim_with(&["--trace", "-", "--metrics-json", "-"]));
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("stdout"), "{}", stderr(&out));
+}
+
+#[test]
+fn metrics_json_carries_sojourn_quantile_sketch() {
+    let out = loadsteal(&quick_sim_with(&["--quiet", "--metrics-json", "-"]));
+    assert!(out.status.success(), "{}", stderr(&out));
+    let doc = parse_json(stdout(&out).trim_end());
+    let sketch = doc.get("metrics").get("sketches").get("sim.sojourn_time");
+    assert!(sketch.get("count").num() > 100.0);
+    let (p50, p90, p99) = (
+        sketch.get("p50").num(),
+        sketch.get("p90").num(),
+        sketch.get("p99").num(),
+    );
+    assert!(p50 > 0.0 && p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+    // The sketch's mean agrees with the directly measured mean sojourn.
+    let mean = doc.get("metrics").get("gauges").obj()["sim.mean_sojourn"].num();
+    assert!(
+        (sketch.get("mean").num() - mean).abs() / mean < 0.05,
+        "sketch mean {} vs gauge {}",
+        sketch.get("mean").num(),
+        mean
+    );
+    // Histogram quantiles ride along on every non-empty histogram.
+    let hist = doc.get("metrics").get("histograms").get("sim.run_events");
+    assert!(hist.get("p50").num() > 0.0);
+}
+
+#[test]
+fn report_renders_sim_vs_mean_field_table() {
+    let path = std::env::temp_dir().join("loadsteal_cli_test_report.ndjson");
+    let path_s = path.to_str().unwrap();
+    // One run so the trace replays into a consistent timeline.
+    let out = loadsteal(&[
+        "simulate",
+        "--n",
+        "16",
+        "--lambda",
+        "0.7",
+        "--runs",
+        "1",
+        "--horizon",
+        "2000",
+        "--warmup",
+        "200",
+        "--seed",
+        "7",
+        "--trace",
+        path_s,
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    let out = loadsteal(&["report", path_s, "--warmup", "200"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("sim vs mean-field"), "{text}");
+    assert!(text.contains("tail ratio"), "{text}");
+    assert!(text.contains("mean sojourn time"), "{text}");
+    assert!(text.contains("rel. err"), "{text}");
+    assert!(!text.contains("WARNING"), "consistent trace: {text}");
+
+    // A corrupted trace fails strict mode but recovers with --lossy.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mangled: String = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| {
+            if i == 3 {
+                "not json\n".to_string()
+            } else {
+                format!("{l}\n")
+            }
+        })
+        .collect();
+    std::fs::write(&path, mangled).unwrap();
+    let out = loadsteal(&["report", path_s, "--warmup", "200"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("line 4"), "{}", stderr(&out));
+    let out = loadsteal(&["report", path_s, "--warmup", "200", "--lossy"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stderr(&out).contains("skipped 1"), "{}", stderr(&out));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn serve_exposes_prometheus_text_on_a_live_listener() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_loadsteal"))
+        .args([
+            "serve",
+            "--prom-addr",
+            "127.0.0.1:0",
+            "--n",
+            "8",
+            "--lambda",
+            "0.6",
+            "--runs",
+            "1",
+            "--horizon",
+            "2000",
+            "--warmup",
+            "200",
+            "--scrapes",
+            "1",
+            "--quiet",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn loadsteal serve");
+
+    // The first stdout line announces the bound address.
+    let mut child_out = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    child_out.read_line(&mut line).expect("address line");
+    let addr = line
+        .split("http://")
+        .nth(1)
+        .and_then(|s| s.split("/metrics").next())
+        .unwrap_or_else(|| panic!("no address in {line:?}"))
+        .to_string();
+
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect to scrape endpoint");
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+
+    assert!(
+        response.starts_with("HTTP/1.1 200 OK\r\n"),
+        "{}",
+        &response[..response.len().min(200)]
+    );
+    assert!(response.contains("Content-Type: text/plain; version=0.0.4"));
+    let body = response
+        .split("\r\n\r\n")
+        .nth(1)
+        .expect("response carries a body");
+    // Scrape-style validation: every line is a comment or `name value`.
+    let mut samples = 0usize;
+    for l in body.lines() {
+        if l.is_empty() || l.starts_with('#') {
+            continue;
+        }
+        let (name, value) = l
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("bad line {l:?}"));
+        assert!(
+            name.chars().next().unwrap().is_ascii_alphabetic() || name.starts_with('_'),
+            "bad metric name in {l:?}"
+        );
+        assert!(
+            value == "+Inf" || value == "-Inf" || value == "NaN" || value.parse::<f64>().is_ok(),
+            "bad value in {l:?}"
+        );
+        samples += 1;
+    }
+    assert!(samples > 5, "thin exposition:\n{body}");
+    assert!(
+        body.contains("loadsteal_sim_arrivals_total"),
+        "live sim counters missing:\n{body}"
+    );
+
+    let status = child.wait().expect("serve exits after --scrapes 1");
+    assert!(status.success());
+}
+
+#[test]
 fn unknown_flags_are_rejected_and_obs_flags_are_known() {
     let out = loadsteal(&quick_sim_with(&["--bogus", "1"]));
     assert!(!out.status.success());

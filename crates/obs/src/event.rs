@@ -83,6 +83,10 @@ pub enum Event {
         /// Processor involved (thief for steals, receiver for
         /// migrations).
         proc: u32,
+        /// Donor processor for migrations (`None` for other kinds), so
+        /// per-processor queue timelines are reconstructible from a
+        /// trace alone.
+        src: Option<u32>,
         /// Multiplicity (tasks moved for migrations, 1 otherwise).
         count: u32,
     },
@@ -158,8 +162,17 @@ impl Event {
                     .field_bool("converged", converged)
                     .field_f64("residual", residual);
             }
-            Self::Sim { t, proc, count, .. } => {
+            Self::Sim {
+                t,
+                proc,
+                src,
+                count,
+                ..
+            } => {
                 j.field_f64("t", t).field_u64("proc", proc as u64);
+                if let Some(s) = src {
+                    j.field_u64("src", s as u64);
+                }
                 if count != 1 {
                     j.field_u64("count", count as u64);
                 }
@@ -220,6 +233,7 @@ mod tests {
                 kind: SimEventKind::Migration,
                 t: 3.0,
                 proc: 7,
+                src: Some(2),
                 count: 3,
             },
             Event::Heartbeat {
@@ -251,9 +265,25 @@ mod tests {
             kind: SimEventKind::Arrival,
             t: 0.0,
             proc: 0,
+            src: None,
             count: 1,
         }
         .to_json_line();
         assert!(!line.contains("count"), "{line}");
+        assert!(!line.contains("src"), "{line}");
+    }
+
+    #[test]
+    fn migration_source_is_emitted() {
+        let line = Event::Sim {
+            kind: SimEventKind::Migration,
+            t: 1.0,
+            proc: 3,
+            src: Some(9),
+            count: 2,
+        }
+        .to_json_line();
+        assert!(line.contains(r#""src":9"#), "{line}");
+        assert!(line.contains(r#""count":2"#), "{line}");
     }
 }

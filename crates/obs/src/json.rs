@@ -1,10 +1,16 @@
-//! A minimal hand-rolled JSON writer.
+//! A minimal hand-rolled JSON layer: a writer and a strict parser.
 //!
 //! The workspace deliberately avoids serde; every serialized artifact
 //! (NDJSON trace lines, metrics reports, run manifests) goes through
 //! [`JsonBuf`], which handles comma placement, string escaping, and
-//! non-finite floats (serialized as `null`, since JSON has no
-//! infinities).
+//! non-finite floats (serialized as `null` — the only deterministic
+//! rendering, since JSON has no infinities). The inverse direction is
+//! [`parse`], a strict recursive-descent parser used by the trace
+//! reader: it follows the JSON grammar exactly, so bare `NaN` /
+//! `Infinity` tokens and overflowing exponents are *rejected* with a
+//! byte-positioned error instead of smuggling non-finite floats into
+//! downstream analysis (Rust's `f64::from_str` would happily accept
+//! them).
 
 /// An append-only JSON document builder.
 ///
@@ -189,6 +195,353 @@ pub fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+// ---------------------------------------------------------------------
+// Parsing.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always finite: the parser rejects overflow).
+    Num(f64),
+    /// A non-negative integer token that fits `u64` — kept exact so
+    /// values above 2^53 (e.g. 64-bit seeds) survive a round trip.
+    Uint(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object (duplicate keys: last wins).
+    Obj(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Object member lookup; `None` for non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            Self::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number (integers wider than the
+    /// f64 mantissa round to the nearest representable float).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Self::Num(v) => Some(*v),
+            Self::Uint(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Self::Uint(n) => Some(*n),
+            Self::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= u64::MAX as f64 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Self::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Self::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure with the byte offset (0-based column within the
+/// parsed text) where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input at which parsing failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parse one complete JSON value (trailing whitespace allowed, trailing
+/// garbage rejected).
+pub fn parse(s: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser {
+        s: s.as_bytes(),
+        i: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i != p.s.len() {
+        return Err(p.err("trailing garbage after JSON value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.i,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .s
+            .get(self.i)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, JsonError> {
+        self.skip_ws();
+        self.s
+            .get(self.i)
+            .copied()
+            .ok_or_else(|| self.err("unexpected end of input"))
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek()? != b {
+            return Err(self.err(format!("expected {:?}", b as char)));
+        }
+        self.i += 1;
+        Ok(())
+    }
+
+    fn lit(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.s[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected literal {word:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(JsonValue::Str(self.string()?)),
+            b't' => self.lit("true", JsonValue::Bool(true)),
+            b'f' => self.lit("false", JsonValue::Bool(false)),
+            b'n' => self.lit("null", JsonValue::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(self.err(format!("unexpected character {:?}", other as char))),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.eat(b'{')?;
+        let mut m = BTreeMap::new();
+        if self.peek()? == b'}' {
+            self.i += 1;
+            return Ok(JsonValue::Obj(m));
+        }
+        loop {
+            if self.peek()? != b'"' {
+                return Err(self.err("expected string key"));
+            }
+            let k = self.string()?;
+            self.eat(b':')?;
+            m.insert(k, self.value()?);
+            match self.peek()? {
+                b',' => self.i += 1,
+                b'}' => {
+                    self.i += 1;
+                    return Ok(JsonValue::Obj(m));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.eat(b'[')?;
+        let mut v = Vec::new();
+        if self.peek()? == b']' {
+            self.i += 1;
+            return Ok(JsonValue::Arr(v));
+        }
+        loop {
+            v.push(self.value()?);
+            match self.peek()? {
+                b',' => self.i += 1,
+                b']' => {
+                    self.i += 1;
+                    return Ok(JsonValue::Arr(v));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .s
+                .get(self.i)
+                .ok_or_else(|| self.err("unterminated string"))?;
+            match b {
+                b'"' => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.i += 1;
+                    let esc = *self
+                        .s
+                        .get(self.i)
+                        .ok_or_else(|| self.err("unterminated escape"))?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if !self.s[self.i..].starts_with(b"\\u") {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.i += 2;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(c)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?,
+                            );
+                        }
+                        other => return Err(self.err(format!("bad escape \\{:?}", other as char))),
+                    }
+                }
+                0x00..=0x1f => return Err(self.err("raw control character in string")),
+                _ => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // continuation bytes are always well-formed).
+                    let start = self.i;
+                    self.i += 1;
+                    while self.s.get(self.i).is_some_and(|b| b & 0xC0 == 0x80) {
+                        self.i += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.s[start..self.i]).expect("valid UTF-8"));
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.i + 4;
+        let hex = self
+            .s
+            .get(self.i..end)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.i = end;
+        Ok(v)
+    }
+
+    /// Parse a number following the JSON grammar exactly — so `NaN`,
+    /// `Infinity`, `01`, `.5`, and `1.` are all rejected — then refuse
+    /// any value that overflows to an infinity.
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.i;
+        if self.s.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        // Integer part: `0` or a nonzero digit followed by digits.
+        match self.s.get(self.i) {
+            Some(b'0') => self.i += 1,
+            Some(b'1'..=b'9') => {
+                while self.s.get(self.i).is_some_and(u8::is_ascii_digit) {
+                    self.i += 1;
+                }
+            }
+            _ => return Err(self.err("malformed number")),
+        }
+        if self.s.get(self.i) == Some(&b'.') {
+            self.i += 1;
+            if !self.s.get(self.i).is_some_and(u8::is_ascii_digit) {
+                return Err(self.err("digits required after decimal point"));
+            }
+            while self.s.get(self.i).is_some_and(u8::is_ascii_digit) {
+                self.i += 1;
+            }
+        }
+        if matches!(self.s.get(self.i), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.s.get(self.i), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            if !self.s.get(self.i).is_some_and(u8::is_ascii_digit) {
+                return Err(self.err("digits required in exponent"));
+            }
+            while self.s.get(self.i).is_some_and(u8::is_ascii_digit) {
+                self.i += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.s[start..self.i]).expect("ASCII number");
+        // A plain non-negative integer token that fits u64 stays exact.
+        if !text.starts_with('-') && !text.contains(['.', 'e', 'E']) {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(JsonValue::Uint(n));
+            }
+        }
+        let v: f64 = text
+            .parse()
+            .map_err(|_| self.err(format!("unparseable number {text:?}")))?;
+        if !v.is_finite() {
+            return Err(self.err(format!("number {text:?} overflows to a non-finite float")));
+        }
+        Ok(JsonValue::Num(v))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,8 +592,96 @@ mod tests {
             let mut j = JsonBuf::new();
             j.f64_val(v);
             let s = j.finish();
-            let parsed: f64 = s.parse().unwrap();
-            assert_eq!(parsed, v, "{s}");
+            match parse(&s).unwrap() {
+                JsonValue::Num(parsed) => assert_eq!(parsed, v, "{s}"),
+                other => panic!("expected number for {s}, got {other:?}"),
+            }
         }
+    }
+
+    #[test]
+    fn parser_accepts_a_full_document() {
+        let v = parse(r#" {"a":[1,2.5,-3e2,true,null],"b":"x\n\u0041","c":{"d":false}} "#).unwrap();
+        assert_eq!(
+            v.get("a").unwrap(),
+            &JsonValue::Arr(vec![
+                JsonValue::Uint(1),
+                JsonValue::Num(2.5),
+                JsonValue::Num(-300.0),
+                JsonValue::Bool(true),
+                JsonValue::Null,
+            ])
+        );
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x\nA"));
+        assert_eq!(v.get("c").unwrap().get("d").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn parser_rejects_non_finite_numbers() {
+        // Bare NaN/Infinity tokens are not JSON; overflowing exponents
+        // would round to infinity. All must fail instead of producing
+        // non-finite floats (this was a panic path for adversarial
+        // traces before the strict parser existed).
+        for bad in [
+            "NaN",
+            "Infinity",
+            "-Infinity",
+            "inf",
+            "1e999",
+            "-1e999",
+            "nan",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+        for bad in [r#"{"t":NaN}"#, r#"{"t":1e999}"#, "[inf]"] {
+            assert!(parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn parser_rejects_malformed_grammar() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "01",
+            ".5",
+            "1.",
+            "1e",
+            "+1",
+            "tru",
+            "\"unterminated",
+            "{\"a\":1,}",
+            "[1 2]",
+            "{'a':1}",
+            "1 2",
+            "\"\\q\"",
+            "\"\x01\"",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn parser_reports_error_offsets() {
+        let err = parse(r#"{"a": nope}"#).unwrap_err();
+        assert_eq!(err.offset, 6, "{err}");
+        assert!(err.to_string().contains("byte 6"), "{err}");
+    }
+
+    #[test]
+    fn parser_handles_unicode_and_surrogate_pairs() {
+        assert_eq!(
+            parse(r#""\ud83d\ude00 π""#).unwrap().as_str(),
+            Some("\u{1F600} π")
+        );
+        assert!(parse(r#""\ud83d""#).is_err(), "unpaired surrogate");
+    }
+
+    #[test]
+    fn u64_accessor_is_strict() {
+        assert_eq!(parse("7").unwrap().as_u64(), Some(7));
+        assert_eq!(parse("7.5").unwrap().as_u64(), None);
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
     }
 }

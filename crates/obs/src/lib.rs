@@ -22,10 +22,12 @@
 //!   header (command, version, seed, configuration) that turns a
 //!   metrics report into a self-describing artifact.
 //!
-//! Supporting cast: [`json`] is the hand-rolled JSON writer everything
-//! serializes through (no serde), [`timer`] provides scoped wall-clock
-//! timers feeding histograms, and [`log`] is the `LOADSTEAL_LOG`
-//! env-filtered diagnostic logger.
+//! Supporting cast: [`json`] is the hand-rolled JSON writer/parser pair
+//! everything serializes through (no serde), [`sketch`] provides
+//! streaming quantile estimators (P² and a mergeable digest), [`prom`]
+//! renders any [`registry::MetricsReport`] in Prometheus text format,
+//! [`timer`] provides scoped wall-clock timers feeding histograms, and
+//! [`log`] is the `LOADSTEAL_LOG` env-filtered diagnostic logger.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,14 +36,19 @@ pub mod event;
 pub mod json;
 pub mod log;
 pub mod manifest;
+pub mod prom;
 pub mod recorder;
 pub mod registry;
+pub mod sketch;
 pub mod timer;
 
 pub use event::{Event, SimEventKind};
 pub use manifest::{ConfigValue, RunManifest};
+pub use prom::prometheus_text;
 pub use recorder::{
-    CountingRecorder, EventCounts, NdjsonRecorder, NullRecorder, Recorder, SharedRecorder,
+    CountingRecorder, EventCounts, NdjsonRecorder, NullRecorder, Recorder, RegistryRecorder,
+    SharedRecorder,
 };
-pub use registry::{Counter, Gauge, Histogram, MetricsReport, Registry};
+pub use registry::{Counter, Gauge, Histogram, MetricsReport, Registry, Sketch};
+pub use sketch::{Digest, P2Quantile};
 pub use timer::{ScopedTimer, Stopwatch};

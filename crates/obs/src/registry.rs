@@ -2,6 +2,7 @@
 //! histograms with atomic updates and a JSON-serializable snapshot.
 
 use crate::json::JsonBuf;
+use crate::sketch::Digest;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -99,6 +100,20 @@ impl Histogram {
             sum: self.sum(),
         }
     }
+
+    /// Estimate the `q`-quantile from the live buckets (see
+    /// [`HistogramSnapshot::quantile`]).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.snapshot().quantile(q)
+    }
+}
+
+/// Inclusive-lower / exclusive-upper value bounds of log2 bucket `i`.
+fn log2_bucket_bounds(i: usize) -> (f64, f64) {
+    match i {
+        0 => (0.0, 1.0),
+        _ => ((1u128 << (i - 1)) as f64, (1u128 << i) as f64),
+    }
 }
 
 /// A point-in-time copy of a [`Histogram`].
@@ -135,6 +150,69 @@ impl HistogramSnapshot {
             Some(i) => 1u64 << i,
         }
     }
+
+    /// Estimate the `q`-quantile (`q` clamped to `[0, 1]`) by linear
+    /// interpolation within the covering log2 bucket, or `None` when the
+    /// histogram is empty.
+    ///
+    /// Bucket 0 (exact zeros) contributes 0; bucket `i >= 1` covers
+    /// `[2^(i-1), 2^i)`, so the estimate carries up to a factor-of-two
+    /// relative error — use a [`Digest`] sketch when tighter tails
+    /// matter.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * (total - 1) as f64 + 1.0;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let lo_rank = seen as f64 + 1.0;
+            seen += c;
+            if rank <= seen as f64 {
+                if i == 0 {
+                    return Some(0.0);
+                }
+                let (lo, hi) = log2_bucket_bounds(i);
+                let frac = if c == 1 {
+                    0.5
+                } else {
+                    (rank - lo_rank) / (c - 1) as f64
+                };
+                return Some(lo + frac * (hi - lo));
+            }
+        }
+        Some(log2_bucket_bounds(HISTOGRAM_BUCKETS - 1).1)
+    }
+}
+
+/// A thread-safe handle around a mergeable quantile [`Digest`].
+///
+/// Recording takes a mutex (unlike [`Histogram`]), so sketches are
+/// intended for per-run aggregation paths, not per-event hot loops.
+#[derive(Debug, Default)]
+pub struct Sketch(Mutex<Digest>);
+
+impl Sketch {
+    /// Record one observation.
+    pub fn record(&self, v: f64) {
+        self.0.lock().expect("sketch poisoned").record(v);
+    }
+
+    /// Fold a locally-built digest into this sketch (the cheap path for
+    /// worker threads: record into a private [`Digest`], merge once).
+    pub fn merge_from(&self, d: &Digest) {
+        self.0.lock().expect("sketch poisoned").merge(d);
+    }
+
+    /// Point-in-time copy of the underlying digest.
+    pub fn snapshot(&self) -> Digest {
+        self.0.lock().expect("sketch poisoned").clone()
+    }
 }
 
 /// A registry of named metrics. Handles are `Arc`s, so instrumented
@@ -144,6 +222,7 @@ pub struct Registry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    sketches: Mutex<BTreeMap<String, Arc<Sketch>>>,
 }
 
 impl Registry {
@@ -185,6 +264,17 @@ impl Registry {
         h
     }
 
+    /// Get or create the quantile sketch `name`.
+    pub fn sketch(&self, name: &str) -> Arc<Sketch> {
+        let mut map = self.sketches.lock().expect("registry poisoned");
+        if let Some(s) = map.get(name) {
+            return Arc::clone(s);
+        }
+        let s = Arc::new(Sketch::default());
+        map.insert(name.to_owned(), Arc::clone(&s));
+        s
+    }
+
     /// Point-in-time snapshot of every metric.
     pub fn snapshot(&self) -> MetricsReport {
         let counters = self
@@ -208,10 +298,18 @@ impl Registry {
             .iter()
             .map(|(k, v)| (k.clone(), v.snapshot()))
             .collect();
+        let sketches = self
+            .sketches
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
         MetricsReport {
             counters,
             gauges,
             histograms,
+            sketches,
         }
     }
 }
@@ -225,6 +323,8 @@ pub struct MetricsReport {
     pub gauges: BTreeMap<String, f64>,
     /// Histogram snapshots by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Quantile-sketch digests by name.
+    pub sketches: BTreeMap<String, Digest>,
 }
 
 impl MetricsReport {
@@ -249,6 +349,11 @@ impl MetricsReport {
                 .field_u64("sum", h.sum)
                 .field_f64("mean", h.mean())
                 .field_u64("max_bound", h.max_bound());
+            if h.count() > 0 {
+                j.field_f64("p50", h.quantile(0.5).unwrap_or(0.0))
+                    .field_f64("p90", h.quantile(0.9).unwrap_or(0.0))
+                    .field_f64("p99", h.quantile(0.99).unwrap_or(0.0));
+            }
             // Sparse rendering: [bucket_index, count] pairs.
             j.key("buckets").begin_arr();
             for (i, &c) in h.buckets.iter().enumerate() {
@@ -257,6 +362,24 @@ impl MetricsReport {
                 }
             }
             j.end_arr();
+            j.end_obj();
+        }
+        j.end_obj();
+        j.key("sketches").begin_obj();
+        for (k, d) in &self.sketches {
+            j.key(k).begin_obj();
+            j.field_u64("count", d.count()).field_f64("mean", d.mean());
+            if d.count() > 0 {
+                j.field_f64("min", d.min().unwrap_or(0.0))
+                    .field_f64("max", d.max().unwrap_or(0.0))
+                    .field_f64("p50", d.quantile(0.5).unwrap_or(0.0))
+                    .field_f64("p90", d.quantile(0.9).unwrap_or(0.0))
+                    .field_f64("p95", d.quantile(0.95).unwrap_or(0.0))
+                    .field_f64("p99", d.quantile(0.99).unwrap_or(0.0));
+            }
+            if d.rejected > 0 {
+                j.field_u64("rejected", d.rejected);
+            }
             j.end_obj();
         }
         j.end_obj();
@@ -341,5 +464,83 @@ mod tests {
         assert_eq!(s.count(), 0);
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.max_bound(), 0);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.snapshot().quantile(0.99), None);
+    }
+
+    #[test]
+    fn quantile_of_single_value() {
+        let h = Histogram::default();
+        h.record(100); // bucket [64, 128)
+        for q in [0.0, 0.5, 1.0] {
+            let v = h.quantile(q).unwrap();
+            assert!((64.0..128.0).contains(&v), "q={q} -> {v}");
+        }
+        // A lone zero is exact.
+        let z = Histogram::default();
+        z.record(0);
+        assert_eq!(z.quantile(0.5), Some(0.0));
+    }
+
+    #[test]
+    fn quantile_crosses_buckets_monotonically() {
+        let h = Histogram::default();
+        // 50 small values in [1,2), 40 in [16,32), 10 in [1024,2048).
+        for _ in 0..50 {
+            h.record(1);
+        }
+        for _ in 0..40 {
+            h.record(20);
+        }
+        for _ in 0..10 {
+            h.record(1500);
+        }
+        let s = h.snapshot();
+        let p25 = s.quantile(0.25).unwrap();
+        let p70 = s.quantile(0.70).unwrap();
+        let p99 = s.quantile(0.99).unwrap();
+        assert!((1.0..2.0).contains(&p25), "p25={p25}");
+        assert!((16.0..32.0).contains(&p70), "p70={p70}");
+        assert!((1024.0..2048.0).contains(&p99), "p99={p99}");
+        assert!(p25 <= p70 && p70 <= p99);
+        // Clamped inputs behave.
+        assert_eq!(s.quantile(-1.0), s.quantile(0.0));
+        assert_eq!(s.quantile(2.0), s.quantile(1.0));
+    }
+
+    #[test]
+    fn registry_sketches_snapshot_and_merge() {
+        let reg = Registry::new();
+        let s1 = reg.sketch("sim.sojourn");
+        let s2 = reg.sketch("sim.sojourn");
+        s1.record(1.0);
+        s2.record(3.0);
+        let mut local = Digest::new();
+        local.record(2.0);
+        s1.merge_from(&local);
+        let snap = reg.snapshot();
+        let d = &snap.sketches["sim.sojourn"];
+        assert_eq!(d.count(), 3);
+        assert!((d.mean() - 2.0).abs() < 1e-12);
+        let json = snap.to_json();
+        assert!(json.contains(r#""sketches":{"sim.sojourn":"#), "{json}");
+        assert!(json.contains(r#""p99":"#), "{json}");
+    }
+
+    #[test]
+    fn histogram_json_includes_quantiles() {
+        let reg = Registry::new();
+        let h = reg.histogram("h");
+        for v in [1, 2, 3, 100] {
+            h.record(v);
+        }
+        let json = reg.snapshot().to_json();
+        assert!(json.contains(r#""p50":"#), "{json}");
+        assert!(json.contains(r#""p90":"#), "{json}");
     }
 }

@@ -195,7 +195,18 @@ pub struct SimConfig {
     /// seconds (for transient/convergence studies against the ODE
     /// trajectory). `None` disables snapshots.
     pub snapshot_interval: Option<f64>,
+    /// Emit a progress heartbeat every this many processed events when a
+    /// recorder is attached; `0` disables heartbeats entirely.
+    pub heartbeat_every: u64,
+    /// Collect post-warmup sojourn times into a mergeable quantile
+    /// digest (reported in [`crate::SimResult::sojourn_digest`]).
+    /// Off by default: the digest costs one branch plus a bucket
+    /// increment per completion, which benchmark configurations avoid.
+    pub sojourn_digest: bool,
 }
+
+/// Default heartbeat cadence (every 65,536 processed events).
+pub const DEFAULT_HEARTBEAT_EVERY: u64 = 1 << 16;
 
 impl SimConfig {
     /// A paper-default configuration: `n` processors, arrival rate
@@ -217,6 +228,8 @@ impl SimConfig {
             allow_self_victim: true,
             run_until_drained: false,
             snapshot_interval: None,
+            heartbeat_every: DEFAULT_HEARTBEAT_EVERY,
+            sojourn_digest: false,
         }
     }
 

@@ -20,17 +20,13 @@ use std::collections::{BinaryHeap, VecDeque};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use loadsteal_obs::{Event as ObsEvent, NullRecorder, Recorder, SimEventKind};
+use loadsteal_obs::{Digest, Event as ObsEvent, NullRecorder, Recorder, SimEventKind};
 use loadsteal_queueing::dist::exp_sample;
 use loadsteal_queueing::OnlineStats;
 
 use crate::config::{SimConfig, SpeedProfile, StealPolicy};
 use crate::event::{Event, EventKind};
 use crate::metrics::{LoadHistogram, SimResult};
-
-/// Emit progress heartbeats every this many processed events (tracing
-/// runs only).
-const HEARTBEAT_EVERY: u64 = 1 << 16;
 
 /// A task: when it entered the system and how much work it carries.
 #[derive(Debug, Clone, Copy)]
@@ -98,6 +94,7 @@ struct Engine<'a, R: Recorder> {
     steal_successes: u64,
     tasks_migrated: u64,
     sojourn: OnlineStats,
+    sojourn_digest: Option<Digest>,
     hist: LoadHistogram,
     makespan: Option<f64>,
     snapshots: Vec<(f64, Vec<f64>)>,
@@ -137,6 +134,7 @@ impl<'a, R: Recorder> Engine<'a, R> {
             steal_successes: 0,
             tasks_migrated: 0,
             sojourn: OnlineStats::new(),
+            sojourn_digest: cfg.sojourn_digest.then(Digest::new),
             hist: LoadHistogram::new(cfg.n, cfg.initial_load, cfg.warmup),
             makespan: None,
             snapshots: Vec::new(),
@@ -167,6 +165,23 @@ impl<'a, R: Recorder> Engine<'a, R> {
                 kind,
                 t: self.t,
                 proc: p as u32,
+                src: None,
+                count,
+            });
+        }
+    }
+
+    /// Report a migration of `count` tasks from `src` to `dst` (no-op
+    /// unless tracing). Recording the donor lets trace consumers rebuild
+    /// per-processor queue timelines.
+    #[inline]
+    fn emit_migration(&mut self, dst: usize, src: usize, count: u32) {
+        if self.tracing {
+            self.rec.record(&ObsEvent::Sim {
+                kind: SimEventKind::Migration,
+                t: self.t,
+                proc: dst as u32,
+                src: Some(src as u32),
                 count,
             });
         }
@@ -243,7 +258,10 @@ impl<'a, R: Recorder> Engine<'a, R> {
             }
             self.t = ev.time;
             self.events_processed += 1;
-            if self.tracing && self.events_processed % HEARTBEAT_EVERY == 0 {
+            if self.tracing
+                && self.cfg.heartbeat_every != 0
+                && self.events_processed % self.cfg.heartbeat_every == 0
+            {
                 self.rec.record(&ObsEvent::Heartbeat {
                     t: self.t,
                     events: self.events_processed,
@@ -280,6 +298,7 @@ impl<'a, R: Recorder> Engine<'a, R> {
         }
         SimResult {
             sojourn: self.sojourn,
+            sojourn_digest: self.sojourn_digest,
             tasks_arrived: self.tasks_arrived,
             tasks_completed: self.tasks_completed,
             steal_attempts: self.steal_attempts,
@@ -326,7 +345,7 @@ impl<'a, R: Recorder> Engine<'a, R> {
                     self.steal_successes += 1;
                     self.tasks_migrated += 1;
                     self.emit(SimEventKind::StealSuccess, p, 1);
-                    self.emit(SimEventKind::Migration, target, 1);
+                    self.emit_migration(target, p, 1);
                     self.admit_task(target, task);
                     return;
                 }
@@ -369,7 +388,11 @@ impl<'a, R: Recorder> Engine<'a, R> {
         self.tasks_completed += 1;
         self.emit(SimEventKind::Completion, p, 1);
         if self.t >= self.cfg.warmup {
-            self.sojourn.push(self.t - task.arrived);
+            let dt = self.t - task.arrived;
+            self.sojourn.push(dt);
+            if let Some(d) = self.sojourn_digest.as_mut() {
+                d.record(dt);
+            }
         }
         // Start the next task before stealing: a steal sees a consistent
         // queue and can never take the in-service task.
@@ -602,7 +625,7 @@ impl<'a, R: Recorder> Engine<'a, R> {
             debug_assert_eq!(batch, 1);
             let task = self.procs[victim].queue.pop_back().unwrap();
             self.tasks_migrated += 1;
-            self.emit(SimEventKind::Migration, thief, 1);
+            self.emit_migration(thief, victim, 1);
             self.on_load_changed(victim, victim_len);
             self.procs[thief].waiting_transfer = true;
             let delay = self
@@ -632,7 +655,7 @@ impl<'a, R: Recorder> Engine<'a, R> {
         let mut moved = self.procs[victim].queue.split_off(split_at);
         self.procs[thief].queue.append(&mut moved);
         self.tasks_migrated += take as u64;
-        self.emit(SimEventKind::Migration, thief, take as u32);
+        self.emit_migration(thief, victim, take as u32);
         self.on_load_changed(victim, victim_len);
         if thief_old == 0 {
             let front = self.procs[thief].queue.front().copied().unwrap();
@@ -663,7 +686,7 @@ impl<'a, R: Recorder> Engine<'a, R> {
         let mut moved = self.procs[hi].queue.split_off(lhi - moves);
         self.procs[lo].queue.append(&mut moved);
         self.tasks_migrated += moves as u64;
-        self.emit(SimEventKind::Migration, lo, moves as u32);
+        self.emit_migration(lo, hi, moves as u32);
         self.on_load_changed(hi, lhi);
         if lo_old == 0 {
             let front = self.procs[lo].queue.front().copied().unwrap();
@@ -958,5 +981,75 @@ mod tests {
         let mut cfg = base(0, 0.5);
         cfg.n = 0;
         let _ = run(&cfg, 1);
+    }
+
+    fn heartbeat_count(cfg: &SimConfig) -> u64 {
+        use loadsteal_obs::CountingRecorder;
+        let mut rec = CountingRecorder::new();
+        let _ = run_recorded(cfg, 21, &mut rec);
+        rec.counts().heartbeats
+    }
+
+    #[test]
+    fn heartbeat_interval_is_configurable_and_zero_disables() {
+        let mut cfg = base(8, 0.8);
+        cfg.horizon = 5_000.0;
+        cfg.warmup = 500.0;
+        // Default cadence (1 << 16) fires rarely at this scale…
+        let default_beats = heartbeat_count(&cfg);
+        // …a tight cadence fires much more often…
+        cfg.heartbeat_every = 1_000;
+        let tight_beats = heartbeat_count(&cfg);
+        assert!(
+            tight_beats > default_beats,
+            "tight {tight_beats} vs default {default_beats}"
+        );
+        assert!(tight_beats > 10);
+        // …and 0 disables heartbeats entirely.
+        cfg.heartbeat_every = 0;
+        assert_eq!(heartbeat_count(&cfg), 0);
+    }
+
+    #[test]
+    fn heartbeats_silent_without_recorder() {
+        // A disabled recorder emits nothing regardless of cadence.
+        let mut cfg = base(8, 0.8);
+        cfg.horizon = 2_000.0;
+        cfg.warmup = 200.0;
+        cfg.heartbeat_every = 100;
+        let r = run(&cfg, 22);
+        assert!(r.events_processed > 100);
+    }
+
+    #[test]
+    fn sojourn_digest_matches_online_stats() {
+        let mut cfg = base(16, 0.8);
+        cfg.horizon = 5_000.0;
+        cfg.warmup = 500.0;
+        // Off by default.
+        assert!(run(&cfg, 23).sojourn_digest.is_none());
+        cfg.sojourn_digest = true;
+        let r = run(&cfg, 23);
+        let d = r.sojourn_digest.as_ref().expect("digest requested");
+        assert_eq!(d.count(), r.sojourn.count());
+        assert!(
+            (d.mean() - r.sojourn.mean()).abs() < 1e-9 * r.sojourn.mean(),
+            "digest mean {} vs stats mean {}",
+            d.mean(),
+            r.sojourn.mean()
+        );
+        // Quantiles are ordered and bracket the mean plausibly.
+        let p50 = d.quantile(0.5).unwrap();
+        let p99 = d.quantile(0.99).unwrap();
+        assert!(p50 < p99);
+        assert!(p50 <= r.sojourn.mean() && r.sojourn.mean() <= p99);
+        // The digest must not perturb the simulation itself.
+        let plain = {
+            let mut c = cfg.clone();
+            c.sojourn_digest = false;
+            run(&c, 23)
+        };
+        assert_eq!(plain.sojourn.mean(), r.sojourn.mean());
+        assert_eq!(plain.events_processed, r.events_processed);
     }
 }

@@ -37,7 +37,9 @@ pub mod event;
 pub mod metrics;
 pub mod replicate;
 
-pub use config::{RebalanceRate, SimConfig, SpeedProfile, StealPolicy, TransferTime};
+pub use config::{
+    RebalanceRate, SimConfig, SpeedProfile, StealPolicy, TransferTime, DEFAULT_HEARTBEAT_EVERY,
+};
 pub use engine::{run, run_recorded, run_seeded};
 pub use metrics::{LoadHistogram, SimResult};
 pub use replicate::{replicate, replicate_recorded, replicate_until, ReplicateResult};

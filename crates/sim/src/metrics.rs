@@ -2,6 +2,7 @@
 //! time-weighted load histogram for comparing against the mean-field
 //! tails `s_i`.
 
+use loadsteal_obs::Digest;
 use loadsteal_queueing::OnlineStats;
 
 /// Time-weighted histogram of processor loads.
@@ -126,6 +127,9 @@ impl LoadHistogram {
 pub struct SimResult {
     /// Sojourn time (arrival → completion) of post-warmup completions.
     pub sojourn: OnlineStats,
+    /// Quantile digest of the same sojourn times, collected when
+    /// [`crate::SimConfig::sojourn_digest`] is set (`None` otherwise).
+    pub sojourn_digest: Option<Digest>,
     /// Total tasks that arrived (including pre-loaded ones).
     pub tasks_arrived: u64,
     /// Total tasks completed.
@@ -269,6 +273,7 @@ mod tests {
     fn result_with_steals(attempts: u64, successes: u64) -> SimResult {
         SimResult {
             sojourn: OnlineStats::new(),
+            sojourn_digest: None,
             tasks_arrived: 0,
             tasks_completed: 0,
             steal_attempts: attempts,

@@ -37,6 +37,21 @@ impl ReplicateResult {
         self.sojourn_mean.confidence_interval(0.95)
     }
 
+    /// Merged sojourn-time digest across all runs (`None` unless
+    /// [`SimConfig::sojourn_digest`] was set). Per-run digests are built
+    /// independently on worker threads and folded here — the mergeable
+    /// layout makes the combined quantiles identical to a single-stream
+    /// digest.
+    pub fn merged_sojourn_digest(&self) -> Option<loadsteal_obs::Digest> {
+        let mut acc: Option<loadsteal_obs::Digest> = None;
+        for r in &self.runs {
+            if let Some(d) = &r.sojourn_digest {
+                acc.get_or_insert_with(loadsteal_obs::Digest::new).merge(d);
+            }
+        }
+        acc
+    }
+
     /// Average measured tail vector `s_i` across runs, padded with zeros
     /// to the longest run.
     pub fn mean_load_tails(&self) -> Vec<f64> {

@@ -1,0 +1,40 @@
+//! Offline analysis of `loadsteal` NDJSON traces.
+//!
+//! The simulator and solver stream [`loadsteal_obs::Event`]s as NDJSON
+//! (one JSON object per line) via `--trace`. This crate closes the
+//! loop: it parses those lines back into typed events
+//! ([`reader`]), reconstructs per-processor queue timelines and run
+//! phases from the event stream alone ([`timeline`]), and renders a
+//! sim-vs-mean-field comparison table ([`report`]).
+//!
+//! The layering is deliberate: this crate depends only on
+//! `loadsteal-obs` (for the event model and the hand-rolled JSON
+//! parser). Mean-field predictions are *inputs* — the CLI computes
+//! them with `loadsteal-core` and passes a [`report::MeanFieldPrediction`]
+//! in, so trace analysis stays usable on any conforming trace without
+//! dragging in the ODE stack.
+//!
+//! # Example
+//!
+//! ```
+//! use loadsteal_trace::{read_str, ReadMode, Timeline, TimelineConfig};
+//!
+//! let ndjson = "\
+//! {\"ev\":\"arrival\",\"t\":0.5,\"proc\":0}\n\
+//! {\"ev\":\"completion\",\"t\":1.25,\"proc\":0}\n";
+//! let trace = read_str(ndjson, ReadMode::Strict).unwrap();
+//! let tl = Timeline::build(&trace.events, &TimelineConfig::default());
+//! assert_eq!(tl.counts.arrivals, 1);
+//! assert_eq!(tl.n_procs, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod reader;
+pub mod report;
+pub mod timeline;
+
+pub use reader::{read_lines, read_str, ParsedTrace, ReadMode, TraceDiagnostic, TraceError};
+pub use report::{render_report, MeanFieldPrediction};
+pub use timeline::{EventCounts, ProcTimeline, SolverSummary, Timeline, TimelineConfig};

@@ -1,0 +1,429 @@
+//! NDJSON trace parsing: `--trace` output back into typed
+//! [`Event`]s.
+//!
+//! The wire format is one JSON object per line with a `"ev"` field
+//! naming the event type; field elision follows the writer exactly
+//! (`count` omitted when 1, `src` omitted for non-migrations, and
+//! non-finite floats rendered as `null`). Two modes:
+//!
+//! * [`ReadMode::Strict`] — the first malformed line aborts with a
+//!   [`TraceError`] carrying 1-based line and column numbers. Every
+//!   line the writer can produce parses in this mode.
+//! * [`ReadMode::Lossy`] — malformed lines are skipped and collected as
+//!   [`TraceDiagnostic`]s, so a truncated or concatenated trace still
+//!   yields its parseable prefix/suffix.
+
+use loadsteal_obs::json::{parse, JsonValue};
+use loadsteal_obs::{Event, SimEventKind};
+
+/// How to treat malformed lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadMode {
+    /// Fail on the first malformed line.
+    Strict,
+    /// Skip malformed lines, collecting diagnostics.
+    Lossy,
+}
+
+/// A fatal parse failure (strict mode).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// 1-based byte column within the line where parsing failed (best
+    /// effort: 1 for semantic errors that concern the whole line).
+    pub column: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "line {}, column {}: {}",
+            self.line, self.column, self.message
+        )
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A skipped line (lossy mode): same shape as [`TraceError`] but
+/// non-fatal.
+pub type TraceDiagnostic = TraceError;
+
+/// The outcome of reading a trace.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedTrace {
+    /// Every successfully parsed event, in input order.
+    pub events: Vec<Event>,
+    /// Lines skipped in lossy mode (always empty in strict mode —
+    /// strict fails instead).
+    pub skipped: Vec<TraceDiagnostic>,
+    /// Total non-blank lines seen (parsed + skipped).
+    pub lines: usize,
+}
+
+/// Parse a complete NDJSON document held in memory.
+pub fn read_str(text: &str, mode: ReadMode) -> Result<ParsedTrace, TraceError> {
+    read_lines(text.lines(), mode)
+}
+
+/// Parse from any iterator of lines (e.g. `BufRead::lines()` output
+/// already unwrapped, or `str::lines`). Blank lines are skipped in both
+/// modes — NDJSON writers commonly end with a trailing newline.
+pub fn read_lines<'a, I>(lines: I, mode: ReadMode) -> Result<ParsedTrace, TraceError>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let mut out = ParsedTrace::default();
+    for (idx, line) in lines.into_iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.lines += 1;
+        match parse_line(line) {
+            Ok(ev) => out.events.push(ev),
+            Err((column, message)) => {
+                let diag = TraceError {
+                    line: idx + 1,
+                    column,
+                    message,
+                };
+                match mode {
+                    ReadMode::Strict => return Err(diag),
+                    ReadMode::Lossy => out.skipped.push(diag),
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Parse one NDJSON line into an event. Errors are `(column, message)`
+/// with a 1-based column.
+pub fn parse_line(line: &str) -> Result<Event, (usize, String)> {
+    let v = parse(line).map_err(|e| (e.offset + 1, e.message))?;
+    let ev = v
+        .get("ev")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| (1, "missing or non-string \"ev\" field".to_owned()))?;
+    let kind = match ev {
+        "solver_step" => {
+            return Ok(Event::SolverStep {
+                accepted: bool_field(&v, "accepted")?,
+                t: f64_field(&v, "t")?,
+                h: f64_field(&v, "h")?,
+                err_norm: f64_field(&v, "err_norm")?,
+            })
+        }
+        "solver_steady" => {
+            return Ok(Event::SolverSteady {
+                t: f64_field(&v, "t")?,
+                residual: f64_field(&v, "residual")?,
+            })
+        }
+        "solver_done" => {
+            return Ok(Event::SolverDone {
+                accepted: u64_field(&v, "accepted")?,
+                rejected: u64_field(&v, "rejected")?,
+                min_h: f64_field(&v, "min_h")?,
+                max_h: f64_field(&v, "max_h")?,
+                max_reject_streak: u64_field(&v, "max_reject_streak")?,
+                converged: bool_field(&v, "converged")?,
+                residual: f64_field(&v, "residual")?,
+            })
+        }
+        "heartbeat" => {
+            return Ok(Event::Heartbeat {
+                t: f64_field(&v, "t")?,
+                events: u64_field(&v, "events")?,
+                tasks_in_system: u64_field(&v, "tasks_in_system")?,
+            })
+        }
+        "replicate_done" => {
+            return Ok(Event::ReplicateDone {
+                seed: u64_field(&v, "seed")?,
+                wall_ms: f64_field(&v, "wall_ms")?,
+                events: u64_field(&v, "events")?,
+                events_per_sec: f64_field(&v, "events_per_sec")?,
+            })
+        }
+        "arrival" => SimEventKind::Arrival,
+        "completion" => SimEventKind::Completion,
+        "steal_attempt" => SimEventKind::StealAttempt,
+        "steal_success" => SimEventKind::StealSuccess,
+        "migration" => SimEventKind::Migration,
+        other => return Err((1, format!("unknown event kind {other:?}"))),
+    };
+    Ok(Event::Sim {
+        kind,
+        t: f64_field(&v, "t")?,
+        proc: u32_field(&v, "proc")?,
+        src: opt_u32_field(&v, "src")?,
+        count: match v.get("count") {
+            // The writer elides unit counts.
+            None => 1,
+            Some(_) => u32_field(&v, "count")?,
+        },
+    })
+}
+
+// ---------------------------------------------------------------------
+// Field accessors. Column 1 for all semantic errors — the JSON parser
+// has already validated the grammar, so byte-precise positions only
+// exist for syntax errors.
+
+fn missing(key: &str) -> (usize, String) {
+    (1, format!("missing field {key:?}"))
+}
+
+fn f64_field(v: &JsonValue, key: &str) -> Result<f64, (usize, String)> {
+    match v.get(key) {
+        // The writer renders non-finite floats as null; reading them
+        // back as NaN keeps "writer lines always parse" true while
+        // still quarantining the value (NaN fails every comparison).
+        Some(JsonValue::Null) => Ok(f64::NAN),
+        Some(val) => val
+            .as_f64()
+            .ok_or_else(|| (1, format!("field {key:?} is not a number"))),
+        None => Err(missing(key)),
+    }
+}
+
+fn u64_field(v: &JsonValue, key: &str) -> Result<u64, (usize, String)> {
+    v.get(key)
+        .ok_or_else(|| missing(key))?
+        .as_u64()
+        .ok_or_else(|| (1, format!("field {key:?} is not a non-negative integer")))
+}
+
+fn u32_field(v: &JsonValue, key: &str) -> Result<u32, (usize, String)> {
+    let n = u64_field(v, key)?;
+    u32::try_from(n).map_err(|_| (1, format!("field {key:?} overflows u32 ({n})")))
+}
+
+fn opt_u32_field(v: &JsonValue, key: &str) -> Result<Option<u32>, (usize, String)> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(_) => u32_field(v, key).map(Some),
+    }
+}
+
+fn bool_field(v: &JsonValue, key: &str) -> Result<bool, (usize, String)> {
+    v.get(key)
+        .ok_or_else(|| missing(key))?
+        .as_bool()
+        .ok_or_else(|| (1, format!("field {key:?} is not a boolean")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One of every event the writer can produce, including the field
+    /// elision cases (`count == 1`, `src` absent) and a non-finite
+    /// float rendered as null.
+    fn exemplars() -> Vec<Event> {
+        vec![
+            Event::SolverStep {
+                accepted: true,
+                t: 0.0,
+                h: 0.1,
+                err_norm: 0.42,
+            },
+            Event::SolverStep {
+                accepted: false,
+                t: 1.5e-3,
+                h: 1e-9,
+                err_norm: 17.0,
+            },
+            Event::SolverSteady {
+                t: 12.5,
+                residual: 3.2e-11,
+            },
+            Event::SolverDone {
+                accepted: 1000,
+                rejected: 17,
+                min_h: 1e-6,
+                max_h: 2.0,
+                max_reject_streak: 4,
+                converged: true,
+                residual: 9.9e-13,
+            },
+            Event::Sim {
+                kind: SimEventKind::Arrival,
+                t: 0.25,
+                proc: 0,
+                src: None,
+                count: 1,
+            },
+            Event::Sim {
+                kind: SimEventKind::Completion,
+                t: 1.75,
+                proc: 31,
+                src: None,
+                count: 1,
+            },
+            Event::Sim {
+                kind: SimEventKind::StealAttempt,
+                t: 2.0,
+                proc: 5,
+                src: None,
+                count: 1,
+            },
+            Event::Sim {
+                kind: SimEventKind::StealSuccess,
+                t: 2.0,
+                proc: 5,
+                src: None,
+                count: 1,
+            },
+            Event::Sim {
+                kind: SimEventKind::Migration,
+                t: 2.0,
+                proc: 5,
+                src: Some(9),
+                count: 3,
+            },
+            Event::Heartbeat {
+                t: 100.0,
+                events: 65536,
+                tasks_in_system: 42,
+            },
+            Event::ReplicateDone {
+                seed: u64::MAX,
+                wall_ms: 15.25,
+                events: 123456789,
+                events_per_sec: 8.1e6,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_writer_line_parses_strict_and_round_trips() {
+        for ev in exemplars() {
+            let line = ev.to_json_line();
+            let back = parse_line(&line).unwrap_or_else(|e| panic!("{line}: {e:?}"));
+            assert_eq!(ev, back, "{line}");
+        }
+    }
+
+    #[test]
+    fn full_document_round_trips_in_strict_mode() {
+        let events = exemplars();
+        let doc: String = events.iter().map(|e| e.to_json_line() + "\n").collect();
+        let parsed = read_str(&doc, ReadMode::Strict).unwrap();
+        assert_eq!(parsed.events, events);
+        assert_eq!(parsed.lines, events.len());
+        assert!(parsed.skipped.is_empty());
+    }
+
+    #[test]
+    fn non_finite_float_reads_back_as_nan() {
+        // The writer renders a non-finite residual as null.
+        let line = Event::SolverSteady {
+            t: 1.0,
+            residual: f64::INFINITY,
+        }
+        .to_json_line();
+        assert!(line.contains("null"), "{line}");
+        match parse_line(&line).unwrap() {
+            Event::SolverSteady { t, residual } => {
+                assert_eq!(t, 1.0);
+                assert!(residual.is_nan());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn strict_mode_reports_line_and_column() {
+        let doc = "{\"ev\":\"arrival\",\"t\":0.5,\"proc\":0}\n{\"ev\": nope}\n";
+        let err = read_str(doc, ReadMode::Strict).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.column, 8); // byte offset 7 of the bad token, 1-based
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn lossy_mode_skips_bad_lines_and_keeps_good_ones() {
+        let doc = "\
+{\"ev\":\"arrival\",\"t\":0.5,\"proc\":0}
+garbage
+{\"ev\":\"mystery\",\"t\":1.0}
+{\"ev\":\"completion\",\"t\":1.5,\"proc\":0}
+{\"ev\":\"arrival\",\"t\":2.0}
+";
+        let parsed = read_str(doc, ReadMode::Lossy).unwrap();
+        assert_eq!(parsed.events.len(), 2);
+        assert_eq!(parsed.lines, 5);
+        assert_eq!(parsed.skipped.len(), 3);
+        assert_eq!(parsed.skipped[0].line, 2); // garbage
+        assert_eq!(parsed.skipped[1].line, 3); // unknown kind
+        assert_eq!(parsed.skipped[2].line, 5); // missing proc
+        assert!(parsed.skipped[2].message.contains("proc"));
+    }
+
+    #[test]
+    fn blank_lines_are_ignored_in_both_modes() {
+        let doc = "\n\n{\"ev\":\"arrival\",\"t\":0.5,\"proc\":3}\n\n";
+        for mode in [ReadMode::Strict, ReadMode::Lossy] {
+            let parsed = read_str(doc, mode).unwrap();
+            assert_eq!(parsed.events.len(), 1);
+            assert_eq!(parsed.lines, 1);
+        }
+    }
+
+    #[test]
+    fn semantic_checks_reject_bad_fields() {
+        for (line, needle) in [
+            (r#"{"t":1.0,"proc":0}"#, "ev"),
+            (r#"{"ev":"arrival","proc":0}"#, "\"t\""),
+            (r#"{"ev":"arrival","t":1.0,"proc":-1}"#, "proc"),
+            (r#"{"ev":"arrival","t":1.0,"proc":4294967296}"#, "overflows"),
+            (r#"{"ev":"arrival","t":true,"proc":0}"#, "not a number"),
+            (
+                r#"{"ev":"solver_step","t":1.0,"h":0.1,"err_norm":0.2}"#,
+                "accepted",
+            ),
+            (
+                r#"{"ev":"heartbeat","t":1.0,"events":2.5,"tasks_in_system":0}"#,
+                "events",
+            ),
+        ] {
+            let err = parse_line(line).unwrap_err();
+            assert!(err.1.contains(needle), "{line} -> {err:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_extra_fields_are_tolerated() {
+        // Forward compatibility: a newer writer may add fields.
+        let ev = parse_line(r#"{"ev":"arrival","t":1.0,"proc":0,"future_field":"x"}"#).unwrap();
+        assert!(matches!(
+            ev,
+            Event::Sim {
+                kind: SimEventKind::Arrival,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn seeds_above_2_pow_53_survive() {
+        let seed = 3_189_771_427_388_177_366u64; // needs exact u64 parsing
+        let line = Event::ReplicateDone {
+            seed,
+            wall_ms: 1.0,
+            events: 10,
+            events_per_sec: 1e4,
+        }
+        .to_json_line();
+        match parse_line(&line).unwrap() {
+            Event::ReplicateDone { seed: s, .. } => assert_eq!(s, seed),
+            other => panic!("{other:?}"),
+        }
+    }
+}

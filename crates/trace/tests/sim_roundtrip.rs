@@ -1,0 +1,106 @@
+//! End-to-end: run the real simulator with an NDJSON recorder, parse
+//! the trace back, and check the reconstructed timeline against the
+//! simulator's own statistics.
+
+use loadsteal_obs::{NdjsonRecorder, Recorder};
+use loadsteal_sim::{run_recorded, SimConfig};
+use loadsteal_trace::{read_str, ReadMode, Timeline, TimelineConfig};
+
+fn traced_run(cfg: &SimConfig, seed: u64) -> (String, loadsteal_sim::SimResult) {
+    let mut rec = NdjsonRecorder::new(Vec::new());
+    let result = run_recorded(cfg, seed, &mut rec);
+    Recorder::flush(&mut rec);
+    let (buf, err) = rec.into_inner();
+    assert!(err.is_none());
+    (String::from_utf8(buf).unwrap(), result)
+}
+
+#[test]
+fn every_simulator_line_parses_in_strict_mode() {
+    let mut cfg = SimConfig::paper_default(8, 0.7);
+    cfg.horizon = 2_000.0;
+    cfg.warmup = 200.0;
+    cfg.heartbeat_every = 10_000;
+    let (trace, _) = traced_run(&cfg, 42);
+    let parsed =
+        read_str(&trace, ReadMode::Strict).unwrap_or_else(|e| panic!("strict parse failed: {e}"));
+    assert_eq!(parsed.events.len(), parsed.lines);
+    assert!(parsed.lines > 1_000, "expected a substantial trace");
+    assert!(parsed.skipped.is_empty());
+}
+
+#[test]
+fn timeline_matches_simulator_statistics() {
+    let mut cfg = SimConfig::paper_default(16, 0.8);
+    cfg.horizon = 5_000.0;
+    cfg.warmup = 500.0;
+    let (trace, result) = traced_run(&cfg, 7);
+    let parsed = read_str(&trace, ReadMode::Strict).unwrap();
+    let tl = Timeline::build(
+        &parsed.events,
+        &TimelineConfig {
+            warmup: cfg.warmup,
+            ..TimelineConfig::default()
+        },
+    );
+
+    assert_eq!(tl.n_procs, 16);
+    assert_eq!(tl.depth_underflows, 0, "trace must replay consistently");
+    // Whole-trace totals equal the engine's own counters.
+    assert_eq!(tl.counts.arrivals, result.tasks_arrived);
+    assert_eq!(tl.counts.completions, result.tasks_completed);
+    assert_eq!(tl.counts.steal_attempts, result.steal_attempts);
+    assert_eq!(tl.counts.steal_successes, result.steal_successes);
+    assert_eq!(tl.counts.tasks_migrated, result.tasks_migrated);
+
+    // Measured arrival rate ≈ λ (sampling noise only).
+    let lambda_hat = tl.arrival_rate();
+    assert!(
+        (lambda_hat - 0.8).abs() < 0.05,
+        "λ̂ = {lambda_hat}, expected ≈ 0.8"
+    );
+
+    // Little's-law sojourn from the replayed queues tracks the
+    // simulator's directly measured mean sojourn.
+    let w_trace = tl.mean_sojourn_little().expect("arrivals were measured");
+    let w_sim = result.mean_sojourn();
+    assert!(
+        (w_trace - w_sim).abs() / w_sim < 0.15,
+        "Little's law {w_trace} vs measured {w_sim}"
+    );
+
+    // Replayed time-averaged tails track the engine's LoadHistogram.
+    for (i, &s) in result.load_tails.iter().enumerate().take(4).skip(1) {
+        let replayed = tl.tails.get(i).copied().unwrap_or(0.0);
+        assert!(
+            (replayed - s).abs() < 0.05,
+            "s_{i}: replayed {replayed} vs engine {s}"
+        );
+    }
+}
+
+#[test]
+fn lossy_mode_recovers_a_corrupted_trace() {
+    let mut cfg = SimConfig::paper_default(4, 0.5);
+    cfg.horizon = 500.0;
+    cfg.warmup = 50.0;
+    let (trace, _) = traced_run(&cfg, 3);
+    // Corrupt every 10th line.
+    let mangled: String = trace
+        .lines()
+        .enumerate()
+        .map(|(i, l)| {
+            if i % 10 == 0 {
+                format!("{}\n", &l[..l.len() / 2])
+            } else {
+                format!("{l}\n")
+            }
+        })
+        .collect();
+    assert!(read_str(&mangled, ReadMode::Strict).is_err());
+    let parsed = read_str(&mangled, ReadMode::Lossy).unwrap();
+    assert!(!parsed.skipped.is_empty());
+    assert_eq!(parsed.events.len() + parsed.skipped.len(), parsed.lines);
+    // ~90% of lines survive.
+    assert!(parsed.events.len() * 10 >= parsed.lines * 8);
+}
