@@ -181,6 +181,49 @@ mod tests {
         assert!(out.iter().all(|&v| v == 2));
     }
 
+    /// A worker panic must propagate to the caller without hanging the
+    /// scope: the replication driver calls `parallel_map` from test
+    /// harnesses where a deadlocked join would look like a stuck run.
+    /// Run the pipeline on a watchdog thread so a regression fails the
+    /// test in 30 s instead of wedging the suite.
+    #[test]
+    fn panicking_worker_does_not_deadlock_or_strand_items() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::{mpsc, Arc};
+        let processed = Arc::new(AtomicU32::new(0));
+        let p = Arc::clone(&processed);
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _: Vec<u64> = (0u64..64)
+                    .into_par_iter()
+                    .map(|i| {
+                        if i == 5 {
+                            panic!("injected worker panic");
+                        }
+                        p.fetch_add(1, Ordering::Relaxed);
+                        i
+                    })
+                    .collect();
+            }));
+            let _ = tx.send(result.is_err());
+        });
+        let panicked = rx
+            .recv_timeout(std::time::Duration::from_secs(30))
+            .expect("parallel_map hung after a worker panic");
+        assert!(panicked, "the injected panic must reach the caller");
+        // Multi-worker path: the surviving workers drain the cursor (63
+        // of 64 items) before the scope re-raises the panic. The
+        // single-worker fallback maps sequentially and stops at item 5.
+        let multi = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            > 1;
+        if multi {
+            assert_eq!(processed.load(Ordering::Relaxed), 63);
+        }
+    }
+
     #[test]
     #[should_panic]
     fn worker_panics_propagate() {

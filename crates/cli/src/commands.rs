@@ -16,7 +16,7 @@ use loadsteal_sim::{
     replicate, replicate_recorded, RebalanceRate, SimConfig, StealPolicy, TransferTime,
     DEFAULT_HEARTBEAT_EVERY,
 };
-use loadsteal_trace::{read_str, MeanFieldPrediction, ReadMode, Timeline, TimelineConfig};
+use loadsteal_trace::{read_bytes, MeanFieldPrediction, ReadMode, Timeline, TimelineConfig};
 
 use crate::args::Args;
 use crate::obs::{manifest, say, Narrator, ObsOpts, OBS_FLAGS};
@@ -312,7 +312,7 @@ fn sim_config(a: &Args) -> Result<SimConfig, String> {
     if let Some(r) = a.get::<f64>("transfer-rate")? {
         cfg.transfer = Some(TransferTime::exponential(r));
     }
-    cfg.validate()?;
+    cfg.validate().map_err(|e| e.to_string())?;
     Ok(cfg)
 }
 
@@ -534,14 +534,16 @@ pub fn report(a: &Args) -> Result<(), String> {
     if a.positional(1).is_some() {
         return Err("report takes exactly one trace file".into());
     }
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read trace {path:?}: {e}"))?;
+    // Raw bytes, not read_to_string: a trace with one corrupt region
+    // should still be reportable under --lossy, with the bad lines
+    // diagnosed individually instead of the whole file rejected.
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read trace {path:?}: {e}"))?;
     let mode = if a.switch("lossy") {
         ReadMode::Lossy
     } else {
         ReadMode::Strict
     };
-    let parsed = read_str(&text, mode).map_err(|e| format!("{path}: {e} (try --lossy)"))?;
+    let parsed = read_bytes(&bytes, mode).map_err(|e| format!("{path}: {e} (try --lossy)"))?;
     if !parsed.skipped.is_empty() {
         eprintln!(
             "warning: skipped {} of {} lines (first: {})",
@@ -577,6 +579,47 @@ pub fn report(a: &Args) -> Result<(), String> {
     });
     print!("{}", loadsteal_trace::render_report(&tl, pred.as_ref()));
     Ok(())
+}
+
+/// `loadsteal verify [--quick|--full]` — run the statistical
+/// verification harness across the model zoo and print its pass/fail
+/// table. Exits nonzero (via `Err`) when any check fails, so CI can
+/// gate on it directly.
+pub fn verify(a: &Args) -> Result<(), String> {
+    a.ensure_known(&["seed", "filter"])?;
+    if a.switch("quick") && a.switch("full") {
+        return Err("pass at most one of --quick / --full".into());
+    }
+    let seed: u64 = a.get_or("seed", 42)?;
+    let settings = if a.switch("full") {
+        loadsteal_verify::Settings::full(seed)
+    } else {
+        loadsteal_verify::Settings::quick(seed)
+    };
+    let filter = a.raw("filter");
+    println!(
+        "verify: {} tier, seed {seed}, n = {}, {} runs × {} s per differential check",
+        if a.switch("full") { "full" } else { "quick" },
+        settings.n,
+        settings.runs,
+        settings.horizon,
+    );
+    let report = loadsteal_verify::run(&settings, filter);
+    if report.results.is_empty() {
+        return Err(format!(
+            "no checks match filter {:?}",
+            filter.unwrap_or_default()
+        ));
+    }
+    print!("{}", report.render());
+    if report.passed() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} verification check(s) failed",
+            report.failures()
+        ))
+    }
 }
 
 /// `loadsteal serve` — run a simulation while exposing its live metrics

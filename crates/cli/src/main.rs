@@ -17,7 +17,7 @@ mod obs;
 use std::process::ExitCode;
 
 /// Value-less boolean flags, recognized by every subcommand.
-const SWITCHES: &[&str] = &["quiet", "lossy"];
+const SWITCHES: &[&str] = &["quiet", "lossy", "quick", "full"];
 
 /// Commands that take a positional operand (everything else rejects
 /// bare arguments, preserving early typo detection).
@@ -52,6 +52,7 @@ fn main() -> ExitCode {
         "drain" => commands::drain(&parsed),
         "report" => commands::report(&parsed),
         "serve" => commands::serve(&parsed),
+        "verify" => commands::verify(&parsed),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -88,6 +89,12 @@ USAGE:
       Run a simulation while serving its live metrics registry in
       Prometheus text format (`--prom-addr host:0` picks a free port;
       `--scrapes N` exits after N scrapes).
+  loadsteal verify [--quick|--full] [--seed S] [--filter SUBSTR]
+      Statistical verification harness: differential (simulation vs
+      mean-field fixed point across the model zoo), metamorphic,
+      convergence-order, and seed-replay checks. --quick (default) is
+      CI-sized; --full re-simulates the paper's Table 1-4 grids.
+      Exits nonzero if any check fails.
 
 MODELS (for solve/tails):
   simple                           λ only

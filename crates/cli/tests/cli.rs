@@ -127,3 +127,28 @@ fn drain_reports_both_numbers() {
     assert!(stdout.contains("mean-field drain time"));
     assert!(stdout.contains("simulated makespan"));
 }
+
+#[test]
+fn verify_filtered_layer_passes_and_renders_a_table() {
+    // The determinism layer is simulation-light (n ≤ 16, short
+    // horizons), so it is fast enough for an e2e test even unoptimized.
+    let (ok, stdout, stderr) = loadsteal(&["verify", "--quick", "--filter", "determinism"]);
+    assert!(ok, "stderr: {stderr}\nstdout: {stdout}");
+    assert!(stdout.contains("determinism"), "{stdout}");
+    assert!(stdout.contains("PASS"), "{stdout}");
+    assert!(stdout.contains("0 failed"), "{stdout}");
+}
+
+#[test]
+fn verify_rejects_conflicting_tiers() {
+    let (ok, _, stderr) = loadsteal(&["verify", "--quick", "--full"]);
+    assert!(!ok);
+    assert!(stderr.contains("--quick"), "{stderr}");
+}
+
+#[test]
+fn verify_unmatched_filter_is_a_clean_error() {
+    let (ok, _, stderr) = loadsteal(&["verify", "--filter", "no-such-check"]);
+    assert!(!ok);
+    assert!(stderr.contains("no checks match"), "{stderr}");
+}

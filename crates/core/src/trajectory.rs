@@ -69,6 +69,34 @@ pub fn drain_time<M: MeanFieldModel>(
     })
 }
 
+/// Mass-balance residual `d L/dt − (λ − s₁)` of `model` at `state`.
+///
+/// Tasks enter a conservative system at rate λ per processor and leave
+/// at rate `s₁` (the fraction of busy unit-speed processors), so along
+/// any ODE trajectory the mean task count `L` must obey
+/// `dL/dt = λ − s₁` *exactly* — stealing only moves tasks around. The
+/// residual is computed from the model's own derivative field via a
+/// directional derivative of `mean_tasks` (exact for the linear
+/// `mean_tasks` every tail model uses, up to rounding).
+///
+/// Only meaningful for models whose processors serve at unit rate and
+/// whose state carries no in-transit mass outside `mean_tasks`
+/// (heterogeneous speeds scale the departure rate; transfer-delay
+/// models count in-flight tasks in `L` but drain them at rate r).
+pub fn mass_balance_residual<M: MeanFieldModel>(model: &M, state: &[f64]) -> f64 {
+    assert_eq!(state.len(), model.dim(), "state has wrong dimension");
+    let mut dy = vec![0.0; model.dim()];
+    model.deriv(0.0, state, &mut dy);
+    // Directional derivative of mean_tasks along dy: central difference
+    // with a step small enough that the (linear) functional is exact.
+    let eps = 1e-6;
+    let plus: Vec<f64> = state.iter().zip(&dy).map(|(y, d)| y + eps * d).collect();
+    let minus: Vec<f64> = state.iter().zip(&dy).map(|(y, d)| y - eps * d).collect();
+    let dl_dt = (model.mean_tasks(&plus) - model.mean_tasks(&minus)) / (2.0 * eps);
+    let s1 = model.task_tails(state)[1];
+    dl_dt - (model.lambda() - s1)
+}
+
 /// Sup-norm distance between a simulated snapshot train and the model
 /// trajectory, matching samples by index (both must use the same `dt`).
 /// Compares the first `depth` tail levels.
@@ -140,6 +168,38 @@ mod tests {
             .with_truncation(96);
         let fast = drain_time(&repeated, &start, eps, 1e4).unwrap();
         assert!(fast < slow, "repeated {fast} vs one-shot {slow}");
+    }
+
+    #[test]
+    fn mass_is_conserved_along_the_simple_ws_flow() {
+        use crate::tail::TailVector;
+        let m = SimpleWs::new(0.8).unwrap();
+        for state in [
+            m.empty_state(),
+            TailVector::geometric(0.6, m.truncation()).into_vec(),
+            TailVector::uniform_load(3, m.truncation()).into_vec(),
+        ] {
+            let r = mass_balance_residual(&m, &state);
+            assert!(r.abs() < 1e-9, "residual {r}");
+        }
+    }
+
+    #[test]
+    fn mass_balance_flags_non_conservative_dynamics() {
+        // Heterogeneous speeds change the departure rate away from s₁,
+        // so the plain balance must NOT hold — the probe distinguishes.
+        use crate::models::Heterogeneous;
+        use crate::tail::TailVector;
+        use loadsteal_ode::OdeSystem;
+        let m = Heterogeneous::new(0.9, 0.5, 1.5, 0.8, 2).unwrap();
+        let dim = m.dim();
+        let per = dim / 2;
+        let mut state = Vec::with_capacity(dim);
+        for _ in 0..2 {
+            state.extend(TailVector::geometric(0.5, per).into_vec());
+        }
+        let r = mass_balance_residual(&m, &state);
+        assert!(r.abs() > 1e-3, "expected imbalance, residual {r}");
     }
 
     #[test]

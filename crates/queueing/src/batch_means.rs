@@ -60,14 +60,15 @@ impl BatchMeans {
         self.overall.count()
     }
 
-    /// Confidence interval from the batch means (normal approximation
-    /// over batches). Returns `None` with fewer than two complete
-    /// batches.
+    /// Confidence interval from the batch means (Student-t over
+    /// batches — batch counts are typically a few dozen, where the
+    /// normal approximation is anti-conservative). Returns `None` with
+    /// fewer than two complete batches.
     pub fn confidence_interval(&self, level: f64) -> Option<ConfidenceInterval> {
         if self.batch_means.count() < 2 {
             return None;
         }
-        Some(self.batch_means.confidence_interval(level))
+        Some(self.batch_means.t_confidence_interval(level))
     }
 }
 

@@ -123,6 +123,16 @@ pub enum SpeedProfile {
 }
 
 impl SpeedProfile {
+    /// Mean service capacity per processor: `Σ fraction × speed`
+    /// (1 for the homogeneous profile). Stability of a horizon run
+    /// requires `λ` strictly below this.
+    pub fn mean_capacity(&self) -> f64 {
+        match self {
+            Self::Homogeneous => 1.0,
+            Self::Classes(classes) => classes.iter().map(|&(f, s)| f * s).sum(),
+        }
+    }
+
     /// Speed of processor `p` out of `n`.
     pub fn speed_of(&self, p: usize, n: usize) -> f64 {
         match self {
@@ -208,6 +218,164 @@ pub struct SimConfig {
 /// Default heartbeat cadence (every 65,536 processed events).
 pub const DEFAULT_HEARTBEAT_EVERY: u64 = 1 << 16;
 
+/// Typed reason a [`SimConfig`] failed [`SimConfig::validate`].
+///
+/// Each variant names one inconsistency; [`std::fmt::Display`] renders
+/// the same human-readable diagnostics callers saw when `validate`
+/// returned bare strings, so `panic!("... {e}")` call sites and CLI
+/// error output are unchanged.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `n == 0`: there is nothing to simulate.
+    ZeroProcessors,
+    /// `λ` is negative, NaN, or infinite.
+    BadLambda(f64),
+    /// `λ` is at or above the aggregate service capacity
+    /// `Σ fraction × speed`, so queues grow without bound and horizon
+    /// statistics are meaningless.
+    UnstableLambda {
+        /// The offending arrival rate.
+        lambda: f64,
+        /// Mean per-processor service capacity of the speed profile.
+        capacity: f64,
+    },
+    /// `λ_int` is negative, NaN, or infinite.
+    BadInternalLambda(f64),
+    /// A service, arrival, or transfer distribution rejected its own
+    /// parameters (message from [`ServiceDistribution::validate`]).
+    Distribution(String),
+    /// An explicit arrival distribution was given with `λ ≤ 0`.
+    ArrivalNeedsLambda,
+    /// The arrival distribution's mean is not `1/λ`.
+    ArrivalMeanMismatch {
+        /// Mean of the supplied inter-arrival distribution.
+        mean: f64,
+        /// The configured arrival rate.
+        lambda: f64,
+    },
+    /// Steal threshold `T < 2` (a steal from a 1-task victim is a swap).
+    ThresholdTooLow,
+    /// `choices == 0`: no victim is ever sampled.
+    ZeroChoices,
+    /// Batch size outside `1 ≤ k ≤ T/2` (Section 3.4's constraint).
+    BadBatch {
+        /// The offending batch size `k`.
+        batch: usize,
+        /// The configured steal threshold `T`.
+        threshold: usize,
+    },
+    /// Transfer delays combined with multi-task steals.
+    TransferBatchSteals,
+    /// Transfer delays combined with a policy that does not model them;
+    /// the payload names the policy.
+    TransferNotModeled(&'static str),
+    /// Preemptive relative threshold `< 2`.
+    BadPreemptiveThreshold,
+    /// Repeated-steal retry rate not a positive finite number.
+    BadRepeatedRate,
+    /// A work-sharing threshold of zero.
+    BadShareThresholds,
+    /// Rebalance rate not a positive finite number.
+    BadRebalanceRate,
+    /// `SpeedProfile::Classes` with no classes.
+    EmptySpeedClasses,
+    /// Speed-class fractions do not sum to 1 (payload: actual sum).
+    SpeedFractionsSum(f64),
+    /// A speed class with a negative fraction or non-positive speed.
+    BadSpeedClass,
+    /// Snapshot interval not a positive finite number.
+    BadSnapshotInterval(f64),
+    /// Drained mode with external arrivals still switched on.
+    DrainedNeedsZeroLambda(f64),
+    /// Drained mode with no initial load and no internal arrivals.
+    DrainedEndsImmediately,
+    /// Horizon not a positive finite number.
+    BadHorizon(f64),
+    /// Warmup outside `[0, horizon)`.
+    BadWarmup {
+        /// The offending warmup time.
+        warmup: f64,
+        /// The configured horizon.
+        horizon: f64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ZeroProcessors => write!(f, "need at least one processor"),
+            Self::BadLambda(l) => write!(f, "lambda must be finite and >= 0, got {l}"),
+            Self::UnstableLambda { lambda, capacity } => write!(
+                f,
+                "lambda {lambda} is at or above the mean service capacity {capacity}; \
+                 the system is unstable and horizon statistics diverge"
+            ),
+            Self::BadInternalLambda(l) => {
+                write!(f, "internal_lambda must be finite and >= 0, got {l}")
+            }
+            Self::Distribution(msg) => write!(f, "{msg}"),
+            Self::ArrivalNeedsLambda => {
+                write!(f, "an explicit arrival distribution needs lambda > 0")
+            }
+            Self::ArrivalMeanMismatch { mean, lambda } => write!(
+                f,
+                "arrival distribution mean {mean} is inconsistent with lambda {lambda} \
+                 (need mean = 1/lambda)"
+            ),
+            Self::ThresholdTooLow => write!(f, "steal threshold must be >= 2"),
+            Self::ZeroChoices => write!(f, "need at least one victim choice"),
+            Self::BadBatch { batch, threshold } => write!(
+                f,
+                "batch k must satisfy 1 <= k <= T/2 (got k = {batch}, T = {threshold})"
+            ),
+            Self::TransferBatchSteals => {
+                write!(f, "transfer delays are modeled for single-task steals only")
+            }
+            Self::TransferNotModeled(policy) => {
+                write!(f, "{policy} with transfer delays is not modeled")
+            }
+            Self::BadPreemptiveThreshold => {
+                write!(f, "preemptive relative threshold must be >= 2")
+            }
+            Self::BadRepeatedRate => write!(f, "repeated steal rate must be > 0"),
+            Self::BadShareThresholds => write!(f, "sharing thresholds must be >= 1"),
+            Self::BadRebalanceRate => write!(f, "rebalance rate must be > 0"),
+            Self::EmptySpeedClasses => write!(f, "speed classes must be non-empty"),
+            Self::SpeedFractionsSum(total) => {
+                write!(f, "speed-class fractions must sum to 1, got {total}")
+            }
+            Self::BadSpeedClass => {
+                write!(f, "speed-class fractions must be >= 0 and speeds > 0")
+            }
+            Self::BadSnapshotInterval(dt) => {
+                write!(f, "snapshot interval must be > 0, got {dt}")
+            }
+            Self::DrainedNeedsZeroLambda(l) => {
+                write!(f, "drained mode requires lambda = 0, got {l}")
+            }
+            Self::DrainedEndsImmediately => {
+                write!(f, "drained mode with no initial load ends immediately")
+            }
+            Self::BadHorizon(h) => write!(f, "horizon must be positive and finite, got {h}"),
+            Self::BadWarmup { warmup, horizon } => write!(
+                f,
+                "warmup must lie in [0, horizon), got warmup {warmup} with horizon {horizon}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<String> for ConfigError {
+    /// Lets distribution validators (which report plain strings) be
+    /// `?`-propagated out of [`SimConfig::validate`].
+    fn from(msg: String) -> Self {
+        Self::Distribution(msg)
+    }
+}
+
 impl SimConfig {
     /// A paper-default configuration: `n` processors, arrival rate
     /// `lambda`, unit-exponential service, simple WS stealing,
@@ -233,34 +401,31 @@ impl SimConfig {
         }
     }
 
-    /// Validate the configuration; returns a human-readable reason when
-    /// it is inconsistent.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validate the configuration; returns a typed [`ConfigError`]
+    /// (whose `Display` is the human-readable reason) when it is
+    /// inconsistent.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.n == 0 {
-            return Err("need at least one processor".into());
+            return Err(ConfigError::ZeroProcessors);
         }
         if !(self.lambda >= 0.0 && self.lambda.is_finite()) {
-            return Err(format!(
-                "lambda must be finite and >= 0, got {}",
-                self.lambda
-            ));
+            return Err(ConfigError::BadLambda(self.lambda));
         }
         if !(self.internal_lambda >= 0.0 && self.internal_lambda.is_finite()) {
-            return Err("internal_lambda must be finite and >= 0".into());
+            return Err(ConfigError::BadInternalLambda(self.internal_lambda));
         }
         self.service.validate()?;
         if let Some(arrival) = &self.arrival {
             arrival.validate()?;
             if self.lambda <= 0.0 {
-                return Err("an explicit arrival distribution needs lambda > 0".into());
+                return Err(ConfigError::ArrivalNeedsLambda);
             }
             let mean = arrival.mean();
             if (mean * self.lambda - 1.0).abs() > 1e-9 {
-                return Err(format!(
-                    "arrival distribution mean {mean} is inconsistent with lambda {} \
-                     (need mean = 1/lambda)",
-                    self.lambda
-                ));
+                return Err(ConfigError::ArrivalMeanMismatch {
+                    mean,
+                    lambda: self.lambda,
+                });
             }
         }
         if let Some(t) = &self.transfer {
@@ -274,36 +439,37 @@ impl SimConfig {
                 batch,
             } => {
                 if *threshold < 2 {
-                    return Err("steal threshold must be >= 2".into());
+                    return Err(ConfigError::ThresholdTooLow);
                 }
                 if *choices == 0 {
-                    return Err("need at least one victim choice".into());
+                    return Err(ConfigError::ZeroChoices);
                 }
                 if *batch == 0 || batch * 2 > *threshold {
-                    return Err(format!(
-                        "batch k must satisfy 1 <= k <= T/2 (got k = {batch}, T = {threshold})"
-                    ));
+                    return Err(ConfigError::BadBatch {
+                        batch: *batch,
+                        threshold: *threshold,
+                    });
                 }
                 if self.transfer.is_some() && *batch != 1 {
-                    return Err("transfer delays are modeled for single-task steals only".into());
+                    return Err(ConfigError::TransferBatchSteals);
                 }
             }
             StealPolicy::Preemptive {
                 rel_threshold: t, ..
             } => {
                 if *t < 2 {
-                    return Err("preemptive relative threshold must be >= 2".into());
+                    return Err(ConfigError::BadPreemptiveThreshold);
                 }
             }
             StealPolicy::Repeated { rate, threshold } => {
                 if !rate.is_finite() || *rate <= 0.0 {
-                    return Err("repeated steal rate must be > 0".into());
+                    return Err(ConfigError::BadRepeatedRate);
                 }
                 if *threshold < 2 {
-                    return Err("steal threshold must be >= 2".into());
+                    return Err(ConfigError::ThresholdTooLow);
                 }
                 if self.transfer.is_some() {
-                    return Err("repeated attempts with transfer delays are not modeled".into());
+                    return Err(ConfigError::TransferNotModeled("repeated stealing"));
                 }
             }
             StealPolicy::Share {
@@ -311,10 +477,10 @@ impl SimConfig {
                 recv_threshold,
             } => {
                 if *send_threshold == 0 || *recv_threshold == 0 {
-                    return Err("sharing thresholds must be >= 1".into());
+                    return Err(ConfigError::BadShareThresholds);
                 }
                 if self.transfer.is_some() {
-                    return Err("sharing with transfer delays is not modeled".into());
+                    return Err(ConfigError::TransferNotModeled("sharing"));
                 }
             }
             StealPolicy::Rebalance { rate } => {
@@ -322,43 +488,53 @@ impl SimConfig {
                     RebalanceRate::Constant(r) | RebalanceRate::PerTask(r) => *r,
                 };
                 if !(r > 0.0 && r.is_finite()) {
-                    return Err("rebalance rate must be > 0".into());
+                    return Err(ConfigError::BadRebalanceRate);
                 }
                 if self.transfer.is_some() {
-                    return Err("rebalancing with transfer delays is not modeled".into());
+                    return Err(ConfigError::TransferNotModeled("rebalancing"));
                 }
             }
         }
         if let SpeedProfile::Classes(classes) = &self.speeds {
             if classes.is_empty() {
-                return Err("speed classes must be non-empty".into());
+                return Err(ConfigError::EmptySpeedClasses);
             }
             let total: f64 = classes.iter().map(|c| c.0).sum();
             if (total - 1.0).abs() > 1e-9 {
-                return Err(format!("speed-class fractions must sum to 1, got {total}"));
+                return Err(ConfigError::SpeedFractionsSum(total));
             }
             if classes.iter().any(|c| c.0 < 0.0 || c.1 <= 0.0) {
-                return Err("speed-class fractions must be >= 0 and speeds > 0".into());
+                return Err(ConfigError::BadSpeedClass);
             }
         }
         if let Some(dt) = self.snapshot_interval {
             if !(dt > 0.0 && dt.is_finite()) {
-                return Err(format!("snapshot interval must be > 0, got {dt}"));
+                return Err(ConfigError::BadSnapshotInterval(dt));
             }
         }
         if self.run_until_drained {
             if self.lambda > 0.0 {
-                return Err("drained mode requires lambda = 0".into());
+                return Err(ConfigError::DrainedNeedsZeroLambda(self.lambda));
             }
             if self.initial_load == 0 && self.internal_lambda == 0.0 {
-                return Err("drained mode with no initial load ends immediately".into());
+                return Err(ConfigError::DrainedEndsImmediately);
             }
         } else {
+            let capacity = self.speeds.mean_capacity();
+            if self.lambda >= capacity {
+                return Err(ConfigError::UnstableLambda {
+                    lambda: self.lambda,
+                    capacity,
+                });
+            }
             if !(self.horizon > 0.0 && self.horizon.is_finite()) {
-                return Err("horizon must be positive and finite".into());
+                return Err(ConfigError::BadHorizon(self.horizon));
             }
             if !(0.0..self.horizon).contains(&self.warmup) {
-                return Err("warmup must lie in [0, horizon)".into());
+                return Err(ConfigError::BadWarmup {
+                    warmup: self.warmup,
+                    horizon: self.horizon,
+                });
             }
         }
         Ok(())
@@ -395,6 +571,77 @@ mod tests {
             batch: 2,
         };
         cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn typed_errors_for_nonsensical_configs() {
+        assert_eq!(
+            SimConfig::paper_default(0, 0.5).validate(),
+            Err(ConfigError::ZeroProcessors)
+        );
+        assert_eq!(
+            SimConfig::paper_default(8, -0.1).validate(),
+            Err(ConfigError::BadLambda(-0.1))
+        );
+        assert!(matches!(
+            SimConfig::paper_default(8, f64::NAN).validate(),
+            Err(ConfigError::BadLambda(l)) if l.is_nan()
+        ));
+        let mut cfg = SimConfig::paper_default(8, 0.5);
+        cfg.speeds = SpeedProfile::Classes(vec![]);
+        assert_eq!(cfg.validate(), Err(ConfigError::EmptySpeedClasses));
+    }
+
+    #[test]
+    fn rejects_unstable_lambda() {
+        // λ = 1 saturates unit-speed processors: no stationary regime.
+        assert_eq!(
+            SimConfig::paper_default(8, 1.0).validate(),
+            Err(ConfigError::UnstableLambda {
+                lambda: 1.0,
+                capacity: 1.0
+            })
+        );
+        // Drained mode has no arrivals, so no stability requirement.
+        let mut drained = SimConfig::paper_default(8, 0.0);
+        drained.run_until_drained = true;
+        drained.initial_load = 10;
+        drained.validate().unwrap();
+    }
+
+    #[test]
+    fn fast_speed_classes_raise_the_stability_ceiling() {
+        // The heterogeneous figure drives λ = 0.9 into a profile of
+        // aggregate capacity 1.15; λ may exceed 1 there, but not 1.15.
+        let mut cfg = SimConfig::paper_default(8, 1.05);
+        cfg.speeds = SpeedProfile::Classes(vec![(0.5, 1.5), (0.5, 0.8)]);
+        assert_eq!(cfg.speeds.mean_capacity(), 1.15);
+        cfg.validate().unwrap();
+        cfg.lambda = 1.15;
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::UnstableLambda { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display_keeps_legacy_wording() {
+        assert_eq!(
+            ConfigError::ZeroProcessors.to_string(),
+            "need at least one processor"
+        );
+        assert_eq!(
+            ConfigError::BadBatch {
+                batch: 3,
+                threshold: 4
+            }
+            .to_string(),
+            "batch k must satisfy 1 <= k <= T/2 (got k = 3, T = 4)"
+        );
+        assert_eq!(
+            ConfigError::SpeedFractionsSum(0.9).to_string(),
+            "speed-class fractions must sum to 1, got 0.9"
+        );
     }
 
     #[test]

@@ -38,7 +38,8 @@ pub mod metrics;
 pub mod replicate;
 
 pub use config::{
-    RebalanceRate, SimConfig, SpeedProfile, StealPolicy, TransferTime, DEFAULT_HEARTBEAT_EVERY,
+    ConfigError, RebalanceRate, SimConfig, SpeedProfile, StealPolicy, TransferTime,
+    DEFAULT_HEARTBEAT_EVERY,
 };
 pub use engine::{run, run_recorded, run_seeded};
 pub use metrics::{LoadHistogram, SimResult};

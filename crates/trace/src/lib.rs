@@ -35,6 +35,8 @@ pub mod reader;
 pub mod report;
 pub mod timeline;
 
-pub use reader::{read_lines, read_str, ParsedTrace, ReadMode, TraceDiagnostic, TraceError};
+pub use reader::{
+    read_bytes, read_lines, read_str, ParsedTrace, ReadMode, TraceDiagnostic, TraceError,
+};
 pub use report::{render_report, MeanFieldPrediction};
 pub use timeline::{EventCounts, ProcTimeline, SolverSummary, Timeline, TimelineConfig};

@@ -70,6 +70,60 @@ pub fn read_str(text: &str, mode: ReadMode) -> Result<ParsedTrace, TraceError> {
     read_lines(text.lines(), mode)
 }
 
+/// Parse a raw byte buffer (e.g. straight from [`std::fs::read`])
+/// without requiring the whole file to be valid UTF-8.
+///
+/// Lines are split on `\n` (a trailing `\r` is trimmed, so CRLF traces
+/// work). A line that is not valid UTF-8 is reported with the 1-based
+/// byte column of the first invalid byte — in strict mode as the fatal
+/// [`TraceError`], in lossy mode as a diagnostic while every decodable
+/// line still parses. This keeps a trace with one corrupt region
+/// readable instead of failing wholesale the way
+/// `String::from_utf8(file)?` would.
+pub fn read_bytes(bytes: &[u8], mode: ReadMode) -> Result<ParsedTrace, TraceError> {
+    let mut out = ParsedTrace::default();
+    for (idx, raw) in bytes.split(|&b| b == b'\n').enumerate() {
+        let raw = raw.strip_suffix(b"\r").unwrap_or(raw);
+        let line = match std::str::from_utf8(raw) {
+            Ok(line) => line,
+            Err(e) => {
+                out.lines += 1;
+                let diag = TraceError {
+                    line: idx + 1,
+                    column: e.valid_up_to() + 1,
+                    message: "invalid UTF-8".to_owned(),
+                };
+                match mode {
+                    ReadMode::Strict => return Err(diag),
+                    ReadMode::Lossy => {
+                        out.skipped.push(diag);
+                        continue;
+                    }
+                }
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.lines += 1;
+        match parse_line(line) {
+            Ok(ev) => out.events.push(ev),
+            Err((column, message)) => {
+                let diag = TraceError {
+                    line: idx + 1,
+                    column,
+                    message,
+                };
+                match mode {
+                    ReadMode::Strict => return Err(diag),
+                    ReadMode::Lossy => out.skipped.push(diag),
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// Parse from any iterator of lines (e.g. `BufRead::lines()` output
 /// already unwrapped, or `str::lines`). Blank lines are skipped in both
 /// modes — NDJSON writers commonly end with a trailing newline.

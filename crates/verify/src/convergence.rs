@@ -1,0 +1,116 @@
+//! Empirical convergence-order checks for the integrators.
+//!
+//! Step-halving Richardson estimate: integrating the same smooth system
+//! with steps `h, h/2, h/4` and comparing successive solutions gives
+//! `p ≈ log2(‖y_h − y_{h/2}‖ / ‖y_{h/2} − y_{h/4}‖)` — the observed
+//! order of the method. Euler must land near 1, RK4 near 4, and the
+//! adaptive DOPRI5 error must shrink monotonically as its tolerance
+//! tightens. The test system is the simple-WS family from the empty
+//! state: smooth, non-stiff, and far from the projection clamps.
+
+use loadsteal_core::models::{MeanFieldModel, SimpleWs};
+use loadsteal_ode::{AdaptiveOptions, DormandPrince45, Euler, Rk4};
+
+use crate::harness::{Check, Outcome, Settings};
+
+fn sup_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .fold(0.0_f64, |acc, (x, y)| acc.max((x - y).abs()))
+}
+
+/// Observed order from three step-halved solutions.
+fn richardson_order(solve_at: impl Fn(f64) -> Vec<f64>, h: f64) -> (f64, f64, f64) {
+    let y_h = solve_at(h);
+    let y_h2 = solve_at(h / 2.0);
+    let y_h4 = solve_at(h / 4.0);
+    let d1 = sup_diff(&y_h, &y_h2);
+    let d2 = sup_diff(&y_h2, &y_h4);
+    ((d1 / d2).log2(), d1, d2)
+}
+
+fn euler_order() -> Outcome {
+    let m = SimpleWs::new(0.5).unwrap();
+    let start = m.empty_state();
+    let (p, d1, d2) = richardson_order(
+        |h| {
+            let mut y = start.clone();
+            Euler::new(h).integrate(&m, 0.0, 2.0, &mut y).unwrap();
+            y
+        },
+        0.2,
+    );
+    let line = format!("observed order {p:.3} (d₁ {d1:.2e}, d₂ {d2:.2e})");
+    if (0.6..=1.4).contains(&p) {
+        Outcome::Pass(line)
+    } else {
+        Outcome::Fail(format!("{line}, expected ≈ 1"))
+    }
+}
+
+fn rk4_order() -> Outcome {
+    let m = SimpleWs::new(0.5).unwrap();
+    let start = m.empty_state();
+    let (p, d1, d2) = richardson_order(
+        |h| {
+            let mut y = start.clone();
+            Rk4::new(h).integrate(&m, 0.0, 2.0, &mut y).unwrap();
+            y
+        },
+        0.4,
+    );
+    let line = format!("observed order {p:.3} (d₁ {d1:.2e}, d₂ {d2:.2e})");
+    if (3.0..=5.0).contains(&p) {
+        Outcome::Pass(line)
+    } else {
+        Outcome::Fail(format!("{line}, expected ≈ 4"))
+    }
+}
+
+/// DOPRI5 error against a tight-tolerance reference must decrease
+/// monotonically as `rtol` tightens, and the tightest run must be
+/// accurate in absolute terms.
+fn dopri_tolerance_scaling() -> Outcome {
+    let m = SimpleWs::new(0.7).unwrap();
+    let t_end = 50.0;
+    let run = |rtol: f64| {
+        let opts = AdaptiveOptions {
+            rtol,
+            atol: rtol * 1e-3,
+            ..AdaptiveOptions::default()
+        };
+        let mut y = m.empty_state();
+        DormandPrince45::new(opts)
+            .integrate(&m, 0.0, t_end, &mut y)
+            .unwrap();
+        y
+    };
+    let reference = run(1e-12);
+    let errs: Vec<f64> = [1e-4, 1e-6, 1e-8]
+        .iter()
+        .map(|&rtol| sup_diff(&run(rtol), &reference))
+        .collect();
+    let line = format!(
+        "errors at rtol 1e-4/1e-6/1e-8: {:.2e} / {:.2e} / {:.2e}",
+        errs[0], errs[1], errs[2]
+    );
+    if errs[0] > errs[1] && errs[1] > errs[2] && errs[2] < 1e-6 {
+        Outcome::Pass(line)
+    } else {
+        Outcome::Fail(format!("{line}, expected strictly decreasing"))
+    }
+}
+
+/// Build the convergence check family (tier-independent: these are
+/// deterministic and fast).
+pub fn checks(_settings: &Settings) -> Vec<Check> {
+    vec![
+        Check::new("convergence", "euler-order≈1", euler_order),
+        Check::new("convergence", "rk4-order≈4", rk4_order),
+        Check::new(
+            "convergence",
+            "dopri5-error-scales-with-tol",
+            dopri_tolerance_scaling,
+        ),
+    ]
+}

@@ -1,0 +1,107 @@
+//! Seed-replay determinism checks.
+//!
+//! The simulator promises bitwise reproducibility for a given
+//! `(config, seed)` pair. These checks hash the NDJSON `--trace` byte
+//! stream of a recorded run (FNV-1a, no dependencies) and assert that
+//! equal seeds produce equal streams, different seeds different ones,
+//! and that [`loadsteal_sim::replicate`] is bitwise repeatable.
+
+use loadsteal_obs::NdjsonRecorder;
+use loadsteal_sim::{replicate, run_recorded, SimConfig};
+
+use crate::harness::{Check, Outcome, Settings};
+
+/// FNV-1a over a byte stream (64-bit).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn small_cfg(n: usize) -> SimConfig {
+    let mut cfg = SimConfig::paper_default(n.min(16), 0.7);
+    cfg.horizon = 200.0;
+    cfg.warmup = 20.0;
+    cfg
+}
+
+/// Run one recorded simulation and hash its trace bytes.
+fn trace_hash(cfg: &SimConfig, seed: u64) -> Result<u64, String> {
+    let mut rec = NdjsonRecorder::new(Vec::new());
+    let _ = run_recorded(cfg, seed, &mut rec);
+    let (bytes, err) = rec.into_inner();
+    if let Some(e) = err {
+        return Err(format!("trace write failed: {e}"));
+    }
+    if bytes.is_empty() {
+        return Err("trace stream is empty".into());
+    }
+    Ok(fnv1a(&bytes))
+}
+
+fn trace_replay(settings: &Settings) -> Outcome {
+    let cfg = small_cfg(settings.n);
+    let (a, b, c) = match (
+        trace_hash(&cfg, settings.seed),
+        trace_hash(&cfg, settings.seed),
+        trace_hash(&cfg, settings.seed + 1),
+    ) {
+        (Ok(a), Ok(b), Ok(c)) => (a, b, c),
+        (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => return Outcome::Fail(e),
+    };
+    if a != b {
+        Outcome::Fail(format!("same seed, different traces: {a:016x} vs {b:016x}"))
+    } else if a == c {
+        Outcome::Fail(format!("different seeds collided on trace {a:016x}"))
+    } else {
+        Outcome::Pass(format!("trace hash {a:016x} replays; seed+1 differs"))
+    }
+}
+
+fn replicate_repeatable(settings: &Settings) -> Outcome {
+    let cfg = small_cfg(settings.n);
+    let a = replicate(&cfg, 2, settings.seed);
+    let b = replicate(&cfg, 2, settings.seed);
+    let (wa, wb) = (a.mean_sojourn(), b.mean_sojourn());
+    if wa.to_bits() != wb.to_bits() {
+        return Outcome::Fail(format!("mean sojourn differs: {wa} vs {wb}"));
+    }
+    for (x, y) in a.runs.iter().zip(&b.runs) {
+        if x.tasks_completed != y.tasks_completed
+            || x.sojourn.mean().to_bits() != y.sojourn.mean().to_bits()
+        {
+            return Outcome::Fail(format!("run (seed {}) not bitwise repeatable", x.seed));
+        }
+    }
+    Outcome::Pass(format!("2 runs bitwise repeatable, W = {wa:.4}"))
+}
+
+/// Build the determinism check family.
+pub fn checks(settings: &Settings) -> Vec<Check> {
+    let s1 = settings.clone();
+    let s2 = settings.clone();
+    vec![
+        Check::new("determinism", "trace-seed-replay", move || {
+            trace_replay(&s1)
+        }),
+        Check::new("determinism", "replicate-repeatable", move || {
+            replicate_repeatable(&s2)
+        }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_known_vectors() {
+        // Standard FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -1,0 +1,195 @@
+//! Differential checks: simulation vs mean-field fixed point.
+//!
+//! Each zoo variant is replicated `runs` times and its mean sojourn time
+//! and first three tail fractions are compared against the solved fixed
+//! point within [`crate::stat`] bounds. A single-long-run batch-means
+//! check exercises [`loadsteal_queueing::BatchMeans`] on the busy
+//! fraction (whose fixed-point value is exactly λ). The full tier
+//! additionally re-simulates the paper's Table 1–4 parameter grids
+//! against the printed estimates.
+
+use loadsteal_queueing::{BatchMeans, ServiceDistribution};
+use loadsteal_sim::{replicate, run_seeded, SimConfig, StealPolicy, TransferTime};
+
+use crate::harness::{Check, Outcome, Settings, Tier};
+use crate::stat;
+use crate::zoo::{self, Variant};
+
+/// Number of tail levels compared per variant (`s_1 ..= s_3`).
+const TAIL_DEPTH: usize = 3;
+
+/// Run the differential comparison for one variant: solve the fixed
+/// point, replicate the simulation, and require every agreement to hold.
+/// Public so the sabotage test can drive it against a deliberately
+/// corrupted predictor.
+pub fn check_variant(settings: &Settings, v: Variant) -> Outcome {
+    let fp = match (v.predict)() {
+        Ok(fp) => fp,
+        Err(e) => return Outcome::Fail(format!("fixed-point solve failed: {e}")),
+    };
+    let rep = replicate(&v.cfg, settings.runs, settings.seed);
+    let mut agreements = vec![stat::sojourn_agreement(
+        &rep,
+        fp.mean_time_in_system,
+        settings.n,
+    )];
+    for level in 1..=TAIL_DEPTH {
+        let predicted = fp.task_tails.get(level).copied().unwrap_or(0.0);
+        agreements.push(stat::tail_agreement(
+            &rep.runs, level, predicted, settings.n,
+        ));
+    }
+    let failed: Vec<String> = agreements
+        .iter()
+        .filter(|a| !a.holds())
+        .map(stat::Agreement::describe)
+        .collect();
+    if failed.is_empty() {
+        Outcome::Pass(agreements[0].describe())
+    } else {
+        Outcome::Fail(failed.join("; "))
+    }
+}
+
+/// Batch-means check: one long simple-WS run, post-warmup busy-fraction
+/// snapshots grouped into batches of 20 (batch span 100 s, far beyond
+/// the correlation time), interval must cover the exact value λ.
+fn batch_means_check(settings: &Settings) -> Outcome {
+    let lambda = 0.8;
+    let mut cfg = SimConfig::paper_default(settings.n, lambda);
+    cfg.horizon = settings.horizon;
+    cfg.warmup = settings.warmup;
+    cfg.snapshot_interval = Some(5.0);
+    let result = run_seeded(&cfg, settings.seed);
+    let mut bm = BatchMeans::new(20);
+    for (t, tails) in &result.snapshots {
+        if *t >= cfg.warmup {
+            bm.push(tails.get(1).copied().unwrap_or(0.0));
+        }
+    }
+    let Some(ci) = bm.confidence_interval(stat::CONFIDENCE_LEVEL) else {
+        return Outcome::Fail(format!("only {} batches collected", bm.batches()));
+    };
+    let slack = stat::FINITE_N_REL_TAIL / settings.n as f64 * lambda + stat::ABS_FLOOR_TAIL;
+    let delta = (ci.mean - lambda).abs();
+    let bound = ci.half_width + slack;
+    let line = format!(
+        "busy fraction: {} batches, s₁ {:.4} vs λ {:.2} (|Δ| {:.4} ≤ {:.4})",
+        bm.batches(),
+        ci.mean,
+        lambda,
+        delta,
+        bound,
+    );
+    if delta <= bound {
+        Outcome::Pass(line)
+    } else {
+        Outcome::Fail(line)
+    }
+}
+
+/// One golden cell: simulate `cfg` and compare the mean sojourn time
+/// against the value printed in the paper.
+fn table_cell(settings: &Settings, cfg: SimConfig, paper_w: f64) -> Outcome {
+    let rep = replicate(&cfg, settings.runs, settings.seed);
+    let a = stat::Agreement {
+        what: "paper W".into(),
+        ..stat::sojourn_agreement(&rep, paper_w, settings.n)
+    };
+    if a.holds() {
+        Outcome::Pass(a.describe())
+    } else {
+        Outcome::Fail(a.describe())
+    }
+}
+
+fn table_cfg(settings: &Settings, lambda: f64) -> SimConfig {
+    let mut cfg = SimConfig::paper_default(settings.n, lambda);
+    cfg.horizon = settings.horizon;
+    cfg.warmup = settings.warmup;
+    cfg
+}
+
+/// Full-tier golden grids: `(table name, config, paper estimate)`.
+/// Values are the paper's printed predictions (3 decimals).
+fn table_cells(settings: &Settings) -> Vec<(String, SimConfig, f64)> {
+    let mut cells = Vec::new();
+    // Table 1 — simple WS.
+    for &(lambda, w) in &[
+        (0.50, 1.618),
+        (0.70, 2.107),
+        (0.80, 2.562),
+        (0.90, 3.541),
+        (0.95, 4.887),
+    ] {
+        cells.push((
+            format!("table1(λ={lambda})"),
+            table_cfg(settings, lambda),
+            w,
+        ));
+    }
+    // Table 2 — Erlang service stages, c = 20 (≈ constant service).
+    for &(lambda, w) in &[(0.50, 1.391), (0.80, 2.039), (0.95, 3.625)] {
+        let mut cfg = table_cfg(settings, lambda);
+        cfg.service = ServiceDistribution::Erlang {
+            stages: 20,
+            rate: 20.0,
+        };
+        cells.push((format!("table2(λ={lambda},c=20)"), cfg, w));
+    }
+    // Table 3 — transfer delays, r = 0.25, T = 4.
+    for &(lambda, w) in &[(0.50, 1.950), (0.80, 3.996), (0.90, 7.015)] {
+        let mut cfg = table_cfg(settings, lambda);
+        cfg.policy = StealPolicy::OnEmpty {
+            threshold: 4,
+            choices: 1,
+            batch: 1,
+        };
+        cfg.transfer = Some(TransferTime::exponential(0.25));
+        cells.push((format!("table3(λ={lambda},r=0.25,T=4)"), cfg, w));
+    }
+    // Table 4 — two victim choices, T = 2.
+    for &(lambda, w) in &[(0.50, 1.433), (0.80, 1.864), (0.90, 2.220), (0.95, 2.640)] {
+        let mut cfg = table_cfg(settings, lambda);
+        cfg.policy = StealPolicy::OnEmpty {
+            threshold: 2,
+            choices: 2,
+            batch: 1,
+        };
+        cells.push((format!("table4(λ={lambda},d=2)"), cfg, w));
+    }
+    cells
+}
+
+/// Build the differential check family.
+pub fn checks(settings: &Settings) -> Vec<Check> {
+    let mut checks = Vec::new();
+    for v in zoo::variants(settings) {
+        let s = settings.clone();
+        let name = v.name;
+        checks.push(Check::new("differential", name, move || {
+            check_variant(&s, v)
+        }));
+    }
+    {
+        let s = settings.clone();
+        checks.push(Check::new(
+            "differential",
+            "batch-means(simple-ws,λ=0.8)",
+            move || batch_means_check(&s),
+        ));
+    }
+    if settings.tier == Tier::Full {
+        for (name, cfg, w) in table_cells(settings) {
+            let s = settings.clone();
+            checks.push(Check::new("differential", name, move || {
+                table_cell(&s, cfg, w)
+            }));
+        }
+    } else {
+        checks.push(Check::new("differential", "paper-tables", || {
+            Outcome::Skip("full tier only (run with --full)".into())
+        }));
+    }
+    checks
+}

@@ -1,0 +1,234 @@
+//! Check plumbing: tiers, outcomes, and the pass/fail report.
+
+/// How much statistical work to spend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// CI-sized: seconds, every layer exercised, 8+ model variants.
+    Quick,
+    /// The paper's protocol scale: minutes, plus the Table 1–4 grids.
+    Full,
+}
+
+/// Harness configuration: tier plus the simulation protocol shared by
+/// every differential check. The presets keep the two tiers honest;
+/// tests shrink the fields directly for sub-second runs.
+#[derive(Debug, Clone)]
+pub struct Settings {
+    /// Which tier's check set to build.
+    pub tier: Tier,
+    /// Base RNG seed; every replication derives from it.
+    pub seed: u64,
+    /// Processors per simulation.
+    pub n: usize,
+    /// Independent replications per differential check.
+    pub runs: usize,
+    /// Simulated horizon per run (seconds).
+    pub horizon: f64,
+    /// Warmup discarded from each run (seconds).
+    pub warmup: f64,
+}
+
+impl Settings {
+    /// The `--quick` tier: n = 128, 4 × 3,000 s runs.
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            tier: Tier::Quick,
+            seed,
+            n: 128,
+            runs: 4,
+            horizon: 3_000.0,
+            warmup: 400.0,
+        }
+    }
+
+    /// The `--full` tier: n = 128, 5 × 15,000 s runs plus the table
+    /// grids.
+    pub fn full(seed: u64) -> Self {
+        Self {
+            tier: Tier::Full,
+            seed,
+            n: 128,
+            runs: 5,
+            horizon: 15_000.0,
+            warmup: 1_500.0,
+        }
+    }
+
+    /// A deliberately tiny protocol for the harness's own unit tests:
+    /// statistically meaningful only for gross errors (which is exactly
+    /// what those tests inject).
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            tier: Tier::Quick,
+            seed,
+            n: 32,
+            runs: 4,
+            horizon: 1_500.0,
+            warmup: 200.0,
+        }
+    }
+}
+
+/// The verdict of one check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The property held; the string summarizes the margin.
+    Pass(String),
+    /// The property failed; the string says by how much.
+    Fail(String),
+    /// The check did not apply at this tier/configuration.
+    Skip(String),
+}
+
+impl Outcome {
+    /// Whether this outcome counts against the run.
+    pub fn is_fail(&self) -> bool {
+        matches!(self, Self::Fail(_))
+    }
+}
+
+/// A runnable check: a named closure returning an [`Outcome`].
+pub struct Check {
+    /// Layer the check belongs to (`differential`, `metamorphic`, …).
+    pub group: &'static str,
+    /// Check name, unique within the group.
+    pub name: String,
+    /// The check body.
+    pub run: Box<dyn FnOnce() -> Outcome + Send>,
+}
+
+impl Check {
+    /// Convenience constructor.
+    pub fn new(
+        group: &'static str,
+        name: impl Into<String>,
+        run: impl FnOnce() -> Outcome + Send + 'static,
+    ) -> Self {
+        Self {
+            group,
+            name: name.into(),
+            run: Box::new(run),
+        }
+    }
+}
+
+/// One executed check with its timing.
+#[derive(Debug, Clone)]
+pub struct CheckResult {
+    /// Layer the check belongs to.
+    pub group: &'static str,
+    /// Check name.
+    pub name: String,
+    /// Verdict.
+    pub outcome: Outcome,
+    /// Wall-clock duration of the check body.
+    pub wall_ms: f64,
+}
+
+/// The outcome of a harness run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Every executed check, in execution order.
+    pub results: Vec<CheckResult>,
+}
+
+impl Report {
+    /// Whether every check passed (skips do not count against).
+    pub fn passed(&self) -> bool {
+        self.failures() == 0
+    }
+
+    /// Number of failed checks.
+    pub fn failures(&self) -> usize {
+        self.results.iter().filter(|r| r.outcome.is_fail()).count()
+    }
+
+    /// Render the pass/fail table (the CLI's output).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let name_w = self
+            .results
+            .iter()
+            .map(|r| r.group.len() + 1 + r.name.len())
+            .max()
+            .unwrap_or(20)
+            .max(20);
+        let mut last_group = "";
+        for r in &self.results {
+            if r.group != last_group {
+                if !last_group.is_empty() {
+                    out.push('\n');
+                }
+                out.push_str(&format!("── {} ──\n", r.group));
+                last_group = r.group;
+            }
+            let (verdict, detail) = match &r.outcome {
+                Outcome::Pass(d) => ("PASS", d),
+                Outcome::Fail(d) => ("FAIL", d),
+                Outcome::Skip(d) => ("skip", d),
+            };
+            out.push_str(&format!(
+                "{verdict}  {:<name_w$}  {:>8.0} ms  {detail}\n",
+                format!("{}:{}", r.group, r.name),
+                r.wall_ms,
+            ));
+        }
+        let total_ms: f64 = self.results.iter().map(|r| r.wall_ms).sum();
+        let skips = self
+            .results
+            .iter()
+            .filter(|r| matches!(r.outcome, Outcome::Skip(_)))
+            .count();
+        out.push_str(&format!(
+            "\n{} checks, {} failed, {} skipped ({:.1} s)\n",
+            self.results.len(),
+            self.failures(),
+            skips,
+            total_ms / 1_000.0,
+        ));
+        out
+    }
+}
+
+/// Execute checks sequentially (each differential check already
+/// parallelizes its replications internally), timing each body.
+pub fn run_checks(checks: Vec<Check>) -> Report {
+    let mut report = Report::default();
+    for c in checks {
+        let start = std::time::Instant::now();
+        let outcome = (c.run)();
+        report.results.push(CheckResult {
+            group: c.group,
+            name: c.name,
+            outcome,
+            wall_ms: start.elapsed().as_secs_f64() * 1_000.0,
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_counts_and_renders() {
+        let report = run_checks(vec![
+            Check::new("a", "ok", || Outcome::Pass("fine".into())),
+            Check::new("a", "bad", || Outcome::Fail("off by 2".into())),
+            Check::new("b", "na", || Outcome::Skip("full tier only".into())),
+        ]);
+        assert!(!report.passed());
+        assert_eq!(report.failures(), 1);
+        let table = report.render();
+        assert!(table.contains("PASS  a:ok"), "{table}");
+        assert!(table.contains("FAIL  a:bad"), "{table}");
+        assert!(table.contains("skip  b:na"), "{table}");
+        assert!(table.contains("3 checks, 1 failed, 1 skipped"), "{table}");
+    }
+
+    #[test]
+    fn empty_report_passes() {
+        assert!(Report::default().passed());
+    }
+}

@@ -1,0 +1,64 @@
+//! Statistical verification harness for the model zoo.
+//!
+//! The paper's central claim is that finite-system simulations agree
+//! with the mean-field fixed points (Tables 1–4, Theorems 1–2). The
+//! three top-level integration tests spot-check a couple of variants
+//! with hand-picked tolerances; this crate systematizes the check into
+//! four layers, each a family of pass/fail [`harness::Check`]s:
+//!
+//! * **differential** — every simulable variant paired with its ODE
+//!   fixed point, agreement asserted within confidence-interval-derived
+//!   bounds (run-level Student-t intervals plus an explicit `O(1/n)`
+//!   finite-size allowance; a single-run batch-means check reuses
+//!   [`loadsteal_queueing::BatchMeans`]). The full tier re-simulates
+//!   the paper's Table 1–4 parameter grids against the printed
+//!   estimates.
+//! * **metamorphic** — properties the models must satisfy regardless of
+//!   any simulation: tails non-increasing and in `[0, 1]`, mass
+//!   conservation under the ODE flow, mean sojourn monotone in λ,
+//!   no-steal reducing to the M/M/1 `λ^i` tail, every stealing variant
+//!   dominating no-steal at equal λ.
+//! * **convergence** — empirical integrator orders via step-halving
+//!   Richardson ratios (Euler ≈ 1, RK4 ≈ 4) and DOPRI5 error scaling
+//!   with its tolerance.
+//! * **determinism** — seed-replay: identical configs and seeds hash to
+//!   identical `--trace` byte streams, different seeds do not.
+//!
+//! The harness is exposed on the CLI as `loadsteal verify
+//! [--quick|--full]`; the [`sabotage`] module carries a deliberately
+//! sign-flipped copy of the simple-WS equations demonstrating that the
+//! differential layer catches a transcription error.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convergence;
+pub mod determinism;
+pub mod differential;
+pub mod harness;
+pub mod metamorphic;
+pub mod sabotage;
+pub mod stat;
+pub mod zoo;
+
+pub use harness::{Check, CheckResult, Outcome, Report, Settings, Tier};
+
+/// Assemble every check for `settings`, in display order.
+pub fn all_checks(settings: &Settings) -> Vec<Check> {
+    let mut checks = Vec::new();
+    checks.extend(metamorphic::checks(settings));
+    checks.extend(convergence::checks(settings));
+    checks.extend(determinism::checks(settings));
+    checks.extend(differential::checks(settings));
+    checks
+}
+
+/// Run the harness: every check whose `group:name` contains `filter`
+/// (all of them when `None`), timed, in order.
+pub fn run(settings: &Settings, filter: Option<&str>) -> Report {
+    let checks = all_checks(settings)
+        .into_iter()
+        .filter(|c| filter.is_none_or(|f| format!("{}:{}", c.group, c.name).contains(f)))
+        .collect();
+    harness::run_checks(checks)
+}

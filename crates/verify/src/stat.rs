@@ -1,0 +1,149 @@
+//! Agreement bounds derived from confidence intervals.
+//!
+//! A differential check compares a simulated estimate against a
+//! mean-field prediction. The simulated estimate carries *sampling*
+//! error (shrinks with runs × horizon) and *finite-size* error (the
+//! mean-field limit is exact only as `n → ∞`; Kurtz gives `O(1/√n)`
+//! fluctuations and the bias itself is `O(1/n)` for these systems). The
+//! acceptance bound adds the two explicitly instead of hiding them in a
+//! hand-tuned tolerance:
+//!
+//! ```text
+//! bound = t-CI half-width at level 0.99 (over runs)
+//!       + FINITE_N_REL / n × |predicted|
+//!       + abs_floor
+//! ```
+//!
+//! The absolute floor keeps near-zero quantities (deep tails) from
+//! demanding impossible relative precision.
+
+use loadsteal_queueing::OnlineStats;
+use loadsteal_sim::{ReplicateResult, SimResult};
+
+/// Confidence level for every interval the harness derives bounds from.
+pub const CONFIDENCE_LEVEL: f64 = 0.99;
+
+/// Finite-size allowance for mean sojourn times, relative to the
+/// prediction: `4/n`. Empirically the `n = 128` bias against the
+/// mean-field `W` stays under `2/n` across the zoo; the factor-2
+/// headroom keeps the quick tier's 4-run checks off the noise edge.
+pub const FINITE_N_REL_SOJOURN: f64 = 4.0;
+
+/// Finite-size allowance for tail fractions `s_i` (already in `[0, 1]`,
+/// so a milder relative term suffices).
+pub const FINITE_N_REL_TAIL: f64 = 2.0;
+
+/// Absolute floor for sojourn-time bounds.
+pub const ABS_FLOOR_SOJOURN: f64 = 0.02;
+
+/// Absolute floor for tail-fraction bounds.
+pub const ABS_FLOOR_TAIL: f64 = 0.01;
+
+/// One observed-vs-predicted comparison with its derived bound.
+#[derive(Debug, Clone)]
+pub struct Agreement {
+    /// What is being compared (for the report line).
+    pub what: String,
+    /// Simulated estimate (mean over runs).
+    pub observed: f64,
+    /// Mean-field prediction.
+    pub predicted: f64,
+    /// Acceptance bound on `|observed − predicted|`.
+    pub bound: f64,
+}
+
+impl Agreement {
+    /// Whether the comparison passes.
+    pub fn holds(&self) -> bool {
+        (self.observed - self.predicted).abs() <= self.bound
+    }
+
+    /// Human-readable margin line.
+    pub fn describe(&self) -> String {
+        format!(
+            "{}: sim {:.4} vs ode {:.4} (|Δ| {:.4} ≤ {:.4})",
+            self.what,
+            self.observed,
+            self.predicted,
+            (self.observed - self.predicted).abs(),
+            self.bound,
+        )
+    }
+}
+
+/// Bound for a run-level statistic against `predicted` on an
+/// `n`-processor system: Student-t interval over runs plus the
+/// finite-size allowance.
+pub fn bound_from(
+    stats: &OnlineStats,
+    predicted: f64,
+    n: usize,
+    finite_n_rel: f64,
+    abs_floor: f64,
+) -> f64 {
+    let ci = stats.t_confidence_interval(CONFIDENCE_LEVEL);
+    ci.half_width + finite_n_rel / n as f64 * predicted.abs() + abs_floor
+}
+
+/// Compare the replications' mean sojourn time against the mean-field
+/// `W` prediction.
+pub fn sojourn_agreement(rep: &ReplicateResult, predicted: f64, n: usize) -> Agreement {
+    Agreement {
+        what: "mean sojourn W".into(),
+        observed: rep.mean_sojourn(),
+        predicted,
+        bound: bound_from(
+            &rep.sojourn_mean,
+            predicted,
+            n,
+            FINITE_N_REL_SOJOURN,
+            ABS_FLOOR_SOJOURN,
+        ),
+    }
+}
+
+/// Compare the time-averaged tail fraction `s_level` across runs
+/// against the fixed-point prediction.
+pub fn tail_agreement(runs: &[SimResult], level: usize, predicted: f64, n: usize) -> Agreement {
+    let stats: OnlineStats = runs
+        .iter()
+        .map(|r| r.load_tails.get(level).copied().unwrap_or(0.0))
+        .collect();
+    Agreement {
+        what: format!("tail s_{level}"),
+        observed: stats.mean(),
+        predicted,
+        bound: bound_from(&stats, predicted, n, FINITE_N_REL_TAIL, ABS_FLOOR_TAIL),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_includes_all_three_terms() {
+        let stats: OnlineStats = [2.0, 2.1, 1.9, 2.0].into_iter().collect();
+        let b = bound_from(&stats, 2.0, 128, FINITE_N_REL_SOJOURN, ABS_FLOOR_SOJOURN);
+        let ci = stats.t_confidence_interval(CONFIDENCE_LEVEL).half_width;
+        let expect = ci + 4.0 / 128.0 * 2.0 + 0.02;
+        assert!((b - expect).abs() < 1e-12, "{b} vs {expect}");
+    }
+
+    #[test]
+    fn agreement_holds_iff_within_bound() {
+        let a = Agreement {
+            what: "x".into(),
+            observed: 1.05,
+            predicted: 1.0,
+            bound: 0.1,
+        };
+        assert!(a.holds());
+        let b = Agreement {
+            bound: 0.01,
+            ..a.clone()
+        };
+        assert!(!b.holds());
+        assert!(b.describe().contains("sim 1.05"));
+    }
+}

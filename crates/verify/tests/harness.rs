@@ -1,0 +1,80 @@
+//! Harness self-tests: the sabotage acceptance criterion, coverage
+//! floors, and smoke runs of the deterministic layers.
+//!
+//! Simulation-backed tests here use [`Settings::tiny`] — deliberately
+//! underpowered protocols that are still statistically decisive for the
+//! gross errors they target.
+
+use loadsteal_verify::{all_checks, differential, sabotage, zoo, Outcome, Settings};
+
+/// Acceptance criterion: an intentionally injected ODE sign error must
+/// be caught by the differential layer, even at a tiny protocol.
+#[test]
+fn injected_sign_error_is_caught() {
+    let settings = Settings::tiny(7);
+    let outcome = differential::check_variant(&settings, sabotage::sabotaged_variant(&settings));
+    match outcome {
+        Outcome::Fail(detail) => {
+            assert!(
+                detail.contains("sojourn") || detail.contains("tail"),
+                "failure should name the disagreeing statistic: {detail}"
+            );
+        }
+        other => panic!("sabotaged variant was not flagged: {other:?}"),
+    }
+}
+
+/// Control for the sabotage test: the honest no-steal variant — exact
+/// M/M/1, zero finite-size bias — passes the same differential check at
+/// the same tiny protocol.
+#[test]
+fn honest_variant_passes_where_sabotage_fails() {
+    let settings = Settings::tiny(7);
+    let v = zoo::variants(&settings)
+        .into_iter()
+        .find(|v| v.name.starts_with("no-steal"))
+        .expect("zoo lost its no-steal baseline");
+    let outcome = differential::check_variant(&settings, v);
+    assert!(
+        matches!(outcome, Outcome::Pass(_)),
+        "honest no-steal check did not pass: {outcome:?}"
+    );
+}
+
+/// The quick tier must cover at least eight simulable model variants
+/// (the ISSUE's floor) and carry all four check layers.
+#[test]
+fn quick_tier_covers_the_zoo_and_all_layers() {
+    let settings = Settings::quick(1);
+    let checks = all_checks(&settings);
+    let variant_checks = checks
+        .iter()
+        .filter(|c| c.group == "differential" && c.name.contains('λ'))
+        .count();
+    assert!(
+        variant_checks >= 8,
+        "only {variant_checks} differential variant checks"
+    );
+    for group in ["metamorphic", "convergence", "determinism", "differential"] {
+        assert!(
+            checks.iter().any(|c| c.group == group),
+            "layer {group} missing from the quick tier"
+        );
+    }
+}
+
+/// The deterministic layers (no simulation statistics involved) must
+/// pass outright; run them through the public filter API.
+#[test]
+fn convergence_and_determinism_layers_pass() {
+    let settings = Settings::tiny(3);
+    for filter in ["convergence", "determinism"] {
+        let report = loadsteal_verify::run(&settings, Some(filter));
+        assert!(!report.results.is_empty(), "{filter}: no checks matched");
+        assert!(
+            report.passed(),
+            "{filter} layer failed:\n{}",
+            report.render()
+        );
+    }
+}

@@ -7,3 +7,4 @@ pub use loadsteal_core as meanfield;
 pub use loadsteal_ode as ode;
 pub use loadsteal_queueing as queueing;
 pub use loadsteal_sim as sim;
+pub use loadsteal_verify as verify;

@@ -2,9 +2,13 @@
 //! equations predict finite-system simulations.
 //!
 //! Each test pits one mean-field model against the discrete-event
-//! simulator at n = 128 (the paper's largest size) and checks the mean
-//! time in system within a few percent. Horizons are shorter than the
-//! paper's 100,000 s to keep the suite fast; tolerances account for it.
+//! simulator at n = 128 (the paper's largest size). Agreement bounds
+//! are not hand-picked percentages: [`loadsteal::verify::stat`]
+//! derives each bound from the replications' own Student-t confidence
+//! interval plus an O(1/n) finite-size allowance, so a test only fails
+//! when the disagreement is statistically decisive. Seeds are pinned,
+//! so failures replay exactly. Horizons are shorter than the paper's
+//! 100,000 s to keep the suite fast; the CI widens to match.
 
 use loadsteal::meanfield::fixed_point::{solve, FixedPointOptions};
 use loadsteal::meanfield::models::{
@@ -24,30 +28,28 @@ fn sim_cfg(lambda: f64, policy: StealPolicy) -> SimConfig {
     cfg
 }
 
-fn assert_close(sim: f64, predicted: f64, rel_tol: f64, what: &str) {
-    let err = (sim - predicted).abs() / sim;
-    assert!(
-        err < rel_tol,
-        "{what}: sim {sim:.4} vs predicted {predicted:.4} (rel err {:.2}%)",
-        100.0 * err
-    );
+/// Assert the replications' mean sojourn time agrees with the
+/// mean-field prediction within a CI-width-derived bound at n = 128.
+fn assert_agrees(rep: &loadsteal::sim::ReplicateResult, predicted: f64, what: &str) {
+    let a = loadsteal::verify::stat::sojourn_agreement(rep, predicted, 128);
+    assert!(a.holds(), "{what}: {}", a.describe());
 }
 
 #[test]
 fn no_steal_matches_mm1_field() {
     let lambda = 0.8;
-    let sim = replicate(&sim_cfg(lambda, StealPolicy::None), 3, 1).mean_sojourn();
+    let rep = replicate(&sim_cfg(lambda, StealPolicy::None), 3, 1);
     let predicted = NoSteal::new(lambda).unwrap().closed_form_mean_time();
-    assert_close(sim, predicted, 0.05, "no stealing, λ = 0.8");
+    assert_agrees(&rep, predicted, "no stealing, λ = 0.8");
 }
 
 #[test]
 fn simple_ws_matches_table1_protocol() {
     let lambda = 0.9;
-    let sim = replicate(&sim_cfg(lambda, StealPolicy::simple_ws()), 4, 2).mean_sojourn();
+    let rep = replicate(&sim_cfg(lambda, StealPolicy::simple_ws()), 4, 2);
     let predicted = SimpleWs::new(lambda).unwrap().closed_form_mean_time();
     // Paper Table 1 at λ=0.9: Sim(128) = 3.586 vs estimate 3.541 (1.2%).
-    assert_close(sim, predicted, 0.05, "simple WS, λ = 0.9");
+    assert_agrees(&rep, predicted, "simple WS, λ = 0.9");
 }
 
 #[test]
@@ -58,9 +60,9 @@ fn threshold_model_matches_simulation() {
         choices: 1,
         batch: 1,
     };
-    let sim = replicate(&sim_cfg(lambda, policy), 3, 3).mean_sojourn();
+    let rep = replicate(&sim_cfg(lambda, policy), 3, 3);
     let predicted = ThresholdWs::new(lambda, 4).unwrap().closed_form_mean_time();
-    assert_close(sim, predicted, 0.05, "threshold T = 4, λ = 0.85");
+    assert_agrees(&rep, predicted, "threshold T = 4, λ = 0.85");
 }
 
 #[test]
@@ -70,12 +72,12 @@ fn preemptive_model_matches_simulation() {
         begin_at: 1,
         rel_threshold: 3,
     };
-    let sim = replicate(&sim_cfg(lambda, policy), 3, 4).mean_sojourn();
+    let rep = replicate(&sim_cfg(lambda, policy), 3, 4);
     let m = Preemptive::new(lambda, 1, 3).unwrap();
     let predicted = solve(&m, &FixedPointOptions::default())
         .unwrap()
         .mean_time_in_system;
-    assert_close(sim, predicted, 0.05, "preemptive B = 1, T = 3");
+    assert_agrees(&rep, predicted, "preemptive B = 1, T = 3");
 }
 
 #[test]
@@ -85,12 +87,12 @@ fn repeated_attempts_match_simulation() {
         rate: 2.0,
         threshold: 2,
     };
-    let sim = replicate(&sim_cfg(lambda, policy), 3, 5).mean_sojourn();
+    let rep = replicate(&sim_cfg(lambda, policy), 3, 5);
     let m = RepeatedSteal::new(lambda, 2.0, 2).unwrap();
     let predicted = solve(&m, &FixedPointOptions::default())
         .unwrap()
         .mean_time_in_system;
-    assert_close(sim, predicted, 0.05, "repeated r = 2, λ = 0.9");
+    assert_agrees(&rep, predicted, "repeated r = 2, λ = 0.9");
 }
 
 #[test]
@@ -100,13 +102,13 @@ fn erlang_stage_estimate_predicts_constant_service_sims() {
     let lambda = 0.8;
     let mut cfg = sim_cfg(lambda, StealPolicy::simple_ws());
     cfg.service = ServiceDistribution::unit_deterministic();
-    let sim = replicate(&cfg, 3, 6).mean_sojourn();
+    let rep = replicate(&cfg, 3, 6);
     let m = ErlangStages::new(lambda, 20).unwrap();
     let predicted = solve(&m, &FixedPointOptions::default())
         .unwrap()
         .mean_time_in_system;
     // Paper Table 2 at λ=0.8: Sim(128) = 2.013 vs c=20 estimate 2.039.
-    assert_close(sim, predicted, 0.05, "constant service via 20 stages");
+    assert_agrees(&rep, predicted, "constant service via 20 stages");
 }
 
 #[test]
@@ -119,13 +121,13 @@ fn transfer_model_matches_simulation() {
     };
     let mut cfg = sim_cfg(lambda, policy);
     cfg.transfer = Some(TransferTime::exponential(0.25));
-    let sim = replicate(&cfg, 3, 7).mean_sojourn();
+    let rep = replicate(&cfg, 3, 7);
     let m = TransferWs::new(lambda, 0.25, 4).unwrap();
     let predicted = solve(&m, &FixedPointOptions::default())
         .unwrap()
         .mean_time_in_system;
     // Paper Table 3 at λ=0.8, T=4: Sim(128) = 4.003 vs estimate 3.996.
-    assert_close(sim, predicted, 0.05, "transfer r = 0.25, T = 4");
+    assert_agrees(&rep, predicted, "transfer r = 0.25, T = 4");
 }
 
 #[test]
@@ -136,13 +138,13 @@ fn multi_choice_matches_simulation() {
         choices: 2,
         batch: 1,
     };
-    let sim = replicate(&sim_cfg(lambda, policy), 3, 8).mean_sojourn();
+    let rep = replicate(&sim_cfg(lambda, policy), 3, 8);
     let m = MultiChoice::new(lambda, 2, 2).unwrap();
     let predicted = solve(&m, &FixedPointOptions::default())
         .unwrap()
         .mean_time_in_system;
     // Paper Table 4 at λ=0.9: Sim = 2.260 vs estimate 2.220.
-    assert_close(sim, predicted, 0.05, "two choices, λ = 0.9");
+    assert_agrees(&rep, predicted, "two choices, λ = 0.9");
 }
 
 #[test]
@@ -153,12 +155,12 @@ fn multi_steal_matches_simulation() {
         choices: 1,
         batch: 3,
     };
-    let sim = replicate(&sim_cfg(lambda, policy), 3, 9).mean_sojourn();
+    let rep = replicate(&sim_cfg(lambda, policy), 3, 9);
     let m = MultiSteal::new(lambda, 3, 6).unwrap();
     let predicted = solve(&m, &FixedPointOptions::default())
         .unwrap()
         .mean_time_in_system;
-    assert_close(sim, predicted, 0.05, "multi-steal k = 3, T = 6");
+    assert_agrees(&rep, predicted, "multi-steal k = 3, T = 6");
 }
 
 #[test]
@@ -167,12 +169,12 @@ fn rebalance_matches_simulation() {
     let policy = StealPolicy::Rebalance {
         rate: RebalanceRate::Constant(0.5),
     };
-    let sim = replicate(&sim_cfg(lambda, policy), 3, 10).mean_sojourn();
+    let rep = replicate(&sim_cfg(lambda, policy), 3, 10);
     let m = Rebalance::new(lambda, RebalanceRateFn::Constant(0.5)).unwrap();
     let predicted = solve(&m, &FixedPointOptions::default())
         .unwrap()
         .mean_time_in_system;
-    assert_close(sim, predicted, 0.05, "rebalance r = 0.5, λ = 0.8");
+    assert_agrees(&rep, predicted, "rebalance r = 0.5, λ = 0.8");
 }
 
 #[test]
@@ -182,12 +184,12 @@ fn heterogeneous_matches_simulation() {
     let lambda = 0.9;
     let mut cfg = sim_cfg(lambda, StealPolicy::simple_ws());
     cfg.speeds = SpeedProfile::Classes(vec![(0.5, 1.5), (0.5, 0.8)]);
-    let sim = replicate(&cfg, 3, 11).mean_sojourn();
+    let rep = replicate(&cfg, 3, 11);
     let m = Heterogeneous::new(lambda, 0.5, 1.5, 0.8, 2).unwrap();
     let predicted = solve(&m, &FixedPointOptions::default())
         .unwrap()
         .mean_time_in_system;
-    assert_close(sim, predicted, 0.06, "heterogeneous 1.5/0.8");
+    assert_agrees(&rep, predicted, "heterogeneous 1.5/0.8");
 }
 
 #[test]
@@ -202,11 +204,11 @@ fn hyperexponential_service_matches_simulation() {
         rate1: mu1,
         rate2: mu2,
     };
-    let sim = replicate(&cfg, 3, 16).mean_sojourn();
+    let rep = replicate(&cfg, 3, 16);
     let predicted = solve(&m, &FixedPointOptions::default())
         .unwrap()
         .mean_time_in_system;
-    assert_close(sim, predicted, 0.06, "hyperexponential service scv = 4");
+    assert_agrees(&rep, predicted, "hyperexponential service scv = 4");
 }
 
 #[test]
@@ -217,12 +219,12 @@ fn work_sharing_matches_simulation() {
         send_threshold: 2,
         recv_threshold: 2,
     };
-    let sim = replicate(&sim_cfg(lambda, policy), 3, 15).mean_sojourn();
+    let rep = replicate(&sim_cfg(lambda, policy), 3, 15);
     let m = WorkSharing::new(lambda, 2, 2).unwrap();
     let predicted = solve(&m, &FixedPointOptions::default())
         .unwrap()
         .mean_time_in_system;
-    assert_close(sim, predicted, 0.05, "work sharing F = R = 2");
+    assert_agrees(&rep, predicted, "work sharing F = R = 2");
 }
 
 #[test]
@@ -234,12 +236,12 @@ fn general_combined_model_matches_simulation() {
         choices: 2,
         batch: 3,
     };
-    let sim = replicate(&sim_cfg(lambda, policy), 3, 13).mean_sojourn();
+    let rep = replicate(&sim_cfg(lambda, policy), 3, 13);
     let m = GeneralWs::new(lambda, 6, 2, 3).unwrap();
     let predicted = solve(&m, &FixedPointOptions::default())
         .unwrap()
         .mean_time_in_system;
-    assert_close(sim, predicted, 0.05, "general T=6, d=2, k=3");
+    assert_agrees(&rep, predicted, "general T=6, d=2, k=3");
 }
 
 #[test]
@@ -249,11 +251,11 @@ fn erlang_arrivals_match_simulation() {
     let m = ErlangArrivals::new(lambda, 10, 2).unwrap();
     let mut cfg = sim_cfg(lambda, StealPolicy::simple_ws());
     cfg.arrival = Some(m.sim_arrival_distribution());
-    let sim = replicate(&cfg, 3, 14).mean_sojourn();
+    let rep = replicate(&cfg, 3, 14);
     let predicted = solve(&m, &FixedPointOptions::default())
         .unwrap()
         .mean_time_in_system;
-    assert_close(sim, predicted, 0.05, "Erlang-10 arrivals");
+    assert_agrees(&rep, predicted, "Erlang-10 arrivals");
 }
 
 #[test]
@@ -278,7 +280,8 @@ fn transient_trajectory_matches_simulation() {
         err_sum += sup_distance(&ode, &res.snapshots, 8);
     }
     let err = err_sum / runs as f64;
-    // Fluctuations scale like 1/√n ≈ 0.044; allow generous headroom.
+    // Structural bound, not a CI: Kurtz fluctuations scale like
+    // 1/√n ≈ 0.044 at n = 512, and the window allows ~2× headroom.
     assert!(err < 0.1, "transient sup error {err} too large at n = 512");
 }
 
@@ -308,9 +311,11 @@ fn static_drain_time_matches_large_n_makespan() {
         threshold: 2,
     };
     let sim = replicate(&cfg, 5, 12).makespan_mean.mean();
-    // The simulated policy retries aggressively, approximating the
-    // mean-field's idealized leveling; with ε matched to 1/n the two
-    // notions of "done" line up.
+    // Structural bound, not a CI: the two "done" notions (simulated
+    // last completion vs mean-field mass dropping below ε = 1/n) are
+    // only heuristically matched, so the window is modeling error, not
+    // sampling noise. The simulated policy retries aggressively,
+    // approximating the mean-field's idealized leveling.
     let err = (sim - predicted).abs() / predicted;
     assert!(
         err < 0.15,

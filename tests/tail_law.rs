@@ -2,41 +2,50 @@
 
 //! The tail law: simulated occupancy tails match the fixed-point tails,
 //! and decay geometrically at the predicted "apparent service" ratio.
+//!
+//! Level-by-level agreement uses [`loadsteal::verify::stat`]'s
+//! CI-width-derived bounds (Student-t interval over the pinned-seed
+//! replications plus an O(1/n) finite-size allowance) instead of
+//! hand-picked tolerances; dominance and decay-ratio checks keep
+//! structural windows, documented inline.
 
 use loadsteal::meanfield::fixed_point::{solve, FixedPointOptions};
 use loadsteal::meanfield::models::{NoSteal, SimpleWs, ThresholdWs};
 use loadsteal::sim::{replicate, SimConfig, StealPolicy};
 
-fn simulate_tails(lambda: f64, policy: StealPolicy) -> Vec<f64> {
+fn simulate(lambda: f64, policy: StealPolicy) -> loadsteal::sim::ReplicateResult {
     let mut cfg = SimConfig::paper_default(128, lambda);
     cfg.horizon = 15_000.0;
     cfg.warmup = 1_500.0;
     cfg.policy = policy;
-    replicate(&cfg, 4, 21).mean_load_tails()
+    replicate(&cfg, 4, 21)
+}
+
+/// Assert simulated tail `s_level` agrees with `predicted` within the
+/// replications' own CI plus the n = 128 finite-size allowance.
+fn assert_tail_agrees(rep: &loadsteal::sim::ReplicateResult, level: usize, predicted: f64) {
+    let a = loadsteal::verify::stat::tail_agreement(&rep.runs, level, predicted, 128);
+    assert!(a.holds(), "{}", a.describe());
 }
 
 #[test]
 fn simple_ws_tails_match_fixed_point() {
     let lambda = 0.9;
-    let sim = simulate_tails(lambda, StealPolicy::simple_ws());
+    let rep = simulate(lambda, StealPolicy::simple_ws());
     let model = SimpleWs::new(lambda).unwrap();
     let tails = model.closed_form_tails();
     for i in 1..=6usize {
-        let expect = tails.get(i);
-        let got = sim[i];
-        assert!(
-            (got - expect).abs() < 0.02 + 0.05 * expect,
-            "s_{i}: sim {got:.5} vs fixed point {expect:.5}"
-        );
+        assert_tail_agrees(&rep, i, tails.get(i));
     }
 }
 
 #[test]
 fn stealing_tails_are_strictly_tighter_than_mm1() {
     let lambda = 0.9;
-    let ws = simulate_tails(lambda, StealPolicy::simple_ws());
+    let ws = simulate(lambda, StealPolicy::simple_ws()).mean_load_tails();
     let none = NoSteal::new(lambda).unwrap().closed_form_tails();
-    // Already by level 4 the separation is large.
+    // Structural dominance window: by level 4 the predicted WS tail is
+    // several times smaller than M/M/1, so a 0.8 factor is decisive.
     for i in 3..=6usize {
         assert!(
             ws[i] < none.get(i) * 0.8,
@@ -50,7 +59,7 @@ fn stealing_tails_are_strictly_tighter_than_mm1() {
 #[test]
 fn simulated_decay_ratio_matches_apparent_service_rate() {
     let lambda = 0.9;
-    let sim = simulate_tails(lambda, StealPolicy::simple_ws());
+    let sim = simulate(lambda, StealPolicy::simple_ws()).mean_load_tails();
     let model = SimpleWs::new(lambda).unwrap();
     let predicted = model.rho_prime();
     // Measure the empirical ratio over a mid-tail window where the
@@ -62,6 +71,9 @@ fn simulated_decay_ratio_matches_apparent_service_rate() {
         }
     }
     let mean_ratio: f64 = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    // Structural window: the ratio of two noisy tails has no clean CI,
+    // but at λ = 0.9 the WS ratio ρ' ≈ 0.85 differs from M/M/1's 0.9 by
+    // 0.05, so this window still separates the hypotheses.
     assert!(
         (mean_ratio - predicted).abs() < 0.05,
         "measured ratio {mean_ratio:.4} vs ρ' = {predicted:.4}"
@@ -72,7 +84,7 @@ fn simulated_decay_ratio_matches_apparent_service_rate() {
 fn threshold_model_tails_match_below_and_above_t() {
     let lambda = 0.85;
     let threshold = 4;
-    let sim = simulate_tails(
+    let rep = simulate(
         lambda,
         StealPolicy::OnEmpty {
             threshold,
@@ -84,12 +96,7 @@ fn threshold_model_tails_match_below_and_above_t() {
         .unwrap()
         .closed_form_tails();
     for i in 1..=7usize {
-        let expect = tails.get(i);
-        assert!(
-            (sim[i] - expect).abs() < 0.02 + 0.06 * expect,
-            "s_{i}: sim {:.5} vs fixed point {expect:.5}",
-            sim[i]
-        );
+        assert_tail_agrees(&rep, i, tails.get(i));
     }
 }
 
@@ -110,12 +117,8 @@ fn busy_fraction_equals_lambda_for_every_policy() {
             threshold: 2,
         },
     ] {
-        let sim = simulate_tails(lambda, policy.clone());
-        assert!(
-            (sim[1] - lambda).abs() < 0.02,
-            "{policy:?}: busy fraction {:.4}",
-            sim[1]
-        );
+        let rep = simulate(lambda, policy.clone());
+        assert_tail_agrees(&rep, 1, lambda);
     }
 }
 
