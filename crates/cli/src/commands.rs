@@ -1,20 +1,16 @@
 //! Command implementations.
 
 use loadsteal_core::fixed_point::{solve as solve_fp, solve_traced, FixedPoint, FixedPointOptions};
-use loadsteal_core::models::{
-    ErlangStages, GeneralWs, Heterogeneous, MeanFieldModel, MultiChoice, MultiSteal, NoSteal,
-    Preemptive, Rebalance, RebalanceRateFn, RepeatedSteal, SimpleWs, StaticDrain, ThresholdWs,
-    TransferWs,
-};
+use loadsteal_core::models::{MeanFieldModel, SimpleWs, StaticDrain};
+use loadsteal_core::spec::{PolicySpec, ServiceSpec, SpeedSpec};
 use loadsteal_core::stability::{check_l1_contraction, theorem_condition_holds};
 use loadsteal_core::tail::TailVector;
+use loadsteal_core::{ModelRegistry, ModelSpec, PresetTier};
 use loadsteal_obs::{
-    prometheus_text, EventCounts, NullRecorder, Recorder, Registry, RegistryRecorder,
-    SharedRecorder,
+    prometheus_text, EventCounts, Recorder, Registry, RegistryRecorder, SharedRecorder, TraceHeader,
 };
 use loadsteal_sim::{
-    replicate, replicate_recorded, RebalanceRate, SimConfig, StealPolicy, TransferTime,
-    DEFAULT_HEARTBEAT_EVERY,
+    replicate, replicate_recorded, SimConfig, StealPolicy, ToSimConfig, DEFAULT_HEARTBEAT_EVERY,
 };
 use loadsteal_trace::{read_bytes, MeanFieldPrediction, ReadMode, Timeline, TimelineConfig};
 
@@ -38,76 +34,123 @@ const MODEL_FLAGS: &[&str] = &[
     "internal",
 ];
 
-/// Solve a model's fixed point, dispatching on `--model`, with the
-/// integrator's convergence trace sent to `rec`.
-fn solve_model(a: &Args, rec: &mut dyn Recorder) -> Result<(String, FixedPoint), String> {
-    let lambda: f64 = a.required("lambda")?;
-    let opts = FixedPointOptions::default();
-    let model = a.raw("model").unwrap_or("simple");
+/// The pre-registry `--model` names, kept working verbatim. Each
+/// translates into the equivalent [`ModelSpec`], so the legacy and
+/// registry grammars share one dispatch path.
+const LEGACY_MODELS: &[&str] = &[
+    "simple",
+    "nosteal",
+    "threshold",
+    "general",
+    "multichoice",
+    "multisteal",
+    "preemptive",
+    "repeated",
+    "erlang",
+    "transfer",
+    "rebalance",
+    "heterogeneous",
+];
 
-    macro_rules! fp {
-        ($m:expr) => {{
-            let m = $m;
-            let name = m.name();
-            let fp = solve_traced(&m, &opts, rec).map_err(|e| e.to_string())?;
-            Ok((name, fp))
-        }};
+/// Translate a legacy `--model` name plus its per-knob flags into a
+/// [`ModelSpec`]; `Ok(None)` when the name is not a legacy one.
+fn legacy_model_spec(a: &Args, model: &str) -> Result<Option<ModelSpec>, String> {
+    if !LEGACY_MODELS.contains(&model) {
+        return Ok(None);
     }
-
+    let mut spec = ModelSpec::simple_ws(a.required::<f64>("lambda")?);
     match model {
-        "simple" => fp!(SimpleWs::new(lambda)?),
-        "nosteal" => fp!(NoSteal::new(lambda)?),
-        "threshold" => fp!(ThresholdWs::new(lambda, a.get_or("threshold", 2)?)?),
-        "general" => fp!(GeneralWs::new(
-            lambda,
-            a.get_or("threshold", 2)?,
-            a.get_or("choices", 1u32)?,
-            a.get_or("batch", 1)?,
-        )?),
-        "multichoice" => fp!(MultiChoice::new(
-            lambda,
-            a.get_or("choices", 2u32)?,
-            a.get_or("threshold", 2)?,
-        )?),
-        "multisteal" => fp!(MultiSteal::new(
-            lambda,
-            a.get_or("batch", 2)?,
-            a.get_or("threshold", 4)?,
-        )?),
-        "preemptive" => fp!(Preemptive::new(
-            lambda,
-            a.get_or("begin", 1)?,
-            a.get_or("threshold", 3)?,
-        )?),
-        "repeated" => fp!(RepeatedSteal::new(
-            lambda,
-            a.get_or("rate", 1.0)?,
-            a.get_or("threshold", 2)?,
-        )?),
-        "erlang" => fp!(ErlangStages::new(lambda, a.get_or("stages", 10)?)?),
-        "transfer" => fp!(TransferWs::new(
-            lambda,
-            a.get_or("rate", 0.25)?,
-            a.get_or("threshold", 4)?,
-        )?),
-        "rebalance" => {
-            let r: f64 = a.get_or("rate", 1.0)?;
-            let rate = if a.get_or("per-task", false)? {
-                RebalanceRateFn::PerTask(r)
-            } else {
-                RebalanceRateFn::Constant(r)
-            };
-            fp!(Rebalance::new(lambda, rate)?)
+        "simple" => {}
+        "nosteal" => spec.policy = PolicySpec::NoSteal,
+        "threshold" => {
+            spec.policy = PolicySpec::OnEmpty {
+                threshold: a.get_or("threshold", 2)?,
+                choices: 1,
+                batch: 1,
+            }
         }
-        "heterogeneous" => fp!(Heterogeneous::new(
-            lambda,
-            a.get_or("fast-frac", 0.5)?,
-            a.get_or("fast", 1.5)?,
-            a.get_or("slow", 0.8)?,
-            a.get_or("threshold", 2)?,
-        )?),
-        other => Err(format!("unknown model {other:?} (see `loadsteal help`)")),
+        "general" => {
+            spec.policy = PolicySpec::OnEmpty {
+                threshold: a.get_or("threshold", 2)?,
+                choices: a.get_or("choices", 1u32)?,
+                batch: a.get_or("batch", 1)?,
+            }
+        }
+        "multichoice" => {
+            spec.policy = PolicySpec::OnEmpty {
+                threshold: a.get_or("threshold", 2)?,
+                choices: a.get_or("choices", 2u32)?,
+                batch: 1,
+            }
+        }
+        "multisteal" => {
+            spec.policy = PolicySpec::OnEmpty {
+                threshold: a.get_or("threshold", 4)?,
+                choices: 1,
+                batch: a.get_or("batch", 2)?,
+            }
+        }
+        "preemptive" => {
+            spec.policy = PolicySpec::Preemptive {
+                begin_at: a.get_or("begin", 1)?,
+                rel_threshold: a.get_or("threshold", 3)?,
+            }
+        }
+        "repeated" => {
+            spec.policy = PolicySpec::Repeated {
+                rate: a.get_or("rate", 1.0)?,
+                threshold: a.get_or("threshold", 2)?,
+            }
+        }
+        "erlang" => {
+            spec.service = ServiceSpec::Erlang {
+                stages: a.get_or("stages", 10)?,
+            }
+        }
+        "transfer" => {
+            spec.policy = PolicySpec::OnEmpty {
+                threshold: a.get_or("threshold", 4)?,
+                choices: 1,
+                batch: 1,
+            };
+            spec.transfer_rate = Some(a.get_or("rate", 0.25)?);
+        }
+        "rebalance" => {
+            spec.policy = PolicySpec::Rebalance {
+                rate: a.get_or("rate", 1.0)?,
+                per_task: a.get_or("per-task", false)?,
+            }
+        }
+        "heterogeneous" => {
+            spec.policy = PolicySpec::OnEmpty {
+                threshold: a.get_or("threshold", 2)?,
+                choices: 1,
+                batch: 1,
+            };
+            spec.speeds = SpeedSpec::TwoClass {
+                fast_fraction: a.get_or("fast-frac", 0.5)?,
+                fast_rate: a.get_or("fast", 1.5)?,
+                slow_rate: a.get_or("slow", 0.8)?,
+            };
+        }
+        _ => unreachable!("LEGACY_MODELS and this match list the same names"),
     }
+    Ok(Some(spec))
+}
+
+/// Resolve `--model` (default `default`) into a [`ModelSpec`]: legacy
+/// names first, then the shared `<preset|key=val,...>` grammar with
+/// `--lambda` appended as an override (last key wins).
+fn model_spec(a: &Args, default: &str) -> Result<ModelSpec, String> {
+    let model = a.raw("model").unwrap_or(default);
+    if let Some(spec) = legacy_model_spec(a, model)? {
+        return Ok(spec);
+    }
+    let mut text = model.to_owned();
+    if let Some(l) = a.get::<f64>("lambda")? {
+        text.push_str(&format!(",lambda={l}"));
+    }
+    ModelSpec::parse(&text)
 }
 
 /// Add the solver counters common to every traced command.
@@ -133,8 +176,17 @@ pub fn solve(a: &Args) -> Result<(), String> {
     a.ensure_known(&known)?;
     let obs = ObsOpts::from_args(a)?;
     let out = Narrator::new(obs.machine_stdout());
+    let spec = model_spec(a, "simple")?;
+    let canonical = spec.to_string();
     let mut rec = obs.recorder()?;
-    let (name, fp) = solve_model(a, &mut rec)?;
+    rec.write_header(&TraceHeader {
+        model: Some(canonical.clone()),
+        ..TraceHeader::default()
+    });
+    let model = spec.mean_field().map_err(|e| e.to_string())?;
+    let name = model.name();
+    let fp =
+        solve_traced(&model, &FixedPointOptions::default(), &mut rec).map_err(|e| e.to_string())?;
     let (counts, trace_lines) = rec.finish()?;
     say!(out, "model:                 {name}");
     say!(out, "truncation levels:     {}", fp.truncation);
@@ -170,8 +222,8 @@ pub fn solve(a: &Args) -> Result<(), String> {
             reg.counter("trace.lines").add(trace_lines);
         }
         let mut m = manifest();
-        m.config("model", a.raw("model").unwrap_or("simple"))
-            .config("lambda", a.required::<f64>("lambda")?);
+        m.config("model", canonical.as_str())
+            .config("lambda", spec.lambda);
         obs.emit(&m, &reg.snapshot())?;
     }
     Ok(())
@@ -181,7 +233,10 @@ pub fn solve(a: &Args) -> Result<(), String> {
 pub fn tails(a: &Args) -> Result<(), String> {
     a.ensure_known(MODEL_FLAGS)?;
     let levels: usize = a.get_or("levels", 12)?;
-    let (name, fp) = solve_model(a, &mut NullRecorder)?;
+    let spec = model_spec(a, "simple")?;
+    let model = spec.mean_field().map_err(|e| e.to_string())?;
+    let name = model.name();
+    let fp = solve_fp(&model, &FixedPointOptions::default()).map_err(|e| e.to_string())?;
     println!("model: {name}");
     println!("{:>4} {:>14}", "i", "s_i");
     for i in 0..=levels {
@@ -195,6 +250,7 @@ pub fn tails(a: &Args) -> Result<(), String> {
 
 const SIM_FLAGS: &[&str] = &[
     "n",
+    "model",
     "lambda",
     "policy",
     "threshold",
@@ -213,105 +269,105 @@ const SIM_FLAGS: &[&str] = &[
     "heartbeat-every",
 ];
 
-/// Solve the mean-field companion of a simulation policy, feeding the
+/// Solve the mean-field companion of a simulated spec, feeding the
 /// solver's convergence trace into `rec`, so a simulation's metrics
-/// report carries solver counters next to the simulator's. Model
-/// construction or convergence failures (e.g. an unstable λ) are not
-/// fatal: the companion is simply reported as unavailable.
-fn companion_fixed_point(
-    a: &Args,
-    lambda: f64,
-    rec: &mut dyn Recorder,
-) -> Option<(String, FixedPoint)> {
-    match companion_solve(a, lambda, rec) {
-        Ok(v) => Some(v),
+/// report carries solver counters next to the simulator's. Specs with
+/// no mean-field model and convergence failures (e.g. an unstable λ)
+/// are not fatal: the companion is simply reported as unavailable.
+fn companion_fixed_point(spec: &ModelSpec, rec: &mut dyn Recorder) -> Option<(String, FixedPoint)> {
+    let model = match spec.mean_field() {
+        Ok(m) => m,
         Err(e) => {
             loadsteal_obs::debug!("mean-field companion unavailable: {e}");
+            return None;
+        }
+    };
+    let name = model.name();
+    match solve_traced(&model, &FixedPointOptions::default(), rec) {
+        Ok(fp) => Some((name, fp)),
+        Err(e) => {
+            loadsteal_obs::debug!("mean-field companion did not converge: {e}");
             None
         }
     }
 }
 
-fn companion_solve(
-    a: &Args,
-    lambda: f64,
-    rec: &mut dyn Recorder,
-) -> Result<(String, FixedPoint), String> {
-    let opts = FixedPointOptions::default();
-    macro_rules! fp {
-        ($m:expr) => {{
-            let m = $m;
-            let name = m.name();
-            let fp = solve_traced(&m, &opts, rec).map_err(|e| e.to_string())?;
-            Ok((name, fp))
-        }};
+/// Flags that parameterize the legacy `--policy` path and therefore
+/// conflict with `--model` (whose spec already fixes those knobs).
+const LEGACY_SIM_FLAGS: &[&str] = &[
+    "policy",
+    "threshold",
+    "choices",
+    "batch",
+    "begin",
+    "rate",
+    "transfer-rate",
+    "service-stages",
+    "constant-service",
+];
+
+/// Resolve what system `simulate`/`serve` runs: the `--model` spec
+/// grammar when given (rejecting the legacy per-knob flags), otherwise
+/// the legacy `--policy` flag family translated into a spec.
+fn simulate_spec(a: &Args) -> Result<ModelSpec, String> {
+    if let Some(model) = a.raw("model") {
+        if let Some(conflict) = LEGACY_SIM_FLAGS.iter().find(|f| a.raw(f).is_some()) {
+            return Err(format!(
+                "--model and --{conflict} conflict; fold the parameter into the spec \
+                 (e.g. --model \"{model},T=4\")"
+            ));
+        }
+        let mut text = model.to_owned();
+        if let Some(l) = a.get::<f64>("lambda")? {
+            text.push_str(&format!(",lambda={l}"));
+        }
+        return ModelSpec::parse(&text);
     }
-    match a.raw("policy").unwrap_or("simple") {
-        "none" => fp!(NoSteal::new(lambda)?),
-        "simple" => fp!(SimpleWs::new(lambda)?),
-        "threshold" => fp!(GeneralWs::new(
-            lambda,
-            a.get_or("threshold", 2)?,
-            a.get_or("choices", 1u32)?,
-            a.get_or("batch", 1)?,
-        )?),
-        "preemptive" => fp!(Preemptive::new(
-            lambda,
-            a.get_or("begin", 1)?,
-            a.get_or("threshold", 3)?,
-        )?),
-        "repeated" => fp!(RepeatedSteal::new(
-            lambda,
-            a.get_or("rate", 1.0)?,
-            a.get_or("threshold", 2)?,
-        )?),
-        "rebalance" => fp!(Rebalance::new(
-            lambda,
-            RebalanceRateFn::Constant(a.get_or("rate", 1.0)?),
-        )?),
-        other => Err(format!("no mean-field companion for policy {other:?}")),
+    let mut spec = ModelSpec::simple_ws(a.required::<f64>("lambda")?);
+    spec.policy = match a.raw("policy").unwrap_or("simple") {
+        "none" => PolicySpec::NoSteal,
+        "simple" => PolicySpec::OnEmpty {
+            threshold: 2,
+            choices: 1,
+            batch: 1,
+        },
+        "threshold" => PolicySpec::OnEmpty {
+            threshold: a.get_or("threshold", 2)?,
+            choices: a.get_or("choices", 1u32)?,
+            batch: a.get_or("batch", 1)?,
+        },
+        "preemptive" => PolicySpec::Preemptive {
+            begin_at: a.get_or("begin", 1)?,
+            rel_threshold: a.get_or("threshold", 3)?,
+        },
+        "repeated" => PolicySpec::Repeated {
+            rate: a.get_or("rate", 1.0)?,
+            threshold: a.get_or("threshold", 2)?,
+        },
+        "rebalance" => PolicySpec::Rebalance {
+            rate: a.get_or("rate", 1.0)?,
+            per_task: false,
+        },
+        other => return Err(format!("unknown policy {other:?}")),
+    };
+    if a.get_or("constant-service", false)? {
+        spec.service = ServiceSpec::Deterministic;
+    } else if let Some(stages) = a.get::<u32>("service-stages")? {
+        spec.service = ServiceSpec::Erlang { stages };
     }
+    spec.transfer_rate = a.get::<f64>("transfer-rate")?;
+    Ok(spec)
 }
 
-/// Build a [`SimConfig`] from the shared simulation flags (used by
-/// `simulate` and `serve`).
-fn sim_config(a: &Args) -> Result<SimConfig, String> {
+/// Build a [`SimConfig`] for `spec` with the run-shape flags (horizon,
+/// warmup, internal arrivals, heartbeat cadence) applied on top.
+fn sim_config(a: &Args, spec: &ModelSpec) -> Result<SimConfig, String> {
     let n: usize = a.required("n")?;
-    let lambda: f64 = a.required("lambda")?;
-    let mut cfg = SimConfig::paper_default(n, lambda);
+    let mut cfg = spec.sim_config(n).map_err(|e| e.to_string())?;
     cfg.horizon = a.get_or("horizon", 20_000.0)?;
     cfg.warmup = a.get_or("warmup", cfg.horizon / 10.0)?;
     cfg.internal_lambda = a.get_or("internal", 0.0)?;
     cfg.heartbeat_every = a.get_or("heartbeat-every", DEFAULT_HEARTBEAT_EVERY)?;
-    if a.get_or("constant-service", false)? {
-        cfg.service = loadsteal_queueing::ServiceDistribution::unit_deterministic();
-    } else if let Some(stages) = a.get::<u32>("service-stages")? {
-        cfg.service = loadsteal_queueing::ServiceDistribution::unit_erlang(stages);
-    }
-    cfg.policy = match a.raw("policy").unwrap_or("simple") {
-        "none" => StealPolicy::None,
-        "simple" => StealPolicy::simple_ws(),
-        "threshold" => StealPolicy::OnEmpty {
-            threshold: a.get_or("threshold", 2)?,
-            choices: a.get_or("choices", 1)?,
-            batch: a.get_or("batch", 1)?,
-        },
-        "preemptive" => StealPolicy::Preemptive {
-            begin_at: a.get_or("begin", 1)?,
-            rel_threshold: a.get_or("threshold", 3)?,
-        },
-        "repeated" => StealPolicy::Repeated {
-            rate: a.get_or("rate", 1.0)?,
-            threshold: a.get_or("threshold", 2)?,
-        },
-        "rebalance" => StealPolicy::Rebalance {
-            rate: RebalanceRate::Constant(a.get_or("rate", 1.0)?),
-        },
-        other => return Err(format!("unknown policy {other:?}")),
-    };
-    if let Some(r) = a.get::<f64>("transfer-rate")? {
-        cfg.transfer = Some(TransferTime::exponential(r));
-    }
     cfg.validate().map_err(|e| e.to_string())?;
     Ok(cfg)
 }
@@ -321,7 +377,9 @@ pub fn simulate(a: &Args) -> Result<(), String> {
     let mut known = SIM_FLAGS.to_vec();
     known.extend_from_slice(OBS_FLAGS);
     a.ensure_known(&known)?;
-    let mut cfg = sim_config(a)?;
+    let spec = simulate_spec(a)?;
+    let canonical = spec.to_string();
+    let mut cfg = sim_config(a, &spec)?;
     let n = cfg.n;
     let lambda = cfg.lambda;
     let runs: usize = a.get_or("runs", 3)?;
@@ -334,10 +392,16 @@ pub fn simulate(a: &Args) -> Result<(), String> {
     cfg.sojourn_digest = obs.metrics_json.is_some();
     let out = Narrator::new(obs.machine_stdout());
     let mut rec = obs.recorder()?;
+    rec.write_header(&TraceHeader {
+        model: Some(canonical.clone()),
+        n: Some(n as u64),
+        seed: Some(seed),
+        runs: Some(runs as u64),
+    });
     let observing = rec.enabled();
 
     let mean_field = if observing {
-        companion_fixed_point(a, lambda, &mut rec)
+        companion_fixed_point(&spec, &mut rec)
     } else {
         None
     };
@@ -434,7 +498,7 @@ pub fn simulate(a: &Args) -> Result<(), String> {
         m.seed = Some(seed);
         m.config("n", n)
             .config("lambda", lambda)
-            .config("policy", a.raw("policy").unwrap_or("simple"))
+            .config("model", canonical.as_str())
             .config("runs", runs)
             .config("horizon", cfg.horizon)
             .config("warmup", cfg.warmup);
@@ -526,11 +590,10 @@ pub fn drain(a: &Args) -> Result<(), String> {
 /// `loadsteal report <trace.ndjson>` — reconstruct a timeline from a
 /// trace and compare it against the mean-field prediction.
 pub fn report(a: &Args) -> Result<(), String> {
-    a.ensure_known(&["warmup", "lambda", "input"])?;
-    let path = a
-        .positional(0)
-        .or_else(|| a.raw("input"))
-        .ok_or("usage: loadsteal report <trace.ndjson> [--lossy] [--warmup T] [--lambda λ]")?;
+    a.ensure_known(&["warmup", "lambda", "model", "input"])?;
+    let path = a.positional(0).or_else(|| a.raw("input")).ok_or(
+        "usage: loadsteal report <trace.ndjson> [--lossy] [--warmup T] [--model M] [--lambda λ]",
+    )?;
     if a.positional(1).is_some() {
         return Err("report takes exactly one trace file".into());
     }
@@ -561,23 +624,89 @@ pub fn report(a: &Args) -> Result<(), String> {
         },
     );
 
-    // Mean-field comparison at --lambda, or at the measured arrival
-    // rate when the flag is omitted. The paper's basic work-stealing
-    // model (Section 2) supplies π₂ and the predicted sojourn time; an
-    // unstable or degenerate rate simply drops the prediction columns.
-    let lambda = match a.get::<f64>("lambda")? {
-        Some(l) => Some(l),
-        None => {
-            let l = tl.arrival_rate();
-            (l > 0.0 && l < 1.0).then_some(l)
+    // Mean-field comparison. The model resolves in precedence order:
+    // an explicit --model spec, then --lambda (re-pinning the trace
+    // header's model, or the paper's basic model without one), then the
+    // trace's self-describing header verbatim, and finally the basic
+    // model at the measured arrival rate. A spec with no mean-field
+    // equations or an unstable rate simply drops the prediction columns.
+    let header_spec = parsed
+        .header
+        .as_ref()
+        .and_then(|h| h.model.as_deref())
+        .and_then(|m| match ModelSpec::parse(m) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("warning: ignoring unparseable trace-header model: {e}");
+                None
+            }
+        });
+    let spec = match a.raw("model") {
+        Some(model) => {
+            let mut text = model.to_owned();
+            if let Some(l) = a.get::<f64>("lambda")? {
+                text.push_str(&format!(",lambda={l}"));
+            }
+            Some(ModelSpec::parse(&text)?)
         }
+        None => match a.get::<f64>("lambda")? {
+            Some(l) => Some(match header_spec {
+                Some(s) => s.with_lambda(l),
+                None => ModelSpec::simple_ws(l),
+            }),
+            None => header_spec.or_else(|| {
+                let l = tl.arrival_rate();
+                (l > 0.0 && l < 1.0).then(|| ModelSpec::simple_ws(l))
+            }),
+        },
     };
-    let pred = lambda.and_then(|l| {
-        let m = SimpleWs::new(l).ok()?;
-        let fp = solve_fp(&m, &FixedPointOptions::default()).ok()?;
-        Some(MeanFieldPrediction::new(l, m.pi2(), fp.mean_time_in_system))
+    let pred = spec.and_then(|s| {
+        let fp = s.fixed_point().ok()?;
+        let pi2 = fp.task_tails.get(2).copied().unwrap_or(0.0);
+        Some(MeanFieldPrediction::new(
+            s.lambda,
+            pi2,
+            fp.mean_time_in_system,
+        ))
     });
     print!("{}", loadsteal_trace::render_report(&tl, pred.as_ref()));
+    Ok(())
+}
+
+/// `loadsteal models` — list every registry preset with its paper
+/// section, fixed-point tail decay ratio `λ/(1+λ−π₂)`, and canonical
+/// spec string (the shared `--model` grammar).
+pub fn models(a: &Args) -> Result<(), String> {
+    a.ensure_known(&["lambda"])?;
+    let lambda = a.get::<f64>("lambda")?;
+    println!(
+        "{:<17} {:<6} {:<12} {:>10}  spec",
+        "name", "tier", "section", "tail ratio"
+    );
+    for p in ModelRegistry::standard().presets() {
+        let spec = match lambda {
+            Some(l) => p.spec.clone().with_lambda(l),
+            None => p.spec.clone(),
+        };
+        // The paper's asymptotic tail decay ratio λ/(1+λ−π₂), with π₂
+        // read off the solved fixed point.
+        let ratio = spec
+            .fixed_point()
+            .ok()
+            .map(|fp| {
+                let pi2 = fp.task_tails.get(2).copied().unwrap_or(0.0);
+                format!("{:.4}", spec.lambda / (1.0 + spec.lambda - pi2))
+            })
+            .unwrap_or_else(|| "—".into());
+        let tier = match p.tier {
+            PresetTier::Quick => "quick",
+            PresetTier::Full => "full",
+        };
+        println!(
+            "{:<17} {:<6} {:<12} {:>10}  {}",
+            p.name, tier, p.section, ratio, spec
+        );
+    }
     Ok(())
 }
 
@@ -637,7 +766,8 @@ pub fn serve(a: &Args) -> Result<(), String> {
     a.ensure_known(&known)?;
     let addr = a.raw("prom-addr").unwrap_or("127.0.0.1:9464");
     let scrapes: u64 = a.get_or("scrapes", 0)?;
-    let mut cfg = sim_config(a)?;
+    let spec = simulate_spec(a)?;
+    let mut cfg = sim_config(a, &spec)?;
     cfg.sojourn_digest = true;
     let runs: usize = a.get_or("runs", 1)?;
     let seed: u64 = a.get_or("seed", 42)?;

@@ -47,6 +47,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "solve" => commands::solve(&parsed),
         "tails" => commands::tails(&parsed),
+        "models" => commands::models(&parsed),
         "simulate" => commands::simulate(&parsed),
         "stability" => commands::stability(&parsed),
         "drain" => commands::drain(&parsed),
@@ -72,19 +73,24 @@ const USAGE: &str = "\
 loadsteal — mean-field analyses of load stealing (Mitzenmacher, SPAA 1998)
 
 USAGE:
+  loadsteal models [--lambda <λ>]
+      List the model-registry presets with their paper sections,
+      fixed-point tail ratios λ/(1+λ−π₂), and canonical spec strings.
   loadsteal solve --model <MODEL> --lambda <λ> [model flags]
       Fixed point and metrics of a mean-field model.
   loadsteal tails --model <MODEL> --lambda <λ> [--levels N] [model flags]
       Print the fixed-point occupancy tails s_i.
-  loadsteal simulate --n <N> --lambda <λ> [--policy P] [sim flags]
+  loadsteal simulate --n <N> (--model <MODEL> | --lambda <λ> [--policy P]) [sim flags]
       Discrete-event simulation of the finite system.
   loadsteal stability --lambda <λ> [--t-max T]
       L1-contraction check towards the fixed point (Section 4).
   loadsteal drain --initial <m0> [--n N] [--internal λint]
       Static-system drain: mean-field vs simulated makespan.
-  loadsteal report <trace.ndjson> [--lossy] [--warmup T] [--lambda λ]
+  loadsteal report <trace.ndjson> [--lossy] [--warmup T] [--model M] [--lambda λ]
       Reconstruct a timeline from an NDJSON trace and compare the
-      measured statistics against the mean-field prediction.
+      measured statistics against the mean-field prediction. The model
+      is resolved from the trace's header line when neither --model nor
+      --lambda is given.
   loadsteal serve --prom-addr <host:port> --n <N> --lambda <λ> [sim flags]
       Run a simulation while serving its live metrics registry in
       Prometheus text format (`--prom-addr host:0` picks a free port;
@@ -96,21 +102,26 @@ USAGE:
       CI-sized; --full re-simulates the paper's Table 1-4 grids.
       Exits nonzero if any check fails.
 
-MODELS (for solve/tails):
-  simple                           λ only
-  nosteal                          λ only
-  threshold                        --threshold T
-  general                          --threshold T --choices d --batch k
-  multichoice                      --threshold T --choices d
-  multisteal                       --threshold T --batch k
-  preemptive                       --begin B --threshold T (relative)
-  repeated                         --rate r --threshold T
-  erlang                           --stages c
-  transfer                         --rate r --threshold T
-  rebalance                        --rate r [--per-task true]
-  heterogeneous                    --fast-frac α --fast μf --slow μs --threshold T
+MODELS (--model, shared by solve/tails/simulate/report):
+  A registry preset name (see `loadsteal models`), optionally followed
+  by comma-separated key=value overrides, or a bare spec:
+      --model simple-ws
+      --model \"threshold-erlang,lambda=0.9\"
+      --model \"lambda=0.85,policy=steal,T=4,d=2,k=1,service=erlang:10\"
+  Keys: lambda, policy (none|steal|preemptive|repeated|rebalance|share),
+  T, d, k, B, r, per-task, send, recv, service (exp|det|erlang:<c>|
+  hyper:<p>:<r1>:<r2>), arrival (poisson|erlang:<c>), transfer,
+  speeds (homogeneous|classes:<frac>:<fast>:<slow>). Last key wins, so
+  `--lambda` composes with presets as an override.
 
-SIM POLICIES (for simulate):
+  Legacy names (for solve/tails, with per-knob flags):
+  simple | nosteal | threshold [--threshold T] | general [--threshold T
+  --choices d --batch k] | multichoice | multisteal | preemptive
+  [--begin B --threshold T] | repeated [--rate r] | erlang [--stages c]
+  | transfer [--rate r] | rebalance [--rate r [--per-task true]] |
+  heterogeneous [--fast-frac α --fast μf --slow μs]
+
+SIM POLICIES (for simulate without --model):
   none | simple | threshold | preemptive | repeated | rebalance
   with flags --threshold, --choices, --batch, --begin, --rate,
   --transfer-rate, --runs, --horizon, --warmup, --seed

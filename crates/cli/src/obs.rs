@@ -107,6 +107,15 @@ pub struct CliRecorder {
 }
 
 impl CliRecorder {
+    /// Write the trace's self-describing header line. A no-op without
+    /// `--trace`, so commands call it unconditionally before their
+    /// first event.
+    pub fn write_header(&mut self, header: &loadsteal_obs::TraceHeader) {
+        if let Some(t) = &mut self.trace {
+            t.write_line(&header.to_json_line());
+        }
+    }
+
     /// Flush the trace, surface any deferred I/O error, and return the
     /// tallies plus the number of trace lines written.
     pub fn finish(mut self) -> Result<(EventCounts, u64), String> {

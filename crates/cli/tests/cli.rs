@@ -152,3 +152,74 @@ fn verify_unmatched_filter_is_a_clean_error() {
     assert!(!ok);
     assert!(stderr.contains("no checks match"), "{stderr}");
 }
+
+#[test]
+fn models_lists_every_registry_preset_with_tail_ratios() {
+    let (ok, stdout, stderr) = loadsteal(&["models"]);
+    assert!(ok, "stderr: {stderr}");
+    for preset in ["simple-ws", "threshold-erlang", "work-sharing", "rebalance"] {
+        assert!(stdout.contains(preset), "missing {preset}: {stdout}");
+    }
+    assert!(stdout.contains("tail ratio"), "{stdout}");
+    assert!(
+        stdout.contains("lambda=0.9,policy=steal,T=2,d=1,k=1"),
+        "{stdout}"
+    );
+    // λ = 0.8 no-steal is an M/M/1 with geometric tails, so π₂ = λ²
+    // and the ratio λ/(1+λ−π₂) = 0.8/(1.8 − 0.64) = 0.6897 exactly.
+    let (ok, stdout, _) = loadsteal(&["models", "--lambda", "0.8"]);
+    assert!(ok);
+    assert!(stdout.contains("0.6897"), "{stdout}");
+}
+
+#[test]
+fn solve_accepts_registry_presets_and_spec_overrides() {
+    // Preset alone: λ comes from the preset definition.
+    let (ok, stdout, stderr) = loadsteal(&["solve", "--model", "simple-ws"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("3.541"), "{stdout}");
+    // --lambda overrides the preset's λ; matches the legacy spelling.
+    let (ok, a, _) = loadsteal(&["solve", "--model", "simple-ws", "--lambda", "0.8"]);
+    assert!(ok);
+    let (ok2, b, _) = loadsteal(&["solve", "--model", "simple", "--lambda", "0.8"]);
+    assert!(ok2);
+    assert_eq!(a, b);
+    // Full key=val grammar, including a threshold × Erlang cross-product.
+    let (ok, stdout, stderr) = loadsteal(&[
+        "solve",
+        "--model",
+        "lambda=0.8,policy=steal,T=4,d=1,k=1,service=erlang:10",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("erlang-stage"), "{stdout}");
+}
+
+#[test]
+fn simulate_takes_a_model_spec_and_rejects_legacy_knob_conflicts() {
+    let (ok, stdout, stderr) = loadsteal(&[
+        "simulate",
+        "--n",
+        "16",
+        "--model",
+        "threshold,lambda=0.5",
+        "--runs",
+        "1",
+        "--horizon",
+        "300",
+        "--warmup",
+        "30",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("mean time in system"), "{stdout}");
+    let (ok, _, stderr) = loadsteal(&[
+        "simulate",
+        "--n",
+        "16",
+        "--model",
+        "simple-ws",
+        "--policy",
+        "none",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("conflict"), "{stderr}");
+}

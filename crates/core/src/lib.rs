@@ -63,10 +63,14 @@
 pub mod fixed_point;
 pub mod metrics;
 pub mod models;
+pub mod registry;
+pub mod spec;
 pub mod stability;
 pub mod tail;
 pub mod trajectory;
 
 pub use fixed_point::{solve, solve_traced, FixedPoint, FixedPointOptions, SolveError};
 pub use models::MeanFieldModel;
+pub use registry::{ModelRegistry, Preset, PresetTier};
+pub use spec::{AnyModel, ModelSpec, UnsupportedSpec};
 pub use tail::TailVector;

@@ -1,0 +1,317 @@
+//! Named [`ModelSpec`] presets covering every system the paper
+//! analyzes — the single source of truth behind `loadsteal models`,
+//! the `--model <name>` grammar, and the verify harness's model zoo.
+//!
+//! Adding a variant is one [`Preset`] entry here (plus an ODE file in
+//! [`crate::models`] if it needs a new mean-field predictor): the
+//! simulator config, the CLI grammar, and the verify zoo all derive
+//! from the spec automatically.
+
+use crate::spec::{ArrivalSpec, ModelSpec, PolicySpec, ServiceSpec, SpeedSpec};
+
+/// Which verification tier a preset belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PresetTier {
+    /// Simulated in both the `--quick` and `--full` verify tiers.
+    Quick,
+    /// Simulated only in the `--full` tier (slow-mixing or §3 shapes).
+    Full,
+}
+
+/// One named model preset.
+#[derive(Debug, Clone)]
+pub struct Preset {
+    /// Registry key, usable as `--model <name>`.
+    pub name: &'static str,
+    /// Human-readable label with the headline parameters (the verify
+    /// zoo's display name).
+    pub label: &'static str,
+    /// Paper section the variant comes from.
+    pub section: &'static str,
+    /// Verification tier.
+    pub tier: PresetTier,
+    /// The full declarative spec.
+    pub spec: ModelSpec,
+}
+
+/// The preset collection. Construct with [`ModelRegistry::standard`].
+#[derive(Debug, Clone)]
+pub struct ModelRegistry {
+    presets: Vec<Preset>,
+}
+
+/// Shorthand for the common single-victim steal policy.
+fn on_empty(threshold: usize, choices: u32, batch: usize) -> PolicySpec {
+    PolicySpec::OnEmpty {
+        threshold,
+        choices,
+        batch,
+    }
+}
+
+fn spec(lambda: f64, policy: PolicySpec) -> ModelSpec {
+    ModelSpec {
+        lambda,
+        arrival: ArrivalSpec::Poisson,
+        service: ServiceSpec::Exponential,
+        policy,
+        transfer_rate: None,
+        speeds: SpeedSpec::Homogeneous,
+    }
+}
+
+impl ModelRegistry {
+    /// Every model the paper writes equations for, at the parameters
+    /// the verify harness pins, plus the cross-product presets the
+    /// spec layer makes expressible.
+    pub fn standard() -> Self {
+        use PresetTier::{Full, Quick};
+        let p = |name, label, section, tier, spec| Preset {
+            name,
+            label,
+            section,
+            tier,
+            spec,
+        };
+        let presets = vec![
+            p(
+                "no-steal",
+                "no-steal(λ=0.8)",
+                "eq. (1)",
+                Quick,
+                spec(0.8, PolicySpec::NoSteal),
+            ),
+            p(
+                "simple-ws",
+                "simple-ws(λ=0.9)",
+                "§2.2",
+                Quick,
+                spec(0.9, on_empty(2, 1, 1)),
+            ),
+            p(
+                "threshold",
+                "threshold(λ=0.85,T=4)",
+                "§2.3",
+                Quick,
+                spec(0.85, on_empty(4, 1, 1)),
+            ),
+            p(
+                "preemptive",
+                "preemptive(λ=0.85,B=1,T=3)",
+                "§2.4",
+                Quick,
+                spec(
+                    0.85,
+                    PolicySpec::Preemptive {
+                        begin_at: 1,
+                        rel_threshold: 3,
+                    },
+                ),
+            ),
+            p(
+                "repeated",
+                "repeated(λ=0.9,r=2)",
+                "§2.5",
+                Quick,
+                spec(
+                    0.9,
+                    PolicySpec::Repeated {
+                        rate: 2.0,
+                        threshold: 2,
+                    },
+                ),
+            ),
+            p(
+                "multi-choice",
+                "multi-choice(λ=0.9,d=2)",
+                "§3.3",
+                Quick,
+                spec(0.9, on_empty(2, 2, 1)),
+            ),
+            p(
+                "multi-steal",
+                "multi-steal(λ=0.85,T=6,k=3)",
+                "§3.4",
+                Quick,
+                spec(0.85, on_empty(6, 1, 3)),
+            ),
+            p("transfer", "transfer(λ=0.8,r=0.25,T=4)", "§3.2", Quick, {
+                let mut s = spec(0.8, on_empty(4, 1, 1));
+                s.transfer_rate = Some(0.25);
+                s
+            }),
+            p(
+                "heterogeneous",
+                "heterogeneous(λ=0.8,μ=1.2/0.9)",
+                "§3.5",
+                Quick,
+                {
+                    let mut s = spec(0.8, on_empty(2, 1, 1));
+                    s.speeds = SpeedSpec::TwoClass {
+                        fast_fraction: 0.5,
+                        fast_rate: 1.2,
+                        slow_rate: 0.9,
+                    };
+                    s
+                },
+            ),
+            p(
+                "work-sharing",
+                "work-sharing(λ=0.9,F=2,R=2)",
+                "§1",
+                Quick,
+                spec(
+                    0.9,
+                    PolicySpec::Share {
+                        send_threshold: 2,
+                        recv_threshold: 2,
+                    },
+                ),
+            ),
+            p(
+                "general",
+                "general(λ=0.9,T=6,d=2,k=3)",
+                "§3",
+                Quick,
+                spec(0.9, on_empty(6, 2, 3)),
+            ),
+            p(
+                "rebalance",
+                "rebalance(λ=0.8,r=0.5)",
+                "§3.4",
+                Quick,
+                spec(
+                    0.8,
+                    PolicySpec::Rebalance {
+                        rate: 0.5,
+                        per_task: false,
+                    },
+                ),
+            ),
+            p(
+                "erlang-service",
+                "erlang-service(λ=0.8,c=20)",
+                "§3.1",
+                Full,
+                {
+                    let mut s = spec(0.8, on_empty(2, 1, 1));
+                    s.service = ServiceSpec::Erlang { stages: 20 };
+                    s
+                },
+            ),
+            p(
+                "erlang-arrivals",
+                "erlang-arrivals(λ=0.8,c=5)",
+                "§3.1",
+                Full,
+                {
+                    let mut s = spec(0.8, on_empty(2, 1, 1));
+                    s.arrival = ArrivalSpec::Erlang { phases: 5 };
+                    s
+                },
+            ),
+            p(
+                "hyper-service",
+                "hyper-service(λ=0.8,scv≈4.6)",
+                "§3.1",
+                Full,
+                {
+                    let mut s = spec(0.8, on_empty(2, 1, 1));
+                    s.service = ServiceSpec::HyperExp {
+                        p: 0.1,
+                        rate1: 0.2,
+                        rate2: 1.8,
+                    };
+                    s
+                },
+            ),
+            // Cross-product the paper suggests ("combined as desired")
+            // but never tabulates: victim threshold × Erlang stages.
+            p(
+                "threshold-erlang",
+                "threshold-erlang(λ=0.8,T=4,c=10)",
+                "§2.3 × §3.1",
+                Full,
+                {
+                    let mut s = spec(0.8, on_empty(4, 1, 1));
+                    s.service = ServiceSpec::Erlang { stages: 10 };
+                    s
+                },
+            ),
+        ];
+        Self { presets }
+    }
+
+    /// All presets, in paper order.
+    pub fn presets(&self) -> &[Preset] {
+        &self.presets
+    }
+
+    /// Look up a preset by registry key.
+    pub fn get(&self, name: &str) -> Option<&Preset> {
+        self.presets.iter().find(|p| p.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_preset_is_valid_and_has_a_mean_field_model() {
+        let reg = ModelRegistry::standard();
+        assert!(reg.presets().len() >= 16);
+        for p in reg.presets() {
+            p.spec
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            p.spec
+                .mean_field()
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        }
+    }
+
+    #[test]
+    fn preset_names_resolve_through_the_grammar() {
+        let reg = ModelRegistry::standard();
+        for p in reg.presets() {
+            let parsed = ModelSpec::parse(p.name).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            assert_eq!(parsed, p.spec, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn labels_carry_the_spec_lambda() {
+        for p in ModelRegistry::standard().presets() {
+            let expect = format!("λ={}", p.spec.lambda);
+            assert!(
+                p.label.contains(&expect),
+                "{}: label {:?} missing {expect:?}",
+                p.name,
+                p.label
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let reg = ModelRegistry::standard();
+        for (i, a) in reg.presets().iter().enumerate() {
+            for b in &reg.presets()[i + 1..] {
+                assert_ne!(a.name, b.name);
+                assert_ne!(a.label, b.label);
+            }
+        }
+    }
+
+    #[test]
+    fn quick_tier_has_the_twelve_zoo_variants() {
+        let reg = ModelRegistry::standard();
+        let quick: Vec<_> = reg
+            .presets()
+            .iter()
+            .filter(|p| p.tier == PresetTier::Quick)
+            .collect();
+        assert_eq!(quick.len(), 12);
+    }
+}

@@ -1,0 +1,171 @@
+//! Property tests for the spec grammar: `ModelSpec::parse` is the exact
+//! inverse of `Display`, for every registry preset and for randomized
+//! valid specs — including cross-products (policy × service × arrival ×
+//! speeds) the registry does not enumerate.
+
+use proptest::prelude::*;
+
+use loadsteal_core::spec::{ArrivalSpec, PolicySpec, ServiceSpec, SpeedSpec};
+use loadsteal_core::{ModelRegistry, ModelSpec};
+
+/// Any valid policy. Dependent constraints (1 ≤ k ≤ T/2) are sampled by
+/// reducing an unconstrained seed modulo the allowed range.
+fn arb_policy() -> impl Strategy<Value = PolicySpec> {
+    prop_oneof![
+        Just(PolicySpec::NoSteal),
+        (2usize..12, 1u32..5, any::<u64>()).prop_map(|(threshold, choices, k_seed)| {
+            PolicySpec::OnEmpty {
+                threshold,
+                choices,
+                batch: 1 + (k_seed as usize) % (threshold / 2),
+            }
+        }),
+        (1usize..4, 2usize..8).prop_map(|(begin_at, rel_threshold)| PolicySpec::Preemptive {
+            begin_at,
+            rel_threshold,
+        }),
+        (0.05f64..8.0, 2usize..8)
+            .prop_map(|(rate, threshold)| PolicySpec::Repeated { rate, threshold }),
+        (0.05f64..4.0, any::<bool>())
+            .prop_map(|(rate, per_task)| PolicySpec::Rebalance { rate, per_task }),
+        (2usize..8, 1usize..8).prop_map(|(send_threshold, recv_threshold)| PolicySpec::Share {
+            send_threshold,
+            recv_threshold,
+        }),
+    ]
+}
+
+/// Any valid service distribution. Hyperexponential rates are solved for
+/// unit mean: given branch probability `p` and `rate1 > p`, the second
+/// rate `(1 − p) / (1 − p/rate1)` makes `p/r₁ + (1−p)/r₂ = 1` exactly.
+fn arb_service() -> impl Strategy<Value = ServiceSpec> {
+    prop_oneof![
+        Just(ServiceSpec::Exponential),
+        Just(ServiceSpec::Deterministic),
+        (1u32..40).prop_map(|stages| ServiceSpec::Erlang { stages }),
+        (0.05f64..0.9, 0.05f64..2.0).prop_map(|(p, excess)| {
+            let rate1 = p + excess;
+            let rate2 = (1.0 - p) / (1.0 - p / rate1);
+            ServiceSpec::HyperExp { p, rate1, rate2 }
+        }),
+    ]
+}
+
+fn arb_arrival() -> impl Strategy<Value = ArrivalSpec> {
+    prop_oneof![
+        Just(ArrivalSpec::Poisson),
+        (1u32..9).prop_map(|phases| ArrivalSpec::Erlang { phases }),
+    ]
+}
+
+fn arb_speeds() -> impl Strategy<Value = SpeedSpec> {
+    prop_oneof![
+        Just(SpeedSpec::Homogeneous),
+        (0.1f64..0.9, 0.5f64..2.5, 0.1f64..1.5).prop_map(
+            |(fast_fraction, fast_rate, slow_rate)| {
+                SpeedSpec::TwoClass {
+                    fast_fraction,
+                    fast_rate,
+                    slow_rate,
+                }
+            }
+        ),
+    ]
+}
+
+/// A random valid spec. Transfer delays are only attached to the policy
+/// shapes that support them (mirroring `ModelSpec::validate`).
+fn arb_spec() -> impl Strategy<Value = ModelSpec> {
+    (
+        0.01f64..0.99,
+        arb_policy(),
+        arb_service(),
+        arb_arrival(),
+        arb_speeds(),
+        (any::<bool>(), 0.05f64..4.0),
+    )
+        .prop_map(
+            |(lambda, policy, service, arrival, speeds, (want_transfer, rate))| {
+                let transfer_ok = matches!(
+                    policy,
+                    PolicySpec::OnEmpty { batch: 1, .. }
+                        | PolicySpec::Preemptive { .. }
+                        | PolicySpec::NoSteal
+                );
+                ModelSpec {
+                    lambda,
+                    arrival,
+                    service,
+                    policy,
+                    transfer_rate: (want_transfer && transfer_ok).then_some(rate),
+                    speeds,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn random_specs_display_then_parse_to_themselves(spec in arb_spec()) {
+        prop_assert!(
+            spec.validate().is_ok(),
+            "generator made an invalid spec {:?}: {:?}",
+            spec,
+            spec.validate()
+        );
+        let text = spec.to_string();
+        let parsed = ModelSpec::parse(&text)
+            .unwrap_or_else(|e| panic!("canonical string {text:?} failed to parse: {e}"));
+        prop_assert_eq!(parsed, spec, "via {}", text);
+    }
+
+    #[test]
+    fn lambda_override_appended_to_canonical_string_wins(
+        spec in arb_spec(),
+        lambda in 0.01f64..0.99,
+    ) {
+        // The CLI composes `--lambda` by appending `,lambda=<λ>` to
+        // whatever spec text the user gave; last key wins.
+        let text = format!("{spec},lambda={lambda}");
+        let parsed = ModelSpec::parse(&text).unwrap();
+        prop_assert_eq!(parsed, spec.with_lambda(lambda));
+    }
+}
+
+#[test]
+fn every_preset_spec_round_trips_through_display() {
+    for p in ModelRegistry::standard().presets() {
+        let text = p.spec.to_string();
+        let parsed = ModelSpec::parse(&text)
+            .unwrap_or_else(|e| panic!("preset {}: {text:?} failed to parse: {e}", p.name));
+        assert_eq!(parsed, p.spec, "preset {} via {text:?}", p.name);
+    }
+}
+
+#[test]
+fn preset_names_parse_to_their_specs() {
+    for p in ModelRegistry::standard().presets() {
+        let parsed = ModelSpec::parse(p.name)
+            .unwrap_or_else(|e| panic!("preset name {:?} failed to parse: {e}", p.name));
+        assert_eq!(parsed, p.spec, "preset {}", p.name);
+        // Preset name plus overrides: the preset seeds the defaults.
+        let overridden = ModelSpec::parse(&format!("{},lambda=0.42", p.name)).unwrap();
+        assert_eq!(
+            overridden,
+            p.spec.clone().with_lambda(0.42),
+            "preset {}",
+            p.name
+        );
+    }
+}
+
+#[test]
+fn every_preset_spec_is_valid() {
+    for p in ModelRegistry::standard().presets() {
+        p.spec
+            .validate()
+            .unwrap_or_else(|e| panic!("preset {} is invalid: {e}", p.name));
+    }
+}

@@ -203,6 +203,55 @@ impl Event {
     }
 }
 
+/// Schema identifier written in trace header lines.
+pub const TRACE_SCHEMA: &str = "loadsteal.trace.v1";
+
+/// The optional first line of an NDJSON trace: what system produced
+/// the events that follow, so a trace is self-describing.
+///
+/// Events are `Copy` and headers carry a model string, so the header
+/// is its own type rather than an [`Event`] variant; readers that
+/// predate it (or `Lossy` mode on unknown fields) simply skip the
+/// line. All fields are optional — a solver trace has a model but no
+/// seed, a bare simulator trace may have neither.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// Canonical `ModelSpec` string of the simulated/solved system.
+    pub model: Option<String>,
+    /// Number of processors simulated.
+    pub n: Option<u64>,
+    /// Base RNG seed.
+    pub seed: Option<u64>,
+    /// Number of replications whose events follow.
+    pub runs: Option<u64>,
+}
+
+impl TraceHeader {
+    /// Render as a single-line JSON object (the NDJSON wire format):
+    /// `{"ev":"header","schema":"loadsteal.trace.v1",...}` with absent
+    /// fields elided.
+    pub fn to_json_line(&self) -> String {
+        let mut j = JsonBuf::new();
+        j.begin_obj()
+            .field_str("ev", "header")
+            .field_str("schema", TRACE_SCHEMA);
+        if let Some(model) = &self.model {
+            j.field_str("model", model);
+        }
+        if let Some(n) = self.n {
+            j.field_u64("n", n);
+        }
+        if let Some(seed) = self.seed {
+            j.field_u64("seed", seed);
+        }
+        if let Some(runs) = self.runs {
+            j.field_u64("runs", runs);
+        }
+        j.end_obj();
+        j.finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,6 +320,29 @@ mod tests {
         .to_json_line();
         assert!(!line.contains("count"), "{line}");
         assert!(!line.contains("src"), "{line}");
+    }
+
+    #[test]
+    fn header_renders_with_elided_fields() {
+        let full = TraceHeader {
+            model: Some("lambda=0.9,policy=steal,T=2,d=1,k=1".into()),
+            n: Some(128),
+            seed: Some(42),
+            runs: Some(3),
+        };
+        let line = full.to_json_line();
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains(r#""ev":"header""#), "{line}");
+        assert!(line.contains(r#""schema":"loadsteal.trace.v1""#), "{line}");
+        assert!(line.contains(r#""model":"lambda=0.9"#), "{line}");
+        assert!(line.contains(r#""n":128"#), "{line}");
+        let sparse = TraceHeader {
+            model: Some("lambda=0.8,policy=none".into()),
+            ..TraceHeader::default()
+        };
+        let line = sparse.to_json_line();
+        assert!(!line.contains("\"n\""), "{line}");
+        assert!(!line.contains("seed"), "{line}");
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod registry;
 pub mod sketch;
 pub mod timer;
 
-pub use event::{Event, SimEventKind};
+pub use event::{Event, SimEventKind, TraceHeader, TRACE_SCHEMA};
 pub use manifest::{ConfigValue, RunManifest};
 pub use prom::prometheus_text;
 pub use recorder::{

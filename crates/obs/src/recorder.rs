@@ -192,6 +192,24 @@ impl<W: Write> NdjsonRecorder<W> {
         let _ = self.w.flush();
         (self.w, self.error)
     }
+
+    /// Write one pre-rendered NDJSON line verbatim (the trace-header
+    /// path; [`Recorder::record`] covers ordinary events). Counts
+    /// toward [`NdjsonRecorder::lines`] and shares the sticky-error
+    /// behavior.
+    pub fn write_line(&mut self, line: &str) {
+        self.lines += 1;
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self
+            .w
+            .write_all(line.as_bytes())
+            .and_then(|_| self.w.write_all(b"\n"))
+        {
+            self.error = Some(e);
+        }
+    }
 }
 
 impl<W: Write> Recorder for NdjsonRecorder<W> {

@@ -36,6 +36,7 @@ pub mod engine;
 pub mod event;
 pub mod metrics;
 pub mod replicate;
+pub mod spec;
 
 pub use config::{
     ConfigError, RebalanceRate, SimConfig, SpeedProfile, StealPolicy, TransferTime,
@@ -44,3 +45,4 @@ pub use config::{
 pub use engine::{run, run_recorded, run_seeded};
 pub use metrics::{LoadHistogram, SimResult};
 pub use replicate::{replicate, replicate_recorded, replicate_until, ReplicateResult};
+pub use spec::{sim_config, ToSimConfig};

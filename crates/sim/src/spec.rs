@@ -1,0 +1,173 @@
+//! Deriving a [`SimConfig`] from a declarative
+//! [`loadsteal_core::ModelSpec`].
+//!
+//! This is the simulator's half of the spec contract: the same typed
+//! description that selects a mean-field model in `loadsteal-core`
+//! deterministically produces the equivalent event-driven
+//! configuration, so the two layers can never drift apart on what
+//! "the threshold model at λ = 0.85" means. Protocol knobs that are
+//! not part of the *system* being modeled — horizon, warmup,
+//! snapshots, heartbeats — keep their [`SimConfig::paper_default`]
+//! values and stay adjustable on the returned config.
+
+use loadsteal_core::spec::{ArrivalSpec, ModelSpec, PolicySpec, ServiceSpec, SpeedSpec};
+use loadsteal_queueing::ServiceDistribution;
+
+use crate::config::{
+    ConfigError, RebalanceRate, SimConfig, SpeedProfile, StealPolicy, TransferTime,
+};
+
+/// Build the simulator configuration equivalent of `spec` for `n`
+/// processors. The result is validated; a spec that passes
+/// `ModelSpec::validate` cannot produce an invalid config.
+pub fn sim_config(spec: &ModelSpec, n: usize) -> Result<SimConfig, ConfigError> {
+    let mut cfg = SimConfig::paper_default(n, spec.lambda);
+    cfg.service = match spec.service {
+        ServiceSpec::Exponential => ServiceDistribution::unit_exponential(),
+        ServiceSpec::Erlang { stages } => ServiceDistribution::Erlang {
+            stages,
+            rate: f64::from(stages),
+        },
+        ServiceSpec::Deterministic => ServiceDistribution::unit_deterministic(),
+        ServiceSpec::HyperExp { p, rate1, rate2 } => {
+            ServiceDistribution::HyperExp { p, rate1, rate2 }
+        }
+    };
+    cfg.arrival = match spec.arrival {
+        ArrivalSpec::Poisson => None,
+        // `phases` exponential phases at rate `phases × λ` each keep
+        // the mean inter-arrival time at 1/λ.
+        ArrivalSpec::Erlang { phases } => Some(ServiceDistribution::Erlang {
+            stages: phases,
+            rate: f64::from(phases) * spec.lambda,
+        }),
+    };
+    cfg.policy = match spec.policy {
+        PolicySpec::NoSteal => StealPolicy::None,
+        PolicySpec::OnEmpty {
+            threshold,
+            choices,
+            batch,
+        } => StealPolicy::OnEmpty {
+            threshold,
+            choices: choices as usize,
+            batch,
+        },
+        PolicySpec::Preemptive {
+            begin_at,
+            rel_threshold,
+        } => StealPolicy::Preemptive {
+            begin_at,
+            rel_threshold,
+        },
+        PolicySpec::Repeated { rate, threshold } => StealPolicy::Repeated { rate, threshold },
+        PolicySpec::Rebalance { rate, per_task } => StealPolicy::Rebalance {
+            rate: if per_task {
+                RebalanceRate::PerTask(rate)
+            } else {
+                RebalanceRate::Constant(rate)
+            },
+        },
+        PolicySpec::Share {
+            send_threshold,
+            recv_threshold,
+        } => StealPolicy::Share {
+            send_threshold,
+            recv_threshold,
+        },
+    };
+    cfg.transfer = spec.transfer_rate.map(TransferTime::exponential);
+    cfg.speeds = match spec.speeds {
+        SpeedSpec::Homogeneous => SpeedProfile::Homogeneous,
+        SpeedSpec::TwoClass {
+            fast_fraction,
+            fast_rate,
+            slow_rate,
+        } => SpeedProfile::Classes(vec![
+            (fast_fraction, fast_rate),
+            (1.0 - fast_fraction, slow_rate),
+        ]),
+    };
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+/// Extension trait putting [`sim_config`] on [`ModelSpec`] itself, so
+/// call sites read `spec.sim_config(n)`.
+pub trait ToSimConfig {
+    /// See [`sim_config`].
+    fn sim_config(&self, n: usize) -> Result<SimConfig, ConfigError>;
+}
+
+impl ToSimConfig for ModelSpec {
+    fn sim_config(&self, n: usize) -> Result<SimConfig, ConfigError> {
+        sim_config(self, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loadsteal_core::ModelRegistry;
+
+    #[test]
+    fn every_registry_preset_yields_a_valid_config() {
+        for p in ModelRegistry::standard().presets() {
+            let cfg = p
+                .spec
+                .sim_config(64)
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            assert_eq!(cfg.n, 64, "{}", p.name);
+            assert_eq!(cfg.lambda, p.spec.lambda, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn simple_ws_spec_matches_paper_default() {
+        let spec = ModelSpec::simple_ws(0.9);
+        assert_eq!(
+            spec.sim_config(128).unwrap(),
+            SimConfig::paper_default(128, 0.9)
+        );
+    }
+
+    #[test]
+    fn erlang_arrival_rate_preserves_mean() {
+        let spec = ModelSpec::parse("lambda=0.8,policy=steal,T=2,arrival=erlang:5").unwrap();
+        let cfg = spec.sim_config(16).unwrap();
+        let arrival = cfg.arrival.expect("erlang arrivals set");
+        assert!((arrival.mean() - 1.0 / 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_class_fractions_sum_to_one() {
+        let spec =
+            ModelSpec::parse("lambda=0.8,policy=steal,T=2,speeds=classes:0.25:2:0.9").unwrap();
+        let cfg = spec.sim_config(16).unwrap();
+        assert_eq!(
+            cfg.speeds,
+            SpeedProfile::Classes(vec![(0.25, 2.0), (0.75, 0.9)])
+        );
+    }
+
+    #[test]
+    fn cross_product_threshold_erlang_is_simulable() {
+        let spec = ModelSpec::parse("threshold-erlang").unwrap();
+        let cfg = spec.sim_config(16).unwrap();
+        assert_eq!(
+            cfg.policy,
+            StealPolicy::OnEmpty {
+                threshold: 4,
+                choices: 1,
+                batch: 1
+            }
+        );
+        assert_eq!(
+            cfg.service,
+            ServiceDistribution::Erlang {
+                stages: 10,
+                rate: 10.0
+            }
+        );
+    }
+}

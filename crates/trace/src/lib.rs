@@ -36,7 +36,8 @@ pub mod report;
 pub mod timeline;
 
 pub use reader::{
-    read_bytes, read_lines, read_str, ParsedTrace, ReadMode, TraceDiagnostic, TraceError,
+    parse_record, read_bytes, read_lines, read_str, ParsedTrace, ReadMode, Record, TraceDiagnostic,
+    TraceError,
 };
 pub use report::{render_report, MeanFieldPrediction};
 pub use timeline::{EventCounts, ProcTimeline, SolverSummary, Timeline, TimelineConfig};

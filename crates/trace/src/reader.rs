@@ -14,7 +14,7 @@
 //!   yields its parseable prefix/suffix.
 
 use loadsteal_obs::json::{parse, JsonValue};
-use loadsteal_obs::{Event, SimEventKind};
+use loadsteal_obs::{Event, SimEventKind, TraceHeader, TRACE_SCHEMA};
 
 /// How to treat malformed lines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +56,10 @@ pub type TraceDiagnostic = TraceError;
 /// The outcome of reading a trace.
 #[derive(Debug, Clone, Default)]
 pub struct ParsedTrace {
+    /// The trace's self-describing header, when one was present. For
+    /// concatenated traces the *first* header wins; later header lines
+    /// still count toward [`ParsedTrace::lines`].
+    pub header: Option<TraceHeader>,
     /// Every successfully parsed event, in input order.
     pub events: Vec<Event>,
     /// Lines skipped in lossy mode (always empty in strict mode —
@@ -63,6 +67,30 @@ pub struct ParsedTrace {
     pub skipped: Vec<TraceDiagnostic>,
     /// Total non-blank lines seen (parsed + skipped).
     pub lines: usize,
+}
+
+/// One parsed NDJSON line: an event, or the stream's header.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// An ordinary [`Event`] line.
+    Event(Event),
+    /// A `{"ev":"header",...}` line.
+    Header(TraceHeader),
+}
+
+impl ParsedTrace {
+    /// Fold one parsed record in (events append; the first header
+    /// wins).
+    fn absorb(&mut self, record: Record) {
+        match record {
+            Record::Event(ev) => self.events.push(ev),
+            Record::Header(h) => {
+                if self.header.is_none() {
+                    self.header = Some(h);
+                }
+            }
+        }
+    }
 }
 
 /// Parse a complete NDJSON document held in memory.
@@ -106,8 +134,8 @@ pub fn read_bytes(bytes: &[u8], mode: ReadMode) -> Result<ParsedTrace, TraceErro
             continue;
         }
         out.lines += 1;
-        match parse_line(line) {
-            Ok(ev) => out.events.push(ev),
+        match parse_record(line) {
+            Ok(record) => out.absorb(record),
             Err((column, message)) => {
                 let diag = TraceError {
                     line: idx + 1,
@@ -137,8 +165,8 @@ where
             continue;
         }
         out.lines += 1;
-        match parse_line(line) {
-            Ok(ev) => out.events.push(ev),
+        match parse_record(line) {
+            Ok(record) => out.absorb(record),
             Err((column, message)) => {
                 let diag = TraceError {
                     line: idx + 1,
@@ -155,53 +183,102 @@ where
     Ok(out)
 }
 
-/// Parse one NDJSON line into an event. Errors are `(column, message)`
-/// with a 1-based column.
+/// Parse one NDJSON line into an event. Header lines are an error
+/// here — use [`read_str`]/[`read_bytes`]/[`parse_record`], which
+/// surface them as [`ParsedTrace::header`]. Errors are
+/// `(column, message)` with a 1-based column.
 pub fn parse_line(line: &str) -> Result<Event, (usize, String)> {
+    match parse_record(line)? {
+        Record::Event(ev) => Ok(ev),
+        Record::Header(_) => Err((
+            1,
+            "header line is not an event (readers surface it as ParsedTrace::header)".to_owned(),
+        )),
+    }
+}
+
+fn parse_header(v: &JsonValue) -> Result<TraceHeader, (usize, String)> {
+    if let Some(schema) = v.get("schema") {
+        let schema = schema
+            .as_str()
+            .ok_or_else(|| (1, "field \"schema\" is not a string".to_owned()))?;
+        if schema != TRACE_SCHEMA {
+            return Err((
+                1,
+                format!("unsupported trace schema {schema:?} (expected {TRACE_SCHEMA:?})"),
+            ));
+        }
+    }
+    let model = match v.get("model") {
+        None => None,
+        Some(m) => Some(
+            m.as_str()
+                .ok_or_else(|| (1, "field \"model\" is not a string".to_owned()))?
+                .to_owned(),
+        ),
+    };
+    Ok(TraceHeader {
+        model,
+        n: opt_u64_field(v, "n")?,
+        seed: opt_u64_field(v, "seed")?,
+        runs: opt_u64_field(v, "runs")?,
+    })
+}
+
+/// Parse one NDJSON line into a [`Record`] (event or header). Errors
+/// are `(column, message)` with a 1-based column.
+pub fn parse_record(line: &str) -> Result<Record, (usize, String)> {
     let v = parse(line).map_err(|e| (e.offset + 1, e.message))?;
     let ev = v
         .get("ev")
         .and_then(JsonValue::as_str)
         .ok_or_else(|| (1, "missing or non-string \"ev\" field".to_owned()))?;
+    if ev == "header" {
+        return parse_header(&v).map(Record::Header);
+    }
+    parse_event(&v, ev).map(Record::Event)
+}
+
+fn parse_event(v: &JsonValue, ev: &str) -> Result<Event, (usize, String)> {
     let kind = match ev {
         "solver_step" => {
             return Ok(Event::SolverStep {
-                accepted: bool_field(&v, "accepted")?,
-                t: f64_field(&v, "t")?,
-                h: f64_field(&v, "h")?,
-                err_norm: f64_field(&v, "err_norm")?,
+                accepted: bool_field(v, "accepted")?,
+                t: f64_field(v, "t")?,
+                h: f64_field(v, "h")?,
+                err_norm: f64_field(v, "err_norm")?,
             })
         }
         "solver_steady" => {
             return Ok(Event::SolverSteady {
-                t: f64_field(&v, "t")?,
-                residual: f64_field(&v, "residual")?,
+                t: f64_field(v, "t")?,
+                residual: f64_field(v, "residual")?,
             })
         }
         "solver_done" => {
             return Ok(Event::SolverDone {
-                accepted: u64_field(&v, "accepted")?,
-                rejected: u64_field(&v, "rejected")?,
-                min_h: f64_field(&v, "min_h")?,
-                max_h: f64_field(&v, "max_h")?,
-                max_reject_streak: u64_field(&v, "max_reject_streak")?,
-                converged: bool_field(&v, "converged")?,
-                residual: f64_field(&v, "residual")?,
+                accepted: u64_field(v, "accepted")?,
+                rejected: u64_field(v, "rejected")?,
+                min_h: f64_field(v, "min_h")?,
+                max_h: f64_field(v, "max_h")?,
+                max_reject_streak: u64_field(v, "max_reject_streak")?,
+                converged: bool_field(v, "converged")?,
+                residual: f64_field(v, "residual")?,
             })
         }
         "heartbeat" => {
             return Ok(Event::Heartbeat {
-                t: f64_field(&v, "t")?,
-                events: u64_field(&v, "events")?,
-                tasks_in_system: u64_field(&v, "tasks_in_system")?,
+                t: f64_field(v, "t")?,
+                events: u64_field(v, "events")?,
+                tasks_in_system: u64_field(v, "tasks_in_system")?,
             })
         }
         "replicate_done" => {
             return Ok(Event::ReplicateDone {
-                seed: u64_field(&v, "seed")?,
-                wall_ms: f64_field(&v, "wall_ms")?,
-                events: u64_field(&v, "events")?,
-                events_per_sec: f64_field(&v, "events_per_sec")?,
+                seed: u64_field(v, "seed")?,
+                wall_ms: f64_field(v, "wall_ms")?,
+                events: u64_field(v, "events")?,
+                events_per_sec: f64_field(v, "events_per_sec")?,
             })
         }
         "arrival" => SimEventKind::Arrival,
@@ -213,13 +290,13 @@ pub fn parse_line(line: &str) -> Result<Event, (usize, String)> {
     };
     Ok(Event::Sim {
         kind,
-        t: f64_field(&v, "t")?,
-        proc: u32_field(&v, "proc")?,
-        src: opt_u32_field(&v, "src")?,
+        t: f64_field(v, "t")?,
+        proc: u32_field(v, "proc")?,
+        src: opt_u32_field(v, "src")?,
         count: match v.get("count") {
             // The writer elides unit counts.
             None => 1,
-            Some(_) => u32_field(&v, "count")?,
+            Some(_) => u32_field(v, "count")?,
         },
     })
 }
@@ -262,6 +339,13 @@ fn opt_u32_field(v: &JsonValue, key: &str) -> Result<Option<u32>, (usize, String
     match v.get(key) {
         None => Ok(None),
         Some(_) => u32_field(v, key).map(Some),
+    }
+}
+
+fn opt_u64_field(v: &JsonValue, key: &str) -> Result<Option<u64>, (usize, String)> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(_) => u64_field(v, key).map(Some),
     }
 }
 
@@ -479,5 +563,86 @@ garbage
             Event::ReplicateDone { seed: s, .. } => assert_eq!(s, seed),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn header_round_trips_through_reader() {
+        let header = TraceHeader {
+            model: Some("lambda=0.9,policy=steal,T=2,d=1,k=1".into()),
+            n: Some(128),
+            seed: Some(42),
+            runs: Some(4),
+        };
+        let text = format!(
+            "{}\n{}\n",
+            header.to_json_line(),
+            Event::Heartbeat {
+                t: 1.0,
+                events: 10,
+                tasks_in_system: 3,
+            }
+            .to_json_line()
+        );
+        let parsed = read_str(&text, ReadMode::Strict).unwrap();
+        assert_eq!(parsed.header.as_ref(), Some(&header));
+        assert_eq!(parsed.events.len(), 1);
+        assert_eq!(parsed.lines, 2);
+    }
+
+    #[test]
+    fn first_header_wins_in_concatenated_traces() {
+        let a = TraceHeader {
+            model: Some("lambda=0.8,policy=none".into()),
+            ..TraceHeader::default()
+        };
+        let b = TraceHeader {
+            model: Some("lambda=0.9,policy=steal,T=2,d=1,k=1".into()),
+            ..TraceHeader::default()
+        };
+        let text = format!("{}\n{}\n", a.to_json_line(), b.to_json_line());
+        let parsed = read_str(&text, ReadMode::Strict).unwrap();
+        assert_eq!(parsed.header, Some(a));
+        assert!(parsed.events.is_empty());
+        assert_eq!(parsed.lines, 2);
+    }
+
+    #[test]
+    fn headerless_trace_has_no_header() {
+        let parsed = read_str(r#"{"ev":"arrival","t":1.0,"proc":0}"#, ReadMode::Strict).unwrap();
+        assert_eq!(parsed.header, None);
+        assert_eq!(parsed.events.len(), 1);
+    }
+
+    #[test]
+    fn unsupported_header_schema_is_rejected_strict_and_skipped_lossy() {
+        let line = r#"{"ev":"header","schema":"loadsteal.trace.v99"}"#;
+        let err = read_str(line, ReadMode::Strict).unwrap_err();
+        assert!(err.message.contains("unsupported trace schema"), "{err}");
+        let parsed = read_str(line, ReadMode::Lossy).unwrap();
+        assert_eq!(parsed.header, None);
+        assert_eq!(parsed.skipped.len(), 1);
+    }
+
+    #[test]
+    fn schemaless_header_is_accepted() {
+        // An older or hand-written header without the schema field.
+        let parsed = read_str(
+            r#"{"ev":"header","model":"lambda=0.5,policy=steal,T=2,d=1,k=1"}"#,
+            ReadMode::Strict,
+        )
+        .unwrap();
+        let header = parsed.header.expect("header");
+        assert_eq!(
+            header.model.as_deref(),
+            Some("lambda=0.5,policy=steal,T=2,d=1,k=1")
+        );
+        assert_eq!(header.n, None);
+    }
+
+    #[test]
+    fn parse_line_refuses_header_lines() {
+        let line = TraceHeader::default().to_json_line();
+        let (_, msg) = parse_line(&line).unwrap_err();
+        assert!(msg.contains("header line is not an event"), "{msg}");
     }
 }

@@ -8,8 +8,9 @@
 //! additionally re-simulates the paper's Table 1–4 parameter grids
 //! against the printed estimates.
 
-use loadsteal_queueing::{BatchMeans, ServiceDistribution};
-use loadsteal_sim::{replicate, run_seeded, SimConfig, StealPolicy, TransferTime};
+use loadsteal_core::ModelRegistry;
+use loadsteal_queueing::BatchMeans;
+use loadsteal_sim::{replicate, run_seeded, SimConfig, ToSimConfig};
 
 use crate::harness::{Check, Outcome, Settings, Tier};
 use crate::stat;
@@ -56,9 +57,7 @@ pub fn check_variant(settings: &Settings, v: Variant) -> Outcome {
 /// the correlation time), interval must cover the exact value λ.
 fn batch_means_check(settings: &Settings) -> Outcome {
     let lambda = 0.8;
-    let mut cfg = SimConfig::paper_default(settings.n, lambda);
-    cfg.horizon = settings.horizon;
-    cfg.warmup = settings.warmup;
+    let mut cfg = preset_cfg(settings, "simple-ws", lambda);
     cfg.snapshot_interval = Some(5.0);
     let result = run_seeded(&cfg, settings.seed);
     let mut bm = BatchMeans::new(20);
@@ -103,15 +102,28 @@ fn table_cell(settings: &Settings, cfg: SimConfig, paper_w: f64) -> Outcome {
     }
 }
 
-fn table_cfg(settings: &Settings, lambda: f64) -> SimConfig {
-    let mut cfg = SimConfig::paper_default(settings.n, lambda);
+/// Derive a simulator config from a registry preset re-pinned to
+/// `lambda`, with this run's horizon/warmup applied. The paper's table
+/// grids sweep λ over the preset's fixed policy parameters, so the
+/// preset is the single source of truth for everything but λ.
+fn preset_cfg(settings: &Settings, preset: &str, lambda: f64) -> SimConfig {
+    let spec = ModelRegistry::standard()
+        .get(preset)
+        .unwrap_or_else(|| panic!("registry preset {preset:?} missing"))
+        .spec
+        .clone()
+        .with_lambda(lambda);
+    let mut cfg = spec
+        .sim_config(settings.n)
+        .unwrap_or_else(|e| panic!("preset {preset:?} at λ={lambda}: {e}"));
     cfg.horizon = settings.horizon;
     cfg.warmup = settings.warmup;
     cfg
 }
 
 /// Full-tier golden grids: `(table name, config, paper estimate)`.
-/// Values are the paper's printed predictions (3 decimals).
+/// Configs come from registry presets swept over λ; the estimates are
+/// the paper's printed predictions (3 decimals).
 fn table_cells(settings: &Settings) -> Vec<(String, SimConfig, f64)> {
     let mut cells = Vec::new();
     // Table 1 — simple WS.
@@ -124,39 +136,33 @@ fn table_cells(settings: &Settings) -> Vec<(String, SimConfig, f64)> {
     ] {
         cells.push((
             format!("table1(λ={lambda})"),
-            table_cfg(settings, lambda),
+            preset_cfg(settings, "simple-ws", lambda),
             w,
         ));
     }
     // Table 2 — Erlang service stages, c = 20 (≈ constant service).
     for &(lambda, w) in &[(0.50, 1.391), (0.80, 2.039), (0.95, 3.625)] {
-        let mut cfg = table_cfg(settings, lambda);
-        cfg.service = ServiceDistribution::Erlang {
-            stages: 20,
-            rate: 20.0,
-        };
-        cells.push((format!("table2(λ={lambda},c=20)"), cfg, w));
+        cells.push((
+            format!("table2(λ={lambda},c=20)"),
+            preset_cfg(settings, "erlang-service", lambda),
+            w,
+        ));
     }
     // Table 3 — transfer delays, r = 0.25, T = 4.
     for &(lambda, w) in &[(0.50, 1.950), (0.80, 3.996), (0.90, 7.015)] {
-        let mut cfg = table_cfg(settings, lambda);
-        cfg.policy = StealPolicy::OnEmpty {
-            threshold: 4,
-            choices: 1,
-            batch: 1,
-        };
-        cfg.transfer = Some(TransferTime::exponential(0.25));
-        cells.push((format!("table3(λ={lambda},r=0.25,T=4)"), cfg, w));
+        cells.push((
+            format!("table3(λ={lambda},r=0.25,T=4)"),
+            preset_cfg(settings, "transfer", lambda),
+            w,
+        ));
     }
     // Table 4 — two victim choices, T = 2.
     for &(lambda, w) in &[(0.50, 1.433), (0.80, 1.864), (0.90, 2.220), (0.95, 2.640)] {
-        let mut cfg = table_cfg(settings, lambda);
-        cfg.policy = StealPolicy::OnEmpty {
-            threshold: 2,
-            choices: 2,
-            batch: 1,
-        };
-        cells.push((format!("table4(λ={lambda},d=2)"), cfg, w));
+        cells.push((
+            format!("table4(λ={lambda},d=2)"),
+            preset_cfg(settings, "multi-choice", lambda),
+            w,
+        ));
     }
     cells
 }

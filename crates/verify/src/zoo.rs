@@ -1,21 +1,20 @@
 //! The model zoo: every simulable variant paired with its mean-field
 //! predictor.
 //!
-//! Each [`Variant`] bundles a simulator configuration with a thunk that
-//! solves the matching ODE fixed point, plus the structural flags the
-//! metamorphic layer keys on (is the fixed-point busy fraction exactly
-//! λ? does the variant provably dominate no-steal?). The quick tier
-//! carries twelve variants spanning every policy family; the full tier
-//! adds the Section 3.1 service/arrival-distribution variants.
+//! The zoo is the verification-facing view of
+//! [`loadsteal_core::ModelRegistry`]: each registry preset becomes one
+//! [`Variant`] bundling the simulator configuration derived from its
+//! [`loadsteal_core::ModelSpec`] with a thunk that solves the matching
+//! ODE fixed point, plus the structural flags the metamorphic layer
+//! keys on (is the fixed-point busy fraction exactly λ? does the
+//! variant provably dominate no-steal?). The quick tier carries the
+//! twelve [`PresetTier::Quick`] presets spanning every policy family;
+//! the full tier adds the Section 3.1 distribution presets and the
+//! threshold × Erlang cross-product.
 
-use loadsteal_core::fixed_point::{solve, FixedPoint, FixedPointOptions};
-use loadsteal_core::models::{
-    ErlangArrivals, ErlangStages, GeneralWs, Heterogeneous, HyperService, MeanFieldModel,
-    MultiChoice, MultiSteal, NoSteal, Preemptive, Rebalance, RebalanceRateFn, RepeatedSteal,
-    SimpleWs, ThresholdWs, TransferWs, WorkSharing,
-};
-use loadsteal_queueing::ServiceDistribution;
-use loadsteal_sim::{RebalanceRate, SimConfig, SpeedProfile, StealPolicy, TransferTime};
+use loadsteal_core::fixed_point::FixedPoint;
+use loadsteal_core::{ModelRegistry, PresetTier};
+use loadsteal_sim::{SimConfig, ToSimConfig};
 
 use crate::harness::{Settings, Tier};
 
@@ -31,287 +30,39 @@ pub struct Variant {
     /// (unit-speed processors; false for heterogeneous speeds).
     pub busy_is_lambda: bool,
     /// Whether the variant provably improves on independent M/M/1
-    /// queues at equal λ (false for the no-steal baseline itself and
-    /// for heterogeneous speeds, where the comparison is ill-posed).
+    /// queues at equal λ (false for the no-steal baseline itself, for
+    /// heterogeneous speeds, and for service distributions burstier
+    /// than exponential, where the comparison is ill-posed).
     pub dominates_no_steal: bool,
     /// Solve the matching mean-field fixed point.
     pub predict: Box<dyn Fn() -> Result<FixedPoint, String> + Send>,
 }
 
-fn predictor<M>(model: Result<M, String>) -> Box<dyn Fn() -> Result<FixedPoint, String> + Send>
-where
-    M: MeanFieldModel + Send + 'static,
-{
-    Box::new(move || {
-        let m = model.as_ref().map_err(Clone::clone)?;
-        solve(m, &FixedPointOptions::default()).map_err(|e| e.to_string())
-    })
-}
-
-fn base_cfg(settings: &Settings, lambda: f64) -> SimConfig {
-    let mut cfg = SimConfig::paper_default(settings.n, lambda);
-    cfg.horizon = settings.horizon;
-    cfg.warmup = settings.warmup;
-    cfg
-}
-
-/// Build the zoo for `settings` (the full tier appends the Section 3.1
-/// distribution variants).
+/// Build the zoo for `settings` by enumerating the standard model
+/// registry (the full tier appends the [`PresetTier::Full`] presets).
 pub fn variants(settings: &Settings) -> Vec<Variant> {
-    let mut zoo = Vec::new();
-
-    let cfg = {
-        let mut c = base_cfg(settings, 0.8);
-        c.policy = StealPolicy::None;
-        c
-    };
-    zoo.push(Variant {
-        name: "no-steal(λ=0.8)",
-        cfg,
-        lambda: 0.8,
-        busy_is_lambda: true,
-        dominates_no_steal: false,
-        predict: predictor(NoSteal::new(0.8)),
-    });
-
-    zoo.push(Variant {
-        name: "simple-ws(λ=0.9)",
-        cfg: base_cfg(settings, 0.9),
-        lambda: 0.9,
-        busy_is_lambda: true,
-        dominates_no_steal: true,
-        predict: predictor(SimpleWs::new(0.9)),
-    });
-
-    let cfg = {
-        let mut c = base_cfg(settings, 0.85);
-        c.policy = StealPolicy::OnEmpty {
-            threshold: 4,
-            choices: 1,
-            batch: 1,
-        };
-        c
-    };
-    zoo.push(Variant {
-        name: "threshold(λ=0.85,T=4)",
-        cfg,
-        lambda: 0.85,
-        busy_is_lambda: true,
-        dominates_no_steal: true,
-        predict: predictor(ThresholdWs::new(0.85, 4)),
-    });
-
-    let cfg = {
-        let mut c = base_cfg(settings, 0.85);
-        c.policy = StealPolicy::Preemptive {
-            begin_at: 1,
-            rel_threshold: 3,
-        };
-        c
-    };
-    zoo.push(Variant {
-        name: "preemptive(λ=0.85,B=1,T=3)",
-        cfg,
-        lambda: 0.85,
-        busy_is_lambda: true,
-        dominates_no_steal: true,
-        predict: predictor(Preemptive::new(0.85, 1, 3)),
-    });
-
-    let cfg = {
-        let mut c = base_cfg(settings, 0.9);
-        c.policy = StealPolicy::Repeated {
-            rate: 2.0,
-            threshold: 2,
-        };
-        c
-    };
-    zoo.push(Variant {
-        name: "repeated(λ=0.9,r=2)",
-        cfg,
-        lambda: 0.9,
-        busy_is_lambda: true,
-        dominates_no_steal: true,
-        predict: predictor(RepeatedSteal::new(0.9, 2.0, 2)),
-    });
-
-    let cfg = {
-        let mut c = base_cfg(settings, 0.9);
-        c.policy = StealPolicy::OnEmpty {
-            threshold: 2,
-            choices: 2,
-            batch: 1,
-        };
-        c
-    };
-    zoo.push(Variant {
-        name: "multi-choice(λ=0.9,d=2)",
-        cfg,
-        lambda: 0.9,
-        busy_is_lambda: true,
-        dominates_no_steal: true,
-        predict: predictor(MultiChoice::new(0.9, 2, 2)),
-    });
-
-    let cfg = {
-        let mut c = base_cfg(settings, 0.85);
-        c.policy = StealPolicy::OnEmpty {
-            threshold: 6,
-            choices: 1,
-            batch: 3,
-        };
-        c
-    };
-    zoo.push(Variant {
-        name: "multi-steal(λ=0.85,T=6,k=3)",
-        cfg,
-        lambda: 0.85,
-        busy_is_lambda: true,
-        dominates_no_steal: true,
-        predict: predictor(MultiSteal::new(0.85, 3, 6)),
-    });
-
-    let cfg = {
-        let mut c = base_cfg(settings, 0.8);
-        c.policy = StealPolicy::OnEmpty {
-            threshold: 4,
-            choices: 1,
-            batch: 1,
-        };
-        c.transfer = Some(TransferTime::exponential(0.25));
-        c
-    };
-    zoo.push(Variant {
-        name: "transfer(λ=0.8,r=0.25,T=4)",
-        cfg,
-        lambda: 0.8,
-        busy_is_lambda: true,
-        dominates_no_steal: true,
-        predict: predictor(TransferWs::new(0.8, 0.25, 4)),
-    });
-
-    let cfg = {
-        let mut c = base_cfg(settings, 0.8);
-        c.speeds = SpeedProfile::Classes(vec![(0.5, 1.2), (0.5, 0.9)]);
-        c
-    };
-    zoo.push(Variant {
-        name: "heterogeneous(λ=0.8,μ=1.2/0.9)",
-        cfg,
-        lambda: 0.8,
-        busy_is_lambda: false,
-        dominates_no_steal: false,
-        predict: predictor(Heterogeneous::new(0.8, 0.5, 1.2, 0.9, 2)),
-    });
-
-    let cfg = {
-        let mut c = base_cfg(settings, 0.9);
-        c.policy = StealPolicy::Share {
-            send_threshold: 2,
-            recv_threshold: 2,
-        };
-        c
-    };
-    zoo.push(Variant {
-        name: "work-sharing(λ=0.9,F=2,R=2)",
-        cfg,
-        lambda: 0.9,
-        busy_is_lambda: true,
-        dominates_no_steal: true,
-        predict: predictor(WorkSharing::new(0.9, 2, 2)),
-    });
-
-    let cfg = {
-        let mut c = base_cfg(settings, 0.9);
-        c.policy = StealPolicy::OnEmpty {
-            threshold: 6,
-            choices: 2,
-            batch: 3,
-        };
-        c
-    };
-    zoo.push(Variant {
-        name: "general(λ=0.9,T=6,d=2,k=3)",
-        cfg,
-        lambda: 0.9,
-        busy_is_lambda: true,
-        dominates_no_steal: true,
-        predict: predictor(GeneralWs::new(0.9, 6, 2, 3)),
-    });
-
-    let cfg = {
-        let mut c = base_cfg(settings, 0.8);
-        c.policy = StealPolicy::Rebalance {
-            rate: RebalanceRate::Constant(0.5),
-        };
-        c
-    };
-    zoo.push(Variant {
-        name: "rebalance(λ=0.8,r=0.5)",
-        cfg,
-        lambda: 0.8,
-        busy_is_lambda: true,
-        dominates_no_steal: true,
-        predict: predictor(Rebalance::new(0.8, RebalanceRateFn::Constant(0.5))),
-    });
-
-    if settings.tier == Tier::Full {
-        let cfg = {
-            let mut c = base_cfg(settings, 0.8);
-            c.service = ServiceDistribution::Erlang {
-                stages: 20,
-                rate: 20.0,
-            };
-            c
-        };
-        zoo.push(Variant {
-            name: "erlang-service(λ=0.8,c=20)",
-            cfg,
-            lambda: 0.8,
-            busy_is_lambda: true,
-            dominates_no_steal: true,
-            predict: predictor(ErlangStages::new(0.8, 20)),
-        });
-
-        let cfg = {
-            let mut c = base_cfg(settings, 0.8);
-            c.arrival = Some(ServiceDistribution::Erlang {
-                stages: 5,
-                rate: 5.0 * 0.8,
-            });
-            c
-        };
-        zoo.push(Variant {
-            name: "erlang-arrivals(λ=0.8,c=5)",
-            cfg,
-            lambda: 0.8,
-            busy_is_lambda: true,
-            dominates_no_steal: true,
-            predict: predictor(ErlangArrivals::new(0.8, 5, 2)),
-        });
-
-        let cfg = {
-            let mut c = base_cfg(settings, 0.8);
-            c.service = ServiceDistribution::HyperExp {
-                p: 0.1,
-                rate1: 0.2,
-                rate2: 1.8,
-            };
-            c
-        };
-        zoo.push(Variant {
-            name: "hyper-service(λ=0.8,scv≈4.6)",
-            cfg,
-            lambda: 0.8,
-            busy_is_lambda: true,
-            // Bursty service inflates W past the exponential M/M/1
-            // baseline, so the domination comparison is ill-posed.
-            dominates_no_steal: false,
-            predict: predictor(HyperService::new(0.8, 0.1, 0.2, 1.8, 2)),
-        });
-    }
-
-    zoo
+    ModelRegistry::standard()
+        .presets()
+        .iter()
+        .filter(|p| settings.tier == Tier::Full || p.tier == PresetTier::Quick)
+        .map(|p| {
+            let mut cfg = p
+                .spec
+                .sim_config(settings.n)
+                .unwrap_or_else(|e| panic!("preset {} has invalid config: {e}", p.name));
+            cfg.horizon = settings.horizon;
+            cfg.warmup = settings.warmup;
+            let spec = p.spec.clone();
+            Variant {
+                name: p.label,
+                cfg,
+                lambda: spec.lambda,
+                busy_is_lambda: spec.busy_is_lambda(),
+                dominates_no_steal: spec.dominates_no_steal(),
+                predict: Box::new(move || spec.fixed_point()),
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -336,5 +87,29 @@ mod tests {
         let quick = variants(&Settings::quick(1)).len();
         let full = variants(&Settings::full(1)).len();
         assert!(full > quick, "full {full} vs quick {quick}");
+    }
+
+    #[test]
+    fn quick_zoo_is_exactly_the_quick_registry_tier() {
+        let zoo = variants(&Settings::quick(1));
+        let quick_presets: Vec<_> = ModelRegistry::standard()
+            .presets()
+            .iter()
+            .filter(|p| p.tier == PresetTier::Quick)
+            .map(|p| p.label)
+            .collect();
+        let names: Vec<_> = zoo.iter().map(|v| v.name).collect();
+        assert_eq!(names, quick_presets);
+        assert_eq!(zoo.len(), 12, "quick tier is pinned at twelve variants");
+    }
+
+    #[test]
+    fn every_variant_has_a_mean_field_prediction() {
+        // The registry guarantees each preset dispatches to a model;
+        // the zoo must not lose that on the way to a predictor.
+        for v in variants(&Settings::full(1)) {
+            let fp = (v.predict)().unwrap_or_else(|e| panic!("{}: {e}", v.name));
+            assert!(fp.mean_time_in_system.is_finite(), "{}", v.name);
+        }
     }
 }

@@ -1,0 +1,37 @@
+//! A registry cross-product (threshold × Erlang stages, §2.3 × §3.1)
+//! run end to end through the differential harness: the spec must
+//! dispatch to a mean-field model, yield a simulable config, and the
+//! quick-protocol simulation at n = 128 must agree with the fixed point.
+
+use loadsteal_core::ModelRegistry;
+use loadsteal_sim::ToSimConfig;
+use loadsteal_verify::differential::check_variant;
+use loadsteal_verify::zoo::Variant;
+use loadsteal_verify::{Outcome, Settings};
+
+#[test]
+fn threshold_erlang_cross_product_passes_the_differential_check() {
+    let settings = Settings::quick(42);
+    let registry = ModelRegistry::standard();
+    let preset = registry
+        .get("threshold-erlang")
+        .expect("cross-product preset registered");
+    let spec = preset.spec.clone();
+    let mut cfg = spec.sim_config(settings.n).expect("simulable");
+    cfg.horizon = settings.horizon;
+    cfg.warmup = settings.warmup;
+    let variant = Variant {
+        name: "threshold-erlang(cross-product)",
+        cfg,
+        lambda: spec.lambda,
+        busy_is_lambda: spec.busy_is_lambda(),
+        dominates_no_steal: spec.dominates_no_steal(),
+        predict: Box::new(move || spec.fixed_point()),
+    };
+    match check_variant(&settings, variant) {
+        Outcome::Pass(detail) => {
+            assert!(!detail.is_empty());
+        }
+        other => panic!("cross-product differential check did not pass: {other:?}"),
+    }
+}

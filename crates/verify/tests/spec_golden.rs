@@ -1,0 +1,208 @@
+//! Differential guard for the `ModelSpec → SimConfig` refactor.
+//!
+//! The registry presets replaced hand-built `SimConfig` literals in the
+//! zoo (PR 4). This test pins the old construction: every pre-refactor
+//! literal is rebuilt here by hand and must equal `spec.sim_config(n)`
+//! byte for byte, a pinned-seed simulation of both must produce
+//! identical results, and the derived configs' `Debug` rendering is
+//! compared against a blessed golden file (re-bless with
+//! `LOADSTEAL_BLESS=1 cargo test -p loadsteal-verify --test
+//! spec_golden`). Once a release has shipped on the registry path this
+//! file can be deleted.
+
+use loadsteal_core::ModelRegistry;
+use loadsteal_queueing::ServiceDistribution;
+use loadsteal_sim::{
+    run_seeded, RebalanceRate, SimConfig, SpeedProfile, StealPolicy, ToSimConfig, TransferTime,
+};
+
+/// System size used throughout; any value works, 64 keeps sims cheap.
+const N: usize = 64;
+
+/// The pre-refactor zoo construction, verbatim: `paper_default` plus
+/// per-variant mutations (horizon/warmup overrides excluded — the old
+/// zoo applied those after construction, and `sim_config` leaves them
+/// at the paper defaults too).
+fn hand_built() -> Vec<(&'static str, SimConfig)> {
+    let base = |lambda: f64| SimConfig::paper_default(N, lambda);
+    let mut configs = Vec::new();
+
+    let mut c = base(0.8);
+    c.policy = StealPolicy::None;
+    configs.push(("no-steal", c));
+
+    configs.push(("simple-ws", base(0.9)));
+
+    let mut c = base(0.85);
+    c.policy = StealPolicy::OnEmpty {
+        threshold: 4,
+        choices: 1,
+        batch: 1,
+    };
+    configs.push(("threshold", c));
+
+    let mut c = base(0.85);
+    c.policy = StealPolicy::Preemptive {
+        begin_at: 1,
+        rel_threshold: 3,
+    };
+    configs.push(("preemptive", c));
+
+    let mut c = base(0.9);
+    c.policy = StealPolicy::Repeated {
+        rate: 2.0,
+        threshold: 2,
+    };
+    configs.push(("repeated", c));
+
+    let mut c = base(0.9);
+    c.policy = StealPolicy::OnEmpty {
+        threshold: 2,
+        choices: 2,
+        batch: 1,
+    };
+    configs.push(("multi-choice", c));
+
+    let mut c = base(0.85);
+    c.policy = StealPolicy::OnEmpty {
+        threshold: 6,
+        choices: 1,
+        batch: 3,
+    };
+    configs.push(("multi-steal", c));
+
+    let mut c = base(0.8);
+    c.policy = StealPolicy::OnEmpty {
+        threshold: 4,
+        choices: 1,
+        batch: 1,
+    };
+    c.transfer = Some(TransferTime::exponential(0.25));
+    configs.push(("transfer", c));
+
+    let mut c = base(0.8);
+    c.policy = StealPolicy::OnEmpty {
+        threshold: 2,
+        choices: 1,
+        batch: 1,
+    };
+    c.speeds = SpeedProfile::Classes(vec![(0.5, 1.2), (0.5, 0.9)]);
+    configs.push(("heterogeneous", c));
+
+    let mut c = base(0.9);
+    c.policy = StealPolicy::Share {
+        send_threshold: 2,
+        recv_threshold: 2,
+    };
+    configs.push(("work-sharing", c));
+
+    let mut c = base(0.9);
+    c.policy = StealPolicy::OnEmpty {
+        threshold: 6,
+        choices: 2,
+        batch: 3,
+    };
+    configs.push(("general", c));
+
+    let mut c = base(0.8);
+    c.policy = StealPolicy::Rebalance {
+        rate: RebalanceRate::Constant(0.5),
+    };
+    configs.push(("rebalance", c));
+
+    let mut c = base(0.8);
+    c.service = ServiceDistribution::Erlang {
+        stages: 20,
+        rate: 20.0,
+    };
+    configs.push(("erlang-service", c));
+
+    let mut c = base(0.8);
+    c.arrival = Some(ServiceDistribution::Erlang {
+        stages: 5,
+        rate: 5.0 * 0.8,
+    });
+    configs.push(("erlang-arrivals", c));
+
+    let mut c = base(0.8);
+    c.service = ServiceDistribution::HyperExp {
+        p: 0.1,
+        rate1: 0.2,
+        rate2: 1.8,
+    };
+    configs.push(("hyper-service", c));
+
+    configs
+}
+
+fn spec_derived(preset: &str) -> SimConfig {
+    ModelRegistry::standard()
+        .get(preset)
+        .unwrap_or_else(|| panic!("registry preset {preset:?} missing"))
+        .spec
+        .sim_config(N)
+        .unwrap_or_else(|e| panic!("preset {preset:?}: {e}"))
+}
+
+#[test]
+fn spec_derived_configs_equal_the_pre_refactor_literals() {
+    for (preset, hand) in hand_built() {
+        assert_eq!(
+            spec_derived(preset),
+            hand,
+            "preset {preset:?} no longer reproduces the pre-refactor SimConfig"
+        );
+    }
+}
+
+#[test]
+fn pinned_seed_runs_match_between_hand_built_and_spec_configs() {
+    // Short horizons keep this cheap; the point is bitwise determinism
+    // of the whole (config → engine → metrics) path, not statistics.
+    for preset in ["simple-ws", "threshold", "transfer", "erlang-service"] {
+        let (_, mut hand) = hand_built()
+            .into_iter()
+            .find(|(name, _)| *name == preset)
+            .unwrap();
+        let mut derived = spec_derived(preset);
+        for cfg in [&mut hand, &mut derived] {
+            cfg.n = 16;
+            cfg.horizon = 300.0;
+            cfg.warmup = 30.0;
+        }
+        let a = run_seeded(&hand, 7);
+        let b = run_seeded(&derived, 7);
+        assert_eq!(
+            a.mean_sojourn().to_bits(),
+            b.mean_sojourn().to_bits(),
+            "{preset}"
+        );
+        assert_eq!(a.tasks_completed, b.tasks_completed, "{preset}");
+        assert_eq!(a.events_processed, b.events_processed, "{preset}");
+        assert_eq!(a.load_tails, b.load_tails, "{preset}");
+    }
+}
+
+#[test]
+fn derived_configs_match_the_golden_file() {
+    let mut rendered = String::new();
+    for p in ModelRegistry::standard().presets() {
+        let cfg = p
+            .spec
+            .sim_config(N)
+            .unwrap_or_else(|e| panic!("preset {}: {e}", p.name));
+        rendered.push_str(&format!("{} {:?}\n", p.name, cfg));
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/sim_configs.txt");
+    if std::env::var_os("LOADSTEAL_BLESS").is_some() {
+        std::fs::write(path, &rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("golden file missing ({e}); bless with LOADSTEAL_BLESS=1"));
+    assert_eq!(
+        rendered, golden,
+        "spec-derived SimConfigs drifted from the blessed golden file; \
+         re-bless with LOADSTEAL_BLESS=1 if the change is intentional"
+    );
+}
