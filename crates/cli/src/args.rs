@@ -120,6 +120,13 @@ impl Args {
         self.flags.get(name).map(|s| s.as_str())
     }
 
+    /// Remove and return a valued flag. Used for flags handled
+    /// centrally in `main` (e.g. `--profile`) so they never reach — and
+    /// never have to be declared in — per-command `ensure_known` lists.
+    pub fn take(&mut self, name: &str) -> Option<String> {
+        self.flags.remove(name)
+    }
+
     /// Reject unknown flags (catches typos early). Switches were
     /// validated against their declared names at parse time, so only
     /// valued flags are checked here.

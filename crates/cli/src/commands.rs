@@ -221,6 +221,7 @@ pub fn solve(a: &Args) -> Result<(), String> {
         if trace_lines > 0 {
             reg.counter("trace.lines").add(trace_lines);
         }
+        export_spans(&reg);
         let mut m = manifest();
         m.config("model", canonical.as_str())
             .config("lambda", spec.lambda);
@@ -360,9 +361,10 @@ fn simulate_spec(a: &Args) -> Result<ModelSpec, String> {
 }
 
 /// Build a [`SimConfig`] for `spec` with the run-shape flags (horizon,
-/// warmup, internal arrivals, heartbeat cadence) applied on top.
+/// warmup, internal arrivals, heartbeat cadence) applied on top. `--n`
+/// defaults to 128, the paper's largest simulated system.
 fn sim_config(a: &Args, spec: &ModelSpec) -> Result<SimConfig, String> {
-    let n: usize = a.required("n")?;
+    let n: usize = a.get_or("n", 128)?;
     let mut cfg = spec.sim_config(n).map_err(|e| e.to_string())?;
     cfg.horizon = a.get_or("horizon", 20_000.0)?;
     cfg.warmup = a.get_or("warmup", cfg.horizon / 10.0)?;
@@ -494,6 +496,7 @@ pub fn simulate(a: &Args) -> Result<(), String> {
         if trace_lines > 0 {
             reg.counter("trace.lines").add(trace_lines);
         }
+        export_spans(&reg);
         let mut m = manifest();
         m.seed = Some(seed);
         m.config("n", n)
@@ -850,4 +853,112 @@ pub fn serve(a: &Args) -> Result<(), String> {
             .map_err(|_| "simulation worker panicked".to_string())?;
     }
     Ok(())
+}
+
+/// Mirror the live span aggregates into a metrics registry (counter
+/// `span.<path>.calls`, gauge `span.<path>.self_us`, duration sketch
+/// `span.<path>.us`) so profiled runs carry them through the run
+/// document and Prometheus exposition. A no-op when profiling is off.
+fn export_spans(reg: &Registry) {
+    if loadsteal_obs::span::enabled() {
+        loadsteal_obs::span::export_to_registry(reg, &loadsteal_obs::span::snapshot());
+    }
+}
+
+/// Write the `--profile <out>` export: folded stacks (inferno /
+/// flamegraph.pl) when the path ends in `.folded`, Chrome trace-event
+/// JSON (chrome://tracing, Perfetto) otherwise.
+pub fn write_profile(path: &str, report: &loadsteal_obs::ProfileReport) -> Result<(), String> {
+    let body = if path.ends_with(".folded") {
+        report.folded()
+    } else {
+        let mut t = report.chrome_trace();
+        t.push('\n');
+        t
+    };
+    std::fs::write(path, body).map_err(|e| format!("--profile: cannot write {path:?}: {e}"))
+}
+
+/// Render the `loadsteal profile` report: top spans by self time, then
+/// simulator events/sec per instrumented phase.
+pub fn render_profile(report: &loadsteal_obs::ProfileReport, wall_ms: f64) -> String {
+    const TOP: usize = 20;
+    let mut out = String::new();
+    let self_ms = report.total_self_us() / 1_000.0;
+    let pct = if wall_ms > 0.0 {
+        100.0 * self_ms / wall_ms
+    } else {
+        0.0
+    };
+    out.push_str(&format!(
+        "PROFILE  wall {wall_ms:.1} ms, span self-time total {self_ms:.1} ms ({pct:.1}% of wall)\n",
+    ));
+    let mut spans: Vec<_> = report.spans.iter().collect();
+    spans.sort_by(|a, b| b.self_us.total_cmp(&a.self_us));
+    let path_w = spans
+        .iter()
+        .take(TOP)
+        .map(|s| s.path.len())
+        .max()
+        .unwrap_or(4)
+        .max(4);
+    out.push_str(&format!(
+        "{:<path_w$}  {:>9}  {:>11}  {:>11}  {:>6}  {:>10}  {:>10}\n",
+        "SPAN", "CALLS", "TOTAL ms", "SELF ms", "SELF%", "P50 us", "P99 us",
+    ));
+    for s in spans.iter().take(TOP) {
+        let self_pct = if self_ms > 0.0 {
+            100.0 * (s.self_us / 1_000.0) / self_ms
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "{:<path_w$}  {:>9}  {:>11.2}  {:>11.2}  {:>5.1}%  {:>10.1}  {:>10.1}\n",
+            s.path,
+            s.count,
+            s.total_us / 1_000.0,
+            s.self_us / 1_000.0,
+            self_pct,
+            s.p50_us(),
+            s.p99_us(),
+        ));
+    }
+    if spans.len() > TOP {
+        out.push_str(&format!("… and {} more spans\n", spans.len() - TOP));
+    }
+    // Simulator phase throughput: span count = events of that kind, so
+    // count / total-time is the per-phase processing rate.
+    const SIM_PHASES: &[&str] = &[
+        "sim.arrival",
+        "sim.completion",
+        "sim.steal_attempt",
+        "sim.rebalance",
+        "sim.transfer",
+        "sim.heartbeat",
+    ];
+    let mut phases: Vec<_> = report
+        .spans
+        .iter()
+        .filter(|s| SIM_PHASES.contains(&s.name()) && s.total_us > 0.0)
+        .collect();
+    if !phases.is_empty() {
+        phases.sort_by_key(|s| std::cmp::Reverse(s.count));
+        out.push_str("\nSIM PHASES (events/sec of span time)\n");
+        for s in &phases {
+            out.push_str(&format!(
+                "{:<path_w$}  {:>9}  {:>14.0} ev/s\n",
+                s.path,
+                s.count,
+                s.count as f64 / (s.total_us / 1e6),
+            ));
+        }
+    }
+    if report.dropped_instances > 0 {
+        out.push_str(&format!(
+            "\nnote: {} span instances beyond the {} retained cap were dropped from the\nChrome trace export (aggregates above still include them)\n",
+            report.dropped_instances,
+            loadsteal_obs::span::MAX_INSTANCES,
+        ));
+    }
+    out
 }

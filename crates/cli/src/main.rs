@@ -17,7 +17,7 @@ mod obs;
 use std::process::ExitCode;
 
 /// Value-less boolean flags, recognized by every subcommand.
-const SWITCHES: &[&str] = &["quiet", "lossy", "quick", "full"];
+const SWITCHES: &[&str] = &["quiet", "lossy", "quick", "full", "flight-recorder"];
 
 /// Commands that take a positional operand (everything else rejects
 /// bare arguments, preserving early typo detection).
@@ -25,11 +25,26 @@ const POSITIONAL_COMMANDS: &[&str] = &["report"];
 
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1);
-    let Some(cmd) = argv.next() else {
+    let Some(mut cmd) = argv.next() else {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let parsed = match args::Args::parse_mixed(argv, SWITCHES).and_then(|a| {
+    // `loadsteal profile <command> [flags]`: run the wrapped command
+    // under the span profiler and print a self-time report afterwards.
+    let mut profile_report = false;
+    if cmd == "profile" {
+        match argv.next() {
+            Some(inner) if inner != "profile" => {
+                profile_report = true;
+                cmd = inner;
+            }
+            _ => {
+                eprintln!("error: usage: loadsteal profile <command> [flags]\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let mut parsed = match args::Args::parse_mixed(argv, SWITCHES).and_then(|a| {
         if !POSITIONAL_COMMANDS.contains(&cmd.as_str()) {
             a.ensure_no_positionals()?;
         }
@@ -41,25 +56,59 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Cross-cutting observability flags, valid on every subcommand:
+    // `--profile <out>` exports the span profile, `--flight-recorder`
+    // arms the crash-dump ring.
+    let profile_out = parsed.take("profile");
+    if parsed.switch("flight-recorder") {
+        loadsteal_obs::flight::install(loadsteal_obs::flight::DEFAULT_CAPACITY);
+    }
+    let profiling = profile_report || profile_out.is_some();
+    if profiling {
+        loadsteal_obs::span::set_enabled(true);
+    }
     if parsed.switch("quiet") {
         loadsteal_obs::log::set_quiet(true);
     }
-    let result = match cmd.as_str() {
-        "solve" => commands::solve(&parsed),
-        "tails" => commands::tails(&parsed),
-        "models" => commands::models(&parsed),
-        "simulate" => commands::simulate(&parsed),
-        "stability" => commands::stability(&parsed),
-        "drain" => commands::drain(&parsed),
-        "report" => commands::report(&parsed),
-        "serve" => commands::serve(&parsed),
-        "verify" => commands::verify(&parsed),
-        "help" | "--help" | "-h" => {
-            println!("{USAGE}");
-            return ExitCode::SUCCESS;
-        }
-        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    let wall = std::time::Instant::now();
+    let (result, wall_ms) = {
+        // Root span over command dispatch, so profiled self-times sum
+        // to the command's wall time.
+        let _root = profiling.then(|| loadsteal_obs::span::span_dyn(format!("cli.{cmd}")));
+        let r = match cmd.as_str() {
+            "solve" => commands::solve(&parsed),
+            "tails" => commands::tails(&parsed),
+            "models" => commands::models(&parsed),
+            "simulate" => commands::simulate(&parsed),
+            "stability" => commands::stability(&parsed),
+            "drain" => commands::drain(&parsed),
+            "report" => commands::report(&parsed),
+            "serve" => commands::serve(&parsed),
+            "verify" => commands::verify(&parsed),
+            "help" | "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+        };
+        // Wall is read before the root span's drop flushes thread-local
+        // profiles to the global table, so the report's coverage line
+        // compares span self-time against dispatch time alone, not
+        // dispatch plus profile-merge/snapshot cost.
+        (r, wall.elapsed().as_secs_f64() * 1_000.0)
     };
+    if profiling {
+        let report = loadsteal_obs::span::snapshot();
+        if let Some(path) = &profile_out {
+            if let Err(e) = commands::write_profile(path, &report) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if profile_report {
+            print!("{}", commands::render_profile(&report, wall_ms));
+        }
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -80,8 +129,9 @@ USAGE:
       Fixed point and metrics of a mean-field model.
   loadsteal tails --model <MODEL> --lambda <λ> [--levels N] [model flags]
       Print the fixed-point occupancy tails s_i.
-  loadsteal simulate --n <N> (--model <MODEL> | --lambda <λ> [--policy P]) [sim flags]
-      Discrete-event simulation of the finite system.
+  loadsteal simulate (--model <MODEL> | --lambda <λ> [--policy P]) [--n N] [sim flags]
+      Discrete-event simulation of the finite system (--n defaults to
+      128, the paper's largest simulated size).
   loadsteal stability --lambda <λ> [--t-max T]
       L1-contraction check towards the fixed point (Section 4).
   loadsteal drain --initial <m0> [--n N] [--internal λint]
@@ -95,6 +145,11 @@ USAGE:
       Run a simulation while serving its live metrics registry in
       Prometheus text format (`--prom-addr host:0` picks a free port;
       `--scrapes N` exits after N scrapes).
+  loadsteal profile <command> [flags]
+      Run any subcommand under the hierarchical span profiler and print
+      a self-time table (top spans by self time, simulator events/sec
+      per phase). Combine with --profile <out> to also export the
+      spans.
   loadsteal verify [--quick|--full] [--seed S] [--filter SUBSTR]
       Statistical verification harness: differential (simulation vs
       mean-field fixed point across the model zoo), metamorphic,
@@ -126,12 +181,19 @@ SIM POLICIES (for simulate without --model):
   with flags --threshold, --choices, --batch, --begin, --rate,
   --transfer-rate, --runs, --horizon, --warmup, --seed
 
-OBSERVABILITY (solve and simulate):
+OBSERVABILITY (solve and simulate; --profile and --flight-recorder work
+on every subcommand):
   --trace <file.ndjson|->   stream every solver/simulator event as NDJSON;
                             `-` writes to stdout (narrative moves to stderr)
   --metrics-json <file|->   write the loadsteal.run.v1 document (manifest
                             + metrics, including sojourn-time quantile
                             sketches); `-` prints to stdout likewise
+  --profile <out>           export the hierarchical span profile: Chrome
+                            trace-event JSON (chrome://tracing, Perfetto)
+                            by default, folded stacks for inferno /
+                            flamegraph.pl when the path ends in .folded
+  --flight-recorder         keep a fixed-capacity ring of recent events;
+                            a panic dumps it to loadsteal-crash-<pid>.ndjson
   --heartbeat-every <K>     simulator heartbeat cadence in events
                             (default 65536; 0 disables)
   --quiet                   silence the human narrative entirely

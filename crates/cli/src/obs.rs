@@ -60,7 +60,7 @@ impl ObsOpts {
 
     /// Build the recorder for this invocation. Disabled (and therefore
     /// free for the instrumented hot loops) when neither output was
-    /// requested.
+    /// requested and the flight recorder is disarmed.
     pub fn recorder(&self) -> Result<CliRecorder, String> {
         let trace = match self.trace.as_deref() {
             None => None,
@@ -75,10 +75,19 @@ impl ObsOpts {
                 Some(NdjsonRecorder::new(w))
             }
         };
+        // Hidden fault-injection hook for the crash-dump test suite:
+        // panic after N recorded events, mid-simulation, so the flight
+        // recorder's panic hook can be exercised from a child process.
+        let panic_after = std::env::var("LOADSTEAL_PANIC_AFTER_EVENTS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok());
         Ok(CliRecorder {
             counts: CountingRecorder::new(),
             metrics_wanted: self.metrics_json.is_some(),
             trace,
+            flight: loadsteal_obs::flight::active(),
+            panic_after,
+            recorded: 0,
         })
     }
 
@@ -98,29 +107,45 @@ impl ObsOpts {
     }
 }
 
-/// Counts every event (feeding the metrics report) and optionally tees
-/// it to an NDJSON trace destination (file or stdout).
+/// Counts every event (feeding the metrics report), optionally tees it
+/// to an NDJSON trace destination (file or stdout), and feeds the
+/// flight-recorder ring when `--flight-recorder` armed it.
 pub struct CliRecorder {
     counts: CountingRecorder,
     metrics_wanted: bool,
     trace: Option<NdjsonRecorder<Box<dyn Write + Send>>>,
+    flight: bool,
+    /// `LOADSTEAL_PANIC_AFTER_EVENTS` fault injection (tests only).
+    panic_after: Option<u64>,
+    recorded: u64,
 }
 
 impl CliRecorder {
-    /// Write the trace's self-describing header line. A no-op without
-    /// `--trace`, so commands call it unconditionally before their
-    /// first event.
+    /// Write the trace's self-describing header line (and remember it
+    /// for crash dumps when the flight recorder is armed). A no-op
+    /// without `--trace` or `--flight-recorder`, so commands call it
+    /// unconditionally before their first event.
     pub fn write_header(&mut self, header: &loadsteal_obs::TraceHeader) {
         if let Some(t) = &mut self.trace {
             t.write_line(&header.to_json_line());
         }
+        if self.flight {
+            loadsteal_obs::flight::set_header(header.to_json_line());
+        }
     }
 
     /// Flush the trace, surface any deferred I/O error, and return the
-    /// tallies plus the number of trace lines written.
+    /// tallies plus the number of trace lines written. When the span
+    /// profiler is live, per-span summary records are appended to the
+    /// trace first (`{"ev":"span",…}` — see docs/trace-schema.md).
     pub fn finish(mut self) -> Result<(EventCounts, u64), String> {
         let mut lines = 0;
-        if let Some(t) = self.trace.take() {
+        if let Some(mut t) = self.trace.take() {
+            if loadsteal_obs::span::enabled() {
+                for rec in loadsteal_obs::span::snapshot().to_records() {
+                    t.write_line(&rec.to_json_line());
+                }
+            }
             lines = t.lines();
             let (_, err) = t.into_inner();
             if let Some(e) = err {
@@ -133,13 +158,22 @@ impl CliRecorder {
 
 impl Recorder for CliRecorder {
     fn enabled(&self) -> bool {
-        self.metrics_wanted || self.trace.is_some()
+        self.metrics_wanted || self.trace.is_some() || self.flight
     }
 
     fn record(&mut self, ev: &Event) {
         self.counts.record(ev);
         if let Some(t) = &mut self.trace {
             t.record(ev);
+        }
+        if self.flight {
+            loadsteal_obs::flight::record(ev);
+        }
+        if let Some(n) = self.panic_after {
+            self.recorded += 1;
+            if self.recorded >= n {
+                panic!("injected crash after {n} recorded events (LOADSTEAL_PANIC_AFTER_EVENTS)");
+            }
         }
     }
 

@@ -1,0 +1,135 @@
+//! Child-process test of the crash-safe flight recorder: abort a run
+//! mid-simulation (via the hidden `LOADSTEAL_PANIC_AFTER_EVENTS` fault
+//! injection) and assert that the panic hook wrote a strict-parseable
+//! `loadsteal-crash-<pid>.ndjson` dump ending with the panic record.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use loadsteal_trace::{read_bytes, ReadMode};
+
+/// A fresh scratch directory for the child's working directory, so the
+/// crash dump lands somewhere we control and concurrent tests cannot
+/// collide (the dump name embeds the *child's* pid).
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("loadsteal-crash-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn aborted_simulation_leaves_a_strictly_parseable_crash_dump() {
+    let dir = scratch_dir("abort");
+    let out = Command::new(env!("CARGO_BIN_EXE_loadsteal"))
+        .args([
+            "simulate",
+            "--model",
+            "basic",
+            "--n",
+            "32",
+            "--horizon",
+            "500",
+            "--runs",
+            "1",
+            "--flight-recorder",
+            "--quiet",
+        ])
+        .env("LOADSTEAL_PANIC_AFTER_EVENTS", "400")
+        .current_dir(&dir)
+        .output()
+        .expect("spawn loadsteal binary");
+    assert!(
+        !out.status.success(),
+        "injected panic should fail the run: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("flight recorder"),
+        "panic hook should announce the dump on stderr: {stderr}"
+    );
+
+    let dump = std::fs::read_dir(&dir)
+        .expect("read scratch dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("loadsteal-crash-") && n.ends_with(".ndjson"))
+        })
+        .expect("crash dump file exists in the child's cwd");
+
+    let bytes = std::fs::read(&dump).expect("read crash dump");
+    let parsed = read_bytes(&bytes, ReadMode::Strict).expect("crash dump parses strictly");
+
+    // The dump carries the run's header, a window of recent events, and
+    // exactly one terminal panic record.
+    let header = parsed.header.expect("dump starts with the trace header");
+    assert_eq!(header.n, Some(32));
+    assert!(
+        !parsed.events.is_empty(),
+        "dump should hold the recent-event window"
+    );
+    assert_eq!(parsed.panics.len(), 1, "exactly one panic record");
+    let panic = &parsed.panics[0];
+    assert!(
+        panic.message.contains("injected crash after 400"),
+        "panic record carries the message: {:?}",
+        panic.message
+    );
+    assert!(panic.buffered > 0, "panic record counts buffered events");
+
+    // The panic record is the *last* line — the dump ends with it.
+    let last_line = bytes
+        .split(|&b| b == b'\n')
+        .rfind(|l| !l.is_empty())
+        .expect("dump has lines");
+    let last_line = std::str::from_utf8(last_line).expect("last line is UTF-8");
+    assert!(
+        last_line.starts_with("{\"ev\":\"panic\""),
+        "dump ends with the panic event: {last_line}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn clean_run_with_flight_recorder_leaves_no_dump() {
+    let dir = scratch_dir("clean");
+    let out = Command::new(env!("CARGO_BIN_EXE_loadsteal"))
+        .args([
+            "simulate",
+            "--model",
+            "basic",
+            "--n",
+            "16",
+            "--horizon",
+            "100",
+            "--runs",
+            "1",
+            "--flight-recorder",
+            "--quiet",
+        ])
+        .current_dir(&dir)
+        .output()
+        .expect("spawn loadsteal binary");
+    assert!(
+        out.status.success(),
+        "clean run succeeds: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let dumps: Vec<_> = std::fs::read_dir(&dir)
+        .expect("read scratch dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            e.file_name()
+                .to_str()
+                .is_some_and(|n| n.starts_with("loadsteal-crash-"))
+        })
+        .collect();
+    assert!(dumps.is_empty(), "no crash dump without a panic: {dumps:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,225 @@
+//! End-to-end tests of the span-profiler surface: `--profile <out>`
+//! Chrome trace-event / folded-stack exports (valid on every
+//! subcommand) and the `loadsteal profile <command>` self-time report.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use loadsteal_obs::json::{self, JsonValue};
+
+fn loadsteal_in(dir: &std::path::Path, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_loadsteal"))
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("spawn loadsteal binary")
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "loadsteal-profile-test-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn profile_flag_exports_a_valid_chrome_trace() {
+    let dir = scratch_dir("chrome");
+    let out = loadsteal_in(
+        &dir,
+        &[
+            "simulate",
+            "--model",
+            "basic",
+            "--n",
+            "32",
+            "--horizon",
+            "200",
+            "--runs",
+            "1",
+            "--profile",
+            "p.json",
+            "--quiet",
+        ],
+    );
+    assert!(
+        out.status.success(),
+        "simulate --profile succeeds: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let body = std::fs::read_to_string(dir.join("p.json")).expect("profile written");
+    let parsed = json::parse(&body).expect("profile is valid JSON");
+    let JsonValue::Arr(events) = parsed else {
+        panic!("Chrome trace is a JSON array, got {body:.120}");
+    };
+    assert!(!events.is_empty(), "trace has span instances");
+    let mut names = Vec::new();
+    for ev in &events {
+        assert_eq!(
+            ev.get("ph").and_then(|v| v.as_str()),
+            Some("X"),
+            "complete events"
+        );
+        assert_eq!(ev.get("cat").and_then(|v| v.as_str()), Some("loadsteal"));
+        assert!(ev.get("ts").and_then(|v| v.as_f64()).is_some(), "ts");
+        assert!(ev.get("dur").and_then(|v| v.as_f64()).is_some(), "dur");
+        assert!(ev.get("pid").and_then(|v| v.as_u64()).is_some(), "pid");
+        assert!(ev.get("tid").and_then(|v| v.as_u64()).is_some(), "tid");
+        names.push(ev.get("name").and_then(|v| v.as_str()).expect("name"));
+    }
+    for expected in ["cli.simulate", "sim.run", "sim.arrival", "sim.completion"] {
+        assert!(
+            names.contains(&expected),
+            "trace names a {expected} span: {names:?}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn profile_flag_with_folded_extension_writes_folded_stacks() {
+    let dir = scratch_dir("folded");
+    let out = loadsteal_in(
+        &dir,
+        &[
+            "solve",
+            "--model",
+            "basic",
+            "--profile",
+            "p.folded",
+            "--quiet",
+        ],
+    );
+    assert!(
+        out.status.success(),
+        "solve --profile succeeds: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let body = std::fs::read_to_string(dir.join("p.folded")).expect("folded written");
+    let lines: Vec<&str> = body.lines().collect();
+    assert!(!lines.is_empty(), "folded output has stacks");
+    for line in &lines {
+        // `parent;child self_weight` — weight is a non-negative integer.
+        let (stack, weight) = line.rsplit_once(' ').expect("stack <space> weight");
+        assert!(!stack.is_empty());
+        weight.parse::<u64>().expect("integer weight");
+    }
+    assert!(
+        lines.iter().any(|l| l.starts_with("cli.solve")),
+        "root frame is the dispatched command: {lines:?}"
+    );
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains("ode.integrate;ode.step_attempt")),
+        "solver hot path appears as a nested frame: {lines:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn profile_command_prints_a_self_time_table_summing_to_wall() {
+    let dir = scratch_dir("report");
+    let out = loadsteal_in(
+        &dir,
+        &[
+            "profile",
+            "simulate",
+            "--model",
+            "basic",
+            "--n",
+            "64",
+            "--horizon",
+            "1000",
+            "--runs",
+            "2",
+            "--quiet",
+        ],
+    );
+    assert!(
+        out.status.success(),
+        "profile simulate succeeds: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("stdout is UTF-8");
+    let header = stdout
+        .lines()
+        .find(|l| l.starts_with("PROFILE"))
+        .expect("PROFILE header line");
+    // `PROFILE  wall X ms, span self-time total Y ms (Z% of wall)` —
+    // the span self-times must account for the command's wall time.
+    let pct: f64 = header
+        .split('(')
+        .nth(1)
+        .and_then(|t| t.split('%').next())
+        .expect("coverage percentage")
+        .parse()
+        .expect("percentage parses");
+    assert!(
+        (95.0..=105.0).contains(&pct),
+        "span self-time sums to within 5% of wall: {header}"
+    );
+    for col in ["SPAN", "CALLS", "SELF ms", "P99 us"] {
+        assert!(stdout.contains(col), "table column {col}: {stdout}");
+    }
+    assert!(
+        stdout.contains("SIM PHASES"),
+        "per-phase events/sec section: {stdout}"
+    );
+    assert!(stdout.contains("sim.arrival") && stdout.contains("ev/s"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn profile_command_without_inner_command_is_a_clean_error() {
+    let dir = scratch_dir("noinner");
+    let out = loadsteal_in(&dir, &["profile"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("loadsteal profile <command>"),
+        "usage hint: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_carries_span_summaries_when_profiling() {
+    let dir = scratch_dir("tracespans");
+    let out = loadsteal_in(
+        &dir,
+        &[
+            "simulate",
+            "--model",
+            "basic",
+            "--n",
+            "16",
+            "--horizon",
+            "100",
+            "--runs",
+            "1",
+            "--trace",
+            "t.ndjson",
+            "--profile",
+            "p.json",
+            "--quiet",
+        ],
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let bytes = std::fs::read(dir.join("t.ndjson")).expect("trace written");
+    let parsed = loadsteal_trace::read_bytes(&bytes, loadsteal_trace::ReadMode::Strict)
+        .expect("trace with span summaries parses strictly");
+    assert!(
+        parsed.spans.iter().any(|s| s.path.contains("sim.run")),
+        "span summary records land in the trace: {:?}",
+        parsed.spans.iter().map(|s| &s.path).collect::<Vec<_>>()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -247,11 +247,24 @@ impl ModelRegistry {
         &self.presets
     }
 
-    /// Look up a preset by registry key.
+    /// Look up a preset by registry key or accepted alias.
     pub fn get(&self, name: &str) -> Option<&Preset> {
+        let name = ALIASES
+            .iter()
+            .find(|(alias, _)| *alias == name)
+            .map_or(name, |(_, target)| *target);
         self.presets.iter().find(|p| p.name == name)
     }
 }
+
+/// Alternate spellings accepted by [`ModelRegistry::get`] (and thus by
+/// the whole `--model` grammar): the paper's own names for presets
+/// listed under their registry keys. Aliases are resolution-only —
+/// they do not appear in `loadsteal models` or the verify zoo.
+const ALIASES: &[(&str, &str)] = &[
+    // §2.2 calls simple-ws "the basic model".
+    ("basic", "simple-ws"),
+];
 
 #[cfg(test)]
 mod tests {
@@ -302,6 +315,22 @@ mod tests {
                 assert_ne!(a.label, b.label);
             }
         }
+    }
+
+    #[test]
+    fn basic_alias_resolves_to_the_simple_ws_preset() {
+        let reg = ModelRegistry::standard();
+        let via_alias = reg.get("basic").expect("alias resolves");
+        assert_eq!(via_alias.name, "simple-ws");
+        // The alias flows through the full spec grammar, including
+        // key=value overrides.
+        let parsed = ModelSpec::parse("basic").unwrap();
+        assert_eq!(parsed, via_alias.spec);
+        let overridden = ModelSpec::parse("basic,lambda=0.5").unwrap();
+        assert_eq!(overridden.lambda, 0.5);
+        // Aliases never add presets (the zoo and `models` output are
+        // keyed by registry name only).
+        assert!(reg.presets().iter().all(|p| p.name != "basic"));
     }
 
     #[test]

@@ -1,0 +1,295 @@
+//! Crash-safe flight recorder: a fixed-capacity in-memory ring of the
+//! most recent [`Event`]s that a chained panic hook dumps to
+//! `loadsteal-crash-<pid>.ndjson`, so a failed long run leaves its
+//! final seconds behind for post-mortem analysis.
+//!
+//! The recorder is process-global and off by default. [`install`]
+//! sizes the ring, arms recording, and (once per process) chains a
+//! panic hook in front of the existing one. [`record`] is a cheap
+//! no-op while disarmed — one relaxed atomic load — so it can sit on
+//! the same recorder tee as tracing without budget impact.
+//!
+//! The dump is an ordinary `loadsteal.trace.v1` NDJSON stream: the run
+//! header (when one was observed), the buffered events in arrival
+//! order, and a final `{"ev":"panic",…}` line carrying the panic
+//! message and ring statistics. The trace reader parses it strictly.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use crate::event::Event;
+use crate::json::JsonBuf;
+
+/// Default ring capacity (events) used by the CLI's
+/// `--flight-recorder` switch.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static HOOKED: AtomicBool = AtomicBool::new(false);
+static DUMPED: AtomicBool = AtomicBool::new(false);
+
+struct Buf {
+    cap: usize,
+    ring: VecDeque<Event>,
+    dropped: u64,
+    header: Option<String>,
+}
+
+static BUF: Mutex<Buf> = Mutex::new(Buf {
+    cap: 0,
+    ring: VecDeque::new(),
+    dropped: 0,
+    header: None,
+});
+
+fn lock() -> std::sync::MutexGuard<'static, Buf> {
+    BUF.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Whether the flight recorder is armed. One relaxed load.
+#[inline]
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Arm the flight recorder with the given ring capacity (events) and
+/// chain the crash-dump panic hook in front of the current one. Safe
+/// to call more than once: later calls resize the ring and re-arm but
+/// never stack a second hook.
+pub fn install(capacity: usize) {
+    {
+        let mut b = lock();
+        b.cap = capacity.max(1);
+        while b.ring.len() > b.cap {
+            b.ring.pop_front();
+            b.dropped += 1;
+        }
+    }
+    if !HOOKED.swap(true, Ordering::SeqCst) {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            dump_on_panic(info);
+            prev(info);
+        }));
+    }
+    ACTIVE.store(true, Ordering::Relaxed);
+}
+
+/// Disarm recording (the hook stays installed but becomes a no-op).
+pub fn disarm() {
+    ACTIVE.store(false, Ordering::Relaxed);
+}
+
+/// Append one event to the ring, evicting the oldest when full. No-op
+/// while disarmed.
+pub fn record(ev: &Event) {
+    if !active() {
+        return;
+    }
+    let mut b = lock();
+    if b.cap == 0 {
+        return;
+    }
+    if b.ring.len() == b.cap {
+        b.ring.pop_front();
+        b.dropped += 1;
+    }
+    b.ring.push_back(*ev);
+}
+
+/// Remember the run's trace-header line so crash dumps are
+/// self-describing. No-op while disarmed.
+pub fn set_header(line: String) {
+    if !active() {
+        return;
+    }
+    lock().header = Some(line);
+}
+
+/// Current `(buffered, dropped)` counts (test/diagnostic aid).
+pub fn stats() -> (u64, u64) {
+    let b = lock();
+    (b.ring.len() as u64, b.dropped)
+}
+
+/// Clear the ring, drop the stored header, and reset the
+/// once-per-process dump latch (test aid; the hook stays installed).
+pub fn reset() {
+    let mut b = lock();
+    b.ring.clear();
+    b.dropped = 0;
+    b.header = None;
+    DUMPED.store(false, Ordering::SeqCst);
+}
+
+/// Render the dump NDJSON for the current ring contents: optional
+/// header line, buffered events, and a closing panic record carrying
+/// `message`. This is exactly what the panic hook writes to disk.
+pub fn render_dump(message: &str, thread: Option<&str>) -> String {
+    let b = lock();
+    let mut out = String::new();
+    if let Some(h) = &b.header {
+        out.push_str(h);
+        out.push('\n');
+    }
+    for ev in &b.ring {
+        out.push_str(&ev.to_json_line());
+        out.push('\n');
+    }
+    let rec = PanicRecord {
+        message: message.to_owned(),
+        thread: thread.map(str::to_owned),
+        buffered: b.ring.len() as u64,
+        dropped: b.dropped,
+    };
+    out.push_str(&rec.to_json_line());
+    out.push('\n');
+    out
+}
+
+/// The crash-dump path for this process.
+pub fn dump_path() -> String {
+    format!("loadsteal-crash-{}.ndjson", std::process::id())
+}
+
+fn dump_on_panic(info: &std::panic::PanicHookInfo<'_>) {
+    if !active() {
+        return;
+    }
+    // Only the first panicking thread writes; concurrent worker panics
+    // would otherwise race on the same file.
+    if DUMPED.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let message = if let Some(s) = info.payload().downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = info.payload().downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    };
+    let message = match info.location() {
+        Some(loc) => format!("{message} ({}:{})", loc.file(), loc.line()),
+        None => message,
+    };
+    let thread = std::thread::current().name().map(str::to_owned);
+    let doc = render_dump(&message, thread.as_deref());
+    let path = dump_path();
+    match std::fs::write(&path, doc) {
+        Ok(()) => eprintln!("flight recorder: wrote crash dump to {path}"),
+        Err(e) => eprintln!("flight recorder: could not write {path}: {e}"),
+    }
+}
+
+/// One `{"ev":"panic",…}` NDJSON line: the terminal record of a crash
+/// dump, carrying the panic message and the ring statistics at the
+/// moment of the crash.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PanicRecord {
+    /// The panic message (with `file:line` when known).
+    pub message: String,
+    /// Name of the panicking thread, when it had one.
+    pub thread: Option<String>,
+    /// Events present in the ring when the dump was taken.
+    pub buffered: u64,
+    /// Events evicted from the ring before the dump.
+    pub dropped: u64,
+}
+
+impl PanicRecord {
+    /// Serialize as one NDJSON object (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut j = JsonBuf::new();
+        j.begin_obj()
+            .field_str("ev", "panic")
+            .field_str("message", &self.message);
+        if let Some(t) = &self.thread {
+            j.field_str("thread", t);
+        }
+        j.field_u64("buffered", self.buffered)
+            .field_u64("dropped", self.dropped);
+        j.end_obj();
+        j.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    /// The ring is process-global; tests serialize on this.
+    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static TEST_LOCK: Mutex<()> = Mutex::new(());
+        TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn ev(t: f64) -> Event {
+        Event::Heartbeat {
+            t,
+            events: 1,
+            tasks_in_system: 0,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_events() {
+        let _l = test_lock();
+        install(3);
+        reset();
+        for i in 0..5 {
+            record(&ev(f64::from(i)));
+        }
+        let (buffered, dropped) = stats();
+        assert_eq!((buffered, dropped), (3, 2));
+        let dump = render_dump("boom", Some("main"));
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 4, "3 events + panic line");
+        let first = json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("t").and_then(|v| v.as_f64()), Some(2.0));
+        disarm();
+    }
+
+    #[test]
+    fn dump_ends_with_a_parseable_panic_record() {
+        let _l = test_lock();
+        install(8);
+        reset();
+        record(&ev(1.0));
+        let dump = render_dump("assertion failed (x.rs:7)", None);
+        let last = dump.lines().last().unwrap();
+        let v = json::parse(last).unwrap();
+        assert_eq!(v.get("ev").and_then(|v| v.as_str()), Some("panic"));
+        assert_eq!(
+            v.get("message").and_then(|v| v.as_str()),
+            Some("assertion failed (x.rs:7)")
+        );
+        assert_eq!(v.get("buffered").and_then(|v| v.as_u64()), Some(1));
+        disarm();
+    }
+
+    #[test]
+    fn disarmed_recording_is_a_no_op() {
+        let _l = test_lock();
+        install(4);
+        reset();
+        disarm();
+        record(&ev(0.0));
+        assert_eq!(stats(), (0, 0));
+    }
+
+    #[test]
+    fn header_line_leads_the_dump() {
+        let _l = test_lock();
+        install(4);
+        reset();
+        set_header(crate::event::TraceHeader::default().to_json_line());
+        record(&ev(0.5));
+        let dump = render_dump("boom", None);
+        let first = dump.lines().next().unwrap();
+        let v = json::parse(first).unwrap();
+        assert_eq!(v.get("ev").and_then(|v| v.as_str()), Some("header"));
+        disarm();
+    }
+}

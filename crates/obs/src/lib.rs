@@ -26,13 +26,17 @@
 //! everything serializes through (no serde), [`sketch`] provides
 //! streaming quantile estimators (P² and a mergeable digest), [`prom`]
 //! renders any [`registry::MetricsReport`] in Prometheus text format,
-//! [`timer`] provides scoped wall-clock timers feeding histograms, and
-//! [`log`] is the `LOADSTEAL_LOG` env-filtered diagnostic logger.
+//! [`timer`] provides scoped wall-clock timers feeding histograms,
+//! [`span`] is the hierarchical span profiler (Chrome-trace and
+//! folded-stack exports), [`flight`] is the crash-safe flight recorder
+//! whose panic hook dumps the recent event ring, and [`log`] is the
+//! `LOADSTEAL_LOG` env-filtered diagnostic logger.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod flight;
 pub mod json;
 pub mod log;
 pub mod manifest;
@@ -40,9 +44,11 @@ pub mod prom;
 pub mod recorder;
 pub mod registry;
 pub mod sketch;
+pub mod span;
 pub mod timer;
 
 pub use event::{Event, SimEventKind, TraceHeader, TRACE_SCHEMA};
+pub use flight::PanicRecord;
 pub use manifest::{ConfigValue, RunManifest};
 pub use prom::prometheus_text;
 pub use recorder::{
@@ -51,4 +57,5 @@ pub use recorder::{
 };
 pub use registry::{Counter, Gauge, Histogram, MetricsReport, Registry, Sketch};
 pub use sketch::{Digest, P2Quantile};
+pub use span::{ProfileReport, SpanAggregate, SpanGuard, SpanInstance, SpanRecord};
 pub use timer::{ScopedTimer, Stopwatch};

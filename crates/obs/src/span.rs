@@ -1,0 +1,724 @@
+//! Hierarchical span profiler: thread-local span stacks, monotonic
+//! clocks, and per-span aggregates (call count, total/self time, and
+//! duration quantiles through [`Digest`]).
+//!
+//! The profiler is a process-wide singleton gated by one relaxed
+//! [`AtomicBool`]: when disabled (the default) a span site costs a
+//! single atomic load and a branch, which keeps the instrumented hot
+//! loops inside the ≤2% overhead budget enforced by the bench gate.
+//! When enabled, every [`span`] pushes a frame onto a thread-local
+//! stack; dropping the returned [`SpanGuard`] pops the frame, charges
+//! the elapsed time to the span's aggregate (keyed by the full
+//! `parent;child` path), and adds the duration to the parent's child
+//! time so self time is always `total − children`.
+//!
+//! Worker threads (the replication pool is `std::thread::scope`-based)
+//! merge their local aggregates into a global profile when the thread
+//! exits; the calling thread merges explicitly via [`flush_thread`],
+//! which [`snapshot`] does for you. Individual span instances are kept
+//! — capped at [`MAX_INSTANCES`] with an overflow counter — so the
+//! profile can be exported as Chrome trace-event JSON
+//! ([`ProfileReport::chrome_trace`], loadable in `chrome://tracing` or
+//! Perfetto) or folded-stack lines ([`ProfileReport::folded`], ready
+//! for `inferno` / `flamegraph.pl`).
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json::JsonBuf;
+use crate::registry::Registry;
+use crate::sketch::Digest;
+
+/// Upper bound on retained span *instances* (for Chrome traces) across
+/// the whole process. Aggregates are exact regardless; once the cap is
+/// hit further instances are counted in
+/// [`ProfileReport::dropped_instances`] instead of stored.
+pub const MAX_INSTANCES: usize = 200_000;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether the profiler is currently recording. One relaxed load —
+/// this is the only cost a span site pays when profiling is off.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn the profiler on or off process-wide. Spans opened while
+/// enabled still record on drop after a disable.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// The process-wide monotonic epoch all span timestamps are relative
+/// to (established by the first span recorded).
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_us() -> f64 {
+    epoch().elapsed().as_secs_f64() * 1e6
+}
+
+/// Intern a dynamic span name, returning a `'static` string. The pool
+/// only grows — callers are expected to produce a bounded set of names
+/// (command names, verify check names), not per-event strings.
+fn intern(name: String) -> &'static str {
+    static POOL: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    let mut pool = POOL.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(s) = pool.get(name.as_str()) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.into_boxed_str());
+    pool.insert(leaked);
+    leaked
+}
+
+// ---------------------------------------------------------------------
+// Thread-local state.
+
+struct Frame {
+    /// Interned full path `root;…;name`.
+    path: &'static str,
+    name: &'static str,
+    start_us: f64,
+    child_us: f64,
+}
+
+#[derive(Default)]
+struct LocalAgg {
+    count: u64,
+    total_us: f64,
+    self_us: f64,
+    durations: Digest,
+}
+
+impl LocalAgg {
+    fn merge(&mut self, other: &LocalAgg) {
+        self.count += other.count;
+        self.total_us += other.total_us;
+        self.self_us += other.self_us;
+        self.durations.merge(&other.durations);
+    }
+}
+
+struct ThreadState {
+    tid: u32,
+    stack: Vec<Frame>,
+    agg: BTreeMap<&'static str, LocalAgg>,
+    /// Memo of `(parent_path, name) → full path` so the global intern
+    /// lock is only taken once per distinct path per thread.
+    paths: BTreeMap<(&'static str, &'static str), &'static str>,
+    instances: Vec<SpanInstance>,
+    dropped: u64,
+}
+
+impl ThreadState {
+    fn new() -> Self {
+        let mut g = global().lock().unwrap_or_else(|p| p.into_inner());
+        let tid = g.next_tid;
+        g.next_tid += 1;
+        Self {
+            tid,
+            stack: Vec::new(),
+            agg: BTreeMap::new(),
+            paths: BTreeMap::new(),
+            instances: Vec::new(),
+            dropped: 0,
+        }
+    }
+}
+
+/// TLS cell. Completed data is merged into the global profile eagerly
+/// whenever the thread's outermost span closes (see [`exit_current`]);
+/// the `Drop` impl is only a backstop for threads that die with spans
+/// still open. Eager merging matters because `std::thread::scope` can
+/// return *before* its workers' TLS destructors have run, so a joiner
+/// snapshotting right after a scope would otherwise race the merge.
+struct TlsSlot(Option<ThreadState>);
+
+impl Drop for TlsSlot {
+    fn drop(&mut self) {
+        if let Some(state) = self.0.take() {
+            merge_into_global(state);
+        }
+    }
+}
+
+thread_local! {
+    static TLS: RefCell<TlsSlot> = const { RefCell::new(TlsSlot(None)) };
+}
+
+// ---------------------------------------------------------------------
+// Global merged profile.
+
+struct GlobalProfile {
+    agg: BTreeMap<&'static str, LocalAgg>,
+    instances: Vec<SpanInstance>,
+    dropped: u64,
+    next_tid: u32,
+}
+
+fn global() -> &'static Mutex<GlobalProfile> {
+    static GLOBAL: Mutex<GlobalProfile> = Mutex::new(GlobalProfile {
+        agg: BTreeMap::new(),
+        instances: Vec::new(),
+        dropped: 0,
+        next_tid: 0,
+    });
+    &GLOBAL
+}
+
+fn merge_into_global(state: ThreadState) {
+    let mut g = global().lock().unwrap_or_else(|p| p.into_inner());
+    for (path, la) in &state.agg {
+        g.agg.entry(path).or_default().merge(la);
+    }
+    let room = MAX_INSTANCES.saturating_sub(g.instances.len());
+    let take = state.instances.len().min(room);
+    let overflow = (state.instances.len() - take) as u64;
+    g.instances.extend(state.instances.into_iter().take(take));
+    g.dropped += state.dropped + overflow;
+}
+
+// ---------------------------------------------------------------------
+// The span API.
+
+/// RAII guard returned by [`span`]; records the span on drop. Inert
+/// (and nearly free) when the profiler is disabled.
+#[must_use = "a span measures the scope it is alive for"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    active: bool,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.active {
+            exit_current();
+        }
+    }
+}
+
+/// Open a span named `name` under the innermost open span of this
+/// thread. The span closes when the guard drops.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { active: false };
+    }
+    enter(name);
+    SpanGuard { active: true }
+}
+
+/// [`span`] for dynamically built names (command names, check names).
+/// The name is interned into a process-lifetime pool, so call this
+/// with a bounded set of distinct names only.
+pub fn span_dyn(name: String) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { active: false };
+    }
+    span(intern(name))
+}
+
+fn enter(name: &'static str) {
+    let _ = TLS.try_with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let state = slot.0.get_or_insert_with(ThreadState::new);
+        let parent = state.stack.last().map(|f| f.path).unwrap_or("");
+        let path = *state.paths.entry((parent, name)).or_insert_with(|| {
+            if parent.is_empty() {
+                name
+            } else {
+                intern(format!("{parent};{name}"))
+            }
+        });
+        state.stack.push(Frame {
+            path,
+            name,
+            start_us: now_us(),
+            child_us: 0.0,
+        });
+    });
+}
+
+fn exit_current() {
+    let _ = TLS.try_with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let Some(state) = slot.0.as_mut() else {
+            return;
+        };
+        let Some(frame) = state.stack.pop() else {
+            return;
+        };
+        let dur = (now_us() - frame.start_us).max(0.0);
+        if let Some(parent) = state.stack.last_mut() {
+            parent.child_us += dur;
+        }
+        let self_us = (dur - frame.child_us).max(0.0);
+        let agg = state.agg.entry(frame.path).or_default();
+        agg.count += 1;
+        agg.total_us += dur;
+        agg.self_us += self_us;
+        agg.durations.record(dur);
+        if state.instances.len() < MAX_INSTANCES {
+            state.instances.push(SpanInstance {
+                name: frame.name,
+                tid: state.tid,
+                start_us: frame.start_us,
+                dur_us: dur,
+            });
+        } else {
+            state.dropped += 1;
+        }
+        // The outermost span just closed: publish this thread's data
+        // now. Scoped worker threads may be observed (joined) before
+        // their TLS destructors run, so merging on drop alone would
+        // lose completed work in a post-scope snapshot.
+        if state.stack.is_empty() {
+            let flushed = ThreadState {
+                tid: state.tid,
+                stack: Vec::new(),
+                agg: std::mem::take(&mut state.agg),
+                paths: BTreeMap::new(),
+                instances: std::mem::take(&mut state.instances),
+                dropped: std::mem::take(&mut state.dropped),
+            };
+            merge_into_global(flushed);
+        }
+    });
+}
+
+/// Merge this thread's span data into the global profile. Open spans
+/// stay on the thread's stack and keep accumulating. Worker threads do
+/// this automatically on exit; the main thread calls it (via
+/// [`snapshot`]) before reporting.
+pub fn flush_thread() {
+    let _ = TLS.try_with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let Some(state) = slot.0.as_mut() else {
+            return;
+        };
+        // Move the completed data out; keep the thread identity, path
+        // memo, and any still-open frames in place.
+        let flushed = ThreadState {
+            tid: state.tid,
+            stack: Vec::new(),
+            agg: std::mem::take(&mut state.agg),
+            paths: BTreeMap::new(),
+            instances: std::mem::take(&mut state.instances),
+            dropped: std::mem::take(&mut state.dropped),
+        };
+        merge_into_global(flushed);
+    });
+}
+
+/// Clear all recorded span data (global and this thread's local
+/// state). Test-oriented; thread ids keep incrementing.
+pub fn reset() {
+    let _ = TLS.try_with(|slot| {
+        slot.borrow_mut().0 = None;
+    });
+    let mut g = global().lock().unwrap_or_else(|p| p.into_inner());
+    g.agg.clear();
+    g.instances.clear();
+    g.dropped = 0;
+}
+
+/// Flush the current thread and return a merged copy of everything
+/// recorded so far. Does not reset.
+pub fn snapshot() -> ProfileReport {
+    flush_thread();
+    let g = global().lock().unwrap_or_else(|p| p.into_inner());
+    let spans = g
+        .agg
+        .iter()
+        .map(|(path, la)| SpanAggregate {
+            path: (*path).to_owned(),
+            count: la.count,
+            total_us: la.total_us,
+            self_us: la.self_us,
+            durations: la.durations.clone(),
+        })
+        .collect();
+    let mut instances = g.instances.clone();
+    instances.sort_by(|a, b| {
+        (a.tid, a.start_us)
+            .partial_cmp(&(b.tid, b.start_us))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    ProfileReport {
+        spans,
+        instances,
+        dropped_instances: g.dropped,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Report types and exports.
+
+/// Aggregate statistics for one span path.
+#[derive(Debug, Clone)]
+pub struct SpanAggregate {
+    /// Full `parent;child` path (semicolon-separated, folded-stack
+    /// convention).
+    pub path: String,
+    /// Number of completed spans on this path.
+    pub count: u64,
+    /// Total wall time, microseconds.
+    pub total_us: f64,
+    /// Self time (total minus time spent in child spans), microseconds.
+    pub self_us: f64,
+    /// Quantile sketch of individual span durations, microseconds.
+    pub durations: Digest,
+}
+
+impl SpanAggregate {
+    /// Leaf name (the path segment after the last `;`).
+    pub fn name(&self) -> &str {
+        self.path.rsplit(';').next().unwrap_or(&self.path)
+    }
+
+    /// Median span duration in microseconds (0 when empty).
+    pub fn p50_us(&self) -> f64 {
+        self.durations.quantile(0.5).unwrap_or(0.0)
+    }
+
+    /// 99th-percentile span duration in microseconds (0 when empty).
+    pub fn p99_us(&self) -> f64 {
+        self.durations.quantile(0.99).unwrap_or(0.0)
+    }
+
+    /// The NDJSON summary record for this aggregate.
+    pub fn to_record(&self) -> SpanRecord {
+        SpanRecord {
+            path: self.path.clone(),
+            count: self.count,
+            total_us: self.total_us,
+            self_us: self.self_us,
+            p50_us: self.p50_us(),
+            p99_us: self.p99_us(),
+        }
+    }
+}
+
+/// One completed span occurrence (for Chrome trace export).
+#[derive(Debug, Clone, Copy)]
+pub struct SpanInstance {
+    /// Leaf span name.
+    pub name: &'static str,
+    /// Small per-thread id assigned in first-span order.
+    pub tid: u32,
+    /// Start timestamp, microseconds since the profiler epoch.
+    pub start_us: f64,
+    /// Duration, microseconds.
+    pub dur_us: f64,
+}
+
+/// A merged snapshot of the profiler: aggregates, retained instances,
+/// and the overflow count.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileReport {
+    /// Per-path aggregates, sorted by path.
+    pub spans: Vec<SpanAggregate>,
+    /// Retained span instances (capped at [`MAX_INSTANCES`]), sorted
+    /// by thread then start time.
+    pub instances: Vec<SpanInstance>,
+    /// Instances dropped once the cap was reached.
+    pub dropped_instances: u64,
+}
+
+impl ProfileReport {
+    /// Sum of self time over every span path, microseconds. With a
+    /// root span wrapping the whole command this equals the profiled
+    /// wall time.
+    pub fn total_self_us(&self) -> f64 {
+        self.spans.iter().map(|s| s.self_us).sum()
+    }
+
+    /// Render as Chrome trace-event JSON: an array of complete-event
+    /// objects (`"ph":"X"`) with microsecond `ts`/`dur`, loadable in
+    /// `chrome://tracing` and Perfetto.
+    pub fn chrome_trace(&self) -> String {
+        let pid = std::process::id() as u64;
+        let mut j = JsonBuf::new();
+        j.begin_arr();
+        for i in &self.instances {
+            j.begin_obj()
+                .field_str("name", i.name)
+                .field_str("cat", "loadsteal")
+                .field_str("ph", "X")
+                .field_f64("ts", i.start_us)
+                .field_f64("dur", i.dur_us)
+                .field_u64("pid", pid)
+                .field_u64("tid", u64::from(i.tid));
+            j.end_obj();
+        }
+        j.end_arr();
+        j.finish()
+    }
+
+    /// Render as folded-stack lines (`root;child self_us` per path),
+    /// the input format of `inferno` / `flamegraph.pl`.
+    pub fn folded(&self) -> String {
+        let mut out = String::new();
+        for s in &self.spans {
+            let weight = s.self_us.round().max(0.0) as u64;
+            out.push_str(&s.path);
+            out.push(' ');
+            out.push_str(&weight.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The NDJSON summary records, one per aggregate.
+    pub fn to_records(&self) -> Vec<SpanRecord> {
+        self.spans.iter().map(SpanAggregate::to_record).collect()
+    }
+}
+
+/// Publish per-span aggregates into a metrics [`Registry`] so they
+/// flow through the metrics document and the Prometheus exposition:
+/// `span.<path>.calls` (counter), `span.<path>.self_us` (gauge), and
+/// `span.<path>.us` (duration sketch → quantile summary).
+pub fn export_to_registry(reg: &Registry, report: &ProfileReport) {
+    for a in &report.spans {
+        reg.counter(&format!("span.{}.calls", a.path)).add(a.count);
+        reg.gauge(&format!("span.{}.self_us", a.path))
+            .set(a.self_us);
+        reg.sketch(&format!("span.{}.us", a.path))
+            .merge_from(&a.durations);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The wire record.
+
+/// One `{"ev":"span",…}` NDJSON line: the summary of a span path,
+/// appended to traces when profiling is on and parsed back by the
+/// trace reader.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Full semicolon-separated span path.
+    pub path: String,
+    /// Completed span count.
+    pub count: u64,
+    /// Total microseconds.
+    pub total_us: f64,
+    /// Self microseconds.
+    pub self_us: f64,
+    /// Median duration, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile duration, microseconds.
+    pub p99_us: f64,
+}
+
+impl SpanRecord {
+    /// Serialize as one NDJSON object (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut j = JsonBuf::new();
+        j.begin_obj()
+            .field_str("ev", "span")
+            .field_str("path", &self.path)
+            .field_u64("count", self.count)
+            .field_f64("total_us", self.total_us)
+            .field_f64("self_us", self.self_us)
+            .field_f64("p50_us", self.p50_us)
+            .field_f64("p99_us", self.p99_us);
+        j.end_obj();
+        j.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    /// The profiler is process-global; tests serialize on this.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static TEST_LOCK: Mutex<()> = Mutex::new(());
+        TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn spin_us(us: u64) {
+        let t = Instant::now();
+        while t.elapsed().as_micros() < u128::from(us) {
+            std::hint::black_box(0u64);
+        }
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _l = lock();
+        set_enabled(false);
+        reset();
+        {
+            let _a = span("outer");
+            let _b = span("inner");
+        }
+        let r = snapshot();
+        assert!(r.spans.is_empty());
+        assert!(r.instances.is_empty());
+    }
+
+    #[test]
+    fn hierarchy_splits_self_and_total_time() {
+        let _l = lock();
+        set_enabled(true);
+        reset();
+        {
+            let _a = span("outer");
+            spin_us(200);
+            {
+                let _b = span("inner");
+                spin_us(200);
+            }
+        }
+        set_enabled(false);
+        let r = snapshot();
+        let outer = r.spans.iter().find(|s| s.path == "outer").unwrap();
+        let inner = r.spans.iter().find(|s| s.path == "outer;inner").unwrap();
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        assert!(outer.total_us >= inner.total_us);
+        assert!(
+            outer.self_us <= outer.total_us - inner.total_us + 1.0,
+            "self {} total {} inner {}",
+            outer.self_us,
+            outer.total_us,
+            inner.total_us
+        );
+        assert!(inner.p50_us() > 0.0);
+        // Self times sum to the root total (the wall-coverage property
+        // the CLI report relies on).
+        let sum: f64 = r.total_self_us();
+        assert!(
+            (sum - outer.total_us).abs() <= 0.05 * outer.total_us + 1.0,
+            "sum {sum} vs root {}",
+            outer.total_us
+        );
+    }
+
+    #[test]
+    fn worker_threads_merge_on_exit() {
+        let _l = lock();
+        set_enabled(true);
+        reset();
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    let _g = span("worker");
+                    spin_us(50);
+                });
+            }
+        });
+        set_enabled(false);
+        let r = snapshot();
+        let w = r.spans.iter().find(|s| s.path == "worker").unwrap();
+        assert_eq!(w.count, 2);
+        let tids: BTreeSet<u32> = r.instances.iter().map(|i| i.tid).collect();
+        assert_eq!(tids.len(), 2, "each worker gets its own tid");
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_complete_events() {
+        let _l = lock();
+        set_enabled(true);
+        reset();
+        {
+            let _a = span("alpha");
+            let _b = span("beta");
+        }
+        set_enabled(false);
+        let r = snapshot();
+        let doc = r.chrome_trace();
+        let v = json::parse(&doc).expect("chrome trace parses");
+        let json::JsonValue::Arr(events) = v else {
+            panic!("top level is an array");
+        };
+        assert_eq!(events.len(), 2);
+        for ev in &events {
+            assert_eq!(ev.get("ph").and_then(|v| v.as_str()), Some("X"));
+            assert!(ev.get("ts").and_then(|v| v.as_f64()).is_some());
+            assert!(ev.get("dur").and_then(|v| v.as_f64()).is_some());
+            assert!(ev.get("name").and_then(|v| v.as_str()).is_some());
+        }
+    }
+
+    #[test]
+    fn folded_lines_carry_the_full_path() {
+        let _l = lock();
+        set_enabled(true);
+        reset();
+        {
+            let _a = span("outer");
+            let _b = span("inner");
+            spin_us(20);
+        }
+        set_enabled(false);
+        let folded = snapshot().folded();
+        assert!(folded.lines().any(|l| l.starts_with("outer;inner ")));
+        for line in folded.lines() {
+            let (_, weight) = line.rsplit_once(' ').unwrap();
+            weight.parse::<u64>().expect("integer weight");
+        }
+    }
+
+    #[test]
+    fn span_record_round_trips_through_json() {
+        let rec = SpanRecord {
+            path: "cli.simulate;sim.run".into(),
+            count: 3,
+            total_us: 1500.5,
+            self_us: 200.25,
+            p50_us: 480.0,
+            p99_us: 700.0,
+        };
+        let line = rec.to_json_line();
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("ev").and_then(|v| v.as_str()), Some("span"));
+        assert_eq!(
+            v.get("path").and_then(|v| v.as_str()),
+            Some("cli.simulate;sim.run")
+        );
+        assert_eq!(v.get("count").and_then(|v| v.as_u64()), Some(3));
+    }
+
+    #[test]
+    fn registry_export_lands_counters_and_sketches() {
+        let _l = lock();
+        set_enabled(true);
+        reset();
+        {
+            let _a = span("phase");
+            spin_us(30);
+        }
+        set_enabled(false);
+        let report = snapshot();
+        let reg = Registry::new();
+        export_to_registry(&reg, &report);
+        assert_eq!(reg.counter("span.phase.calls").get(), 1);
+        assert!(reg.gauge("span.phase.self_us").get() > 0.0);
+        assert_eq!(reg.sketch("span.phase.us").snapshot().count(), 1);
+    }
+
+    #[test]
+    fn dyn_names_intern_to_stable_paths() {
+        let _l = lock();
+        set_enabled(true);
+        reset();
+        for _ in 0..3 {
+            let _g = span_dyn(format!("verify.{}", "zoo"));
+        }
+        set_enabled(false);
+        let r = snapshot();
+        let agg = r.spans.iter().find(|s| s.path == "verify.zoo").unwrap();
+        assert_eq!(agg.count, 3);
+    }
+}

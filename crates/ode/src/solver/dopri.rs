@@ -2,6 +2,7 @@
 
 use crate::norms::{error_norm, max_abs};
 use crate::system::OdeSystem;
+use loadsteal_obs::span;
 use loadsteal_obs::{Event, NullRecorder, Recorder};
 
 use super::{Control, IntegrationError, SteadyReport, SteadyStateOptions, StepStats};
@@ -297,6 +298,7 @@ impl DormandPrince45 {
         observer: impl FnMut(f64, &[f64]) -> Control,
         rec: &mut dyn Recorder,
     ) -> Result<(f64, u64, f64), IntegrationError> {
+        let _span = span::span("ode.integrate");
         self.stats = StepStats::default();
         let out = self.drive_inner(sys, t0, t1, y, steady_tol, steady_after, observer, rec);
         if rec.enabled() {
@@ -372,7 +374,15 @@ impl DormandPrince45 {
                 return Err(IntegrationError::MaxStepsExceeded { t });
             }
             let h_eff = h.min(t1 - t);
-            let err = self.try_step(sys, t, h_eff, y);
+            let err = {
+                // Stage evaluations + embedded error estimate: the
+                // solver's hot phase (6 derivative calls + FSAL).
+                let _span = span::span("ode.step_attempt");
+                self.try_step(sys, t, h_eff, y)
+            };
+            // Everything after the attempt — accept/reject decision,
+            // PI controller, FSAL bookkeeping — is error control.
+            let _ctl_span = span::span("ode.error_control");
             if tracing {
                 rec.record(&Event::SolverStep {
                     accepted: err.is_finite() && err <= 1.0,

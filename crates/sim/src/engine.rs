@@ -20,6 +20,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use loadsteal_obs::span;
 use loadsteal_obs::{Digest, Event as ObsEvent, NullRecorder, Recorder, SimEventKind};
 use loadsteal_queueing::dist::exp_sample;
 use loadsteal_queueing::OnlineStats;
@@ -237,6 +238,7 @@ impl<'a, R: Recorder> Engine<'a, R> {
     }
 
     fn run(mut self) -> SimResult {
+        let _run_span = span::span("sim.run");
         let wall = std::time::Instant::now();
         self.initialize();
         let horizon = if self.cfg.run_until_drained {
@@ -262,12 +264,23 @@ impl<'a, R: Recorder> Engine<'a, R> {
                 && self.cfg.heartbeat_every != 0
                 && self.events_processed % self.cfg.heartbeat_every == 0
             {
+                let _hb_span = span::span("sim.heartbeat");
                 self.rec.record(&ObsEvent::Heartbeat {
                     t: self.t,
                     events: self.events_processed,
                     tasks_in_system: self.tasks_in_system,
                 });
             }
+            // One profiler span per simulated event, named by phase.
+            // Disabled cost: selecting the static name plus one relaxed
+            // atomic load — inside the bench gate's ≤2% budget.
+            let _ev_span = span::span(match ev.kind {
+                EventKind::ExtArrival { .. } | EventKind::IntArrival { .. } => "sim.arrival",
+                EventKind::Completion { .. } => "sim.completion",
+                EventKind::StealProbe { .. } => "sim.steal_attempt",
+                EventKind::RebalanceTick { .. } => "sim.rebalance",
+                EventKind::TransferArrive { .. } => "sim.transfer",
+            });
             match ev.kind {
                 EventKind::ExtArrival { proc } => self.on_ext_arrival(proc as usize),
                 EventKind::IntArrival { proc, epoch } => self.on_int_arrival(proc as usize, epoch),
@@ -282,6 +295,7 @@ impl<'a, R: Recorder> Engine<'a, R> {
                     work,
                 } => self.on_transfer_arrive(proc as usize, arrived, work),
             }
+            drop(_ev_span);
             if self.cfg.run_until_drained && self.tasks_in_system == 0 {
                 self.makespan = Some(self.t);
                 break;

@@ -86,7 +86,10 @@ pub fn replicate(cfg: &SimConfig, runs: usize, base_seed: u64) -> ReplicateResul
         .unwrap_or_else(|e| panic!("invalid simulation config: {e}"));
     let results: Vec<SimResult> = (0..runs as u64)
         .into_par_iter()
-        .map(|i| run_seeded(cfg, base_seed.wrapping_add(i)))
+        .map(|i| {
+            let _span = loadsteal_obs::span::span("sim.replicate");
+            run_seeded(cfg, base_seed.wrapping_add(i))
+        })
         .collect();
     aggregate(results)
 }
@@ -114,6 +117,7 @@ pub fn replicate_recorded<R: Recorder + Send>(
     let results: Vec<SimResult> = (0..runs as u64)
         .into_par_iter()
         .map(|i| {
+            let _span = loadsteal_obs::span::span("sim.replicate");
             let seed = base_seed.wrapping_add(i);
             let mut handle = rec.clone();
             let mut r = run_recorded(cfg, seed, &mut handle);

@@ -14,7 +14,7 @@
 //!   yields its parseable prefix/suffix.
 
 use loadsteal_obs::json::{parse, JsonValue};
-use loadsteal_obs::{Event, SimEventKind, TraceHeader, TRACE_SCHEMA};
+use loadsteal_obs::{Event, PanicRecord, SimEventKind, SpanRecord, TraceHeader, TRACE_SCHEMA};
 
 /// How to treat malformed lines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,17 +65,28 @@ pub struct ParsedTrace {
     /// Lines skipped in lossy mode (always empty in strict mode —
     /// strict fails instead).
     pub skipped: Vec<TraceDiagnostic>,
+    /// Per-span profiler summaries (`{"ev":"span",…}` lines, appended
+    /// by profiled runs), in input order.
+    pub spans: Vec<SpanRecord>,
+    /// Panic records (`{"ev":"panic",…}` — the terminal line of a
+    /// flight-recorder crash dump), in input order.
+    pub panics: Vec<PanicRecord>,
     /// Total non-blank lines seen (parsed + skipped).
     pub lines: usize,
 }
 
-/// One parsed NDJSON line: an event, or the stream's header.
+/// One parsed NDJSON line: an event, the stream's header, a span
+/// summary, or a crash-dump panic record.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Record {
     /// An ordinary [`Event`] line.
     Event(Event),
     /// A `{"ev":"header",...}` line.
     Header(TraceHeader),
+    /// A `{"ev":"span",...}` profiler summary line.
+    Span(SpanRecord),
+    /// A `{"ev":"panic",...}` crash-dump terminator.
+    Panic(PanicRecord),
 }
 
 impl ParsedTrace {
@@ -89,6 +100,8 @@ impl ParsedTrace {
                     self.header = Some(h);
                 }
             }
+            Record::Span(s) => self.spans.push(s),
+            Record::Panic(p) => self.panics.push(p),
         }
     }
 }
@@ -194,6 +207,16 @@ pub fn parse_line(line: &str) -> Result<Event, (usize, String)> {
             1,
             "header line is not an event (readers surface it as ParsedTrace::header)".to_owned(),
         )),
+        Record::Span(_) => Err((
+            1,
+            "span summary line is not an event (readers surface it as ParsedTrace::spans)"
+                .to_owned(),
+        )),
+        Record::Panic(_) => Err((
+            1,
+            "panic record line is not an event (readers surface it as ParsedTrace::panics)"
+                .to_owned(),
+        )),
     }
 }
 
@@ -236,7 +259,51 @@ pub fn parse_record(line: &str) -> Result<Record, (usize, String)> {
     if ev == "header" {
         return parse_header(&v).map(Record::Header);
     }
+    if ev == "span" {
+        return parse_span(&v).map(Record::Span);
+    }
+    if ev == "panic" {
+        return parse_panic(&v).map(Record::Panic);
+    }
     parse_event(&v, ev).map(Record::Event)
+}
+
+fn parse_span(v: &JsonValue) -> Result<SpanRecord, (usize, String)> {
+    let path = v
+        .get("path")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| (1, "missing or non-string \"path\" field".to_owned()))?
+        .to_owned();
+    Ok(SpanRecord {
+        path,
+        count: u64_field(v, "count")?,
+        total_us: f64_field(v, "total_us")?,
+        self_us: f64_field(v, "self_us")?,
+        p50_us: f64_field(v, "p50_us")?,
+        p99_us: f64_field(v, "p99_us")?,
+    })
+}
+
+fn parse_panic(v: &JsonValue) -> Result<PanicRecord, (usize, String)> {
+    let message = v
+        .get("message")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| (1, "missing or non-string \"message\" field".to_owned()))?
+        .to_owned();
+    let thread = match v.get("thread") {
+        None => None,
+        Some(t) => Some(
+            t.as_str()
+                .ok_or_else(|| (1, "field \"thread\" is not a string".to_owned()))?
+                .to_owned(),
+        ),
+    };
+    Ok(PanicRecord {
+        message,
+        thread,
+        buffered: u64_field(v, "buffered")?,
+        dropped: u64_field(v, "dropped")?,
+    })
 }
 
 fn parse_event(v: &JsonValue, ev: &str) -> Result<Event, (usize, String)> {
@@ -644,5 +711,86 @@ garbage
         let line = TraceHeader::default().to_json_line();
         let (_, msg) = parse_line(&line).unwrap_err();
         assert!(msg.contains("header line is not an event"), "{msg}");
+    }
+
+    #[test]
+    fn span_summary_lines_round_trip() {
+        let rec = SpanRecord {
+            path: "cli.simulate;sim.run;sim.arrival".into(),
+            count: 42,
+            total_us: 1234.5,
+            self_us: 1000.25,
+            p50_us: 20.0,
+            p99_us: 95.5,
+        };
+        let parsed = read_str(&rec.to_json_line(), ReadMode::Strict).unwrap();
+        assert_eq!(parsed.spans, vec![rec]);
+        assert!(parsed.events.is_empty());
+    }
+
+    #[test]
+    fn panic_record_parses_strictly_with_and_without_thread() {
+        let rec = PanicRecord {
+            message: "injected panic (obs.rs:12)".into(),
+            thread: Some("main".into()),
+            buffered: 4096,
+            dropped: 120,
+        };
+        let parsed = read_str(&rec.to_json_line(), ReadMode::Strict).unwrap();
+        assert_eq!(parsed.panics, vec![rec]);
+
+        let anon = PanicRecord {
+            message: "boom".into(),
+            thread: None,
+            buffered: 0,
+            dropped: 0,
+        };
+        let parsed = read_str(&anon.to_json_line(), ReadMode::Strict).unwrap();
+        assert_eq!(parsed.panics[0].thread, None);
+    }
+
+    #[test]
+    fn crash_dump_shape_parses_strictly_and_ends_with_the_panic() {
+        // Header, a few events, then the terminal panic record — the
+        // exact stream the flight recorder's hook writes.
+        let dump = format!(
+            "{}\n{}\n{}\n{}\n",
+            r#"{"ev":"header","schema":"loadsteal.trace.v1","n":8}"#,
+            r#"{"ev":"arrival","t":0.5,"proc":3}"#,
+            r#"{"ev":"heartbeat","t":1.0,"events":100,"tasks_in_system":7}"#,
+            r#"{"ev":"panic","message":"boom (engine.rs:1)","thread":"main","buffered":2,"dropped":0}"#,
+        );
+        let parsed = read_str(&dump, ReadMode::Strict).unwrap();
+        assert_eq!(parsed.events.len(), 2);
+        assert_eq!(parsed.panics.len(), 1);
+        assert_eq!(parsed.panics[0].buffered, 2);
+        // The panic line is the last non-blank line of the dump.
+        let last = dump.lines().last().unwrap();
+        assert!(matches!(parse_record(last).unwrap(), Record::Panic(_)));
+    }
+
+    #[test]
+    fn malformed_span_line_is_fatal_strict_but_skipped_lossy() {
+        let text = format!(
+            "{}\n{}\n",
+            r#"{"ev":"span","count":1}"#, // missing path
+            r#"{"ev":"arrival","t":1.0,"proc":0}"#,
+        );
+        let err = read_str(&text, ReadMode::Strict).unwrap_err();
+        assert!(err.message.contains("path"), "{err}");
+        let parsed = read_str(&text, ReadMode::Lossy).unwrap();
+        assert_eq!(parsed.skipped.len(), 1);
+        assert_eq!(parsed.events.len(), 1);
+    }
+
+    #[test]
+    fn parse_line_refuses_span_and_panic_lines() {
+        let (_, msg) =
+            parse_line(r#"{"ev":"span","path":"a","count":1,"total_us":1.0,"self_us":1.0,"p50_us":1.0,"p99_us":1.0}"#)
+                .unwrap_err();
+        assert!(msg.contains("span summary line is not an event"), "{msg}");
+        let (_, msg) =
+            parse_line(r#"{"ev":"panic","message":"x","buffered":0,"dropped":0}"#).unwrap_err();
+        assert!(msg.contains("panic record line is not an event"), "{msg}");
     }
 }

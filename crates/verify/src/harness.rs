@@ -195,6 +195,10 @@ impl Report {
 pub fn run_checks(checks: Vec<Check>) -> Report {
     let mut report = Report::default();
     for c in checks {
+        // Per-layer and per-check profiler spans: nested so a profiled
+        // `verify` run shows time by layer, then by check within it.
+        let _layer_span = loadsteal_obs::span::span_dyn(format!("verify.{}", c.group));
+        let _check_span = loadsteal_obs::span::span_dyn(format!("verify.{}.{}", c.group, c.name));
         let start = std::time::Instant::now();
         let outcome = (c.run)();
         report.results.push(CheckResult {
