@@ -392,6 +392,10 @@ pub fn simulate(a: &Args) -> Result<(), String> {
     // written; the digest stays off otherwise so the hot loop pays
     // nothing for it.
     cfg.sojourn_digest = obs.metrics_json.is_some();
+    // Per-job lifecycle events are opt-in: the engine only emits them
+    // when a recorder is attached AND this flag is set, so plain runs
+    // pay nothing.
+    cfg.trace_jobs = a.switch("trace-jobs");
     let out = Narrator::new(obs.machine_stdout());
     let mut rec = obs.recorder()?;
     rec.write_header(&TraceHeader {
@@ -465,6 +469,9 @@ pub fn simulate(a: &Args) -> Result<(), String> {
         reg.counter("sim.tasks_migrated").add(counts.tasks_migrated);
         reg.counter("sim.heartbeats").add(counts.heartbeats);
         reg.counter("sim.replicates").add(counts.replicates);
+        if counts.job_events > 0 {
+            reg.counter("job.events").add(counts.job_events);
+        }
         let (mut events, mut attempts, mut successes) = (0u64, 0u64, 0u64);
         let wall_hist = reg.histogram("sim.run_wall_ms");
         let ev_hist = reg.histogram("sim.run_events");
@@ -676,6 +683,55 @@ pub fn report(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `loadsteal jobs <trace.ndjson|->` — reconstruct per-job causal
+/// timelines from a `--trace-jobs` trace and print the sojourn
+/// decomposition, migrated-vs-local comparison, and chain statistics.
+pub fn jobs(a: &Args) -> Result<(), String> {
+    a.ensure_known(&["warmup", "input"])?;
+    let path = a
+        .positional(0)
+        .or_else(|| a.raw("input"))
+        .ok_or("usage: loadsteal jobs <trace.ndjson|-> [--lossy] [--warmup T]")?;
+    if a.positional(1).is_some() {
+        return Err("jobs takes exactly one trace file".into());
+    }
+    // `-` reads stdin so the command composes with
+    // `simulate --trace-jobs --trace -` in a single pipe.
+    let bytes = if path == "-" {
+        use std::io::Read as _;
+        let mut buf = Vec::new();
+        std::io::stdin()
+            .read_to_end(&mut buf)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read(path).map_err(|e| format!("cannot read trace {path:?}: {e}"))?
+    };
+    let mode = if a.switch("lossy") {
+        ReadMode::Lossy
+    } else {
+        ReadMode::Strict
+    };
+    let parsed = read_bytes(&bytes, mode).map_err(|e| format!("{path}: {e} (try --lossy)"))?;
+    if !parsed.skipped.is_empty() {
+        eprintln!(
+            "warning: skipped {} of {} lines (first: {})",
+            parsed.skipped.len(),
+            parsed.lines,
+            parsed.skipped[0]
+        );
+    }
+    let warmup: f64 = a.get_or("warmup", 0.0)?;
+    let analysis = loadsteal_trace::JobAnalysis::build(&parsed.events, warmup);
+    if analysis.arrived == 0 {
+        eprintln!(
+            "warning: trace contains no job_* events — was the run started with --trace-jobs?"
+        );
+    }
+    print!("{}", loadsteal_trace::render_jobs(&analysis));
+    Ok(())
+}
+
 /// `loadsteal models` — list every registry preset with its paper
 /// section, fixed-point tail decay ratio `λ/(1+λ−π₂)`, and canonical
 /// spec string (the shared `--model` grammar).
@@ -772,6 +828,9 @@ pub fn serve(a: &Args) -> Result<(), String> {
     let spec = simulate_spec(a)?;
     let mut cfg = sim_config(a, &spec)?;
     cfg.sojourn_digest = true;
+    // With --trace-jobs the registry recorder also maintains the
+    // job.* lifecycle counters in the scrape.
+    cfg.trace_jobs = a.switch("trace-jobs");
     let runs: usize = a.get_or("runs", 1)?;
     let seed: u64 = a.get_or("seed", 42)?;
 

@@ -17,11 +17,18 @@ mod obs;
 use std::process::ExitCode;
 
 /// Value-less boolean flags, recognized by every subcommand.
-const SWITCHES: &[&str] = &["quiet", "lossy", "quick", "full", "flight-recorder"];
+const SWITCHES: &[&str] = &[
+    "quiet",
+    "lossy",
+    "quick",
+    "full",
+    "flight-recorder",
+    "trace-jobs",
+];
 
 /// Commands that take a positional operand (everything else rejects
 /// bare arguments, preserving early typo detection).
-const POSITIONAL_COMMANDS: &[&str] = &["report"];
+const POSITIONAL_COMMANDS: &[&str] = &["report", "jobs"];
 
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1);
@@ -60,6 +67,13 @@ fn main() -> ExitCode {
     // `--profile <out>` exports the span profile, `--flight-recorder`
     // arms the crash-dump ring.
     let profile_out = parsed.take("profile");
+    // `--flight-dir` redirects crash dumps (flag > LOADSTEAL_FLIGHT_DIR
+    // env > working directory); taken even without --flight-recorder so
+    // it is never an unknown-flag error.
+    let flight_dir = parsed.take("flight-dir");
+    if flight_dir.is_some() {
+        loadsteal_obs::flight::set_dump_dir(flight_dir);
+    }
     if parsed.switch("flight-recorder") {
         loadsteal_obs::flight::install(loadsteal_obs::flight::DEFAULT_CAPACITY);
     }
@@ -83,6 +97,7 @@ fn main() -> ExitCode {
             "stability" => commands::stability(&parsed),
             "drain" => commands::drain(&parsed),
             "report" => commands::report(&parsed),
+            "jobs" => commands::jobs(&parsed),
             "serve" => commands::serve(&parsed),
             "verify" => commands::verify(&parsed),
             "help" | "--help" | "-h" => {
@@ -141,6 +156,12 @@ USAGE:
       measured statistics against the mean-field prediction. The model
       is resolved from the trace's header line when neither --model nor
       --lambda is given.
+  loadsteal jobs <trace.ndjson|-> [--lossy] [--warmup T]
+      Reconstruct per-job causal timelines from a `--trace-jobs` trace:
+      sojourn decomposition (queue wait + transfer + service),
+      migrated-vs-local sojourn percentiles, and migration-chain
+      statistics. `-` reads the trace from stdin, so it pipes directly
+      from `simulate --trace-jobs --trace -`.
   loadsteal serve --prom-addr <host:port> --n <N> --lambda <λ> [sim flags]
       Run a simulation while serving its live metrics registry in
       Prometheus text format (`--prom-addr host:0` picks a free port;
@@ -185,6 +206,10 @@ OBSERVABILITY (solve and simulate; --profile and --flight-recorder work
 on every subcommand):
   --trace <file.ndjson|->   stream every solver/simulator event as NDJSON;
                             `-` writes to stdout (narrative moves to stderr)
+  --trace-jobs              (simulate) add per-job lifecycle events
+                            (job_arrival/job_migrate/job_service_start/
+                            job_completion) to the trace and job.* counters
+                            to the metrics; analyse with `loadsteal jobs`
   --metrics-json <file|->   write the loadsteal.run.v1 document (manifest
                             + metrics, including sojourn-time quantile
                             sketches); `-` prints to stdout likewise
@@ -194,6 +219,9 @@ on every subcommand):
                             flamegraph.pl when the path ends in .folded
   --flight-recorder         keep a fixed-capacity ring of recent events;
                             a panic dumps it to loadsteal-crash-<pid>.ndjson
+  --flight-dir <dir>        directory for flight-recorder crash dumps
+                            (default: $LOADSTEAL_FLIGHT_DIR, then the
+                            working directory)
   --heartbeat-every <K>     simulator heartbeat cadence in events
                             (default 65536; 0 disables)
   --quiet                   silence the human narrative entirely

@@ -31,6 +31,38 @@ impl SimEventKind {
     }
 }
 
+/// What stage of a job's lifecycle a [`Event::Job`] reports.
+///
+/// Job events are the identity-carrying companions of the anonymous
+/// [`SimEventKind`] stream: they let a reader reconstruct each job's
+/// causal history (arrival → migrations → service → completion) and
+/// decompose its sojourn into queue wait, transfer time, and service
+/// time. They are only emitted when job tracing is opted into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobEventKind {
+    /// The job entered the system.
+    Arrival,
+    /// The job moved from `src` (victim) to `proc` (thief), taking
+    /// `delay` time units in flight (0 for instantaneous moves).
+    Migrate,
+    /// The job reached the front of a queue and began service.
+    ServiceStart,
+    /// The job finished service and left the system.
+    Completion,
+}
+
+impl JobEventKind {
+    /// Stable wire name used in traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Arrival => "job_arrival",
+            Self::Migrate => "job_migrate",
+            Self::ServiceStart => "job_service_start",
+            Self::Completion => "job_completion",
+        }
+    }
+}
+
 /// One structured observation.
 ///
 /// Events are small `Copy` values so emitting one costs a branch and a
@@ -90,6 +122,23 @@ pub enum Event {
         /// Multiplicity (tasks moved for migrations, 1 otherwise).
         count: u32,
     },
+    /// One lifecycle stage of an identified job (opt-in job tracing).
+    Job {
+        /// Lifecycle stage.
+        kind: JobEventKind,
+        /// Simulated time.
+        t: f64,
+        /// Stable job identity, unique within one simulation run.
+        job: u64,
+        /// Processor involved: where the job arrived, the thief for
+        /// migrations, where it started service or completed.
+        proc: u32,
+        /// Victim processor for migrations (`None` for other stages).
+        src: Option<u32>,
+        /// Transfer delay for migrations (0 when the move is
+        /// instantaneous; 0 for other stages).
+        delay: f64,
+    },
     /// Periodic progress heartbeat from a long simulation run.
     Heartbeat {
         /// Simulated time.
@@ -120,6 +169,7 @@ impl Event {
             Self::SolverSteady { .. } => "solver_steady",
             Self::SolverDone { .. } => "solver_done",
             Self::Sim { kind, .. } => kind.name(),
+            Self::Job { kind, .. } => kind.name(),
             Self::Heartbeat { .. } => "heartbeat",
             Self::ReplicateDone { .. } => "replicate_done",
         }
@@ -175,6 +225,24 @@ impl Event {
                 }
                 if count != 1 {
                     j.field_u64("count", count as u64);
+                }
+            }
+            Self::Job {
+                t,
+                job,
+                proc,
+                src,
+                delay,
+                ..
+            } => {
+                j.field_f64("t", t)
+                    .field_u64("job", job)
+                    .field_u64("proc", proc as u64);
+                if let Some(s) = src {
+                    j.field_u64("src", s as u64);
+                }
+                if delay != 0.0 {
+                    j.field_f64("delay", delay);
                 }
             }
             Self::Heartbeat {
@@ -285,6 +353,14 @@ mod tests {
                 src: Some(2),
                 count: 3,
             },
+            Event::Job {
+                kind: JobEventKind::Migrate,
+                t: 3.5,
+                job: 17,
+                proc: 4,
+                src: Some(11),
+                delay: 0.25,
+            },
             Event::Heartbeat {
                 t: 4.0,
                 events: 100,
@@ -343,6 +419,52 @@ mod tests {
         let line = sparse.to_json_line();
         assert!(!line.contains("\"n\""), "{line}");
         assert!(!line.contains("seed"), "{line}");
+    }
+
+    #[test]
+    fn job_event_elides_src_and_zero_delay() {
+        let line = Event::Job {
+            kind: JobEventKind::Arrival,
+            t: 1.0,
+            job: 3,
+            proc: 5,
+            src: None,
+            delay: 0.0,
+        }
+        .to_json_line();
+        assert!(line.contains(r#""ev":"job_arrival""#), "{line}");
+        assert!(line.contains(r#""job":3"#), "{line}");
+        assert!(line.contains(r#""proc":5"#), "{line}");
+        assert!(!line.contains("src"), "{line}");
+        assert!(!line.contains("delay"), "{line}");
+    }
+
+    #[test]
+    fn job_migrate_carries_victim_and_delay() {
+        let line = Event::Job {
+            kind: JobEventKind::Migrate,
+            t: 2.0,
+            job: 9,
+            proc: 1,
+            src: Some(6),
+            delay: 0.5,
+        }
+        .to_json_line();
+        assert!(line.contains(r#""ev":"job_migrate""#), "{line}");
+        assert!(line.contains(r#""src":6"#), "{line}");
+        assert!(line.contains(r#""delay":0.5"#), "{line}");
+        // An instantaneous hop elides the delay field (reader defaults
+        // it to 0).
+        let instant = Event::Job {
+            kind: JobEventKind::Migrate,
+            t: 2.0,
+            job: 9,
+            proc: 1,
+            src: Some(6),
+            delay: 0.0,
+        }
+        .to_json_line();
+        assert!(!instant.contains("delay"), "{instant}");
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Crash-safe flight recorder: a fixed-capacity in-memory ring of the
 //! most recent [`Event`]s that a chained panic hook dumps to
-//! `loadsteal-crash-<pid>.ndjson`, so a failed long run leaves its
-//! final seconds behind for post-mortem analysis.
+//! `loadsteal-crash-<pid>.ndjson` — in the working directory by
+//! default, or under the directory named by [`set_dump_dir`] /
+//! `LOADSTEAL_FLIGHT_DIR` — so a failed long run leaves its final
+//! seconds behind for post-mortem analysis.
 //!
 //! The recorder is process-global and off by default. [`install`]
 //! sizes the ring, arms recording, and (once per process) chains a
@@ -34,6 +36,7 @@ struct Buf {
     ring: VecDeque<Event>,
     dropped: u64,
     header: Option<String>,
+    dump_dir: Option<String>,
 }
 
 static BUF: Mutex<Buf> = Mutex::new(Buf {
@@ -41,6 +44,7 @@ static BUF: Mutex<Buf> = Mutex::new(Buf {
     ring: VecDeque::new(),
     dropped: 0,
     header: None,
+    dump_dir: None,
 });
 
 fn lock() -> std::sync::MutexGuard<'static, Buf> {
@@ -148,9 +152,32 @@ pub fn render_dump(message: &str, thread: Option<&str>) -> String {
     out
 }
 
-/// The crash-dump path for this process.
+/// Direct crash dumps into `dir` instead of the working directory
+/// (`None` restores the default). An explicit directory set here wins
+/// over the `LOADSTEAL_FLIGHT_DIR` environment variable. The directory
+/// is used as given — it is not created.
+pub fn set_dump_dir(dir: Option<String>) {
+    lock().dump_dir = dir;
+}
+
+/// The crash-dump path for this process: the fixed filename
+/// `loadsteal-crash-<pid>.ndjson` joined under the configured dump
+/// directory — [`set_dump_dir`] first, then `LOADSTEAL_FLIGHT_DIR`,
+/// then the working directory.
 pub fn dump_path() -> String {
-    format!("loadsteal-crash-{}.ndjson", std::process::id())
+    let file = format!("loadsteal-crash-{}.ndjson", std::process::id());
+    let dir = lock()
+        .dump_dir
+        .clone()
+        .or_else(|| std::env::var("LOADSTEAL_FLIGHT_DIR").ok())
+        .filter(|d| !d.is_empty());
+    match dir {
+        Some(d) => std::path::Path::new(&d)
+            .join(file)
+            .to_string_lossy()
+            .into_owned(),
+        None => file,
+    }
 }
 
 fn dump_on_panic(info: &std::panic::PanicHookInfo<'_>) {
@@ -267,6 +294,20 @@ mod tests {
         );
         assert_eq!(v.get("buffered").and_then(|v| v.as_u64()), Some(1));
         disarm();
+    }
+
+    #[test]
+    fn dump_path_honors_configured_directory() {
+        let _l = test_lock();
+        set_dump_dir(None);
+        let default = dump_path();
+        assert!(default.starts_with("loadsteal-crash-"), "{default}");
+        assert!(default.ends_with(".ndjson"), "{default}");
+        set_dump_dir(Some("/tmp/flight".into()));
+        let configured = dump_path();
+        assert!(configured.starts_with("/tmp/flight/"), "{configured}");
+        assert!(configured.ends_with(&default), "{configured}");
+        set_dump_dir(None);
     }
 
     #[test]

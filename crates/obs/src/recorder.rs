@@ -5,7 +5,7 @@
 //! run/batch and skip event construction entirely when it is `false`,
 //! which makes the disabled path (a [`NullRecorder`]) essentially free.
 
-use crate::event::{Event, SimEventKind};
+use crate::event::{Event, JobEventKind, SimEventKind};
 use crate::registry::{Counter, Gauge, Registry};
 use std::io::Write;
 use std::sync::{Arc, Mutex};
@@ -77,6 +77,9 @@ pub struct EventCounts {
     pub migrations: u64,
     /// Tasks moved across processors (sum of migration multiplicities).
     pub tasks_migrated: u64,
+    /// Job lifecycle events (all four stages; only emitted when job
+    /// tracing is opted into).
+    pub job_events: u64,
     /// Heartbeats.
     pub heartbeats: u64,
     /// Finished replications.
@@ -98,6 +101,7 @@ impl EventCounts {
             + self.steal_attempts
             + self.steal_successes
             + self.migrations
+            + self.job_events
             + self.heartbeats
             + self.replicates
     }
@@ -150,6 +154,7 @@ impl Recorder for CountingRecorder {
                     c.tasks_migrated += count as u64;
                 }
             },
+            Event::Job { .. } => c.job_events += 1,
             Event::Heartbeat { .. } => c.heartbeats += 1,
             Event::ReplicateDone { .. } => c.replicates += 1,
         }
@@ -237,6 +242,40 @@ impl<W: Write> Recorder for NdjsonRecorder<W> {
     }
 }
 
+/// A recorder that buffers every event in memory, in arrival order.
+///
+/// The in-process analogue of tracing to a file and reading it back:
+/// the verify harness and tests feed one run's events straight into the
+/// trace-replay machinery without serializing. Unbounded — meant for
+/// bounded runs, not servers.
+#[derive(Debug, Default, Clone)]
+pub struct CollectingRecorder {
+    events: Vec<Event>,
+}
+
+impl CollectingRecorder {
+    /// Fresh, empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The events recorded so far, in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Consume the recorder, yielding the event buffer.
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+}
+
+impl Recorder for CollectingRecorder {
+    fn record(&mut self, ev: &Event) {
+        self.events.push(*ev);
+    }
+}
+
 /// A recorder that folds events into a live [`Registry`], so an
 /// in-flight run can be scraped (e.g. by the Prometheus endpoint)
 /// while it executes.
@@ -252,6 +291,10 @@ pub struct RegistryRecorder {
     steal_successes: Arc<Counter>,
     migrations: Arc<Counter>,
     tasks_migrated: Arc<Counter>,
+    job_arrivals: Arc<Counter>,
+    job_migrations: Arc<Counter>,
+    job_service_starts: Arc<Counter>,
+    job_completions: Arc<Counter>,
     heartbeats: Arc<Counter>,
     replicates: Arc<Counter>,
     solver_accepted: Arc<Counter>,
@@ -272,6 +315,10 @@ impl RegistryRecorder {
             steal_successes: registry.counter("sim.steal_successes"),
             migrations: registry.counter("sim.migrations"),
             tasks_migrated: registry.counter("sim.tasks_migrated"),
+            job_arrivals: registry.counter("job.arrivals"),
+            job_migrations: registry.counter("job.migrations"),
+            job_service_starts: registry.counter("job.service_starts"),
+            job_completions: registry.counter("job.completions"),
             heartbeats: registry.counter("sim.heartbeats"),
             replicates: registry.counter("sim.replicates_done"),
             solver_accepted: registry.counter("solver.steps_accepted"),
@@ -309,6 +356,12 @@ impl Recorder for RegistryRecorder {
                     self.migrations.inc();
                     self.tasks_migrated.add(count as u64);
                 }
+            },
+            Event::Job { kind, .. } => match kind {
+                JobEventKind::Arrival => self.job_arrivals.inc(),
+                JobEventKind::Migrate => self.job_migrations.inc(),
+                JobEventKind::ServiceStart => self.job_service_starts.inc(),
+                JobEventKind::Completion => self.job_completions.inc(),
             },
             Event::Heartbeat {
                 t, tasks_in_system, ..
@@ -424,6 +477,68 @@ mod tests {
         assert_eq!(c.tasks_migrated, 5);
         assert_eq!(c.solver_rejected, 1);
         assert_eq!(c.total(), 6);
+    }
+
+    fn job(kind: JobEventKind, job: u64) -> Event {
+        Event::Job {
+            kind,
+            t: 1.0,
+            job,
+            proc: 0,
+            src: None,
+            delay: 0.0,
+        }
+    }
+
+    #[test]
+    fn counting_recorder_tallies_job_events() {
+        let mut r = CountingRecorder::new();
+        r.record(&job(JobEventKind::Arrival, 1));
+        r.record(&job(JobEventKind::ServiceStart, 1));
+        r.record(&job(JobEventKind::Completion, 1));
+        let c = r.counts();
+        assert_eq!(c.job_events, 3);
+        assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    fn collecting_recorder_preserves_order() {
+        let mut r = CollectingRecorder::new();
+        r.record(&job(JobEventKind::Arrival, 7));
+        r.record(&job(JobEventKind::Completion, 7));
+        assert_eq!(r.events().len(), 2);
+        let events = r.into_events();
+        assert!(matches!(
+            events[0],
+            Event::Job {
+                kind: JobEventKind::Arrival,
+                job: 7,
+                ..
+            }
+        ));
+        assert!(matches!(
+            events[1],
+            Event::Job {
+                kind: JobEventKind::Completion,
+                job: 7,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn registry_recorder_feeds_job_counters() {
+        let reg = Arc::new(Registry::new());
+        let mut r = RegistryRecorder::new(Arc::clone(&reg));
+        r.record(&job(JobEventKind::Arrival, 1));
+        r.record(&job(JobEventKind::Migrate, 1));
+        r.record(&job(JobEventKind::ServiceStart, 1));
+        r.record(&job(JobEventKind::Completion, 1));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["job.arrivals"], 1);
+        assert_eq!(snap.counters["job.migrations"], 1);
+        assert_eq!(snap.counters["job.service_starts"], 1);
+        assert_eq!(snap.counters["job.completions"], 1);
     }
 
     #[test]

@@ -213,6 +213,13 @@ pub struct SimConfig {
     /// Off by default: the digest costs one branch plus a bucket
     /// increment per completion, which benchmark configurations avoid.
     pub sojourn_digest: bool,
+    /// Emit per-job lifecycle events (`job_arrival`, `job_migrate`,
+    /// `job_service_start`, `job_completion`) to the attached recorder,
+    /// so traces can be decomposed into per-job sojourn components.
+    /// Off by default: the identity counter always runs (it draws no
+    /// randomness), but event construction is skipped entirely, keeping
+    /// the disabled path inside the benchmark overhead budget.
+    pub trace_jobs: bool,
 }
 
 /// Default heartbeat cadence (every 65,536 processed events).
@@ -398,6 +405,7 @@ impl SimConfig {
             snapshot_interval: None,
             heartbeat_every: DEFAULT_HEARTBEAT_EVERY,
             sojourn_digest: false,
+            trace_jobs: false,
         }
     }
 

@@ -21,7 +21,9 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use loadsteal_obs::span;
-use loadsteal_obs::{Digest, Event as ObsEvent, NullRecorder, Recorder, SimEventKind};
+use loadsteal_obs::{
+    Digest, Event as ObsEvent, JobEventKind, NullRecorder, Recorder, SimEventKind,
+};
 use loadsteal_queueing::dist::exp_sample;
 use loadsteal_queueing::OnlineStats;
 
@@ -29,9 +31,14 @@ use crate::config::{SimConfig, SpeedProfile, StealPolicy};
 use crate::event::{Event, EventKind};
 use crate::metrics::{LoadHistogram, SimResult};
 
-/// A task: when it entered the system and how much work it carries.
+/// A task: its stable identity, when it entered the system, and how
+/// much work it carries.
 #[derive(Debug, Clone, Copy)]
 struct Task {
+    /// Job id, assigned from a per-run counter at admission. The
+    /// counter runs unconditionally (it draws no randomness), so ids
+    /// are identical whether or not job tracing is on.
+    id: u64,
     arrived: f64,
     work: f64,
 }
@@ -82,6 +89,10 @@ struct Engine<'a, R: Recorder> {
     rec: &'a mut R,
     /// `rec.enabled()`, sampled once.
     tracing: bool,
+    /// `tracing && cfg.trace_jobs`, sampled once.
+    job_tracing: bool,
+    /// Next job id to assign.
+    next_job_id: u64,
     events_processed: u64,
     procs: Vec<Proc>,
     heap: BinaryHeap<Event>,
@@ -122,6 +133,8 @@ impl<'a, R: Recorder> Engine<'a, R> {
             cfg,
             rec,
             tracing,
+            job_tracing: tracing && cfg.trace_jobs,
+            next_job_id: 0,
             events_processed: 0,
             procs,
             heap: BinaryHeap::new(),
@@ -156,6 +169,45 @@ impl<'a, R: Recorder> Engine<'a, R> {
     #[inline]
     fn sample_work(&mut self) -> f64 {
         self.cfg.service.sample(&mut self.rng)
+    }
+
+    /// Mint a task with the next job id.
+    #[inline]
+    fn new_task(&mut self, arrived: f64, work: f64) -> Task {
+        let id = self.next_job_id;
+        self.next_job_id += 1;
+        Task { id, arrived, work }
+    }
+
+    /// Report one job lifecycle stage (no-op unless job tracing).
+    #[inline]
+    fn emit_job(&mut self, kind: JobEventKind, job: u64, p: usize) {
+        if self.job_tracing {
+            self.rec.record(&ObsEvent::Job {
+                kind,
+                t: self.t,
+                job,
+                proc: p as u32,
+                src: None,
+                delay: 0.0,
+            });
+        }
+    }
+
+    /// Report one job hop from victim `src` to thief `dst` with its
+    /// transfer delay (no-op unless job tracing).
+    #[inline]
+    fn emit_job_migrate(&mut self, job: u64, dst: usize, src: usize, delay: f64) {
+        if self.job_tracing {
+            self.rec.record(&ObsEvent::Job {
+                kind: JobEventKind::Migrate,
+                t: self.t,
+                job,
+                proc: dst as u32,
+                src: Some(src as u32),
+                delay,
+            });
+        }
     }
 
     /// Report one simulator observation (no-op unless tracing).
@@ -194,15 +246,17 @@ impl<'a, R: Recorder> Engine<'a, R> {
             for p in 0..self.cfg.n {
                 for _ in 0..self.cfg.initial_load {
                     let work = self.sample_work();
-                    self.procs[p].queue.push_back(Task { arrived: 0.0, work });
+                    let task = self.new_task(0.0, work);
+                    self.procs[p].queue.push_back(task);
                     self.emit(SimEventKind::Arrival, p, 1);
+                    self.emit_job(JobEventKind::Arrival, task.id, p);
                 }
                 self.tasks_in_system += self.cfg.initial_load as u64;
                 self.tasks_arrived += self.cfg.initial_load as u64;
                 // The histogram was constructed at this initial load;
                 // only service needs starting.
                 let front = self.procs[p].queue.front().copied().unwrap();
-                self.schedule_completion(p, front.work);
+                self.schedule_completion(p, front);
             }
         }
         // External arrival streams.
@@ -291,9 +345,10 @@ impl<'a, R: Recorder> Engine<'a, R> {
                 }
                 EventKind::TransferArrive {
                     proc,
+                    job,
                     arrived,
                     work,
-                } => self.on_transfer_arrive(proc as usize, arrived, work),
+                } => self.on_transfer_arrive(proc as usize, job, arrived, work),
             }
             drop(_ev_span);
             if self.cfg.run_until_drained && self.tasks_in_system == 0 {
@@ -332,13 +387,8 @@ impl<'a, R: Recorder> Engine<'a, R> {
 
     fn on_ext_arrival(&mut self, p: usize) {
         let work = self.sample_work();
-        self.route_arrival(
-            p,
-            Task {
-                arrived: self.t,
-                work,
-            },
-        );
+        let task = self.new_task(self.t, work);
+        self.route_arrival(p, task);
         let dt = self.sample_interarrival();
         self.schedule(self.t + dt, EventKind::ExtArrival { proc: p as u32 });
     }
@@ -382,13 +432,8 @@ impl<'a, R: Recorder> Engine<'a, R> {
         }
         debug_assert!(!self.procs[p].queue.is_empty());
         let work = self.sample_work();
-        self.route_arrival(
-            p,
-            Task {
-                arrived: self.t,
-                work,
-            },
-        );
+        let task = self.new_task(self.t, work);
+        self.route_arrival(p, task);
         self.schedule_internal_arrival(p);
     }
 
@@ -401,6 +446,7 @@ impl<'a, R: Recorder> Engine<'a, R> {
         self.tasks_in_system -= 1;
         self.tasks_completed += 1;
         self.emit(SimEventKind::Completion, p, 1);
+        self.emit_job(JobEventKind::Completion, task.id, p);
         if self.t >= self.cfg.warmup {
             let dt = self.t - task.arrived;
             self.sojourn.push(dt);
@@ -411,7 +457,7 @@ impl<'a, R: Recorder> Engine<'a, R> {
         // Start the next task before stealing: a steal sees a consistent
         // queue and can never take the in-service task.
         if let Some(next) = self.procs[p].queue.front().copied() {
-            self.schedule_completion(p, next.work);
+            self.schedule_completion(p, next);
         }
         self.on_load_changed(p, old_len);
 
@@ -490,15 +536,19 @@ impl<'a, R: Recorder> Engine<'a, R> {
         }
     }
 
-    fn on_transfer_arrive(&mut self, p: usize, arrived: f64, work: f64) {
+    fn on_transfer_arrive(&mut self, p: usize, job: u64, arrived: f64, work: f64) {
         debug_assert!(self.procs[p].waiting_transfer);
         self.procs[p].waiting_transfer = false;
         // The task re-enters a queue; it was counted in-system throughout.
         let old_len = self.procs[p].queue.len();
-        self.procs[p].queue.push_back(Task { arrived, work });
+        self.procs[p].queue.push_back(Task {
+            id: job,
+            arrived,
+            work,
+        });
         if old_len == 0 {
             let front = self.procs[p].queue.front().copied().unwrap();
-            self.schedule_completion(p, front.work);
+            self.schedule_completion(p, front);
         }
         self.on_load_changed(p, old_len);
     }
@@ -510,16 +560,22 @@ impl<'a, R: Recorder> Engine<'a, R> {
         self.tasks_in_system += 1;
         self.tasks_arrived += 1;
         self.emit(SimEventKind::Arrival, p, 1);
+        self.emit_job(JobEventKind::Arrival, task.id, p);
         let old_len = self.procs[p].queue.len();
         self.procs[p].queue.push_back(task);
         if old_len == 0 {
-            self.schedule_completion(p, task.work);
+            self.schedule_completion(p, task);
         }
         self.on_load_changed(p, old_len);
     }
 
-    fn schedule_completion(&mut self, p: usize, work: f64) {
-        let duration = work / self.procs[p].speed;
+    /// The moment `task` reaches the front of `p`'s queue: its service
+    /// begins now and its completion is scheduled. The single site for
+    /// `job_service_start` — steals only move tail tasks, so a job's
+    /// service starts exactly once, on its final processor.
+    fn schedule_completion(&mut self, p: usize, task: Task) {
+        self.emit_job(JobEventKind::ServiceStart, task.id, p);
+        let duration = task.work / self.procs[p].speed;
         self.schedule(self.t + duration, EventKind::Completion { proc: p as u32 });
     }
 
@@ -649,10 +705,12 @@ impl<'a, R: Recorder> Engine<'a, R> {
                 .unwrap()
                 .dist
                 .sample(&mut self.rng);
+            self.emit_job_migrate(task.id, thief, victim, delay);
             self.schedule(
                 self.t + delay,
                 EventKind::TransferArrive {
                     proc: thief as u32,
+                    job: task.id,
                     arrived: task.arrived,
                     work: task.work,
                 },
@@ -667,13 +725,21 @@ impl<'a, R: Recorder> Engine<'a, R> {
         let thief_old = self.procs[thief].queue.len();
         let split_at = victim_len - take;
         let mut moved = self.procs[victim].queue.split_off(split_at);
+        let moved_ids: Vec<u64> = if self.job_tracing {
+            moved.iter().map(|t| t.id).collect()
+        } else {
+            Vec::new()
+        };
         self.procs[thief].queue.append(&mut moved);
         self.tasks_migrated += take as u64;
         self.emit_migration(thief, victim, take as u32);
+        for id in moved_ids {
+            self.emit_job_migrate(id, thief, victim, 0.0);
+        }
         self.on_load_changed(victim, victim_len);
         if thief_old == 0 {
             let front = self.procs[thief].queue.front().copied().unwrap();
-            self.schedule_completion(thief, front.work);
+            self.schedule_completion(thief, front);
         }
         self.on_load_changed(thief, thief_old);
         true
@@ -698,13 +764,21 @@ impl<'a, R: Recorder> Engine<'a, R> {
         self.emit(SimEventKind::StealSuccess, a, 1);
         let lo_old = self.procs[lo].queue.len();
         let mut moved = self.procs[hi].queue.split_off(lhi - moves);
+        let moved_ids: Vec<u64> = if self.job_tracing {
+            moved.iter().map(|t| t.id).collect()
+        } else {
+            Vec::new()
+        };
         self.procs[lo].queue.append(&mut moved);
         self.tasks_migrated += moves as u64;
         self.emit_migration(lo, hi, moves as u32);
+        for id in moved_ids {
+            self.emit_job_migrate(id, lo, hi, 0.0);
+        }
         self.on_load_changed(hi, lhi);
         if lo_old == 0 {
             let front = self.procs[lo].queue.front().copied().unwrap();
-            self.schedule_completion(lo, front.work);
+            self.schedule_completion(lo, front);
         }
         self.on_load_changed(lo, lo_old);
     }
@@ -1033,6 +1107,77 @@ mod tests {
         cfg.heartbeat_every = 100;
         let r = run(&cfg, 22);
         assert!(r.events_processed > 100);
+    }
+
+    #[test]
+    fn job_tracing_does_not_perturb_the_run() {
+        use loadsteal_obs::CountingRecorder;
+        let mut cfg = base(16, 0.8);
+        cfg.horizon = 5_000.0;
+        cfg.warmup = 500.0;
+        let plain = run(&cfg, 24);
+        cfg.trace_jobs = true;
+        // With a disabled recorder the flag is inert.
+        let silent = run(&cfg, 24);
+        assert_eq!(plain.sojourn.mean(), silent.sojourn.mean());
+        assert_eq!(plain.events_processed, silent.events_processed);
+        // With a live recorder the trajectory is still identical — job
+        // ids come from a counter, never the RNG.
+        let mut rec = CountingRecorder::new();
+        let traced = run_recorded(&cfg, 24, &mut rec);
+        assert_eq!(plain.sojourn.mean(), traced.sojourn.mean());
+        assert_eq!(plain.events_processed, traced.events_processed);
+        let c = rec.counts();
+        assert!(c.job_events > 0);
+        // Without the flag a live recorder sees no job events.
+        cfg.trace_jobs = false;
+        let mut rec = CountingRecorder::new();
+        let _ = run_recorded(&cfg, 24, &mut rec);
+        assert_eq!(rec.counts().job_events, 0);
+    }
+
+    #[test]
+    fn job_events_tell_a_consistent_story() {
+        use loadsteal_obs::{CollectingRecorder, Event as ObsEvent, JobEventKind};
+        use std::collections::HashMap;
+        let mut cfg = base(8, 0.85);
+        cfg.horizon = 1_000.0;
+        cfg.warmup = 0.0;
+        cfg.trace_jobs = true;
+        let mut rec = CollectingRecorder::new();
+        let result = run_recorded(&cfg, 25, &mut rec);
+        let mut arrivals: HashMap<u64, f64> = HashMap::new();
+        let mut starts = 0u64;
+        let mut completions = 0u64;
+        let mut migrated = 0u64;
+        for ev in rec.events() {
+            if let ObsEvent::Job { kind, t, job, .. } = *ev {
+                match kind {
+                    JobEventKind::Arrival => {
+                        assert!(arrivals.insert(job, t).is_none(), "job {job} arrived twice");
+                    }
+                    JobEventKind::Migrate => migrated += 1,
+                    JobEventKind::ServiceStart => {
+                        starts += 1;
+                        assert!(arrivals[&job] <= t, "service before arrival for job {job}");
+                    }
+                    JobEventKind::Completion => {
+                        completions += 1;
+                        assert!(
+                            arrivals[&job] <= t,
+                            "completion before arrival for job {job}"
+                        );
+                    }
+                }
+            }
+        }
+        assert_eq!(arrivals.len() as u64, result.tasks_arrived);
+        assert_eq!(completions, result.tasks_completed);
+        assert_eq!(migrated, result.tasks_migrated);
+        // Every completion follows a service start; some jobs may still
+        // be queued (arrived but unstarted) at the horizon.
+        assert!(starts >= completions);
+        assert!(starts <= result.tasks_arrived);
     }
 
     #[test]

@@ -46,6 +46,8 @@ pub enum EventKind {
     TransferArrive {
         /// The thief.
         proc: u32,
+        /// Stable job identity of the task in flight.
+        job: u64,
         /// Original arrival time of the task (sojourn accounting).
         arrived: f64,
         /// Remaining service requirement of the task.

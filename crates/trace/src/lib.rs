@@ -4,7 +4,9 @@
 //! (one JSON object per line) via `--trace`. This crate closes the
 //! loop: it parses those lines back into typed events
 //! ([`reader`]), reconstructs per-processor queue timelines and run
-//! phases from the event stream alone ([`timeline`]), and renders a
+//! phases from the event stream alone ([`timeline`]), rebuilds
+//! individual job lifecycles with a wait/transfer/service sojourn
+//! decomposition from `job_*` events ([`jobs`]), and renders a
 //! sim-vs-mean-field comparison table ([`report`]).
 //!
 //! The layering is deliberate: this crate depends only on
@@ -31,10 +33,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod jobs;
 pub mod reader;
 pub mod report;
 pub mod timeline;
 
+pub use jobs::{render_jobs, Hop, JobAnalysis, JobAnomalies, JobRecord};
 pub use reader::{
     parse_record, read_bytes, read_lines, read_str, ParsedTrace, ReadMode, Record, TraceDiagnostic,
     TraceError,

@@ -14,7 +14,9 @@
 //!   yields its parseable prefix/suffix.
 
 use loadsteal_obs::json::{parse, JsonValue};
-use loadsteal_obs::{Event, PanicRecord, SimEventKind, SpanRecord, TraceHeader, TRACE_SCHEMA};
+use loadsteal_obs::{
+    Event, JobEventKind, PanicRecord, SimEventKind, SpanRecord, TraceHeader, TRACE_SCHEMA,
+};
 
 /// How to treat malformed lines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -348,6 +350,10 @@ fn parse_event(v: &JsonValue, ev: &str) -> Result<Event, (usize, String)> {
                 events_per_sec: f64_field(v, "events_per_sec")?,
             })
         }
+        "job_arrival" => return parse_job(v, JobEventKind::Arrival),
+        "job_migrate" => return parse_job(v, JobEventKind::Migrate),
+        "job_service_start" => return parse_job(v, JobEventKind::ServiceStart),
+        "job_completion" => return parse_job(v, JobEventKind::Completion),
         "arrival" => SimEventKind::Arrival,
         "completion" => SimEventKind::Completion,
         "steal_attempt" => SimEventKind::StealAttempt,
@@ -364,6 +370,22 @@ fn parse_event(v: &JsonValue, ev: &str) -> Result<Event, (usize, String)> {
             // The writer elides unit counts.
             None => 1,
             Some(_) => u32_field(v, "count")?,
+        },
+    })
+}
+
+fn parse_job(v: &JsonValue, kind: JobEventKind) -> Result<Event, (usize, String)> {
+    Ok(Event::Job {
+        kind,
+        t: f64_field(v, "t")?,
+        job: u64_field(v, "job")?,
+        proc: u32_field(v, "proc")?,
+        src: opt_u32_field(v, "src")?,
+        delay: match v.get("delay") {
+            // The writer elides zero delays (and non-migration stages
+            // never carry one).
+            None => 0.0,
+            Some(_) => f64_field(v, "delay")?,
         },
     })
 }
@@ -492,6 +514,46 @@ mod tests {
                 src: Some(9),
                 count: 3,
             },
+            Event::Job {
+                kind: JobEventKind::Arrival,
+                t: 0.25,
+                job: 0,
+                proc: 0,
+                src: None,
+                delay: 0.0,
+            },
+            Event::Job {
+                kind: JobEventKind::Migrate,
+                t: 1.0,
+                job: 7,
+                proc: 5,
+                src: Some(9),
+                delay: 0.75,
+            },
+            Event::Job {
+                kind: JobEventKind::Migrate,
+                t: 1.25,
+                job: 7,
+                proc: 2,
+                src: Some(5),
+                delay: 0.0, // instantaneous hop: delay elided on the wire
+            },
+            Event::Job {
+                kind: JobEventKind::ServiceStart,
+                t: 1.5,
+                job: 7,
+                proc: 2,
+                src: None,
+                delay: 0.0,
+            },
+            Event::Job {
+                kind: JobEventKind::Completion,
+                t: 2.5,
+                job: 7,
+                proc: 2,
+                src: None,
+                delay: 0.0,
+            },
             Event::Heartbeat {
                 t: 100.0,
                 events: 65536,
@@ -600,6 +662,27 @@ garbage
         ] {
             let err = parse_line(line).unwrap_err();
             assert!(err.1.contains(needle), "{line} -> {err:?}");
+        }
+    }
+
+    #[test]
+    fn job_events_require_identity() {
+        let (_, msg) = parse_line(r#"{"ev":"job_arrival","t":1.0,"proc":0}"#).unwrap_err();
+        assert!(msg.contains("job"), "{msg}");
+        // Absent delay defaults to zero; absent src to None.
+        match parse_line(r#"{"ev":"job_migrate","t":1.0,"job":4,"proc":0}"#).unwrap() {
+            Event::Job {
+                kind: JobEventKind::Migrate,
+                job,
+                src,
+                delay,
+                ..
+            } => {
+                assert_eq!(job, 4);
+                assert_eq!(src, None);
+                assert_eq!(delay, 0.0);
+            }
+            other => panic!("{other:?}"),
         }
     }
 

@@ -143,6 +143,56 @@ pub fn render_report(tl: &Timeline, pred: Option<&MeanFieldPrediction>) -> Strin
         );
     }
 
+    if tl.n_procs > 0 && (tl.counts.steal_attempts > 0 || tl.counts.migrations > 0) {
+        out.push('\n');
+        out.push_str("steal / migration breakdown\n");
+        out.push_str(&format!(
+            "  attempts            {:>8}  ({} successful, {:.1}% hit rate)\n",
+            tl.counts.steal_attempts,
+            tl.counts.steal_successes,
+            if tl.counts.steal_attempts > 0 {
+                100.0 * tl.counts.steal_successes as f64 / tl.counts.steal_attempts as f64
+            } else {
+                0.0
+            }
+        ));
+        out.push_str(&format!(
+            "  migrations          {:>8}  ({} tasks moved, {:.3} per migration)\n",
+            tl.counts.migrations,
+            tl.counts.tasks_migrated,
+            if tl.counts.migrations > 0 {
+                tl.counts.tasks_migrated as f64 / tl.counts.migrations as f64
+            } else {
+                0.0
+            }
+        ));
+        // Per-processor spread: min / mean / max over the fleet, so a
+        // 128-proc trace stays a 4-line section rather than a table.
+        let spread = |get: fn(&crate::timeline::ProcTimeline) -> u64| {
+            let vals: Vec<u64> = tl.per_proc.iter().map(get).collect();
+            let min = vals.iter().min().copied().unwrap_or(0);
+            let max = vals.iter().max().copied().unwrap_or(0);
+            let mean = vals.iter().sum::<u64>() as f64 / vals.len().max(1) as f64;
+            format!("{min:>6} min {mean:>9.2} mean {max:>6} max")
+        };
+        out.push_str(&format!(
+            "  attempts / proc     {}\n",
+            spread(|p| p.steal_attempts)
+        ));
+        out.push_str(&format!(
+            "  successes / proc    {}\n",
+            spread(|p| p.steal_successes)
+        ));
+        out.push_str(&format!(
+            "  tasks in / proc     {}\n",
+            spread(|p| p.tasks_in)
+        ));
+        out.push_str(&format!(
+            "  tasks out / proc    {}\n",
+            spread(|p| p.tasks_out)
+        ));
+    }
+
     if tl.solver.steps_total() > 0 {
         out.push('\n');
         out.push_str("solver\n");
@@ -220,6 +270,29 @@ mod tests {
         assert!(r.contains("processors"), "{r}");
         // Every comparison row carries a relative error or a dash.
         assert!(r.contains('%') || r.contains('—'), "{r}");
+    }
+
+    #[test]
+    fn report_includes_steal_breakdown_when_steals_happened() {
+        let tl = small_timeline();
+        let r = render_report(&tl, None);
+        assert!(r.contains("steal / migration breakdown"), "{r}");
+        assert!(r.contains("attempts / proc"), "{r}");
+        assert!(r.contains("tasks out / proc"), "{r}");
+    }
+
+    #[test]
+    fn report_omits_steal_breakdown_for_steal_free_traces() {
+        let events = [Event::Sim {
+            kind: SimEventKind::Arrival,
+            t: 0.0,
+            proc: 0,
+            src: None,
+            count: 1,
+        }];
+        let tl = Timeline::build(&events, &TimelineConfig::default());
+        let r = render_report(&tl, None);
+        assert!(!r.contains("steal / migration breakdown"), "{r}");
     }
 
     #[test]

@@ -376,6 +376,14 @@ impl Timeline {
                 Event::ReplicateDone { .. } => {
                     tl.replicates += 1;
                 }
+                // Per-job lifecycle events only widen the trace window;
+                // queue depths are driven by the Sim arrival/completion/
+                // migration stream, and counting Job events too would
+                // double-book every transition.
+                Event::Job { t, .. } => {
+                    tl.start = tl.start.min(t);
+                    tl.end = tl.end.max(t);
+                }
             }
         }
 

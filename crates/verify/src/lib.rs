@@ -4,7 +4,7 @@
 //! with the mean-field fixed points (Tables 1–4, Theorems 1–2). The
 //! three top-level integration tests spot-check a couple of variants
 //! with hand-picked tolerances; this crate systematizes the check into
-//! four layers, each a family of pass/fail [`harness::Check`]s:
+//! five layers, each a family of pass/fail [`harness::Check`]s:
 //!
 //! * **differential** — every simulable variant paired with its ODE
 //!   fixed point, agreement asserted within confidence-interval-derived
@@ -23,6 +23,11 @@
 //!   with its tolerance.
 //! * **determinism** — seed-replay: identical configs and seeds hash to
 //!   identical `--trace` byte streams, different seeds do not.
+//! * **jobs** — per-job causal traces: the `--trace-jobs` sojourn
+//!   decomposition (`wait + transfer + service`) must reproduce the
+//!   engine's internal sojourn statistics exactly, and the migrated
+//!   fraction and service-station Little's law must agree with the
+//!   fixed point on the basic model.
 //!
 //! The harness is exposed on the CLI as `loadsteal verify
 //! [--quick|--full]`; the [`sabotage`] module carries a deliberately
@@ -36,6 +41,7 @@ pub mod convergence;
 pub mod determinism;
 pub mod differential;
 pub mod harness;
+pub mod jobs;
 pub mod metamorphic;
 pub mod sabotage;
 pub mod stat;
@@ -50,6 +56,7 @@ pub fn all_checks(settings: &Settings) -> Vec<Check> {
     checks.extend(convergence::checks(settings));
     checks.extend(determinism::checks(settings));
     checks.extend(differential::checks(settings));
+    checks.extend(jobs::checks(settings));
     checks
 }
 
