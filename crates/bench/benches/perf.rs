@@ -6,8 +6,9 @@ use std::hint::black_box;
 
 use loadsteal_core::fixed_point::{solve, FixedPointOptions};
 use loadsteal_core::models::{MeanFieldModel, Rebalance, RebalanceRateFn, SimpleWs, TransferWs};
+use loadsteal_obs::CountingRecorder;
 use loadsteal_ode::{AdaptiveOptions, DormandPrince45, OdeSystem};
-use loadsteal_sim::{run, SimConfig};
+use loadsteal_sim::{run, run_recorded, SimConfig};
 
 fn bench_deriv(c: &mut Criterion) {
     let mut g = c.benchmark_group("deriv");
@@ -74,6 +75,21 @@ fn bench_simulator(c: &mut Criterion) {
         b.iter(|| {
             seed += 1;
             run(&cfg, seed)
+        })
+    });
+    // The same run with tail sampling on a 5 s grid into a counting
+    // recorder: the price of the transient observatory when enabled.
+    // The disabled path is the bench above — `sample_tails = None` is
+    // the default — so the pair bounds the feature's overhead.
+    let mut sampled = cfg.clone();
+    sampled.sample_tails = Some(5.0);
+    g.bench_function("simple_ws_n128_500s_sampled", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let mut rec = CountingRecorder::new();
+            run_recorded(&sampled, seed, &mut rec);
+            rec
         })
     });
     g.finish();

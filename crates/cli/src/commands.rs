@@ -7,12 +7,16 @@ use loadsteal_core::stability::{check_l1_contraction, theorem_condition_holds};
 use loadsteal_core::tail::TailVector;
 use loadsteal_core::{ModelRegistry, ModelSpec, PresetTier};
 use loadsteal_obs::{
-    prometheus_text, EventCounts, Recorder, Registry, RegistryRecorder, SharedRecorder, TraceHeader,
+    prometheus_text, EventCounts, Recorder, Registry, RegistryRecorder, SharedRecorder,
+    TailReference, TraceHeader, TAIL_SAMPLE_DEPTH,
 };
 use loadsteal_sim::{
     replicate, replicate_recorded, SimConfig, StealPolicy, ToSimConfig, DEFAULT_HEARTBEAT_EVERY,
 };
-use loadsteal_trace::{read_bytes, MeanFieldPrediction, ReadMode, Timeline, TimelineConfig};
+use loadsteal_trace::{
+    read_bytes, transient, MeanFieldPrediction, ReadMode, Timeline, TimelineConfig,
+    TransientAnalysis, TransientOptions,
+};
 
 use crate::args::Args;
 use crate::obs::{manifest, say, Narrator, ObsOpts, OBS_FLAGS};
@@ -268,6 +272,7 @@ const SIM_FLAGS: &[&str] = &[
     "service-stages",
     "constant-service",
     "heartbeat-every",
+    "sample-tails",
 ];
 
 /// Solve the mean-field companion of a simulated spec, feeding the
@@ -370,6 +375,7 @@ fn sim_config(a: &Args, spec: &ModelSpec) -> Result<SimConfig, String> {
     cfg.warmup = a.get_or("warmup", cfg.horizon / 10.0)?;
     cfg.internal_lambda = a.get_or("internal", 0.0)?;
     cfg.heartbeat_every = a.get_or("heartbeat-every", DEFAULT_HEARTBEAT_EVERY)?;
+    cfg.sample_tails = a.get::<f64>("sample-tails")?;
     cfg.validate().map_err(|e| e.to_string())?;
     Ok(cfg)
 }
@@ -471,6 +477,9 @@ pub fn simulate(a: &Args) -> Result<(), String> {
         reg.counter("sim.replicates").add(counts.replicates);
         if counts.job_events > 0 {
             reg.counter("job.events").add(counts.job_events);
+        }
+        if counts.tail_samples > 0 {
+            reg.counter("sim.tail_samples").add(counts.tail_samples);
         }
         let (mut events, mut attempts, mut successes) = (0u64, 0u64, 0u64);
         let wall_hist = reg.histogram("sim.run_wall_ms");
@@ -732,6 +741,179 @@ pub fn jobs(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// First `TAIL_SAMPLE_DEPTH` tail levels of an `s₀`-based tail vector
+/// (`row[0] = s₀ = 1`), zero-padded — the fixed-width layout the
+/// tail-sample machinery uses.
+fn tails8(row: &[f64]) -> [f64; TAIL_SAMPLE_DEPTH] {
+    let mut out = [0.0f64; TAIL_SAMPLE_DEPTH];
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = row.get(i + 1).copied().unwrap_or(0.0);
+    }
+    out
+}
+
+/// `loadsteal transient <trace.ndjson|->` — replay the `tail_sample`
+/// stream of a `--sample-tails` trace against the mean-field ODE
+/// trajectory integrated on the same grid: per-time residuals,
+/// sup-norm deviation, empirical relaxation time, and drift events
+/// outside the CI envelope.
+pub fn transient(a: &Args) -> Result<(), String> {
+    a.ensure_known(&[
+        "input",
+        "model",
+        "lambda",
+        "n",
+        "depth",
+        "epsilon",
+        "metrics-json",
+    ])?;
+    let path = a.positional(0).or_else(|| a.raw("input")).ok_or(
+        "usage: loadsteal transient <trace.ndjson|-> [--lossy] [--model M] [--lambda λ] \
+         [--n N] [--depth K] [--epsilon ε]",
+    )?;
+    if a.positional(1).is_some() {
+        return Err("transient takes exactly one trace file".into());
+    }
+    let bytes = if path == "-" {
+        use std::io::Read as _;
+        let mut buf = Vec::new();
+        std::io::stdin()
+            .read_to_end(&mut buf)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read(path).map_err(|e| format!("cannot read trace {path:?}: {e}"))?
+    };
+    let mode = if a.switch("lossy") {
+        ReadMode::Lossy
+    } else {
+        ReadMode::Strict
+    };
+    let parsed = read_bytes(&bytes, mode).map_err(|e| format!("{path}: {e} (try --lossy)"))?;
+    if !parsed.skipped.is_empty() {
+        eprintln!(
+            "warning: skipped {} of {} lines (first: {})",
+            parsed.skipped.len(),
+            parsed.lines,
+            parsed.skipped[0]
+        );
+    }
+
+    let groups = transient::group_by_time(&transient::extract_samples(&parsed.events));
+    let Some((dt, t_end)) = transient::grid_of(&groups) else {
+        println!("no tail samples in trace (run simulate with --sample-tails <dt>)");
+        return Ok(());
+    };
+
+    // Model resolution mirrors `report`: --model, then --lambda
+    // re-pinning the header spec, then the header verbatim. Unlike
+    // `report` there is no measured-rate fallback to fall back on —
+    // the ODE side *is* the analysis, so an unresolvable model is an
+    // error rather than a dropped column.
+    let header_spec = parsed
+        .header
+        .as_ref()
+        .and_then(|h| h.model.as_deref())
+        .and_then(|m| match ModelSpec::parse(m) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("warning: ignoring unparseable trace-header model: {e}");
+                None
+            }
+        });
+    let spec = match a.raw("model") {
+        Some(model) => {
+            let mut text = model.to_owned();
+            if let Some(l) = a.get::<f64>("lambda")? {
+                text.push_str(&format!(",lambda={l}"));
+            }
+            ModelSpec::parse(&text)?
+        }
+        None => match a.get::<f64>("lambda")? {
+            Some(l) => match header_spec {
+                Some(s) => s.with_lambda(l),
+                None => ModelSpec::simple_ws(l),
+            },
+            None => header_spec
+                .ok_or("trace header carries no model; pass --model <spec> (or --lambda λ)")?,
+        },
+    };
+
+    let model = spec
+        .mean_field()
+        .map_err(|e| format!("spec has no mean-field equations: {e}"))?;
+    // Integrate past the last sample so float drift on the grid never
+    // drops it; matching is by instant, so the extra headroom is inert.
+    let ode = loadsteal_core::trajectory::sample_tails(
+        &model,
+        &model.empty_state(),
+        t_end + 0.5 * dt,
+        dt,
+    )
+    .map_err(|e| format!("ODE integration failed: {e}"))?;
+    let fixed_point = spec.fixed_point().ok().map(|fp| fp.task_tails);
+
+    let n: usize = match a.get::<usize>("n")? {
+        Some(n) => n,
+        None => parsed
+            .header
+            .as_ref()
+            .and_then(|h| h.n)
+            .map(|n| n as usize)
+            .unwrap_or_else(|| {
+                eprintln!("warning: trace header carries no n; envelope assumes --n 128");
+                128
+            }),
+    };
+    let mut opts = TransientOptions::new(n);
+    opts.depth = a.get_or("depth", 0usize)?;
+    opts.epsilon = a.get_or("epsilon", 0.02)?;
+    let analysis = TransientAnalysis::from_groups(&groups, &ode, fixed_point.as_deref(), &opts);
+    // Same split as `simulate --metrics-json -`: when the document goes
+    // to stdout, the human narrative moves to stderr.
+    if a.raw("metrics-json") == Some("-") {
+        eprint!("{}", loadsteal_trace::render_transient(&analysis));
+    } else {
+        print!("{}", loadsteal_trace::render_transient(&analysis));
+    }
+
+    // The drift verdict doubles as a machine-readable document: the
+    // same transient.* gauge names the live `serve` exposition uses.
+    if let Some(out) = a.raw("metrics-json") {
+        let reg = Registry::new();
+        reg.counter("sim.tail_samples")
+            .add(analysis.points.iter().map(|p| p.runs as u64).sum());
+        reg.gauge("transient.residual_sup")
+            .set(analysis.residual_sup);
+        reg.gauge("transient.mean_abs_residual")
+            .set(analysis.mean_abs_residual);
+        reg.gauge("transient.relaxation_time")
+            .set(analysis.relaxation_time.unwrap_or(f64::NAN));
+        reg.gauge("transient.ode_settling_time")
+            .set(analysis.ode_settling_time.unwrap_or(f64::NAN));
+        reg.counter("transient.drift_events")
+            .add(analysis.drift.len() as u64);
+        for (i, sup) in analysis.per_tail_sup.iter().enumerate() {
+            reg.gauge(&format!("transient.residual_s{}", i + 1))
+                .set(*sup);
+        }
+        let mut m = manifest();
+        m.config("trace", path)
+            .config("model", spec.to_string().as_str())
+            .config("n", n)
+            .config("dt", dt)
+            .config("epsilon", opts.epsilon);
+        let doc = m.to_run_document(&reg.snapshot());
+        if out == "-" {
+            println!("{doc}");
+        } else {
+            std::fs::write(out, format!("{doc}\n"))
+                .map_err(|e| format!("--metrics-json: cannot write {out:?}: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
 /// `loadsteal models` — list every registry preset with its paper
 /// section, fixed-point tail decay ratio `λ/(1+λ−π₂)`, and canonical
 /// spec string (the shared `--model` grammar).
@@ -835,7 +1017,35 @@ pub fn serve(a: &Args) -> Result<(), String> {
     let seed: u64 = a.get_or("seed", 42)?;
 
     let registry = std::sync::Arc::new(Registry::new());
-    let rec = SharedRecorder::new(RegistryRecorder::new(registry.clone()));
+    let mut reg_rec = RegistryRecorder::new(registry.clone());
+    // With --sample-tails the scrape also carries live drift: the ODE
+    // trajectory is integrated up front on the sampling grid and every
+    // tail sample is compared against it as it lands.
+    if let Some(dt) = cfg.sample_tails {
+        match spec.mean_field() {
+            Ok(model) => {
+                let traj = loadsteal_core::trajectory::sample_tails(
+                    &model,
+                    &model.empty_state(),
+                    cfg.horizon + 0.5 * dt,
+                    dt,
+                )
+                .map_err(|e| format!("--sample-tails: ODE reference failed: {e}"))?;
+                let grid = traj.iter().map(|(t, row)| (*t, tails8(row))).collect();
+                let fixed_point = spec
+                    .fixed_point()
+                    .map(|fp| tails8(&fp.task_tails))
+                    .unwrap_or([0.0; TAIL_SAMPLE_DEPTH]);
+                reg_rec = reg_rec.with_tail_reference(TailReference {
+                    grid,
+                    fixed_point,
+                    epsilon: 0.02,
+                });
+            }
+            Err(e) => loadsteal_obs::debug!("no transient reference for this spec: {e}"),
+        }
+    }
+    let rec = SharedRecorder::new(reg_rec);
     let worker = {
         let cfg = cfg.clone();
         let rec = rec.clone();

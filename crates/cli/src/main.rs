@@ -28,7 +28,7 @@ const SWITCHES: &[&str] = &[
 
 /// Commands that take a positional operand (everything else rejects
 /// bare arguments, preserving early typo detection).
-const POSITIONAL_COMMANDS: &[&str] = &["report", "jobs"];
+const POSITIONAL_COMMANDS: &[&str] = &["report", "jobs", "transient"];
 
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1);
@@ -98,6 +98,7 @@ fn main() -> ExitCode {
             "drain" => commands::drain(&parsed),
             "report" => commands::report(&parsed),
             "jobs" => commands::jobs(&parsed),
+            "transient" => commands::transient(&parsed),
             "serve" => commands::serve(&parsed),
             "verify" => commands::verify(&parsed),
             "help" | "--help" | "-h" => {
@@ -162,6 +163,12 @@ USAGE:
       migrated-vs-local sojourn percentiles, and migration-chain
       statistics. `-` reads the trace from stdin, so it pipes directly
       from `simulate --trace-jobs --trace -`.
+  loadsteal transient <trace.ndjson|-> [--lossy] [--model M] [--lambda λ] [--n N] [--epsilon ε]
+      Replay the `tail_sample` stream of a `--sample-tails` trace
+      against the mean-field ODE trajectory integrated on the same
+      grid: per-time residuals, sup-norm deviation ‖ŝ−s‖∞, empirical
+      relaxation time, and drift events outside the CI envelope. `-`
+      reads from stdin, piping from `simulate --sample-tails Δ --trace -`.
   loadsteal serve --prom-addr <host:port> --n <N> --lambda <λ> [sim flags]
       Run a simulation while serving its live metrics registry in
       Prometheus text format (`--prom-addr host:0` picks a free port;
@@ -210,6 +217,11 @@ on every subcommand):
                             (job_arrival/job_migrate/job_service_start/
                             job_completion) to the trace and job.* counters
                             to the metrics; analyse with `loadsteal jobs`
+  --sample-tails <Δt>       (simulate/serve) emit a tail_sample event with
+                            the empirical tail vector ŝ₁..ŝ₈ every Δt
+                            simulated seconds; analyse with `loadsteal
+                            transient`, or scrape live sim.tail_s<i> and
+                            transient.residual_* gauges from `serve`
   --metrics-json <file|->   write the loadsteal.run.v1 document (manifest
                             + metrics, including sojourn-time quantile
                             sketches); `-` prints to stdout likewise

@@ -63,6 +63,12 @@ impl JobEventKind {
     }
 }
 
+/// Deepest tail a [`Event::TailSample`] can carry. The mean-field
+/// tails decay geometrically (`λ^i` and faster under stealing), so
+/// eight levels reach ~`λ⁸ ≈ 0.43` even at `λ = 0.9` — deep enough
+/// for trajectory comparison while keeping the event `Copy`.
+pub const TAIL_SAMPLE_DEPTH: usize = 8;
+
 /// One structured observation.
 ///
 /// Events are small `Copy` values so emitting one costs a branch and a
@@ -139,6 +145,19 @@ pub enum Event {
         /// instantaneous; 0 for other stages).
         delay: f64,
     },
+    /// Periodic snapshot of the empirical tail vector `ŝ₁…ŝ_depth`
+    /// (opt-in transient sampling): `tails[i-1]` is the instantaneous
+    /// fraction of processors with queue depth ≥ `i` at simulated time
+    /// `t`. `s₀ = 1` is implicit and never carried.
+    TailSample {
+        /// Simulated time of the snapshot.
+        t: f64,
+        /// Tail fractions `ŝ₁…ŝ_depth`; entries past `depth` are 0.
+        tails: [f64; TAIL_SAMPLE_DEPTH],
+        /// How many leading entries of `tails` are meaningful
+        /// (≤ [`TAIL_SAMPLE_DEPTH`]).
+        depth: u32,
+    },
     /// Periodic progress heartbeat from a long simulation run.
     Heartbeat {
         /// Simulated time.
@@ -170,6 +189,7 @@ impl Event {
             Self::SolverDone { .. } => "solver_done",
             Self::Sim { kind, .. } => kind.name(),
             Self::Job { kind, .. } => kind.name(),
+            Self::TailSample { .. } => "tail_sample",
             Self::Heartbeat { .. } => "heartbeat",
             Self::ReplicateDone { .. } => "replicate_done",
         }
@@ -244,6 +264,13 @@ impl Event {
                 if delay != 0.0 {
                     j.field_f64("delay", delay);
                 }
+            }
+            Self::TailSample { t, tails, depth } => {
+                j.field_f64("t", t).key("s").begin_arr();
+                for &s in tails.iter().take(depth as usize) {
+                    j.f64_val(s);
+                }
+                j.end_arr();
             }
             Self::Heartbeat {
                 t,
@@ -361,6 +388,11 @@ mod tests {
                 src: Some(11),
                 delay: 0.25,
             },
+            Event::TailSample {
+                t: 3.75,
+                tails: [0.9, 0.4, 0.1, 0.0, 0.0, 0.0, 0.0, 0.0],
+                depth: 3,
+            },
             Event::Heartbeat {
                 t: 4.0,
                 events: 100,
@@ -465,6 +497,27 @@ mod tests {
         }
         .to_json_line();
         assert!(!instant.contains("delay"), "{instant}");
+    }
+
+    #[test]
+    fn tail_sample_writes_only_depth_entries() {
+        let line = Event::TailSample {
+            t: 12.5,
+            tails: [0.875, 0.5, 0.125, 0.0, 0.0, 0.0, 0.0, 0.0],
+            depth: 3,
+        }
+        .to_json_line();
+        assert!(line.contains(r#""ev":"tail_sample""#), "{line}");
+        assert!(line.contains(r#""t":12.5"#), "{line}");
+        assert!(line.contains(r#""s":[0.875,0.5,0.125]"#), "{line}");
+        // Non-finite entries render as null, like every other f64.
+        let nan = Event::TailSample {
+            t: 0.0,
+            tails: [f64::NAN, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            depth: 1,
+        }
+        .to_json_line();
+        assert!(nan.contains(r#""s":[null]"#), "{nan}");
     }
 
     #[test]

@@ -47,13 +47,13 @@ pub mod sketch;
 pub mod span;
 pub mod timer;
 
-pub use event::{Event, JobEventKind, SimEventKind, TraceHeader, TRACE_SCHEMA};
+pub use event::{Event, JobEventKind, SimEventKind, TraceHeader, TAIL_SAMPLE_DEPTH, TRACE_SCHEMA};
 pub use flight::PanicRecord;
 pub use manifest::{ConfigValue, RunManifest};
 pub use prom::prometheus_text;
 pub use recorder::{
     CollectingRecorder, CountingRecorder, EventCounts, NdjsonRecorder, NullRecorder, Recorder,
-    RegistryRecorder, SharedRecorder,
+    RegistryRecorder, SharedRecorder, TailReference,
 };
 pub use registry::{Counter, Gauge, Histogram, MetricsReport, Registry, Sketch};
 pub use sketch::{Digest, P2Quantile};

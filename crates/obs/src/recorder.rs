@@ -80,6 +80,9 @@ pub struct EventCounts {
     /// Job lifecycle events (all four stages; only emitted when job
     /// tracing is opted into).
     pub job_events: u64,
+    /// Empirical tail-vector snapshots (only emitted when transient
+    /// sampling is opted into).
+    pub tail_samples: u64,
     /// Heartbeats.
     pub heartbeats: u64,
     /// Finished replications.
@@ -102,6 +105,7 @@ impl EventCounts {
             + self.steal_successes
             + self.migrations
             + self.job_events
+            + self.tail_samples
             + self.heartbeats
             + self.replicates
     }
@@ -155,6 +159,7 @@ impl Recorder for CountingRecorder {
                 }
             },
             Event::Job { .. } => c.job_events += 1,
+            Event::TailSample { .. } => c.tail_samples += 1,
             Event::Heartbeat { .. } => c.heartbeats += 1,
             Event::ReplicateDone { .. } => c.replicates += 1,
         }
@@ -299,6 +304,9 @@ pub struct RegistryRecorder {
     replicates: Arc<Counter>,
     solver_accepted: Arc<Counter>,
     solver_rejected: Arc<Counter>,
+    tail_samples: Arc<Counter>,
+    tail_gauges: Vec<Arc<Gauge>>,
+    transient: Option<TransientGauges>,
     sim_t: Arc<Gauge>,
     tasks_in_system: Arc<Gauge>,
     events_per_sec: Arc<Gauge>,
@@ -323,6 +331,11 @@ impl RegistryRecorder {
             replicates: registry.counter("sim.replicates_done"),
             solver_accepted: registry.counter("solver.steps_accepted"),
             solver_rejected: registry.counter("solver.steps_rejected"),
+            tail_samples: registry.counter("sim.tail_samples"),
+            tail_gauges: (1..=crate::event::TAIL_SAMPLE_DEPTH)
+                .map(|i| registry.gauge(&format!("sim.tail_s{i}")))
+                .collect(),
+            transient: None,
             sim_t: registry.gauge("sim.t"),
             tasks_in_system: registry.gauge("sim.tasks_in_system"),
             events_per_sec: registry.gauge("sim.events_per_sec"),
@@ -333,6 +346,97 @@ impl RegistryRecorder {
     /// The registry this recorder feeds.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
+    }
+
+    /// Attach a mean-field reference trajectory: every incoming
+    /// [`Event::TailSample`] is then matched against the reference grid
+    /// and the drift published live as `transient.residual_s<i>`
+    /// (signed, per tail), `transient.residual_sup` (instantaneous),
+    /// `transient.residual_sup_max` (running worst case), and
+    /// `transient.relaxation_time` (NaN until the sample stream has
+    /// entered — and stayed in — the ε-ball around the fixed point).
+    pub fn with_tail_reference(mut self, reference: TailReference) -> Self {
+        let per_tail = (1..=crate::event::TAIL_SAMPLE_DEPTH)
+            .map(|i| self.registry.gauge(&format!("transient.residual_s{i}")))
+            .collect();
+        let tg = TransientGauges {
+            reference,
+            per_tail,
+            sup: self.registry.gauge("transient.residual_sup"),
+            sup_max: self.registry.gauge("transient.residual_sup_max"),
+            relaxation: self.registry.gauge("transient.relaxation_time"),
+            relaxed_since: None,
+            worst: 0.0,
+        };
+        tg.relaxation.set(f64::NAN);
+        self.transient = Some(tg);
+        self
+    }
+}
+
+/// A mean-field reference trajectory for live drift gauges — plain
+/// data (integrate it with the core crate and pass it in), so this
+/// crate stays ODE-free.
+#[derive(Debug, Clone)]
+pub struct TailReference {
+    /// Reference instants `(t, s₁(t)…s₈(t))`, time-ascending, on the
+    /// same grid the simulator samples on (`--sample-tails <dt>`).
+    pub grid: Vec<(f64, [f64; crate::event::TAIL_SAMPLE_DEPTH])>,
+    /// Fixed-point tails `s*₁…s*₈`.
+    pub fixed_point: [f64; crate::event::TAIL_SAMPLE_DEPTH],
+    /// Relaxation threshold ε for `transient.relaxation_time`.
+    pub epsilon: f64,
+}
+
+#[derive(Debug)]
+struct TransientGauges {
+    reference: TailReference,
+    per_tail: Vec<Arc<Gauge>>,
+    sup: Arc<Gauge>,
+    sup_max: Arc<Gauge>,
+    relaxation: Arc<Gauge>,
+    relaxed_since: Option<f64>,
+    worst: f64,
+}
+
+impl TransientGauges {
+    fn observe(&mut self, t: f64, tails: &[f64; crate::event::TAIL_SAMPLE_DEPTH]) {
+        let r = &self.reference;
+        // Nearest reference instant within tolerance; samples off the
+        // grid (a foreign trace) are simply not compared.
+        let i = r.grid.partition_point(|(gt, _)| *gt < t);
+        let tol = 1e-9 * t.abs().max(1.0);
+        let idx = if i < r.grid.len() && (r.grid[i].0 - t).abs() <= tol {
+            i
+        } else if i > 0 && (r.grid[i - 1].0 - t).abs() <= tol {
+            i - 1
+        } else {
+            return;
+        };
+        let reference = &r.grid[idx].1;
+        let mut sup = 0.0f64;
+        for (g, (hat, s)) in self.per_tail.iter().zip(tails.iter().zip(reference)) {
+            let resid = hat - s;
+            g.set(resid);
+            sup = sup.max(resid.abs());
+        }
+        self.sup.set(sup);
+        if sup > self.worst {
+            self.worst = sup;
+            self.sup_max.set(sup);
+        }
+        let dev = tails
+            .iter()
+            .zip(&r.fixed_point)
+            .map(|(hat, fp)| (hat - fp).abs())
+            .fold(0.0f64, f64::max);
+        if dev <= r.epsilon {
+            let since = *self.relaxed_since.get_or_insert(t);
+            self.relaxation.set(since);
+        } else {
+            self.relaxed_since = None;
+            self.relaxation.set(f64::NAN);
+        }
     }
 }
 
@@ -363,6 +467,16 @@ impl Recorder for RegistryRecorder {
                 JobEventKind::ServiceStart => self.job_service_starts.inc(),
                 JobEventKind::Completion => self.job_completions.inc(),
             },
+            Event::TailSample { t, tails, depth } => {
+                self.tail_samples.inc();
+                self.sim_t.set(t);
+                for (g, &s) in self.tail_gauges.iter().zip(&tails).take(depth as usize) {
+                    g.set(s);
+                }
+                if let Some(tg) = self.transient.as_mut() {
+                    tg.observe(t, &tails);
+                }
+            }
             Event::Heartbeat {
                 t, tasks_in_system, ..
             } => {
@@ -539,6 +653,76 @@ mod tests {
         assert_eq!(snap.counters["job.migrations"], 1);
         assert_eq!(snap.counters["job.service_starts"], 1);
         assert_eq!(snap.counters["job.completions"], 1);
+    }
+
+    #[test]
+    fn recorders_tally_tail_samples() {
+        let sample = Event::TailSample {
+            t: 5.0,
+            tails: [0.9, 0.5, 0.2, 0.0, 0.0, 0.0, 0.0, 0.0],
+            depth: 3,
+        };
+        let mut c = CountingRecorder::new();
+        c.record(&sample);
+        assert_eq!(c.counts().tail_samples, 1);
+        assert_eq!(c.counts().total(), 1);
+
+        let reg = Arc::new(Registry::new());
+        let mut r = RegistryRecorder::new(Arc::clone(&reg));
+        r.record(&sample);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["sim.tail_samples"], 1);
+        assert_eq!(snap.gauges["sim.tail_s1"], 0.9);
+        assert_eq!(snap.gauges["sim.tail_s3"], 0.2);
+        // Entries past `depth` keep their registered default.
+        assert_eq!(snap.gauges["sim.tail_s4"], 0.0);
+        assert_eq!(snap.gauges["sim.t"], 5.0);
+    }
+
+    #[test]
+    fn tail_reference_publishes_live_drift_gauges() {
+        let fp = [0.5, 0.25, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let reference = TailReference {
+            grid: vec![
+                (1.0, [0.4, 0.1, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]),
+                (2.0, [0.5, 0.25, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]),
+            ],
+            fixed_point: fp,
+            epsilon: 0.02,
+        };
+        let reg = Arc::new(Registry::new());
+        let mut r = RegistryRecorder::new(Arc::clone(&reg)).with_tail_reference(reference);
+
+        // Off the ε-ball at t = 1: residual +0.1 on s₁, not relaxed.
+        r.record(&Event::TailSample {
+            t: 1.0,
+            tails: [0.5, 0.1, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            depth: 2,
+        });
+        let snap = reg.snapshot();
+        assert!((snap.gauges["transient.residual_s1"] - 0.1).abs() < 1e-12);
+        assert!((snap.gauges["transient.residual_sup"] - 0.1).abs() < 1e-12);
+        assert!(snap.gauges["transient.relaxation_time"].is_nan());
+
+        // Inside the ε-ball at t = 2: relaxation clock latches.
+        r.record(&Event::TailSample {
+            t: 2.0,
+            tails: [0.51, 0.25, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            depth: 2,
+        });
+        let snap = reg.snapshot();
+        assert!((snap.gauges["transient.residual_s1"] - 0.01).abs() < 1e-12);
+        assert!((snap.gauges["transient.residual_sup_max"] - 0.1).abs() < 1e-12);
+        assert_eq!(snap.gauges["transient.relaxation_time"], 2.0);
+
+        // A sample off the reference grid is ignored, not mismatched.
+        r.record(&Event::TailSample {
+            t: 2.7,
+            tails: [0.9, 0.9, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            depth: 2,
+        });
+        let snap = reg.snapshot();
+        assert!((snap.gauges["transient.residual_sup"] - 0.01).abs() < 1e-12);
     }
 
     #[test]

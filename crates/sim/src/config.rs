@@ -220,6 +220,12 @@ pub struct SimConfig {
     /// randomness), but event construction is skipped entirely, keeping
     /// the disabled path inside the benchmark overhead budget.
     pub trace_jobs: bool,
+    /// Emit a `tail_sample` event carrying the instantaneous empirical
+    /// tail vector `ŝ₁…ŝ_k` every this many simulated seconds (for
+    /// live transient comparison against the ODE trajectory). `None`
+    /// disables sampling; the disabled path shares `trace_jobs`'
+    /// benchmark budget.
+    pub sample_tails: Option<f64>,
 }
 
 /// Default heartbeat cadence (every 65,536 processed events).
@@ -293,6 +299,8 @@ pub enum ConfigError {
     BadSpeedClass,
     /// Snapshot interval not a positive finite number.
     BadSnapshotInterval(f64),
+    /// Tail-sample interval not a positive finite number.
+    BadSampleInterval(f64),
     /// Drained mode with external arrivals still switched on.
     DrainedNeedsZeroLambda(f64),
     /// Drained mode with no initial load and no internal arrivals.
@@ -358,6 +366,9 @@ impl std::fmt::Display for ConfigError {
             Self::BadSnapshotInterval(dt) => {
                 write!(f, "snapshot interval must be > 0, got {dt}")
             }
+            Self::BadSampleInterval(dt) => {
+                write!(f, "tail-sample interval must be > 0, got {dt}")
+            }
             Self::DrainedNeedsZeroLambda(l) => {
                 write!(f, "drained mode requires lambda = 0, got {l}")
             }
@@ -406,6 +417,7 @@ impl SimConfig {
             heartbeat_every: DEFAULT_HEARTBEAT_EVERY,
             sojourn_digest: false,
             trace_jobs: false,
+            sample_tails: None,
         }
     }
 
@@ -518,6 +530,11 @@ impl SimConfig {
         if let Some(dt) = self.snapshot_interval {
             if !(dt > 0.0 && dt.is_finite()) {
                 return Err(ConfigError::BadSnapshotInterval(dt));
+            }
+        }
+        if let Some(dt) = self.sample_tails {
+            if !(dt > 0.0 && dt.is_finite()) {
+                return Err(ConfigError::BadSampleInterval(dt));
             }
         }
         if self.run_until_drained {
@@ -650,6 +667,20 @@ mod tests {
             ConfigError::SpeedFractionsSum(0.9).to_string(),
             "speed-class fractions must sum to 1, got 0.9"
         );
+    }
+
+    #[test]
+    fn rejects_bad_sample_interval() {
+        let mut cfg = SimConfig::paper_default(8, 0.5);
+        cfg.sample_tails = Some(0.0);
+        assert_eq!(cfg.validate(), Err(ConfigError::BadSampleInterval(0.0)));
+        cfg.sample_tails = Some(f64::INFINITY);
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::BadSampleInterval(_))
+        ));
+        cfg.sample_tails = Some(0.5);
+        cfg.validate().unwrap();
     }
 
     #[test]

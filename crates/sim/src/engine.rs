@@ -23,6 +23,7 @@ use rand::{Rng, SeedableRng};
 use loadsteal_obs::span;
 use loadsteal_obs::{
     Digest, Event as ObsEvent, JobEventKind, NullRecorder, Recorder, SimEventKind,
+    TAIL_SAMPLE_DEPTH,
 };
 use loadsteal_queueing::dist::exp_sample;
 use loadsteal_queueing::OnlineStats;
@@ -91,6 +92,13 @@ struct Engine<'a, R: Recorder> {
     tracing: bool,
     /// `tracing && cfg.trace_jobs`, sampled once.
     job_tracing: bool,
+    /// `tracing && cfg.sample_tails.is_some()`, sampled once.
+    tail_sampling: bool,
+    /// Tail-sample grid spacing (`∞` when sampling is off, so the hot
+    /// loop's grid check is one always-false comparison).
+    sample_every: f64,
+    /// Next tail-sample grid time.
+    next_tail_sample: f64,
     /// Next job id to assign.
     next_job_id: u64,
     events_processed: u64,
@@ -134,6 +142,17 @@ impl<'a, R: Recorder> Engine<'a, R> {
             rec,
             tracing,
             job_tracing: tracing && cfg.trace_jobs,
+            tail_sampling: tracing && cfg.sample_tails.is_some(),
+            sample_every: if tracing {
+                cfg.sample_tails.unwrap_or(f64::INFINITY)
+            } else {
+                f64::INFINITY
+            },
+            next_tail_sample: if tracing {
+                cfg.sample_tails.unwrap_or(f64::INFINITY)
+            } else {
+                f64::INFINITY
+            },
             next_job_id: 0,
             events_processed: 0,
             procs,
@@ -208,6 +227,24 @@ impl<'a, R: Recorder> Engine<'a, R> {
                 delay,
             });
         }
+    }
+
+    /// Emit the instantaneous empirical tail vector at grid time `t`
+    /// (callers gate on `tail_sampling`). O(k) in the histogram depth:
+    /// the load histogram already maintains counts-per-depth, so no
+    /// per-processor walk happens here.
+    fn emit_tail_sample(&mut self, t: f64) {
+        let inst = self.hist.instant_tails(self.cfg.n);
+        let mut tails = [0.0f64; TAIL_SAMPLE_DEPTH];
+        let mut depth = 0u32;
+        for i in 1..=TAIL_SAMPLE_DEPTH {
+            let s = inst.get(i).copied().unwrap_or(0.0);
+            tails[i - 1] = s;
+            if s != 0.0 {
+                depth = i as u32;
+            }
+        }
+        self.rec.record(&ObsEvent::TailSample { t, tails, depth });
     }
 
     /// Report one simulator observation (no-op unless tracing).
@@ -308,6 +345,15 @@ impl<'a, R: Recorder> Engine<'a, R> {
                 self.snapshots.push((self.next_snapshot, tails));
                 self.next_snapshot += self.cfg.snapshot_interval.unwrap();
             }
+            // Tail samples use the same just-before-the-next-event
+            // convention, but flow to the recorder instead of memory so
+            // piped consumers see the trajectory live. Disabled cost:
+            // one always-false comparison (`next_tail_sample = ∞`).
+            while self.next_tail_sample <= ev.time && self.next_tail_sample <= horizon {
+                let t = self.next_tail_sample;
+                self.emit_tail_sample(t);
+                self.next_tail_sample += self.sample_every;
+            }
             if ev.time > horizon {
                 self.t = horizon;
                 break;
@@ -324,6 +370,12 @@ impl<'a, R: Recorder> Engine<'a, R> {
                     events: self.events_processed,
                     tasks_in_system: self.tasks_in_system,
                 });
+                // Live transient consumers (piped `transient -`, the
+                // serve endpoint) need samples at heartbeat cadence,
+                // not batched until the run ends.
+                if self.tail_sampling {
+                    self.rec.flush();
+                }
             }
             // One profiler span per simulated event, named by phase.
             // Disabled cost: selecting the static name plus one relaxed
@@ -1061,6 +1113,74 @@ mod tests {
                 assert!(w[0] >= w[1] - 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn tail_samples_track_the_snapshot_grid() {
+        use loadsteal_obs::{CollectingRecorder, Event as ObsEvent};
+        let mut cfg = base(32, 0.8);
+        cfg.horizon = 100.0;
+        cfg.warmup = 0.0;
+        cfg.snapshot_interval = Some(10.0);
+        cfg.sample_tails = Some(10.0);
+        let mut rec = CollectingRecorder::new();
+        let r = run_recorded(&cfg, 20, &mut rec);
+        let samples: Vec<(f64, [f64; 8], u32)> = rec
+            .events()
+            .iter()
+            .filter_map(|ev| match *ev {
+                ObsEvent::TailSample { t, tails, depth } => Some((t, tails, depth)),
+                _ => None,
+            })
+            .collect();
+        // Same grid convention as in-memory snapshots: one per 10 s,
+        // and identical values at every shared instant.
+        assert_eq!(samples.len(), r.snapshots.len());
+        for ((st, tails, depth), (qt, snap)) in samples.iter().zip(&r.snapshots) {
+            assert_eq!(st, qt);
+            for i in 1..=TAIL_SAMPLE_DEPTH {
+                let expect = snap.get(i).copied().unwrap_or(0.0);
+                assert_eq!(tails[i - 1], expect, "s_{i} at t = {st}");
+            }
+            // Trailing zeros are elided from the meaningful depth.
+            assert!((*depth as usize) <= TAIL_SAMPLE_DEPTH);
+            for &s in &tails[*depth as usize..] {
+                assert_eq!(s, 0.0);
+            }
+        }
+        // Tails are valid distributions at every instant.
+        for (_, tails, _) in &samples {
+            for w in tails.windows(2) {
+                assert!(w[0] >= w[1] - 1e-12);
+            }
+            assert!(tails[0] <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn tail_sampling_does_not_perturb_the_run() {
+        use loadsteal_obs::CountingRecorder;
+        let mut cfg = base(16, 0.8);
+        cfg.horizon = 5_000.0;
+        cfg.warmup = 500.0;
+        let plain = run(&cfg, 24);
+        cfg.sample_tails = Some(5.0);
+        // Disabled recorder: the flag is inert.
+        let silent = run(&cfg, 24);
+        assert_eq!(plain.sojourn.mean(), silent.sojourn.mean());
+        assert_eq!(plain.events_processed, silent.events_processed);
+        // Live recorder: identical trajectory (sampling reads the load
+        // histogram, never the RNG), one sample per grid point.
+        let mut rec = CountingRecorder::new();
+        let traced = run_recorded(&cfg, 24, &mut rec);
+        assert_eq!(plain.sojourn.mean(), traced.sojourn.mean());
+        assert_eq!(plain.events_processed, traced.events_processed);
+        assert_eq!(rec.counts().tail_samples, 1_000);
+        // Without the flag a live recorder sees no samples.
+        cfg.sample_tails = None;
+        let mut rec = CountingRecorder::new();
+        let _ = run_recorded(&cfg, 24, &mut rec);
+        assert_eq!(rec.counts().tail_samples, 0);
     }
 
     #[test]

@@ -6,8 +6,10 @@
 //! ([`reader`]), reconstructs per-processor queue timelines and run
 //! phases from the event stream alone ([`timeline`]), rebuilds
 //! individual job lifecycles with a wait/transfer/service sojourn
-//! decomposition from `job_*` events ([`jobs`]), and renders a
-//! sim-vs-mean-field comparison table ([`report`]).
+//! decomposition from `job_*` events ([`jobs`]), renders a
+//! sim-vs-mean-field comparison table ([`report`]), and replays
+//! `tail_sample` streams against the mean-field ODE trajectory to
+//! quantify transient drift ([`transient`]).
 //!
 //! The layering is deliberate: this crate depends only on
 //! `loadsteal-obs` (for the event model and the hand-rolled JSON
@@ -37,6 +39,7 @@ pub mod jobs;
 pub mod reader;
 pub mod report;
 pub mod timeline;
+pub mod transient;
 
 pub use jobs::{render_jobs, Hop, JobAnalysis, JobAnomalies, JobRecord};
 pub use reader::{
@@ -45,3 +48,4 @@ pub use reader::{
 };
 pub use report::{render_report, MeanFieldPrediction};
 pub use timeline::{EventCounts, ProcTimeline, SolverSummary, Timeline, TimelineConfig};
+pub use transient::{render_transient, DriftEvent, Envelope, TransientAnalysis, TransientOptions};

@@ -15,7 +15,8 @@
 
 use loadsteal_obs::json::{parse, JsonValue};
 use loadsteal_obs::{
-    Event, JobEventKind, PanicRecord, SimEventKind, SpanRecord, TraceHeader, TRACE_SCHEMA,
+    Event, JobEventKind, PanicRecord, SimEventKind, SpanRecord, TraceHeader, TAIL_SAMPLE_DEPTH,
+    TRACE_SCHEMA,
 };
 
 /// How to treat malformed lines.
@@ -350,6 +351,7 @@ fn parse_event(v: &JsonValue, ev: &str) -> Result<Event, (usize, String)> {
                 events_per_sec: f64_field(v, "events_per_sec")?,
             })
         }
+        "tail_sample" => return parse_tail_sample(v),
         "job_arrival" => return parse_job(v, JobEventKind::Arrival),
         "job_migrate" => return parse_job(v, JobEventKind::Migrate),
         "job_service_start" => return parse_job(v, JobEventKind::ServiceStart),
@@ -371,6 +373,40 @@ fn parse_event(v: &JsonValue, ev: &str) -> Result<Event, (usize, String)> {
             None => 1,
             Some(_) => u32_field(v, "count")?,
         },
+    })
+}
+
+fn parse_tail_sample(v: &JsonValue) -> Result<Event, (usize, String)> {
+    let t = f64_field(v, "t")?;
+    let arr = match v.get("s") {
+        Some(JsonValue::Arr(items)) => items,
+        Some(_) => return Err((1, "field \"s\" is not an array".to_owned())),
+        None => return Err(missing("s")),
+    };
+    if arr.len() > TAIL_SAMPLE_DEPTH {
+        return Err((
+            1,
+            format!(
+                "field \"s\" carries {} tails (this reader supports at most {TAIL_SAMPLE_DEPTH})",
+                arr.len()
+            ),
+        ));
+    }
+    // The writer elides trailing zeros; absent depths really are 0.
+    let mut tails = [0.0f64; TAIL_SAMPLE_DEPTH];
+    for (i, item) in arr.iter().enumerate() {
+        tails[i] = match item {
+            // Same null → NaN convention as every other float field.
+            JsonValue::Null => f64::NAN,
+            other => other
+                .as_f64()
+                .ok_or_else(|| (1, format!("entry {} of \"s\" is not a number", i + 1)))?,
+        };
+    }
+    Ok(Event::TailSample {
+        t,
+        tails,
+        depth: arr.len() as u32,
     })
 }
 
@@ -554,6 +590,18 @@ mod tests {
                 src: None,
                 delay: 0.0,
             },
+            Event::TailSample {
+                t: 10.0,
+                tails: [0.921875, 0.5, 0.125, 0.03125, 0.0, 0.0, 0.0, 0.0],
+                depth: 4,
+            },
+            Event::TailSample {
+                // An empty system: every tail is zero, so the writer
+                // elides the whole vector.
+                t: 0.5,
+                tails: [0.0; 8],
+                depth: 0,
+            },
             Event::Heartbeat {
                 t: 100.0,
                 events: 65536,
@@ -684,6 +732,37 @@ garbage
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn tail_sample_parses_with_padding_null_and_depth_cap() {
+        // Short vectors zero-pad; the depth is the wire length.
+        match parse_line(r#"{"ev":"tail_sample","t":2.5,"s":[0.75,0.25]}"#).unwrap() {
+            Event::TailSample { t, tails, depth } => {
+                assert_eq!(t, 2.5);
+                assert_eq!(depth, 2);
+                assert_eq!(&tails[..3], &[0.75, 0.25, 0.0]);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Nulls (non-finite on the writer side) come back as NaN.
+        match parse_line(r#"{"ev":"tail_sample","t":1.0,"s":[null]}"#).unwrap() {
+            Event::TailSample { tails, depth, .. } => {
+                assert_eq!(depth, 1);
+                assert!(tails[0].is_nan());
+            }
+            other => panic!("{other:?}"),
+        }
+        // Semantic failures: missing/malformed vector, oversized depth.
+        let (_, msg) = parse_line(r#"{"ev":"tail_sample","t":1.0}"#).unwrap_err();
+        assert!(msg.contains("\"s\""), "{msg}");
+        let (_, msg) = parse_line(r#"{"ev":"tail_sample","t":1.0,"s":0.5}"#).unwrap_err();
+        assert!(msg.contains("not an array"), "{msg}");
+        let (_, msg) = parse_line(r#"{"ev":"tail_sample","t":1.0,"s":[0.5,"x"]}"#).unwrap_err();
+        assert!(msg.contains("entry 2"), "{msg}");
+        let nine = r#"{"ev":"tail_sample","t":1.0,"s":[1,1,1,1,1,1,1,1,1]}"#;
+        let (_, msg) = parse_line(nine).unwrap_err();
+        assert!(msg.contains("at most 8"), "{msg}");
     }
 
     #[test]

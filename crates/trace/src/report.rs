@@ -84,6 +84,15 @@ pub fn render_report(tl: &Timeline, pred: Option<&MeanFieldPrediction>) -> Strin
     }
     if let Some(t) = tl.steady_at {
         out.push_str(&format!("  steady state from   {t:>8.1}\n"));
+        let span = tl.end - tl.start;
+        if span > 0.0 {
+            let frac = ((t - tl.start) / span).clamp(0.0, 1.0);
+            out.push_str(&format!(
+                "  relaxation          {:>8.1}  ({:.0}% of run in transient)\n",
+                t - tl.start,
+                frac * 100.0
+            ));
+        }
     }
 
     if tl.n_procs > 0 {

@@ -384,6 +384,12 @@ impl Timeline {
                     tl.start = tl.start.min(t);
                     tl.end = tl.end.max(t);
                 }
+                // Tail samples are derived state (the transient module
+                // consumes them); here they only widen the window.
+                Event::TailSample { t, .. } => {
+                    tl.start = tl.start.min(t);
+                    tl.end = tl.end.max(t);
+                }
             }
         }
 

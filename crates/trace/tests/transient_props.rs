@@ -1,0 +1,227 @@
+//! Property tests for the transient pipeline's windowed tail
+//! estimator, mirroring `reader_props.rs`:
+//!
+//! * Reconstruction — `ŝᵢ(t)` pulled back out of a trace's
+//!   `tail_sample` lines must equal an exact `O(n·events)` replay of
+//!   the per-processor queue depths at every sample instant, bit for
+//!   bit (the wire format prints shortest-round-trip floats).
+//! * Replicates — concatenating the trace with itself doubles every
+//!   group's run count and leaves the cross-run mean unchanged.
+//! * Degradation — corrupting `tail_sample` lines in lossy mode
+//!   becomes counted skips, never a panic, and the analysis still
+//!   compares every *surviving* instant with zero residual against
+//!   the replay trajectory.
+
+use loadsteal_obs::{Event, SimEventKind, TAIL_SAMPLE_DEPTH};
+use loadsteal_trace::transient::{extract_samples, group_by_time};
+use loadsteal_trace::{read_str, ReadMode, TransientAnalysis, TransientOptions};
+use proptest::prelude::*;
+
+/// Sampling grid used by every synthetic trace in this file.
+const DT: f64 = 0.5;
+
+/// A synthetic trace of `len` queue-changing events across `n_procs`
+/// processors, with `tail_sample` lines injected on the `DT` grid the
+/// way the engine does it: the snapshot reflects the state *just
+/// before* the first event at or past the grid instant.
+///
+/// Returns the NDJSON document and the exact replay — one
+/// `(t, tails)` row per sample, where `tails[i-1]` is the fraction of
+/// processors with queue depth ≥ i.
+fn sampled_doc(seed: u64, len: usize, n_procs: usize) -> (String, Vec<(f64, [f64; 8])>) {
+    let mut s = seed;
+    let mut next = move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+        s >> 33
+    };
+
+    let mut depths = vec![0u64; n_procs];
+    let tails_of = |depths: &[u64]| {
+        let mut tails = [0.0f64; TAIL_SAMPLE_DEPTH];
+        for (i, tail) in tails.iter_mut().enumerate() {
+            let at_least = depths.iter().filter(|&&d| d > i as u64).count();
+            *tail = at_least as f64 / n_procs as f64;
+        }
+        tails
+    };
+    let sample_event = |t: f64, tails: [f64; 8]| {
+        let depth = tails.iter().rposition(|&v| v != 0.0).map_or(0, |p| p + 1);
+        Event::TailSample {
+            t,
+            tails,
+            depth: depth as u32,
+        }
+    };
+
+    let mut doc = String::new();
+    let mut expected = Vec::new();
+    let mut t = 0.0f64;
+    let mut next_sample = DT;
+    for _ in 0..len {
+        t += 0.125 + (next() % 8) as f64 * 0.0625;
+        // The engine convention: the grid snapshot is the state at the
+        // sample instant, emitted just before the first event past it.
+        while t >= next_sample {
+            let tails = tails_of(&depths);
+            doc.push_str(&sample_event(next_sample, tails).to_json_line());
+            doc.push('\n');
+            expected.push((next_sample, tails));
+            next_sample += DT;
+        }
+        let p = (next() % n_procs as u64) as usize;
+        let ev = match next() % 4 {
+            0 if depths[p] > 0 => {
+                depths[p] -= 1;
+                Event::Sim {
+                    kind: SimEventKind::Completion,
+                    t,
+                    proc: p as u32,
+                    src: None,
+                    count: 1,
+                }
+            }
+            1 if depths[p] > 0 => {
+                let q = (p + 1 + (next() % (n_procs as u64 - 1)) as usize) % n_procs;
+                let count = 1 + next() % depths[p].min(2);
+                depths[p] -= count;
+                depths[q] += count;
+                Event::Sim {
+                    kind: SimEventKind::Migration,
+                    t,
+                    proc: q as u32,
+                    src: Some(p as u32),
+                    count: count as u32,
+                }
+            }
+            2 => Event::Sim {
+                kind: SimEventKind::StealAttempt,
+                t,
+                proc: p as u32,
+                src: None,
+                count: 1,
+            },
+            _ => {
+                depths[p] += 1;
+                Event::Sim {
+                    kind: SimEventKind::Arrival,
+                    t,
+                    proc: p as u32,
+                    src: None,
+                    count: 1,
+                }
+            }
+        };
+        doc.push_str(&ev.to_json_line());
+        doc.push('\n');
+    }
+    (doc, expected)
+}
+
+/// The replay trajectory shaped as an ODE grid (`tails[0] = s₀ = 1`),
+/// so the analysis can be run against a reference it must match
+/// exactly.
+fn as_trajectory(expected: &[(f64, [f64; 8])]) -> Vec<(f64, Vec<f64>)> {
+    expected
+        .iter()
+        .map(|(t, tails)| {
+            let mut row = vec![1.0];
+            row.extend_from_slice(tails);
+            (*t, row)
+        })
+        .collect()
+}
+
+/// Line numbers (0-based) of the `tail_sample` lines in `doc`.
+fn sample_lines(doc: &str) -> Vec<usize> {
+    doc.lines()
+        .enumerate()
+        .filter(|(_, l)| l.contains("\"tail_sample\""))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+proptest! {
+    /// Reconstruction: every `tail_sample` read back from the wire
+    /// equals the exact depth replay at its instant — same count, same
+    /// times, bit-identical tails (zero-padded past the wire depth).
+    #[test]
+    fn reconstruction_matches_exact_replay(seed in any::<u64>(), len in 1usize..200, n in 2usize..12) {
+        let (doc, expected) = sampled_doc(seed, len, n);
+        let parsed = read_str(&doc, ReadMode::Strict).unwrap();
+        let samples = extract_samples(&parsed.events);
+        prop_assert_eq!(samples.len(), expected.len());
+        for (got, (t, tails)) in samples.iter().zip(&expected) {
+            prop_assert_eq!(got.t, *t);
+            prop_assert_eq!(&got.tails, tails, "tails diverge at t = {}", t);
+        }
+        // Grouping a single replicate is the identity on the values.
+        let groups = group_by_time(&samples);
+        prop_assert_eq!(groups.len(), expected.len());
+        for (g, (t, tails)) in groups.iter().zip(&expected) {
+            prop_assert_eq!(g.t, *t);
+            prop_assert_eq!(g.runs.len(), 1);
+            prop_assert_eq!(&g.mean(), tails);
+        }
+    }
+
+    /// Replicates: a second identical run doubles each group's run
+    /// count and cannot move the cross-run mean.
+    #[test]
+    fn duplicate_replicate_preserves_the_mean(seed in any::<u64>(), len in 1usize..120, n in 2usize..8) {
+        let (doc, expected) = sampled_doc(seed, len, n);
+        let twice = format!("{doc}{doc}");
+        let parsed = read_str(&twice, ReadMode::Strict).unwrap();
+        let groups = group_by_time(&extract_samples(&parsed.events));
+        prop_assert_eq!(groups.len(), expected.len());
+        for (g, (t, tails)) in groups.iter().zip(&expected) {
+            prop_assert_eq!(g.t, *t);
+            prop_assert_eq!(g.runs.len(), 2);
+            prop_assert_eq!(&g.mean(), tails);
+        }
+    }
+
+    /// Degradation: tearing a subset of the `tail_sample` lines is a
+    /// counted skip in lossy mode — never a panic — and the analysis
+    /// still matches every surviving instant against the replay
+    /// trajectory with zero residual and no drift.
+    #[test]
+    fn lossy_drops_degrade_to_counted_anomalies(seed in any::<u64>(), len in 8usize..160, n in 2usize..8, mask in any::<u64>()) {
+        let (doc, expected) = sampled_doc(seed, len, n);
+        // len ≥ 8 with increments ≥ 0.125 guarantees t crosses DT.
+        let victims = sample_lines(&doc);
+        prop_assert!(!victims.is_empty());
+        // Corrupt a pseudo-random, possibly empty subset of the sample
+        // lines by truncating them mid-JSON.
+        let corrupt: Vec<usize> = victims
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> (i % 64) & 1 == 1)
+            .map(|(_, &line)| line)
+            .collect();
+        let torn: String = doc
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                if corrupt.contains(&i) {
+                    format!("{}\n", &l[..l.len() / 2])
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+
+        let lossy = read_str(&torn, ReadMode::Lossy).unwrap();
+        prop_assert_eq!(lossy.skipped.len(), corrupt.len());
+        prop_assert_eq!(lossy.lines, lossy.events.len() + lossy.skipped.len());
+
+        let survivors = extract_samples(&lossy.events);
+        prop_assert_eq!(survivors.len(), expected.len() - corrupt.len());
+
+        let ode = as_trajectory(&expected);
+        let a = TransientAnalysis::build(&lossy.events, &ode, None, &TransientOptions::new(n));
+        prop_assert_eq!(a.points.len(), survivors.len());
+        prop_assert_eq!(a.unmatched, 0, "every survivor sits on the replay grid");
+        prop_assert_eq!(a.residual_sup, 0.0, "replay reference must agree exactly");
+        prop_assert!(a.drift.is_empty(), "{} drift events from exact agreement", a.drift.len());
+    }
+}

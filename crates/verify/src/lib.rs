@@ -4,7 +4,7 @@
 //! with the mean-field fixed points (Tables 1–4, Theorems 1–2). The
 //! three top-level integration tests spot-check a couple of variants
 //! with hand-picked tolerances; this crate systematizes the check into
-//! five layers, each a family of pass/fail [`harness::Check`]s:
+//! six layers, each a family of pass/fail [`harness::Check`]s:
 //!
 //! * **differential** — every simulable variant paired with its ODE
 //!   fixed point, agreement asserted within confidence-interval-derived
@@ -28,6 +28,13 @@
 //!   engine's internal sojourn statistics exactly, and the migrated
 //!   fraction and service-station Little's law must agree with the
 //!   fixed point on the basic model.
+//! * **transient** — Kurtz trajectory agreement: `--sample-tails`
+//!   streams replayed against the ODE solution on the same grid must
+//!   stay inside a CI-derived residual envelope along the whole
+//!   trajectory, the empirical ε-relaxation time must be finite and
+//!   consistent with the ODE settling time, and the deviation must
+//!   shrink from n = 64 to n = 256 (the `O(1/√n)` rate, two-point
+//!   version).
 //!
 //! The harness is exposed on the CLI as `loadsteal verify
 //! [--quick|--full]`; the [`sabotage`] module carries a deliberately
@@ -45,6 +52,7 @@ pub mod jobs;
 pub mod metamorphic;
 pub mod sabotage;
 pub mod stat;
+pub mod transient;
 pub mod zoo;
 
 pub use harness::{Check, CheckResult, Outcome, Report, Settings, Tier};
@@ -57,6 +65,7 @@ pub fn all_checks(settings: &Settings) -> Vec<Check> {
     checks.extend(determinism::checks(settings));
     checks.extend(differential::checks(settings));
     checks.extend(jobs::checks(settings));
+    checks.extend(transient::checks(settings));
     checks
 }
 

@@ -135,6 +135,9 @@ pub fn sabotaged_variant(settings: &Settings) -> Variant {
             let m = SabotagedSimpleWs::new(0.5)?;
             solve(&m, &FixedPointOptions::default()).map_err(|e| e.to_string())
         }),
+        // The honest spec: the sabotage lives in the predictor (and,
+        // for the transient layer, in the sabotaged ODE itself).
+        spec: loadsteal_core::ModelSpec::simple_ws(0.5),
     }
 }
 

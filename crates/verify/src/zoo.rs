@@ -13,7 +13,7 @@
 //! threshold × Erlang cross-product.
 
 use loadsteal_core::fixed_point::FixedPoint;
-use loadsteal_core::{ModelRegistry, PresetTier};
+use loadsteal_core::{ModelRegistry, ModelSpec, PresetTier};
 use loadsteal_sim::{SimConfig, ToSimConfig};
 
 use crate::harness::{Settings, Tier};
@@ -36,6 +36,9 @@ pub struct Variant {
     pub dominates_no_steal: bool,
     /// Solve the matching mean-field fixed point.
     pub predict: Box<dyn Fn() -> Result<FixedPoint, String> + Send>,
+    /// The typed spec the variant was built from — the transient layer
+    /// integrates its ODE trajectory (not just the fixed point).
+    pub spec: ModelSpec,
 }
 
 /// Build the zoo for `settings` by enumerating the standard model
@@ -59,7 +62,11 @@ pub fn variants(settings: &Settings) -> Vec<Variant> {
                 lambda: spec.lambda,
                 busy_is_lambda: spec.busy_is_lambda(),
                 dominates_no_steal: spec.dominates_no_steal(),
-                predict: Box::new(move || spec.fixed_point()),
+                predict: {
+                    let spec = spec.clone();
+                    Box::new(move || spec.fixed_point())
+                },
+                spec,
             }
         })
         .collect()

@@ -26,7 +26,11 @@ fn threshold_erlang_cross_product_passes_the_differential_check() {
         lambda: spec.lambda,
         busy_is_lambda: spec.busy_is_lambda(),
         dominates_no_steal: spec.dominates_no_steal(),
-        predict: Box::new(move || spec.fixed_point()),
+        predict: {
+            let spec = spec.clone();
+            Box::new(move || spec.fixed_point())
+        },
+        spec,
     };
     match check_variant(&settings, variant) {
         Outcome::Pass(detail) => {
