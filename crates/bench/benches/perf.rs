@@ -92,6 +92,22 @@ fn bench_simulator(c: &mut Criterion) {
             rec
         })
     });
+    // Large-n throughput on the calendar engine (the default): 65 536
+    // processors over a short horizon is ~2.4 M events per iteration,
+    // dominated by event-list churn at a pending-set size no heap-era
+    // protocol ever reached. Guards the scalable-core claim — SoA
+    // state, O(1) victim sampling, calendar scheduling — at a size
+    // where an O(log n) or allocation regression is unmissable.
+    let mut big = SimConfig::paper_default(65_536, 0.9);
+    big.horizon = 20.0;
+    big.warmup = 2.0;
+    g.bench_function("simple_ws_n65536_20s", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            run(&big, seed)
+        })
+    });
     g.finish();
 }
 

@@ -1,0 +1,127 @@
+//! Ad-hoc perf probe: times the bench-gate simulator config directly so
+//! engine optimizations can be iterated without the criterion harness.
+use loadsteal_sim::{EngineKind, SimConfig};
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    if std::env::args().any(|a| a == "micro") {
+        micro();
+        return;
+    }
+    if std::env::args().any(|a| a == "queue") {
+        queue_churn();
+        return;
+    }
+    let engine = match args.next().as_deref() {
+        Some("heap") => EngineKind::Heap,
+        _ => EngineKind::Calendar,
+    };
+    let mm1 = std::env::args().any(|a| a == "mm1");
+    let mut cfg = SimConfig::paper_default(if mm1 { 1 } else { 128 }, 0.9);
+    if mm1 {
+        cfg.policy = loadsteal_sim::StealPolicy::None;
+    }
+    cfg.horizon = if mm1 { 64_000.0 } else { 500.0 };
+    cfg.warmup = 50.0;
+    cfg.engine = engine;
+    // warm up
+    let _ = loadsteal_sim::run(&cfg, 1);
+    let mut best = f64::INFINITY;
+    let mut events = 0u64;
+    for rep in 0..6 {
+        let t0 = Instant::now();
+        let mut total = 0u64;
+        for seed in 0..10u64 {
+            let r = loadsteal_sim::run(&cfg, 1000 + rep * 100 + seed);
+            total += r.events_processed;
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        best = best.min(dt / 10.0);
+        events = total / 10;
+    }
+    println!(
+        "{engine:?}: {:.3} ms/run, {events} events, {:.1} ns/event",
+        best * 1e3,
+        best * 1e9 / events as f64
+    );
+}
+
+#[allow(dead_code)]
+fn micro() {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let mut rng = SmallRng::seed_from_u64(7);
+    let n = 50_000_000u64;
+    let t0 = std::time::Instant::now();
+    let mut acc = 0.0f64;
+    for _ in 0..n {
+        acc += loadsteal_queueing::dist::exp_sample(&mut rng, 0.9);
+    }
+    println!(
+        "exp_sample: {:.2} ns/op (acc {acc:.1})",
+        t0.elapsed().as_secs_f64() * 1e9 / n as f64
+    );
+}
+
+#[allow(dead_code)]
+fn queue_churn() {
+    use loadsteal_sim::{CalendarQueue, Event, EventKind, EventQueue};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let mut rng = SmallRng::seed_from_u64(7);
+    // Steady-state shape of the bench config: ~250 pending events,
+    // inter-event gap ~1/230 of the mean lookahead.
+    let mut q = CalendarQueue::with_hint(256);
+    let mut heap = std::collections::BinaryHeap::<Event>::with_hint(256);
+    let mut seq = 0u64;
+    for _ in 0..250 {
+        let t = loadsteal_queueing::dist::exp_sample(&mut rng, 1.0);
+        q.push(Event {
+            time: t,
+            seq,
+            kind: EventKind::ExtArrival { proc: 0 },
+        });
+        heap.push(Event {
+            time: t,
+            seq,
+            kind: EventKind::ExtArrival { proc: 0 },
+        });
+        seq += 1;
+    }
+    let n = 20_000_000u64;
+    let t0 = std::time::Instant::now();
+    let mut acc = 0.0;
+    for _ in 0..n {
+        let e = q.pop().unwrap();
+        acc += e.time;
+        let dt = loadsteal_queueing::dist::exp_sample(&mut rng, 1.0);
+        q.push(Event {
+            time: e.time + dt,
+            seq,
+            kind: e.kind,
+        });
+        seq += 1;
+    }
+    println!(
+        "calendar pop+push: {:.2} ns/op (acc {acc:.0})",
+        t0.elapsed().as_secs_f64() * 1e9 / n as f64
+    );
+    let t0 = std::time::Instant::now();
+    let mut acc2 = 0.0;
+    for _ in 0..n {
+        let e = heap.pop().unwrap();
+        acc2 += e.time;
+        let dt = loadsteal_queueing::dist::exp_sample(&mut rng, 1.0);
+        heap.push(Event {
+            time: e.time + dt,
+            seq,
+            kind: e.kind,
+        });
+        seq += 1;
+    }
+    println!(
+        "heap pop+push:     {:.2} ns/op (acc {acc2:.0})",
+        t0.elapsed().as_secs_f64() * 1e9 / n as f64
+    );
+}

@@ -2,6 +2,7 @@
 
 use loadsteal_core::fixed_point::{solve as solve_fp, solve_traced, FixedPoint, FixedPointOptions};
 use loadsteal_core::models::{MeanFieldModel, SimpleWs, StaticDrain};
+use loadsteal_core::rate::{fit_power_law, geometric_grid};
 use loadsteal_core::spec::{PolicySpec, ServiceSpec, SpeedSpec};
 use loadsteal_core::stability::{check_l1_contraction, theorem_condition_holds};
 use loadsteal_core::tail::TailVector;
@@ -11,7 +12,8 @@ use loadsteal_obs::{
     TailReference, TraceHeader, TAIL_SAMPLE_DEPTH,
 };
 use loadsteal_sim::{
-    replicate, replicate_recorded, SimConfig, StealPolicy, ToSimConfig, DEFAULT_HEARTBEAT_EVERY,
+    replicate, replicate_recorded, EngineKind, SimConfig, StealPolicy, ToSimConfig,
+    DEFAULT_HEARTBEAT_EVERY,
 };
 use loadsteal_trace::{
     read_bytes, transient, MeanFieldPrediction, ReadMode, Timeline, TimelineConfig,
@@ -273,6 +275,7 @@ const SIM_FLAGS: &[&str] = &[
     "constant-service",
     "heartbeat-every",
     "sample-tails",
+    "engine",
 ];
 
 /// Solve the mean-field companion of a simulated spec, feeding the
@@ -376,6 +379,9 @@ fn sim_config(a: &Args, spec: &ModelSpec) -> Result<SimConfig, String> {
     cfg.internal_lambda = a.get_or("internal", 0.0)?;
     cfg.heartbeat_every = a.get_or("heartbeat-every", DEFAULT_HEARTBEAT_EVERY)?;
     cfg.sample_tails = a.get::<f64>("sample-tails")?;
+    if let Some(engine) = a.raw("engine") {
+        cfg.engine = EngineKind::parse(engine)?;
+    }
     cfg.validate().map_err(|e| e.to_string())?;
     Ok(cfg)
 }
@@ -524,6 +530,126 @@ pub fn simulate(a: &Args) -> Result<(), String> {
         if let Some((mname, _)) = &mean_field {
             m.config("mean_field_model", mname.as_str());
         }
+        obs.emit(&m, &reg.snapshot())?;
+    }
+    Ok(())
+}
+
+/// Flags accepted by `loadsteal converge` (the sim-flag family minus
+/// the per-run shape flags it owns, plus the grid bounds).
+const CONVERGE_FLAGS: &[&str] = &[
+    "model",
+    "lambda",
+    "policy",
+    "threshold",
+    "choices",
+    "batch",
+    "begin",
+    "rate",
+    "transfer-rate",
+    "service-stages",
+    "constant-service",
+    "n-min",
+    "n-max",
+    "runs",
+    "horizon",
+    "warmup",
+    "seed",
+    "engine",
+];
+
+/// `loadsteal converge` — measure the finite-size convergence rate.
+///
+/// Sweeps the system size over a geometric grid, estimates the
+/// stationary tails at each size, and fits the decay exponent of
+/// `e(n) = max_{i∈2..4} |ŝᵢ(n) − sᵢ|` against the mean-field fixed
+/// point. Ying's refinement of the Kurtz limit puts the stationary
+/// error at Θ(1/n), so the fitted slope should sit near −1; an O(1)
+/// model-transcription bias flattens it towards 0 instead. `s₁` is
+/// excluded from the error: the busy fraction equals λ by work
+/// conservation at every n, so it carries no finite-size signal.
+pub fn converge(a: &Args) -> Result<(), String> {
+    let mut known = CONVERGE_FLAGS.to_vec();
+    known.extend_from_slice(OBS_FLAGS);
+    a.ensure_known(&known)?;
+    let spec = simulate_spec(a)?;
+    let canonical = spec.to_string();
+    let n_min: usize = a.get_or("n-min", 128)?;
+    let n_max: usize = a.get_or("n-max", 2_048)?;
+    if n_min < 2 {
+        return Err("--n-min must be at least 2".into());
+    }
+    let runs: usize = a.get_or("runs", 3)?;
+    let horizon: f64 = a.get_or("horizon", 4_000.0)?;
+    let warmup: f64 = a.get_or("warmup", horizon / 10.0)?;
+    let seed: u64 = a.get_or("seed", 42)?;
+    let grid = geometric_grid(n_min, n_max);
+    if grid.len() < 2 {
+        return Err(format!(
+            "grid {grid:?} has fewer than two sizes; raise --n-max above 2×--n-min"
+        ));
+    }
+
+    let obs = ObsOpts::from_args(a)?;
+    let out = Narrator::new(obs.machine_stdout());
+    let fp = spec.fixed_point()?;
+    say!(out, "model:    {canonical}");
+    say!(
+        out,
+        "protocol: n ∈ {grid:?}, {runs} × {horizon:.0} s (warmup {warmup:.0} s), seed {seed}"
+    );
+
+    // The error is the sup over s₂..s₄ — deep enough to see the tail
+    // structure, shallow enough that every grid point estimates it
+    // with usable variance at CI horizons.
+    const LEVELS: std::ops::RangeInclusive<usize> = 2..=4;
+    let mut points: Vec<(f64, f64)> = Vec::with_capacity(grid.len());
+    for &n in &grid {
+        let mut cfg = spec.sim_config(n).map_err(|e| e.to_string())?;
+        cfg.horizon = horizon;
+        cfg.warmup = warmup;
+        if let Some(engine) = a.raw("engine") {
+            cfg.engine = EngineKind::parse(engine)?;
+        }
+        cfg.validate().map_err(|e| e.to_string())?;
+        let result = replicate(&cfg, runs, seed);
+        let tails = result.mean_load_tails();
+        let err = LEVELS
+            .map(|i| {
+                let sim = tails.get(i).copied().unwrap_or(0.0);
+                let fp_i = fp.task_tails.get(i).copied().unwrap_or(0.0);
+                (sim - fp_i).abs()
+            })
+            .fold(0.0f64, f64::max);
+        say!(out, "  n = {n:>7}: e(n) = {err:.3e}");
+        points.push((n as f64, err));
+    }
+
+    let fit = fit_power_law(&points).ok_or("could not fit a slope (degenerate or zero errors)")?;
+    // The grep-able verdict line, also the CI smoke target.
+    println!(
+        "convergence slope: {:.3} (R² {:.3}, {} sizes, target −1 for Θ(1/n))",
+        fit.slope,
+        fit.r_squared,
+        points.len()
+    );
+
+    if obs.metrics_json.is_some() {
+        let reg = Registry::new();
+        reg.gauge("converge.slope").set(fit.slope);
+        reg.gauge("converge.r_squared").set(fit.r_squared);
+        reg.gauge("converge.sizes").set(points.len() as f64);
+        for (n, e) in &points {
+            reg.gauge(&format!("converge.err_n{}", *n as usize)).set(*e);
+        }
+        let mut m = manifest();
+        m.seed = Some(seed);
+        m.config("model", canonical.as_str())
+            .config("n_min", n_min)
+            .config("n_max", n_max)
+            .config("runs", runs)
+            .config("horizon", horizon)
+            .config("warmup", warmup);
         obs.emit(&m, &reg.snapshot())?;
     }
     Ok(())

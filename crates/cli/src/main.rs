@@ -95,6 +95,7 @@ fn main() -> ExitCode {
             "models" => commands::models(&parsed),
             "simulate" => commands::simulate(&parsed),
             "stability" => commands::stability(&parsed),
+            "converge" => commands::converge(&parsed),
             "drain" => commands::drain(&parsed),
             "report" => commands::report(&parsed),
             "jobs" => commands::jobs(&parsed),
@@ -150,6 +151,12 @@ USAGE:
       128, the paper's largest simulated size).
   loadsteal stability --lambda <λ> [--t-max T]
       L1-contraction check towards the fixed point (Section 4).
+  loadsteal converge (--model <MODEL> | --lambda <λ>) [--n-min N] [--n-max N] [sim flags]
+      Finite-size convergence rate: sweep n over a geometric grid
+      (default 128..2048), measure the stationary tail error against
+      the mean-field fixed point, and fit the log-log slope — Θ(1/n)
+      means a slope near −1. Prints a grep-able `convergence slope:`
+      line; --metrics-json exports converge.* gauges.
   loadsteal drain --initial <m0> [--n N] [--internal λint]
       Static-system drain: mean-field vs simulated makespan.
   loadsteal report <trace.ndjson> [--lossy] [--warmup T] [--model M] [--lambda λ]
@@ -207,7 +214,10 @@ MODELS (--model, shared by solve/tails/simulate/report):
 SIM POLICIES (for simulate without --model):
   none | simple | threshold | preemptive | repeated | rebalance
   with flags --threshold, --choices, --batch, --begin, --rate,
-  --transfer-rate, --runs, --horizon, --warmup, --seed
+  --transfer-rate, --runs, --horizon, --warmup, --seed, --engine
+  (heap|calendar: the future-event-list implementation; calendar is
+  the default, heap is the differential-testing oracle — both produce
+  bit-identical traces for a given seed)
 
 OBSERVABILITY (solve and simulate; --profile and --flight-recorder work
 on every subcommand):

@@ -63,6 +63,7 @@
 pub mod fixed_point;
 pub mod metrics;
 pub mod models;
+pub mod rate;
 pub mod registry;
 pub mod spec;
 pub mod stability;
@@ -71,6 +72,7 @@ pub mod trajectory;
 
 pub use fixed_point::{solve, solve_traced, FixedPoint, FixedPointOptions, SolveError};
 pub use models::MeanFieldModel;
+pub use rate::{fit_power_law, geometric_grid, SlopeFit};
 pub use registry::{ModelRegistry, Preset, PresetTier};
 pub use spec::{AnyModel, ModelSpec, UnsupportedSpec};
 pub use tail::TailVector;

@@ -1,0 +1,173 @@
+//! Finite-size convergence-rate estimation.
+//!
+//! Kurtz-type mean-field limits come with a rate: the stationary tail
+//! estimate of the n-processor system approaches the fixed point like
+//! `|ŝ(n) − s| = Θ(1/n)` (Ying 2016 sharpens the classical `O(1/√n)`
+//! sample-path bound to `O(1/n)` for stationary expectations). This
+//! module carries the two pieces needed to *measure* that exponent
+//! from simulations: a geometric grid of system sizes, and a log-log
+//! least-squares fit `log e = slope·log n + intercept` whose slope
+//! should sit near −1.
+//!
+//! The fit is deliberately plain (ordinary least squares on the log
+//! pairs, with an R² diagnostic) so the verify layer can reason about
+//! it: a genuine `Θ(1/n)` decay fits a slope near −1 with high R²,
+//! while an O(1) bias floor drags the slope towards 0 — which is
+//! exactly the sabotage case the harness must catch.
+
+/// A geometric grid of system sizes `lo, 2·lo, 4·lo, … ≤ hi`.
+///
+/// Powers of two because the simulator's cost is linear in `n` while
+/// the information about the exponent is linear in `log n`: doubling
+/// spends the budget evenly across the abscissa. Always contains `lo`
+/// (even when `lo > hi`), so callers can assume a non-empty grid.
+pub fn geometric_grid(lo: usize, hi: usize) -> Vec<usize> {
+    let mut grid = vec![lo.max(1)];
+    loop {
+        let next = grid.last().unwrap().saturating_mul(2);
+        if next > hi {
+            return grid;
+        }
+        grid.push(next);
+    }
+}
+
+/// Result of a log-log least-squares fit `log y = slope·log x + c`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlopeFit {
+    /// The fitted exponent: `y ∝ x^slope`.
+    pub slope: f64,
+    /// Intercept in log space (`ln` of the prefactor).
+    pub intercept: f64,
+    /// Coefficient of determination of the fit in log space.
+    pub r_squared: f64,
+}
+
+/// Fit a power law `y ≈ C·x^slope` to `(x, y)` pairs by ordinary least
+/// squares on `(ln x, ln y)`.
+///
+/// Returns `None` with fewer than two usable points or when any value
+/// is non-positive (a zero error is a measurement artifact, not a data
+/// point on a log scale).
+pub fn fit_power_law(points: &[(f64, f64)]) -> Option<SlopeFit> {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0 && x.is_finite() && y.is_finite())
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    if logs.len() < 2 {
+        return None;
+    }
+    let m = logs.len() as f64;
+    let mean_x = logs.iter().map(|(x, _)| x).sum::<f64>() / m;
+    let mean_y = logs.iter().map(|(_, y)| y).sum::<f64>() / m;
+    let sxx: f64 = logs.iter().map(|(x, _)| (x - mean_x).powi(2)).sum();
+    let sxy: f64 = logs.iter().map(|(x, y)| (x - mean_x) * (y - mean_y)).sum();
+    let syy: f64 = logs.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    // R² = 1 − SSE/SST; a constant y (syy = 0) is a perfect fit of a
+    // zero slope.
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        let sse: f64 = logs
+            .iter()
+            .map(|(x, y)| (y - (slope * x + intercept)).powi(2))
+            .sum();
+        1.0 - sse / syy
+    };
+    Some(SlopeFit {
+        slope,
+        intercept,
+        r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_doubles_from_lo_to_hi() {
+        assert_eq!(geometric_grid(128, 1024), vec![128, 256, 512, 1024]);
+        assert_eq!(geometric_grid(128, 1000), vec![128, 256, 512]);
+        assert_eq!(geometric_grid(7, 7), vec![7]);
+        // Degenerate ranges still yield the non-empty promise.
+        assert_eq!(geometric_grid(16, 4), vec![16]);
+        assert_eq!(geometric_grid(0, 4), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn exact_inverse_law_fits_slope_minus_one() {
+        // Golden check: e(n) = 3/n must fit slope −1, intercept ln 3,
+        // R² = 1 to machine precision.
+        let pts: Vec<(f64, f64)> = geometric_grid(128, 1 << 20)
+            .into_iter()
+            .map(|n| (n as f64, 3.0 / n as f64))
+            .collect();
+        let fit = fit_power_law(&pts).unwrap();
+        assert!((fit.slope + 1.0).abs() < 1e-12, "slope {}", fit.slope);
+        assert!(
+            (fit.intercept - 3.0f64.ln()).abs() < 1e-12,
+            "intercept {}",
+            fit.intercept
+        );
+        assert!(fit.r_squared > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn sqrt_law_fits_slope_minus_half() {
+        let pts: Vec<(f64, f64)> = (1..=6)
+            .map(|k| {
+                let n = (1u64 << (7 + k)) as f64;
+                (n, 2.0 / n.sqrt())
+            })
+            .collect();
+        let fit = fit_power_law(&pts).unwrap();
+        assert!((fit.slope + 0.5).abs() < 1e-12, "slope {}", fit.slope);
+    }
+
+    #[test]
+    fn constant_bias_floor_flattens_the_slope() {
+        // An O(1) systematic bias (the sabotage scenario): e(n) =
+        // 1/n + 0.05. Over n = 2⁷..2¹³ the fit must land far from −1.
+        let pts: Vec<(f64, f64)> = geometric_grid(128, 8192)
+            .into_iter()
+            .map(|n| (n as f64, 1.0 / n as f64 + 0.05))
+            .collect();
+        let fit = fit_power_law(&pts).unwrap();
+        assert!(fit.slope > -0.25, "bias floor still fit {}", fit.slope);
+    }
+
+    #[test]
+    fn noisy_inverse_law_recovers_the_exponent() {
+        // Deterministic ±20% multiplicative "noise" — the fit should
+        // still land near −1 (log-noise is bounded by ln 1.2).
+        let noise = [1.2, 0.85, 1.1, 0.9, 1.15, 0.8, 1.05];
+        let pts: Vec<(f64, f64)> = geometric_grid(128, 8192)
+            .into_iter()
+            .enumerate()
+            .map(|(i, n)| (n as f64, noise[i % noise.len()] * 4.0 / n as f64))
+            .collect();
+        let fit = fit_power_law(&pts).unwrap();
+        assert!(
+            (fit.slope + 1.0).abs() < 0.15,
+            "slope {} strayed from −1",
+            fit.slope
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs_are_rejected() {
+        assert!(fit_power_law(&[]).is_none());
+        assert!(fit_power_law(&[(128.0, 0.5)]).is_none());
+        // Zero and negative values are filtered, not ln'd into NaN.
+        assert!(fit_power_law(&[(128.0, 0.0), (256.0, -1.0)]).is_none());
+        // Identical abscissae cannot identify a slope.
+        assert!(fit_power_law(&[(64.0, 0.1), (64.0, 0.2)]).is_none());
+    }
+}

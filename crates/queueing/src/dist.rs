@@ -187,10 +187,12 @@ impl ServiceDistribution {
     }
 }
 
-/// Sample `Exponential(rate)` by inversion.
+/// Sample `Exponential(rate)` via the ziggurat ([`crate::zig`]): the
+/// law is exactly exponential, at roughly a third of inversion's
+/// in-situ latency (no `ln` on ~98.9% of draws).
 #[inline]
 pub fn exp_sample<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
-    -positive_uniform(rng).ln() / rate
+    crate::zig::exp1(rng) / rate
 }
 
 /// A uniform draw in `(0, 1]`, avoiding `ln(0)`.

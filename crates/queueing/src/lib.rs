@@ -25,6 +25,7 @@ pub mod dist;
 pub mod littles_law;
 pub mod mm1;
 pub mod stats;
+pub mod zig;
 
 pub use batch_means::BatchMeans;
 pub use dist::ServiceDistribution;

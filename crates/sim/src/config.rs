@@ -94,6 +94,44 @@ impl RebalanceRate {
     }
 }
 
+/// Which future-event-list implementation orders the simulation.
+///
+/// Both engines share one core (state layout, RNG call sites, recorder
+/// semantics) and one event total-order ([`crate::event::event_order`]:
+/// time, then sequence number), so a given `(SimConfig, seed)` produces
+/// a bit-identical trace under either choice. The calendar queue is the
+/// default because its push/pop cost is O(1) amortized instead of the
+/// heap's O(log m); the heap remains available as a differential-testing
+/// oracle and a fallback for pathological event-time distributions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Binary min-heap future-event list (the original engine).
+    Heap,
+    /// Calendar-queue (timing-wheel) future-event list.
+    #[default]
+    Calendar,
+}
+
+impl EngineKind {
+    /// Parse a CLI spelling (`heap` or `calendar`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "heap" => Ok(Self::Heap),
+            "calendar" => Ok(Self::Calendar),
+            other => Err(format!("unknown engine '{other}' (expected heap|calendar)")),
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Heap => write!(f, "heap"),
+            Self::Calendar => write!(f, "calendar"),
+        }
+    }
+}
+
 /// Time for a stolen task to move from victim to thief (Section 3.2).
 /// While a transfer is outstanding the thief does not steal again.
 #[derive(Debug, Clone, PartialEq)]
@@ -226,6 +264,9 @@ pub struct SimConfig {
     /// disables sampling; the disabled path shares `trace_jobs`'
     /// benchmark budget.
     pub sample_tails: Option<f64>,
+    /// Future-event-list implementation. Pure mechanism: any value
+    /// yields the same trace for the same seed (see [`EngineKind`]).
+    pub engine: EngineKind,
 }
 
 /// Default heartbeat cadence (every 65,536 processed events).
@@ -242,6 +283,10 @@ pub const DEFAULT_HEARTBEAT_EVERY: u64 = 1 << 16;
 pub enum ConfigError {
     /// `n == 0`: there is nothing to simulate.
     ZeroProcessors,
+    /// `n` exceeds the engine's u32 processor-index space
+    /// (`n > 2³² − 1`); the struct-of-arrays core addresses processors
+    /// with 32-bit indices.
+    TooManyProcessors(usize),
     /// `λ` is negative, NaN, or infinite.
     BadLambda(f64),
     /// `λ` is at or above the aggregate service capacity
@@ -320,6 +365,12 @@ impl std::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::ZeroProcessors => write!(f, "need at least one processor"),
+            Self::TooManyProcessors(n) => write!(
+                f,
+                "n = {n} exceeds the engine's 32-bit processor index space \
+                 (max {})",
+                u32::MAX
+            ),
             Self::BadLambda(l) => write!(f, "lambda must be finite and >= 0, got {l}"),
             Self::UnstableLambda { lambda, capacity } => write!(
                 f,
@@ -418,6 +469,7 @@ impl SimConfig {
             sojourn_digest: false,
             trace_jobs: false,
             sample_tails: None,
+            engine: EngineKind::default(),
         }
     }
 
@@ -427,6 +479,9 @@ impl SimConfig {
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.n == 0 {
             return Err(ConfigError::ZeroProcessors);
+        }
+        if self.n > u32::MAX as usize {
+            return Err(ConfigError::TooManyProcessors(self.n));
         }
         if !(self.lambda >= 0.0 && self.lambda.is_finite()) {
             return Err(ConfigError::BadLambda(self.lambda));
@@ -731,5 +786,30 @@ mod tests {
     fn rebalance_rate_forms() {
         assert_eq!(RebalanceRate::Constant(0.5).rate(7), 0.5);
         assert_eq!(RebalanceRate::PerTask(0.5).rate(4), 2.0);
+    }
+
+    #[test]
+    fn engine_kind_parses_and_defaults_to_calendar() {
+        assert_eq!(EngineKind::parse("heap").unwrap(), EngineKind::Heap);
+        assert_eq!(EngineKind::parse("calendar").unwrap(), EngineKind::Calendar);
+        assert!(EngineKind::parse("wheel").is_err());
+        assert_eq!(
+            SimConfig::paper_default(8, 0.5).engine,
+            EngineKind::Calendar
+        );
+        assert_eq!(EngineKind::Heap.to_string(), "heap");
+        assert_eq!(EngineKind::Calendar.to_string(), "calendar");
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn rejects_n_beyond_u32_index_space() {
+        let mut cfg = SimConfig::paper_default(8, 0.5);
+        cfg.n = u32::MAX as usize + 1;
+        assert_eq!(cfg.validate(), Err(ConfigError::TooManyProcessors(cfg.n)));
+        // The boundary itself is addressable (validation is pure; no
+        // allocation happens here).
+        cfg.n = u32::MAX as usize;
+        cfg.validate().unwrap();
     }
 }

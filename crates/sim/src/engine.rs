@@ -1,10 +1,21 @@
 //! The discrete-event engine: one run of the n-processor work-stealing
-//! system.
+//! system, on a cache-compact core that scales to `n = 10⁶`.
 //!
 //! Design notes:
 //!
-//! * A single `BinaryHeap` orders all future events; time ties break by
-//!   sequence number so runs are deterministic given a seed.
+//! * The future-event list is pluggable ([`EventQueue`]): the
+//!   calendar queue ([`crate::calendar`]) by default, the original
+//!   `BinaryHeap` as a differential oracle. Both pop in the pinned
+//!   event total order ([`crate::event::event_order`]: time, then
+//!   sequence), so the engine choice cannot change a run's trajectory —
+//!   `(config, seed)` determines the trace bit-for-bit.
+//! * Processor state is struct-of-arrays with u32 indices
+//!   (`n ≤ 2³² − 1`, enforced by `SimConfig::validate`): queue lengths
+//!   live in their own array so the O(1) uniform victim sampling of a
+//!   steal probe touches one cache line, not a processor struct. Tasks
+//!   live in one arena of 32-byte nodes forming intrusive doubly-linked
+//!   deques — pushes, pops, and tail-segment steals relink indices and
+//!   never allocate on the hot path.
 //! * Service completions are never stale — steals and rebalances only
 //!   move *tail* tasks, so the task at the head of a queue can only
 //!   leave by completing. Everything whose rate depends on mutable state
@@ -15,7 +26,7 @@
 //!   (a self-draw simply fails), which is exactly the limiting
 //!   probability `s_T` used by the differential equations.
 
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::BinaryHeap;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -28,35 +39,195 @@ use loadsteal_obs::{
 use loadsteal_queueing::dist::exp_sample;
 use loadsteal_queueing::OnlineStats;
 
-use crate::config::{SimConfig, SpeedProfile, StealPolicy};
+use crate::calendar::{CalendarQueue, EventQueue};
+use crate::config::{EngineKind, SimConfig, SpeedProfile, StealPolicy};
 use crate::event::{Event, EventKind};
 use crate::metrics::{LoadHistogram, SimResult};
 
-/// A task: its stable identity, when it entered the system, and how
-/// much work it carries.
+/// Sentinel index: "no node".
+const NIL: u32 = u32::MAX;
+
+/// One task in the arena: identity, arrival time, service requirement,
+/// and the intrusive deque links. 32 bytes.
 #[derive(Debug, Clone, Copy)]
-struct Task {
+struct TaskNode {
     /// Job id, assigned from a per-run counter at admission. The
     /// counter runs unconditionally (it draws no randomness), so ids
     /// are identical whether or not job tracing is on.
     id: u64,
     arrived: f64,
     work: f64,
+    /// Towards the tail (also the free-list link).
+    next: u32,
+    /// Towards the head.
+    prev: u32,
 }
 
-/// Per-processor state.
-#[derive(Debug, Clone)]
-struct Proc {
-    /// FIFO queue; the front task is in service.
-    queue: VecDeque<Task>,
-    /// Invalidates steal probes and rebalance ticks.
-    probe_epoch: u32,
-    /// Invalidates internal-arrival events.
-    internal_epoch: u32,
-    /// A stolen task is in flight towards this processor.
-    waiting_transfer: bool,
-    /// Service speed (rate multiplier).
-    speed: f64,
+/// All processor queues: struct-of-arrays deque state over one shared
+/// task arena. `len` is deliberately its own array — victim sampling
+/// reads nothing else.
+#[derive(Debug)]
+struct Queues {
+    len: Vec<u32>,
+    head: Vec<u32>,
+    tail: Vec<u32>,
+    nodes: Vec<TaskNode>,
+    free: u32,
+}
+
+impl Queues {
+    fn new(n: usize) -> Self {
+        Self {
+            len: vec![0; n],
+            head: vec![NIL; n],
+            tail: vec![NIL; n],
+            nodes: Vec::new(),
+            free: NIL,
+        }
+    }
+
+    #[inline]
+    fn alloc(&mut self, id: u64, arrived: f64, work: f64) -> u32 {
+        let node = TaskNode {
+            id,
+            arrived,
+            work,
+            next: NIL,
+            prev: NIL,
+        };
+        if self.free != NIL {
+            let i = self.free;
+            self.free = self.nodes[i as usize].next;
+            self.nodes[i as usize] = node;
+            i
+        } else {
+            let i = self.nodes.len() as u32;
+            self.nodes.push(node);
+            i
+        }
+    }
+
+    #[inline]
+    fn dealloc(&mut self, i: u32) {
+        self.nodes[i as usize].next = self.free;
+        self.free = i;
+    }
+
+    #[inline]
+    fn node(&self, i: u32) -> &TaskNode {
+        &self.nodes[i as usize]
+    }
+
+    #[inline]
+    fn push_back(&mut self, p: usize, i: u32) {
+        let t = self.tail[p];
+        self.nodes[i as usize].prev = t;
+        self.nodes[i as usize].next = NIL;
+        if t == NIL {
+            self.head[p] = i;
+        } else {
+            self.nodes[t as usize].next = i;
+        }
+        self.tail[p] = i;
+        self.len[p] += 1;
+    }
+
+    #[inline]
+    fn pop_front(&mut self, p: usize) -> u32 {
+        let h = self.head[p];
+        debug_assert_ne!(h, NIL, "pop_front on an empty queue");
+        let next = self.nodes[h as usize].next;
+        self.head[p] = next;
+        if next == NIL {
+            self.tail[p] = NIL;
+        } else {
+            self.nodes[next as usize].prev = NIL;
+        }
+        self.len[p] -= 1;
+        h
+    }
+
+    #[inline]
+    fn pop_back(&mut self, p: usize) -> u32 {
+        let t = self.tail[p];
+        debug_assert_ne!(t, NIL, "pop_back on an empty queue");
+        let prev = self.nodes[t as usize].prev;
+        self.tail[p] = prev;
+        if prev == NIL {
+            self.head[p] = NIL;
+        } else {
+            self.nodes[prev as usize].next = NIL;
+        }
+        self.len[p] -= 1;
+        t
+    }
+
+    /// Detach the last `take` tasks of `src` and append them — relative
+    /// order preserved — to the back of `dst`. Pure pointer surgery:
+    /// O(take) index walks, no allocation.
+    fn splice_tail(&mut self, src: usize, dst: usize, take: usize) {
+        debug_assert!(take >= 1 && take <= self.len[src] as usize);
+        let seg_end = self.tail[src];
+        let mut seg_start = seg_end;
+        for _ in 1..take {
+            seg_start = self.nodes[seg_start as usize].prev;
+        }
+        let before = self.nodes[seg_start as usize].prev;
+        self.tail[src] = before;
+        if before == NIL {
+            self.head[src] = NIL;
+        } else {
+            self.nodes[before as usize].next = NIL;
+        }
+        self.len[src] -= take as u32;
+        let dtail = self.tail[dst];
+        self.nodes[seg_start as usize].prev = dtail;
+        if dtail == NIL {
+            self.head[dst] = seg_start;
+        } else {
+            self.nodes[dtail as usize].next = seg_start;
+        }
+        self.tail[dst] = seg_end;
+        self.len[dst] += take as u32;
+    }
+
+    /// Job ids of the last `take` tasks of `p`, in front-to-back order
+    /// (what a tail steal moves). Only called under job tracing.
+    fn tail_ids(&self, p: usize, take: usize) -> Vec<u64> {
+        let mut ids = vec![0u64; take];
+        let mut cur = self.tail[p];
+        for slot in ids.iter_mut().rev() {
+            *slot = self.nodes[cur as usize].id;
+            cur = self.nodes[cur as usize].prev;
+        }
+        ids
+    }
+}
+
+/// Payloads of stolen tasks currently in flight (Section 3.2's transfer
+/// delays). Keeping them out of [`EventKind::TransferArrive`] keeps
+/// every event at 32 bytes; slots are recycled through a free list.
+#[derive(Debug, Default)]
+struct TransferPool {
+    slots: Vec<(u64, f64, f64)>,
+    free: Vec<u32>,
+}
+
+impl TransferPool {
+    fn put(&mut self, job: u64, arrived: f64, work: f64) -> u32 {
+        if let Some(i) = self.free.pop() {
+            self.slots[i as usize] = (job, arrived, work);
+            i
+        } else {
+            self.slots.push((job, arrived, work));
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    fn take(&mut self, i: u32) -> (u64, f64, f64) {
+        self.free.push(i);
+        self.slots[i as usize]
+    }
 }
 
 /// Run one simulation to completion and collect its measurements.
@@ -73,8 +244,8 @@ pub fn run(cfg: &SimConfig, seed: u64) -> SimResult {
 /// The recorder's [`Recorder::enabled`] hint is sampled once at engine
 /// construction; a disabled recorder costs one predictable branch per
 /// emission site and builds no events. The engine is monomorphized over
-/// `R`, so the [`NullRecorder`] path compiles to the uninstrumented
-/// loop.
+/// both `R` and the future-event list selected by `cfg.engine`, so the
+/// [`NullRecorder`] path compiles to the uninstrumented loop.
 ///
 /// # Panics
 /// Panics if the configuration fails [`SimConfig::validate`].
@@ -82,10 +253,13 @@ pub fn run_recorded<R: Recorder>(cfg: &SimConfig, seed: u64, rec: &mut R) -> Sim
     if let Err(e) = cfg.validate() {
         panic!("invalid simulation config: {e}");
     }
-    Engine::new(cfg, seed, rec).run()
+    match cfg.engine {
+        EngineKind::Heap => Engine::<R, BinaryHeap<Event>>::new(cfg, seed, rec).run(),
+        EngineKind::Calendar => Engine::<R, CalendarQueue>::new(cfg, seed, rec).run(),
+    }
 }
 
-struct Engine<'a, R: Recorder> {
+struct Engine<'a, R: Recorder, Q: EventQueue> {
     cfg: &'a SimConfig,
     rec: &'a mut R,
     /// `rec.enabled()`, sampled once.
@@ -102,8 +276,18 @@ struct Engine<'a, R: Recorder> {
     /// Next job id to assign.
     next_job_id: u64,
     events_processed: u64,
-    procs: Vec<Proc>,
-    heap: BinaryHeap<Event>,
+    queues: Queues,
+    /// Invalidates steal probes and rebalance ticks.
+    probe_epoch: Vec<u32>,
+    /// Invalidates internal-arrival events.
+    internal_epoch: Vec<u32>,
+    /// A stolen task is in flight towards this processor.
+    waiting_transfer: Vec<bool>,
+    /// Per-processor speed; empty for the homogeneous profile, whose
+    /// unit speed is special-cased to skip the division.
+    speed: Vec<f64>,
+    transfers: TransferPool,
+    q: Q,
     rng: SmallRng,
     seq: u64,
     t: f64,
@@ -119,24 +303,19 @@ struct Engine<'a, R: Recorder> {
     makespan: Option<f64>,
     snapshots: Vec<(f64, Vec<f64>)>,
     next_snapshot: f64,
+    /// `min(next_snapshot, next_tail_sample)`: the single grid check
+    /// the hot loop performs per event.
+    next_wake: f64,
 }
 
-impl<'a, R: Recorder> Engine<'a, R> {
+impl<'a, R: Recorder, Q: EventQueue> Engine<'a, R, Q> {
     fn new(cfg: &'a SimConfig, seed: u64, rec: &'a mut R) -> Self {
         let rng = SmallRng::seed_from_u64(seed);
         let tracing = rec.enabled();
-        let procs = (0..cfg.n)
-            .map(|p| Proc {
-                queue: VecDeque::new(),
-                probe_epoch: 0,
-                internal_epoch: 0,
-                waiting_transfer: false,
-                speed: match &cfg.speeds {
-                    SpeedProfile::Homogeneous => 1.0,
-                    profile => profile.speed_of(p, cfg.n),
-                },
-            })
-            .collect();
+        let speed = match &cfg.speeds {
+            SpeedProfile::Homogeneous => Vec::new(),
+            profile => (0..cfg.n).map(|p| profile.speed_of(p, cfg.n)).collect(),
+        };
         Self {
             cfg,
             rec,
@@ -155,8 +334,13 @@ impl<'a, R: Recorder> Engine<'a, R> {
             },
             next_job_id: 0,
             events_processed: 0,
-            procs,
-            heap: BinaryHeap::new(),
+            queues: Queues::new(cfg.n),
+            probe_epoch: vec![0; cfg.n],
+            internal_epoch: vec![0; cfg.n],
+            waiting_transfer: vec![false; cfg.n],
+            speed,
+            transfers: TransferPool::default(),
+            q: Q::with_hint(2 * cfg.n),
             rng,
             seq: 0,
             t: 0.0,
@@ -172,13 +356,14 @@ impl<'a, R: Recorder> Engine<'a, R> {
             makespan: None,
             snapshots: Vec::new(),
             next_snapshot: cfg.snapshot_interval.unwrap_or(f64::INFINITY),
+            next_wake: f64::INFINITY,
         }
     }
 
     #[inline]
     fn schedule(&mut self, time: f64, kind: EventKind) {
         self.seq += 1;
-        self.heap.push(Event {
+        self.q.push(Event {
             time,
             seq: self.seq,
             kind,
@@ -190,12 +375,22 @@ impl<'a, R: Recorder> Engine<'a, R> {
         self.cfg.service.sample(&mut self.rng)
     }
 
-    /// Mint a task with the next job id.
+    /// Mint the next job id (the counter draws no randomness).
     #[inline]
-    fn new_task(&mut self, arrived: f64, work: f64) -> Task {
+    fn next_id(&mut self) -> u64 {
         let id = self.next_job_id;
         self.next_job_id += 1;
-        Task { id, arrived, work }
+        id
+    }
+
+    /// Service duration of `work` on processor `p`.
+    #[inline]
+    fn service_time(&self, p: usize, work: f64) -> f64 {
+        if self.speed.is_empty() {
+            work
+        } else {
+            work / self.speed[p]
+        }
     }
 
     /// Report one job lifecycle stage (no-op unless job tracing).
@@ -283,17 +478,17 @@ impl<'a, R: Recorder> Engine<'a, R> {
             for p in 0..self.cfg.n {
                 for _ in 0..self.cfg.initial_load {
                     let work = self.sample_work();
-                    let task = self.new_task(0.0, work);
-                    self.procs[p].queue.push_back(task);
+                    let id = self.next_id();
+                    let node = self.queues.alloc(id, 0.0, work);
+                    self.queues.push_back(p, node);
                     self.emit(SimEventKind::Arrival, p, 1);
-                    self.emit_job(JobEventKind::Arrival, task.id, p);
+                    self.emit_job(JobEventKind::Arrival, id, p);
                 }
                 self.tasks_in_system += self.cfg.initial_load as u64;
                 self.tasks_arrived += self.cfg.initial_load as u64;
                 // The histogram was constructed at this initial load;
                 // only service needs starting.
-                let front = self.procs[p].queue.front().copied().unwrap();
-                self.schedule_completion(p, front);
+                self.start_service(p);
             }
         }
         // External arrival streams.
@@ -306,7 +501,7 @@ impl<'a, R: Recorder> Engine<'a, R> {
         // Internal arrival streams for initially busy processors.
         if self.cfg.internal_lambda > 0.0 {
             for p in 0..self.cfg.n {
-                if !self.procs[p].queue.is_empty() {
+                if self.queues.len[p] > 0 {
                     self.schedule_internal_arrival(p);
                 }
             }
@@ -314,7 +509,7 @@ impl<'a, R: Recorder> Engine<'a, R> {
         // Repeated-steal probes for initially empty processors.
         if let StealPolicy::Repeated { rate, .. } = self.cfg.policy {
             for p in 0..self.cfg.n {
-                if self.procs[p].queue.is_empty() {
+                if self.queues.len[p] == 0 {
                     self.schedule_steal_probe(p, rate);
                 }
             }
@@ -322,7 +517,7 @@ impl<'a, R: Recorder> Engine<'a, R> {
         // Rebalance ticks for every processor.
         if let StealPolicy::Rebalance { rate } = self.cfg.policy {
             for p in 0..self.cfg.n {
-                let r = rate.rate(self.procs[p].queue.len());
+                let r = rate.rate(self.queues.len[p] as usize);
                 self.schedule_rebalance_tick(p, r);
             }
         }
@@ -332,27 +527,30 @@ impl<'a, R: Recorder> Engine<'a, R> {
         let _run_span = span::span("sim.run");
         let wall = std::time::Instant::now();
         self.initialize();
+        self.next_wake = self.next_snapshot.min(self.next_tail_sample);
         let horizon = if self.cfg.run_until_drained {
             f64::INFINITY
         } else {
             self.cfg.horizon
         };
-        while let Some(ev) = self.heap.pop() {
-            // Snapshots capture the state *just before* the first event
-            // past each snapshot time (loads are piecewise constant).
-            while self.next_snapshot <= ev.time && self.next_snapshot <= horizon {
-                let tails = self.hist.instant_tails(self.cfg.n);
-                self.snapshots.push((self.next_snapshot, tails));
-                self.next_snapshot += self.cfg.snapshot_interval.unwrap();
-            }
-            // Tail samples use the same just-before-the-next-event
-            // convention, but flow to the recorder instead of memory so
-            // piped consumers see the trajectory live. Disabled cost:
-            // one always-false comparison (`next_tail_sample = ∞`).
-            while self.next_tail_sample <= ev.time && self.next_tail_sample <= horizon {
-                let t = self.next_tail_sample;
-                self.emit_tail_sample(t);
-                self.next_tail_sample += self.sample_every;
+        while let Some(ev) = self.q.pop() {
+            // Snapshots and tail samples capture the state *just
+            // before* the first event past each grid time (loads are
+            // piecewise constant). Both grids fold into one wake time
+            // so the per-event cost of the disabled features is a
+            // single always-false comparison (`next_wake = ∞`).
+            if self.next_wake <= ev.time {
+                while self.next_snapshot <= ev.time && self.next_snapshot <= horizon {
+                    let tails = self.hist.instant_tails(self.cfg.n);
+                    self.snapshots.push((self.next_snapshot, tails));
+                    self.next_snapshot += self.cfg.snapshot_interval.unwrap();
+                }
+                while self.next_tail_sample <= ev.time && self.next_tail_sample <= horizon {
+                    let t = self.next_tail_sample;
+                    self.emit_tail_sample(t);
+                    self.next_tail_sample += self.sample_every;
+                }
+                self.next_wake = self.next_snapshot.min(self.next_tail_sample);
             }
             if ev.time > horizon {
                 self.t = horizon;
@@ -395,12 +593,9 @@ impl<'a, R: Recorder> Engine<'a, R> {
                 EventKind::RebalanceTick { proc, epoch } => {
                     self.on_rebalance_tick(proc as usize, epoch)
                 }
-                EventKind::TransferArrive {
-                    proc,
-                    job,
-                    arrived,
-                    work,
-                } => self.on_transfer_arrive(proc as usize, job, arrived, work),
+                EventKind::TransferArrive { proc, slot } => {
+                    self.on_transfer_arrive(proc as usize, slot)
+                }
             }
             drop(_ev_span);
             if self.cfg.run_until_drained && self.tasks_in_system == 0 {
@@ -439,35 +634,35 @@ impl<'a, R: Recorder> Engine<'a, R> {
 
     fn on_ext_arrival(&mut self, p: usize) {
         let work = self.sample_work();
-        let task = self.new_task(self.t, work);
-        self.route_arrival(p, task);
+        let id = self.next_id();
+        self.route_arrival(p, id, self.t, work);
         let dt = self.sample_interarrival();
         self.schedule(self.t + dt, EventKind::ExtArrival { proc: p as u32 });
     }
 
     /// Deliver a fresh arrival, applying the work-sharing forward rule
     /// when the `Share` policy is active.
-    fn route_arrival(&mut self, p: usize, task: Task) {
+    fn route_arrival(&mut self, p: usize, id: u64, arrived: f64, work: f64) {
         if let StealPolicy::Share {
             send_threshold,
             recv_threshold,
         } = self.cfg.policy
         {
-            if self.procs[p].queue.len() >= send_threshold {
+            if self.queues.len[p] as usize >= send_threshold {
                 self.steal_attempts += 1; // a probe message
                 self.emit(SimEventKind::StealAttempt, p, 1);
                 let target = self.pick_victim(p, 1);
-                if target != p && self.procs[target].queue.len() < recv_threshold {
+                if target != p && (self.queues.len[target] as usize) < recv_threshold {
                     self.steal_successes += 1;
                     self.tasks_migrated += 1;
                     self.emit(SimEventKind::StealSuccess, p, 1);
                     self.emit_migration(target, p, 1);
-                    self.admit_task(target, task);
+                    self.admit_task(target, id, arrived, work);
                     return;
                 }
             }
         }
-        self.admit_task(p, task);
+        self.admit_task(p, id, arrived, work);
     }
 
     #[inline]
@@ -479,28 +674,30 @@ impl<'a, R: Recorder> Engine<'a, R> {
     }
 
     fn on_int_arrival(&mut self, p: usize, epoch: u32) {
-        if self.procs[p].internal_epoch != epoch {
+        if self.internal_epoch[p] != epoch {
             return;
         }
-        debug_assert!(!self.procs[p].queue.is_empty());
+        debug_assert!(self.queues.len[p] > 0);
         let work = self.sample_work();
-        let task = self.new_task(self.t, work);
-        self.route_arrival(p, task);
+        let id = self.next_id();
+        self.route_arrival(p, id, self.t, work);
         self.schedule_internal_arrival(p);
     }
 
     fn on_completion(&mut self, p: usize) {
-        let old_len = self.procs[p].queue.len();
-        let task = self.procs[p]
-            .queue
-            .pop_front()
-            .expect("completion fired on an empty queue");
+        let old_len = self.queues.len[p] as usize;
+        let node = self.queues.pop_front(p);
+        let (id, arrived) = {
+            let n = self.queues.node(node);
+            (n.id, n.arrived)
+        };
+        self.queues.dealloc(node);
         self.tasks_in_system -= 1;
         self.tasks_completed += 1;
         self.emit(SimEventKind::Completion, p, 1);
-        self.emit_job(JobEventKind::Completion, task.id, p);
+        self.emit_job(JobEventKind::Completion, id, p);
         if self.t >= self.cfg.warmup {
-            let dt = self.t - task.arrived;
+            let dt = self.t - arrived;
             self.sojourn.push(dt);
             if let Some(d) = self.sojourn_digest.as_mut() {
                 d.record(dt);
@@ -508,12 +705,12 @@ impl<'a, R: Recorder> Engine<'a, R> {
         }
         // Start the next task before stealing: a steal sees a consistent
         // queue and can never take the in-service task.
-        if let Some(next) = self.procs[p].queue.front().copied() {
-            self.schedule_completion(p, next);
+        if self.queues.len[p] > 0 {
+            self.start_service(p);
         }
         self.on_load_changed(p, old_len);
 
-        let remaining = self.procs[p].queue.len();
+        let remaining = self.queues.len[p] as usize;
         match self.cfg.policy {
             StealPolicy::None | StealPolicy::Rebalance { .. } | StealPolicy::Share { .. } => {}
             StealPolicy::OnEmpty {
@@ -521,7 +718,7 @@ impl<'a, R: Recorder> Engine<'a, R> {
                 choices,
                 batch,
             } => {
-                if remaining == 0 && !self.procs[p].waiting_transfer {
+                if remaining == 0 && !self.waiting_transfer[p] {
                     self.attempt_steal(p, threshold, choices, batch);
                 }
             }
@@ -529,14 +726,14 @@ impl<'a, R: Recorder> Engine<'a, R> {
                 begin_at,
                 rel_threshold,
             } => {
-                if remaining <= begin_at && !self.procs[p].waiting_transfer {
+                if remaining <= begin_at && !self.waiting_transfer[p] {
                     self.attempt_steal(p, remaining + rel_threshold, 1, 1);
                 }
             }
             StealPolicy::Repeated { rate, threshold } => {
                 if remaining == 0 {
                     let stolen = self.attempt_steal(p, threshold, 1, 1);
-                    if !stolen && self.procs[p].queue.is_empty() {
+                    if !stolen && self.queues.len[p] == 0 {
                         self.schedule_steal_probe(p, rate);
                     }
                 }
@@ -545,21 +742,21 @@ impl<'a, R: Recorder> Engine<'a, R> {
     }
 
     fn on_steal_probe(&mut self, p: usize, epoch: u32) {
-        if self.procs[p].probe_epoch != epoch {
+        if self.probe_epoch[p] != epoch {
             return;
         }
         let StealPolicy::Repeated { rate, threshold } = self.cfg.policy else {
             return;
         };
-        debug_assert!(self.procs[p].queue.is_empty());
+        debug_assert!(self.queues.len[p] == 0);
         let stolen = self.attempt_steal(p, threshold, 1, 1);
-        if !stolen && self.procs[p].queue.is_empty() {
+        if !stolen && self.queues.len[p] == 0 {
             self.schedule_steal_probe(p, rate);
         }
     }
 
     fn on_rebalance_tick(&mut self, p: usize, epoch: u32) {
-        if self.procs[p].probe_epoch != epoch {
+        if self.probe_epoch[p] != epoch {
             return;
         }
         let StealPolicy::Rebalance { rate } = self.cfg.policy else {
@@ -582,25 +779,22 @@ impl<'a, R: Recorder> Engine<'a, R> {
         }
         // If our load changed, `on_load_changed` already rescheduled the
         // tick under a fresh epoch; otherwise continue this stream.
-        if self.procs[p].probe_epoch == epoch {
-            let r = rate.rate(self.procs[p].queue.len());
+        if self.probe_epoch[p] == epoch {
+            let r = rate.rate(self.queues.len[p] as usize);
             self.schedule_rebalance_tick(p, r);
         }
     }
 
-    fn on_transfer_arrive(&mut self, p: usize, job: u64, arrived: f64, work: f64) {
-        debug_assert!(self.procs[p].waiting_transfer);
-        self.procs[p].waiting_transfer = false;
+    fn on_transfer_arrive(&mut self, p: usize, slot: u32) {
+        debug_assert!(self.waiting_transfer[p]);
+        self.waiting_transfer[p] = false;
+        let (id, arrived, work) = self.transfers.take(slot);
         // The task re-enters a queue; it was counted in-system throughout.
-        let old_len = self.procs[p].queue.len();
-        self.procs[p].queue.push_back(Task {
-            id: job,
-            arrived,
-            work,
-        });
+        let old_len = self.queues.len[p] as usize;
+        let node = self.queues.alloc(id, arrived, work);
+        self.queues.push_back(p, node);
         if old_len == 0 {
-            let front = self.procs[p].queue.front().copied().unwrap();
-            self.schedule_completion(p, front);
+            self.start_service(p);
         }
         self.on_load_changed(p, old_len);
     }
@@ -608,32 +802,38 @@ impl<'a, R: Recorder> Engine<'a, R> {
     // ----- mechanics ------------------------------------------------------
 
     /// A genuinely new task enters the system at processor `p`.
-    fn admit_task(&mut self, p: usize, task: Task) {
+    fn admit_task(&mut self, p: usize, id: u64, arrived: f64, work: f64) {
         self.tasks_in_system += 1;
         self.tasks_arrived += 1;
         self.emit(SimEventKind::Arrival, p, 1);
-        self.emit_job(JobEventKind::Arrival, task.id, p);
-        let old_len = self.procs[p].queue.len();
-        self.procs[p].queue.push_back(task);
+        self.emit_job(JobEventKind::Arrival, id, p);
+        let old_len = self.queues.len[p] as usize;
+        let node = self.queues.alloc(id, arrived, work);
+        self.queues.push_back(p, node);
         if old_len == 0 {
-            self.schedule_completion(p, task);
+            self.start_service(p);
         }
         self.on_load_changed(p, old_len);
     }
 
-    /// The moment `task` reaches the front of `p`'s queue: its service
+    /// The moment a task reaches the front of `p`'s queue: its service
     /// begins now and its completion is scheduled. The single site for
     /// `job_service_start` — steals only move tail tasks, so a job's
     /// service starts exactly once, on its final processor.
-    fn schedule_completion(&mut self, p: usize, task: Task) {
-        self.emit_job(JobEventKind::ServiceStart, task.id, p);
-        let duration = task.work / self.procs[p].speed;
+    fn start_service(&mut self, p: usize) {
+        let front = self.queues.head[p];
+        let (id, work) = {
+            let n = self.queues.node(front);
+            (n.id, n.work)
+        };
+        self.emit_job(JobEventKind::ServiceStart, id, p);
+        let duration = self.service_time(p, work);
         self.schedule(self.t + duration, EventKind::Completion { proc: p as u32 });
     }
 
     fn schedule_internal_arrival(&mut self, p: usize) {
         let dt = exp_sample(&mut self.rng, self.cfg.internal_lambda);
-        let epoch = self.procs[p].internal_epoch;
+        let epoch = self.internal_epoch[p];
         self.schedule(
             self.t + dt,
             EventKind::IntArrival {
@@ -645,7 +845,7 @@ impl<'a, R: Recorder> Engine<'a, R> {
 
     fn schedule_steal_probe(&mut self, p: usize, rate: f64) {
         let dt = exp_sample(&mut self.rng, rate);
-        let epoch = self.procs[p].probe_epoch;
+        let epoch = self.probe_epoch[p];
         self.schedule(
             self.t + dt,
             EventKind::StealProbe {
@@ -660,7 +860,7 @@ impl<'a, R: Recorder> Engine<'a, R> {
             return;
         }
         let dt = exp_sample(&mut self.rng, rate);
-        let epoch = self.procs[p].probe_epoch;
+        let epoch = self.probe_epoch[p];
         self.schedule(
             self.t + dt,
             EventKind::RebalanceTick {
@@ -672,13 +872,13 @@ impl<'a, R: Recorder> Engine<'a, R> {
 
     /// Bookkeeping after processor `p`'s queue length changed.
     fn on_load_changed(&mut self, p: usize, old_len: usize) {
-        let new_len = self.procs[p].queue.len();
+        let new_len = self.queues.len[p] as usize;
         if new_len == old_len {
             return;
         }
         self.hist.transition(old_len, new_len, self.t);
         // Anything whose rate depends on the load is invalidated.
-        self.procs[p].probe_epoch = self.procs[p].probe_epoch.wrapping_add(1);
+        self.probe_epoch[p] = self.probe_epoch[p].wrapping_add(1);
         if let StealPolicy::Rebalance { rate } = self.cfg.policy {
             let r = rate.rate(new_len);
             self.schedule_rebalance_tick(p, r);
@@ -688,12 +888,13 @@ impl<'a, R: Recorder> Engine<'a, R> {
             if old_len == 0 && new_len > 0 {
                 self.schedule_internal_arrival(p);
             } else if old_len > 0 && new_len == 0 {
-                self.procs[p].internal_epoch = self.procs[p].internal_epoch.wrapping_add(1);
+                self.internal_epoch[p] = self.internal_epoch[p].wrapping_add(1);
             }
         }
     }
 
     /// Pick a victim: the most loaded of `choices` iid uniform draws.
+    /// O(1) per draw — only the length array is touched.
     fn pick_victim(&mut self, thief: usize, choices: usize) -> usize {
         let mut best = usize::MAX;
         let mut best_load = 0;
@@ -709,7 +910,7 @@ impl<'a, R: Recorder> Engine<'a, R> {
                 }
                 v
             };
-            let load = self.procs[v].queue.len();
+            let load = self.queues.len[v];
             if best == usize::MAX || load > best_load {
                 best = v;
                 best_load = load;
@@ -734,7 +935,7 @@ impl<'a, R: Recorder> Engine<'a, R> {
         if victim == thief {
             return false;
         }
-        let victim_len = self.procs[victim].queue.len();
+        let victim_len = self.queues.len[victim] as usize;
         if victim_len < need_victim_load {
             return false;
         }
@@ -745,11 +946,16 @@ impl<'a, R: Recorder> Engine<'a, R> {
             // Single-task steal with a transfer delay: the task leaves
             // the victim now and reaches the thief later.
             debug_assert_eq!(batch, 1);
-            let task = self.procs[victim].queue.pop_back().unwrap();
+            let node = self.queues.pop_back(victim);
+            let (id, arrived, work) = {
+                let n = self.queues.node(node);
+                (n.id, n.arrived, n.work)
+            };
+            self.queues.dealloc(node);
             self.tasks_migrated += 1;
             self.emit_migration(thief, victim, 1);
             self.on_load_changed(victim, victim_len);
-            self.procs[thief].waiting_transfer = true;
+            self.waiting_transfer[thief] = true;
             let delay = self
                 .cfg
                 .transfer
@@ -757,14 +963,13 @@ impl<'a, R: Recorder> Engine<'a, R> {
                 .unwrap()
                 .dist
                 .sample(&mut self.rng);
-            self.emit_job_migrate(task.id, thief, victim, delay);
+            self.emit_job_migrate(id, thief, victim, delay);
+            let slot = self.transfers.put(id, arrived, work);
             self.schedule(
                 self.t + delay,
                 EventKind::TransferArrive {
                     proc: thief as u32,
-                    job: task.id,
-                    arrived: task.arrived,
-                    work: task.work,
+                    slot,
                 },
             );
             return true;
@@ -774,15 +979,13 @@ impl<'a, R: Recorder> Engine<'a, R> {
         // relative order on the thief.
         let take = batch.min(victim_len.saturating_sub(1));
         debug_assert!(take >= 1);
-        let thief_old = self.procs[thief].queue.len();
-        let split_at = victim_len - take;
-        let mut moved = self.procs[victim].queue.split_off(split_at);
+        let thief_old = self.queues.len[thief] as usize;
         let moved_ids: Vec<u64> = if self.job_tracing {
-            moved.iter().map(|t| t.id).collect()
+            self.queues.tail_ids(victim, take)
         } else {
             Vec::new()
         };
-        self.procs[thief].queue.append(&mut moved);
+        self.queues.splice_tail(victim, thief, take);
         self.tasks_migrated += take as u64;
         self.emit_migration(thief, victim, take as u32);
         for id in moved_ids {
@@ -790,8 +993,7 @@ impl<'a, R: Recorder> Engine<'a, R> {
         }
         self.on_load_changed(victim, victim_len);
         if thief_old == 0 {
-            let front = self.procs[thief].queue.front().copied().unwrap();
-            self.schedule_completion(thief, front);
+            self.start_service(thief);
         }
         self.on_load_changed(thief, thief_old);
         true
@@ -800,7 +1002,7 @@ impl<'a, R: Recorder> Engine<'a, R> {
     /// Equalize the loads of `a` and `b` (Section 3.4): the initially
     /// larger queue keeps `⌈total/2⌉`, donating tail tasks to the other.
     fn rebalance_pair(&mut self, a: usize, b: usize) {
-        let (la, lb) = (self.procs[a].queue.len(), self.procs[b].queue.len());
+        let (la, lb) = (self.queues.len[a] as usize, self.queues.len[b] as usize);
         let (hi, lo, lhi, llo) = if la >= lb {
             (a, b, la, lb)
         } else {
@@ -814,14 +1016,13 @@ impl<'a, R: Recorder> Engine<'a, R> {
         }
         self.steal_successes += 1;
         self.emit(SimEventKind::StealSuccess, a, 1);
-        let lo_old = self.procs[lo].queue.len();
-        let mut moved = self.procs[hi].queue.split_off(lhi - moves);
+        let lo_old = llo;
         let moved_ids: Vec<u64> = if self.job_tracing {
-            moved.iter().map(|t| t.id).collect()
+            self.queues.tail_ids(hi, moves)
         } else {
             Vec::new()
         };
-        self.procs[lo].queue.append(&mut moved);
+        self.queues.splice_tail(hi, lo, moves);
         self.tasks_migrated += moves as u64;
         self.emit_migration(lo, hi, moves as u32);
         for id in moved_ids {
@@ -829,8 +1030,7 @@ impl<'a, R: Recorder> Engine<'a, R> {
         }
         self.on_load_changed(hi, lhi);
         if lo_old == 0 {
-            let front = self.procs[lo].queue.front().copied().unwrap();
-            self.schedule_completion(lo, front);
+            self.start_service(lo);
         }
         self.on_load_changed(lo, lo_old);
     }
@@ -1330,5 +1530,130 @@ mod tests {
         };
         assert_eq!(plain.sojourn.mean(), r.sojourn.mean());
         assert_eq!(plain.events_processed, r.events_processed);
+    }
+
+    // ----- engine-equivalence regressions ---------------------------------
+
+    /// Run `cfg` under both engines with a collecting recorder and full
+    /// instrumentation, returning the two (trace, result) pairs.
+    fn both_engines(
+        mut cfg: SimConfig,
+        seed: u64,
+    ) -> ((Vec<ObsEvent>, SimResult), (Vec<ObsEvent>, SimResult)) {
+        use loadsteal_obs::CollectingRecorder;
+        cfg.trace_jobs = true;
+        cfg.engine = EngineKind::Heap;
+        let mut rec_h = CollectingRecorder::new();
+        let r_h = run_recorded(&cfg, seed, &mut rec_h);
+        cfg.engine = EngineKind::Calendar;
+        let mut rec_c = CollectingRecorder::new();
+        let r_c = run_recorded(&cfg, seed, &mut rec_c);
+        (
+            (rec_h.events().to_vec(), r_h),
+            (rec_c.events().to_vec(), r_c),
+        )
+    }
+
+    fn assert_equivalent(cfg: SimConfig, seed: u64, what: &str) {
+        let ((ev_h, r_h), (ev_c, r_c)) = both_engines(cfg, seed);
+        assert_eq!(
+            r_h.events_processed, r_c.events_processed,
+            "{what}: event counts diverged"
+        );
+        assert_eq!(
+            r_h.sojourn.mean(),
+            r_c.sojourn.mean(),
+            "{what}: sojourn means diverged"
+        );
+        assert_eq!(r_h.load_tails, r_c.load_tails, "{what}: tails diverged");
+        assert_eq!(ev_h.len(), ev_c.len(), "{what}: trace lengths diverged");
+        for (i, (a, b)) in ev_h.iter().zip(&ev_c).enumerate() {
+            assert_eq!(a, b, "{what}: traces diverged at event {i}");
+        }
+    }
+
+    #[test]
+    fn heap_and_calendar_engines_emit_identical_traces() {
+        // One config per structurally distinct event mix: plain WS,
+        // repeated probes, rebalancing, transfer delays, sharing, and
+        // internal arrivals.
+        let mut ws = base(16, 0.8);
+        ws.horizon = 500.0;
+        ws.warmup = 50.0;
+        assert_equivalent(ws.clone(), 31, "simple ws");
+
+        let mut rep = ws.clone();
+        rep.policy = StealPolicy::Repeated {
+            rate: 2.0,
+            threshold: 2,
+        };
+        assert_equivalent(rep, 32, "repeated");
+
+        let mut reb = ws.clone();
+        reb.policy = StealPolicy::Rebalance {
+            rate: RebalanceRate::PerTask(0.5),
+        };
+        assert_equivalent(reb, 33, "rebalance");
+
+        let mut tr = ws.clone();
+        tr.policy = StealPolicy::OnEmpty {
+            threshold: 4,
+            choices: 2,
+            batch: 1,
+        };
+        tr.transfer = Some(TransferTime::exponential(0.5));
+        assert_equivalent(tr, 34, "transfer");
+
+        let mut share = ws.clone();
+        share.policy = StealPolicy::Share {
+            send_threshold: 2,
+            recv_threshold: 2,
+        };
+        assert_equivalent(share, 35, "share");
+
+        let mut internal = ws;
+        internal.internal_lambda = 0.2;
+        assert_equivalent(internal, 36, "internal arrivals");
+    }
+
+    #[test]
+    fn simultaneous_events_replay_identically_across_engines() {
+        // Deterministic arrivals land on every processor at the same
+        // instants (t = 2, 4, 6, …) and deterministic unit service makes
+        // completions collide with them exactly — a dense stream of
+        // time ties that only the pinned (time, seq) order untangles.
+        let mut cfg = base(8, 0.5);
+        cfg.service = ServiceDistribution::unit_deterministic();
+        cfg.arrival = Some(ServiceDistribution::Deterministic { value: 2.0 });
+        cfg.horizon = 400.0;
+        cfg.warmup = 40.0;
+        assert_equivalent(cfg.clone(), 37, "deterministic tie storm");
+        // And each engine replays itself bit-for-bit.
+        for engine in [EngineKind::Heap, EngineKind::Calendar] {
+            cfg.engine = engine;
+            let a = run(&cfg, 37);
+            let b = run(&cfg, 37);
+            assert_eq!(a.sojourn.mean(), b.sojourn.mean(), "{engine} replay");
+            assert_eq!(a.events_processed, b.events_processed, "{engine} replay");
+        }
+    }
+
+    #[test]
+    fn drained_runs_agree_across_engines() {
+        let mut cfg = base(16, 0.0);
+        cfg.lambda = 0.0;
+        cfg.run_until_drained = true;
+        cfg.initial_load = 12;
+        cfg.warmup = 0.0;
+        cfg.policy = StealPolicy::Repeated {
+            rate: 2.0,
+            threshold: 2,
+        };
+        cfg.engine = EngineKind::Heap;
+        let heap = run(&cfg, 38);
+        cfg.engine = EngineKind::Calendar;
+        let cal = run(&cfg, 38);
+        assert_eq!(heap.makespan, cal.makespan);
+        assert_eq!(heap.events_processed, cal.events_processed);
     }
 }

@@ -1,5 +1,5 @@
-//! The future-event list: a binary min-heap ordered by time with a
-//! sequence number for deterministic tie-breaking.
+//! The future-event list's currency: compact scheduled events and the
+//! single pinned total order every engine must pop them in.
 
 use std::cmp::Ordering;
 
@@ -42,16 +42,14 @@ pub enum EventKind {
         epoch: u32,
     },
     /// A stolen task reaches its thief after a transfer delay
-    /// (Section 3.2). Carries the task inline.
+    /// (Section 3.2). The task's payload (job id, arrival time,
+    /// remaining work) lives in the engine's transfer pool under
+    /// `slot`, keeping every event at two words of payload.
     TransferArrive {
         /// The thief.
         proc: u32,
-        /// Stable job identity of the task in flight.
-        job: u64,
-        /// Original arrival time of the task (sojourn accounting).
-        arrived: f64,
-        /// Remaining service requirement of the task.
-        work: f64,
+        /// Index into the engine's in-flight transfer pool.
+        slot: u32,
     },
 }
 
@@ -64,6 +62,23 @@ pub struct Event {
     pub seq: u64,
     /// Payload.
     pub kind: EventKind,
+}
+
+/// The event total order: time first (`f64::total_cmp`), then the
+/// monotone sequence number.
+///
+/// This is the **pinned contract** every future-event-list
+/// implementation must honour. Simultaneous events (a deterministic
+/// arrival landing at the instant a steal probe fires, transfer delays
+/// of exactly zero, …) replay in scheduling order under any engine, so
+/// heap and calendar runs of the same `(config, seed)` pop the same
+/// event sequence and therefore make identical RNG draws and emit
+/// bit-identical traces. Tie-breaking by anything engine-internal
+/// (bucket index, heap arity, insertion address) would silently fork
+/// the engines on the first simultaneous pair.
+#[inline]
+pub fn event_order(a: &Event, b: &Event) -> Ordering {
+    a.time.total_cmp(&b.time).then_with(|| a.seq.cmp(&b.seq))
 }
 
 impl PartialEq for Event {
@@ -81,12 +96,10 @@ impl PartialOrd for Event {
 }
 
 impl Ord for Event {
-    /// Reversed so that `BinaryHeap<Event>` pops the *earliest* event.
+    /// [`event_order`] reversed so that `BinaryHeap<Event>` pops the
+    /// *earliest* event.
     fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        event_order(other, self)
     }
 }
 
@@ -121,5 +134,36 @@ mod tests {
         heap.push(ev(1.0, 9));
         let seqs: Vec<u64> = std::iter::from_fn(|| heap.pop()).map(|e| e.seq).collect();
         assert_eq!(seqs, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn event_order_is_time_then_sequence() {
+        assert_eq!(event_order(&ev(1.0, 9), &ev(2.0, 0)), Ordering::Less);
+        assert_eq!(event_order(&ev(1.0, 2), &ev(1.0, 5)), Ordering::Less);
+        assert_eq!(event_order(&ev(1.0, 5), &ev(1.0, 5)), Ordering::Equal);
+        assert_eq!(event_order(&ev(3.0, 0), &ev(1.0, 9)), Ordering::Greater);
+    }
+
+    #[test]
+    fn heap_order_delegates_to_event_order() {
+        // `Ord` must stay the exact reverse of the shared comparator —
+        // a drift here would let heap and calendar engines disagree.
+        let cases = [
+            (ev(1.0, 0), ev(2.0, 1)),
+            (ev(1.0, 3), ev(1.0, 4)),
+            (ev(5.0, 7), ev(5.0, 7)),
+            (ev(0.0, 1), ev(0.0, 0)),
+        ];
+        for (a, b) in cases {
+            assert_eq!(a.cmp(&b), event_order(&b, &a));
+        }
+    }
+
+    #[test]
+    fn events_stay_two_words_of_payload() {
+        // The calendar queue's bucket density (and the heap's percolation
+        // cost) depends on the event staying compact: 8 (time) + 8 (seq)
+        // + 12 (kind) rounded to alignment.
+        assert!(std::mem::size_of::<Event>() <= 32);
     }
 }

@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calendar;
 pub mod config;
 pub mod engine;
 pub mod event;
@@ -38,11 +39,13 @@ pub mod metrics;
 pub mod replicate;
 pub mod spec;
 
+pub use calendar::{CalendarQueue, EventQueue};
 pub use config::{
-    ConfigError, RebalanceRate, SimConfig, SpeedProfile, StealPolicy, TransferTime,
+    ConfigError, EngineKind, RebalanceRate, SimConfig, SpeedProfile, StealPolicy, TransferTime,
     DEFAULT_HEARTBEAT_EVERY,
 };
 pub use engine::{run, run_recorded, run_seeded};
+pub use event::{event_order, Event, EventKind};
 pub use metrics::{LoadHistogram, SimResult};
 pub use replicate::{replicate, replicate_recorded, replicate_until, ReplicateResult};
 pub use spec::{sim_config, ToSimConfig};

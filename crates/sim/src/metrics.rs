@@ -14,70 +14,96 @@ use loadsteal_queueing::OnlineStats;
 #[derive(Debug, Clone)]
 pub struct LoadHistogram {
     warmup: f64,
-    counts: Vec<u64>,
-    integrals: Vec<f64>,
-    last_update: Vec<f64>,
+    bins: Vec<Bin>,
     end_time: f64,
+}
+
+/// One load level's occupancy state. Kept together (not parallel
+/// arrays) because transitions touch two *adjacent* levels: one struct
+/// line usually covers both.
+#[derive(Debug, Clone, Copy)]
+struct Bin {
+    /// Processors currently at this load.
+    count: u64,
+    /// Post-warmup time integral of `count`.
+    integral: f64,
+    /// Last time this bin's integral was settled.
+    last: f64,
 }
 
 impl LoadHistogram {
     /// Create a histogram for `n` processors all starting at load
     /// `initial`, measuring from `warmup` onwards.
     pub fn new(n: usize, initial: usize, warmup: f64) -> Self {
-        let mut counts = vec![0u64; (initial + 1).max(8)];
-        counts[initial] = n as u64;
-        let len = counts.len();
+        let mut bins = vec![
+            Bin {
+                count: 0,
+                integral: 0.0,
+                last: warmup,
+            };
+            (initial + 1).max(8)
+        ];
+        bins[initial].count = n as u64;
         Self {
             warmup,
-            counts,
-            integrals: vec![0.0; len],
-            last_update: vec![warmup; len],
+            bins,
             end_time: warmup,
         }
     }
 
     fn ensure_len(&mut self, load: usize) {
-        if load >= self.counts.len() {
-            self.counts.resize(load + 1, 0);
-            self.integrals.resize(load + 1, 0.0);
+        if load >= self.bins.len() {
             // New bins have held count 0 since the warmup boundary.
-            self.last_update.resize(load + 1, self.warmup);
+            self.bins.resize(
+                load + 1,
+                Bin {
+                    count: 0,
+                    integral: 0.0,
+                    last: self.warmup,
+                },
+            );
         }
     }
 
-    fn settle(&mut self, load: usize, t: f64) {
-        if t > self.warmup {
-            let since = self.last_update[load].max(self.warmup);
-            if t > since {
-                self.integrals[load] += self.counts[load] as f64 * (t - since);
-            }
+    #[inline]
+    fn settle(bin: &mut Bin, warmup: f64, t: f64) {
+        if t > warmup {
+            let since = if bin.last > warmup { bin.last } else { warmup };
+            bin.integral += bin.count as f64 * (t - since);
         }
-        self.last_update[load] = t;
+        bin.last = t;
     }
 
     /// Record one processor moving from load `from` to load `to` at
     /// time `t`.
+    #[inline]
     pub fn transition(&mut self, from: usize, to: usize, t: f64) {
         if from == to {
             return;
         }
         self.ensure_len(from.max(to));
-        self.settle(from, t);
-        self.settle(to, t);
-        debug_assert!(self.counts[from] > 0, "histogram underflow at load {from}");
+        let w = self.warmup;
+        let b = &mut self.bins[from];
+        Self::settle(b, w, t);
+        debug_assert!(b.count > 0, "histogram underflow at load {from}");
         // A `from` bin at zero means the caller double-reported a
         // transition. That is a bug (caught above in debug builds), but
         // in release it must not wrap the counter to 2^64 and poison
         // every later integral — saturate instead.
-        self.counts[from] = self.counts[from].saturating_sub(1);
-        self.counts[to] += 1;
-        self.end_time = self.end_time.max(t);
+        b.count = b.count.saturating_sub(1);
+        let b = &mut self.bins[to];
+        Self::settle(b, w, t);
+        b.count += 1;
+        if t > self.end_time {
+            self.end_time = t;
+        }
     }
 
     /// Close the measurement window at time `t`.
     pub fn finish(&mut self, t: f64) {
-        for l in 0..self.counts.len() {
-            self.settle(l, t);
+        let w = self.warmup;
+        for bin in &mut self.bins {
+            Self::settle(bin, w, t);
         }
         self.end_time = self.end_time.max(t);
     }
@@ -91,18 +117,18 @@ impl LoadHistogram {
     pub fn mean_counts(&self) -> Vec<f64> {
         let span = self.span();
         if span == 0.0 {
-            return vec![0.0; self.integrals.len()];
+            return vec![0.0; self.bins.len()];
         }
-        self.integrals.iter().map(|&v| v / span).collect()
+        self.bins.iter().map(|b| b.integral / span).collect()
     }
 
     /// Instantaneous tail fractions `s_i` from the current counts (used
     /// for transient snapshots; no time averaging).
     pub fn instant_tails(&self, n: usize) -> Vec<f64> {
         let mut acc = 0u64;
-        let mut tails = vec![0.0; self.counts.len() + 1];
-        for (l, &c) in self.counts.iter().enumerate().rev() {
-            acc += c;
+        let mut tails = vec![0.0; self.bins.len() + 1];
+        for (l, b) in self.bins.iter().enumerate().rev() {
+            acc += b.count;
             tails[l] = acc as f64 / n as f64;
         }
         tails

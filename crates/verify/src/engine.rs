@@ -1,0 +1,135 @@
+//! Engine-equivalence differential suite.
+//!
+//! The simulator promises that its two future-event-list
+//! implementations — the original `BinaryHeap` and the calendar queue
+//! ([`loadsteal_sim::CalendarQueue`]) — are observationally identical:
+//! both pop in the pinned event total order (time, then sequence), so
+//! a given `(config, seed)` must produce a bit-identical NDJSON trace
+//! under either engine. These checks run every quick-tier zoo preset
+//! through both engines and compare the FNV-1a hashes of the full
+//! byte streams — event-for-event equality, not summary-statistic
+//! agreement — plus the scalar results that do not flow through the
+//! trace (tails, counters, sojourn moments).
+//!
+//! This is the verification half of the calendar-queue bargain: the
+//! heap is kept as the oracle precisely so that the faster engine's
+//! entire behaviour stays provably pinned to it.
+
+use loadsteal_obs::NdjsonRecorder;
+use loadsteal_sim::{run_recorded, EngineKind, SimConfig};
+
+use crate::determinism::fnv1a;
+use crate::harness::{Check, Outcome, Settings};
+use crate::zoo;
+
+/// Run one recorded simulation under `engine` and return the trace
+/// hash plus the run's scalar fingerprint.
+fn engine_fingerprint(
+    cfg: &SimConfig,
+    seed: u64,
+    engine: EngineKind,
+) -> Result<(u64, u64, u64, u64), String> {
+    let mut cfg = cfg.clone();
+    cfg.engine = engine;
+    let mut rec = NdjsonRecorder::new(Vec::new());
+    let result = run_recorded(&cfg, seed, &mut rec);
+    let (bytes, err) = rec.into_inner();
+    if let Some(e) = err {
+        return Err(format!("trace write failed: {e}"));
+    }
+    if bytes.is_empty() {
+        return Err("trace stream is empty".into());
+    }
+    Ok((
+        fnv1a(&bytes),
+        result.tasks_completed,
+        result.steal_successes,
+        result.mean_sojourn().to_bits(),
+    ))
+}
+
+/// Compare heap and calendar on one configuration.
+fn equivalence(cfg: &SimConfig, seed: u64) -> Outcome {
+    let heap = match engine_fingerprint(cfg, seed, EngineKind::Heap) {
+        Ok(f) => f,
+        Err(e) => return Outcome::Fail(format!("heap engine: {e}")),
+    };
+    let cal = match engine_fingerprint(cfg, seed, EngineKind::Calendar) {
+        Ok(f) => f,
+        Err(e) => return Outcome::Fail(format!("calendar engine: {e}")),
+    };
+    if heap.0 != cal.0 {
+        return Outcome::Fail(format!(
+            "trace hash diverged: heap {:016x} vs calendar {:016x}",
+            heap.0, cal.0
+        ));
+    }
+    if heap != cal {
+        return Outcome::Fail(format!(
+            "traces match but results diverged: heap {heap:?} vs calendar {cal:?}"
+        ));
+    }
+    Outcome::Pass(format!(
+        "trace {:016x} bit-identical, {} tasks",
+        heap.0, heap.1
+    ))
+}
+
+/// Build the engine-equivalence check family: one check per quick-tier
+/// zoo preset (the full tier inherits the same presets — the property
+/// is structural, not statistical, so more simulated seconds buy
+/// nothing).
+pub fn checks(settings: &Settings) -> Vec<Check> {
+    let quick = Settings {
+        tier: crate::harness::Tier::Quick,
+        ..settings.clone()
+    };
+    zoo::variants(&quick)
+        .into_iter()
+        .map(|v| {
+            let mut cfg = v.cfg;
+            // Bit-equality needs no statistics; a short horizon keeps
+            // 12 presets × 2 engines inside the CI budget while still
+            // crossing several calendar rebuilds per run.
+            cfg.horizon = (settings.horizon / 10.0).clamp(100.0, 500.0);
+            cfg.warmup = cfg.horizon / 10.0;
+            let seed = settings.seed;
+            Check::new("engine", v.name, move || equivalence(&cfg, seed))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Outcome;
+
+    #[test]
+    fn quick_zoo_presets_are_engine_equivalent() {
+        // The real layer at test scale: every preset, tiny horizon.
+        let mut settings = Settings::tiny(7);
+        settings.horizon = 800.0; // layer divides by 10
+        for c in checks(&settings) {
+            let name = c.name.clone();
+            match (c.run)() {
+                Outcome::Pass(_) => {}
+                other => panic!("{name}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn seed_mismatch_is_not_reported_as_equivalence() {
+        // Guard the guard: different seeds must produce different
+        // fingerprints, otherwise the comparison is vacuous.
+        let cfg = {
+            let mut c = loadsteal_sim::SimConfig::paper_default(16, 0.7);
+            c.horizon = 150.0;
+            c.warmup = 15.0;
+            c
+        };
+        let a = engine_fingerprint(&cfg, 1, EngineKind::Calendar).unwrap();
+        let b = engine_fingerprint(&cfg, 2, EngineKind::Calendar).unwrap();
+        assert_ne!(a.0, b.0, "seeds 1 and 2 collided");
+    }
+}

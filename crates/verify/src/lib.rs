@@ -4,7 +4,7 @@
 //! with the mean-field fixed points (Tables 1–4, Theorems 1–2). The
 //! three top-level integration tests spot-check a couple of variants
 //! with hand-picked tolerances; this crate systematizes the check into
-//! six layers, each a family of pass/fail [`harness::Check`]s:
+//! eight layers, each a family of pass/fail [`harness::Check`]s:
 //!
 //! * **differential** — every simulable variant paired with its ODE
 //!   fixed point, agreement asserted within confidence-interval-derived
@@ -23,6 +23,10 @@
 //!   with its tolerance.
 //! * **determinism** — seed-replay: identical configs and seeds hash to
 //!   identical `--trace` byte streams, different seeds do not.
+//! * **engine** — future-event-list equivalence: every quick-tier zoo
+//!   preset run under the heap and calendar engines must produce
+//!   bit-identical NDJSON traces (event-for-event, via FNV-1a over the
+//!   full byte stream) and identical scalar results.
 //! * **jobs** — per-job causal traces: the `--trace-jobs` sojourn
 //!   decomposition (`wait + transfer + service`) must reproduce the
 //!   engine's internal sojourn statistics exactly, and the migrated
@@ -35,6 +39,11 @@
 //!   consistent with the ODE settling time, and the deviation must
 //!   shrink from n = 64 to n = 256 (the `O(1/√n)` rate, two-point
 //!   version).
+//! * **rate** — the stationary finite-size law: tail errors against
+//!   the fixed point over a geometric grid of n must decay with a
+//!   log-log slope near −1 (`Θ(1/n)`, Ying's refinement of the Kurtz
+//!   bound); an injected O(1) bias floor must flatten the slope and
+//!   fail.
 //!
 //! The harness is exposed on the CLI as `loadsteal verify
 //! [--quick|--full]`; the [`sabotage`] module carries a deliberately
@@ -47,9 +56,11 @@
 pub mod convergence;
 pub mod determinism;
 pub mod differential;
+pub mod engine;
 pub mod harness;
 pub mod jobs;
 pub mod metamorphic;
+pub mod rate;
 pub mod sabotage;
 pub mod stat;
 pub mod transient;
@@ -63,9 +74,11 @@ pub fn all_checks(settings: &Settings) -> Vec<Check> {
     checks.extend(metamorphic::checks(settings));
     checks.extend(convergence::checks(settings));
     checks.extend(determinism::checks(settings));
+    checks.extend(engine::checks(settings));
     checks.extend(differential::checks(settings));
     checks.extend(jobs::checks(settings));
     checks.extend(transient::checks(settings));
+    checks.extend(rate::checks(settings));
     checks
 }
 
