@@ -1,152 +1,96 @@
-//! Offline shim for the subset of the `rayon` API used in this
-//! workspace: `range.into_par_iter().map(f).collect::<Vec<_>>()`.
+//! Rayon-compatible facade over the workspace's real work-stealing
+//! executor ([`loadsteal_exec`]).
 //!
-//! The build image has no crates.io access, so this crate provides the
-//! same import paths backed by `std::thread::scope`. Work items are
-//! handed out through an atomic cursor (dynamic scheduling), results
-//! come back in input order, and panics in workers propagate to the
-//! caller — the three properties the replication driver relies on.
+//! Earlier revisions of this crate carried a sequential
+//! `std::thread::scope` shim (the build image has no crates.io
+//! access). The executor crate now provides genuine per-worker
+//! Chase–Lev deques, an injector, randomized stealing, and parking —
+//! behind the exact import paths callers already use, so this crate
+//! reduces to re-exports plus the small `ThreadPool` wrapper rayon
+//! callers expect for pinning a worker count.
+//!
+//! The three contracts the replication driver relies on are unchanged
+//! (and now enforced by the executor's own test suite):
+//!
+//! 1. results come back in input order;
+//! 2. panics in workers propagate to the caller after every sibling
+//!    item has drained;
+//! 3. each item is evaluated exactly once.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
 /// The rayon-style prelude: `use rayon::prelude::*;`.
-pub mod prelude {
-    pub use crate::iter::{IntoParallelIterator, ParallelIterator};
-}
+pub use loadsteal_exec::prelude;
 
-/// Parallel iterator machinery.
-pub mod iter {
-    use super::*;
+/// Parallel iterator machinery (re-exported from the executor).
+pub use loadsteal_exec::iter;
 
-    /// Conversion into a parallel iterator.
-    pub trait IntoParallelIterator {
-        /// Element type.
-        type Item: Send;
-        /// The resulting parallel iterator.
-        type Iter: ParallelIterator<Item = Self::Item>;
-        /// Convert `self` into a parallel iterator.
-        fn into_par_iter(self) -> Self::Iter;
-    }
+pub use loadsteal_exec::{
+    current_num_threads, join, scope, IntoParallelIterator, ParallelIterator, Scope,
+};
 
-    /// A value-producing parallel pipeline.
-    pub trait ParallelIterator: Sized {
-        /// Element type.
-        type Item: Send;
+/// Error type for [`ThreadPoolBuilder::build`]. Pool construction
+/// cannot currently fail; the `Result` exists for rayon API parity.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
 
-        /// Drive the pipeline, returning elements in input order.
-        fn run(self) -> Vec<Self::Item>;
-
-        /// Map each element through `f` (evaluated on worker threads).
-        fn map<F, R>(self, f: F) -> Map<Self, F>
-        where
-            F: Fn(Self::Item) -> R + Sync,
-            R: Send,
-        {
-            Map { base: self, f }
-        }
-
-        /// Execute the pipeline and collect the results.
-        fn collect<C: FromIterator<Self::Item>>(self) -> C {
-            self.run().into_iter().collect()
-        }
-    }
-
-    macro_rules! impl_range_source {
-        ($($t:ty),*) => {$(
-            impl IntoParallelIterator for std::ops::Range<$t> {
-                type Item = $t;
-                type Iter = VecSource<$t>;
-                fn into_par_iter(self) -> VecSource<$t> {
-                    VecSource { items: self.collect() }
-                }
-            }
-        )*};
-    }
-
-    impl_range_source!(usize, u64, u32, i64, i32);
-
-    impl<T: Send> IntoParallelIterator for Vec<T> {
-        type Item = T;
-        type Iter = VecSource<T>;
-        fn into_par_iter(self) -> VecSource<T> {
-            VecSource { items: self }
-        }
-    }
-
-    /// A materialized source of work items.
-    pub struct VecSource<T> {
-        items: Vec<T>,
-    }
-
-    impl<T: Send> ParallelIterator for VecSource<T> {
-        type Item = T;
-        fn run(self) -> Vec<T> {
-            self.items
-        }
-    }
-
-    /// Lazily mapped parallel iterator (see [`ParallelIterator::map`]).
-    pub struct Map<B, F> {
-        base: B,
-        f: F,
-    }
-
-    impl<B, F, R> ParallelIterator for Map<B, F>
-    where
-        B: ParallelIterator,
-        F: Fn(B::Item) -> R + Sync,
-        R: Send,
-    {
-        type Item = R;
-        fn run(self) -> Vec<R> {
-            parallel_map(self.base.run(), &self.f)
-        }
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
     }
 }
 
-/// Evaluate `f` over `items` on a scoped thread pool, preserving input
-/// order. Items are claimed through an atomic cursor so uneven run
-/// times balance themselves.
-fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
-    let n = items.len();
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n.max(1));
-    if workers <= 1 || n <= 1 {
-        return items.into_iter().map(f).collect();
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builds a [`ThreadPool`] with an explicit worker count.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start from defaults (hardware parallelism).
+    pub fn new() -> Self {
+        Self::default()
     }
-    let slots: Vec<Mutex<(Option<T>, Option<R>)>> = items
-        .into_iter()
-        .map(|t| Mutex::new((Some(t), None)))
-        .collect();
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = slots[i]
-                    .lock()
-                    .unwrap()
-                    .0
-                    .take()
-                    .expect("item claimed once");
-                let out = f(item);
-                slots[i].lock().unwrap().1 = Some(out);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|m| m.into_inner().unwrap().1.expect("worker finished"))
-        .collect()
+
+    /// Pin the number of worker threads (0 means "default").
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Spawn the workers.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            pool: loadsteal_exec::PoolBuilder::new()
+                .num_threads(self.num_threads)
+                .build(),
+        })
+    }
+}
+
+/// A dedicated work-stealing pool with a pinned worker count.
+///
+/// `install` runs a closure on the pool's workers; parallel iterators
+/// used inside it execute on *this* pool rather than the global one —
+/// which is how tests pin replication fan-out to 1, 2, or 8 workers.
+pub struct ThreadPool {
+    pool: loadsteal_exec::Pool,
+}
+
+impl ThreadPool {
+    /// Execute `op` on this pool and return its result. Panics in `op`
+    /// propagate to the caller.
+    pub fn install<R: Send>(&self, op: impl FnOnce() -> R + Send) -> R {
+        self.pool.install(op)
+    }
+
+    /// Number of worker threads in this pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.pool.num_threads()
+    }
 }
 
 #[cfg(test)]
@@ -161,31 +105,33 @@ mod tests {
     }
 
     #[test]
-    fn empty_input_is_fine() {
-        let out: Vec<u64> = (0u64..0).into_par_iter().map(|i| i).collect();
-        assert!(out.is_empty());
+    fn pinned_pool_runs_par_iters_on_itself() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .expect("pool builds");
+        assert_eq!(pool.current_num_threads(), 2);
+        let out: Vec<u64> = pool.install(|| (0u64..64).into_par_iter().map(|i| i + 1).collect());
+        assert_eq!(out, (1..=64u64).collect::<Vec<_>>());
     }
 
     #[test]
-    fn actually_runs_concurrently_or_at_least_correctly() {
-        use std::sync::atomic::{AtomicU32, Ordering};
-        let touched = AtomicU32::new(0);
-        let out: Vec<u32> = vec![1u32; 64]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        let _: Vec<u64> = (0u64..8)
             .into_par_iter()
-            .map(|v| {
-                touched.fetch_add(1, Ordering::Relaxed);
-                v + 1
+            .map(|i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+                i
             })
             .collect();
-        assert_eq!(touched.load(Ordering::Relaxed), 64);
-        assert!(out.iter().all(|&v| v == 2));
     }
 
-    /// A worker panic must propagate to the caller without hanging the
-    /// scope: the replication driver calls `parallel_map` from test
-    /// harnesses where a deadlocked join would look like a stuck run.
-    /// Run the pipeline on a watchdog thread so a regression fails the
-    /// test in 30 s instead of wedging the suite.
+    /// The historical watchdog: one poisoned item among 64 must neither
+    /// deadlock nor strand siblings — all 63 others run on any worker
+    /// count (the old sequential shim only guaranteed this multi-core).
     #[test]
     fn panicking_worker_does_not_deadlock_or_strand_items() {
         use std::sync::atomic::{AtomicU32, Ordering};
@@ -210,31 +156,8 @@ mod tests {
         });
         let panicked = rx
             .recv_timeout(std::time::Duration::from_secs(30))
-            .expect("parallel_map hung after a worker panic");
+            .expect("parallel map hung after a worker panic");
         assert!(panicked, "the injected panic must reach the caller");
-        // Multi-worker path: the surviving workers drain the cursor (63
-        // of 64 items) before the scope re-raises the panic. The
-        // single-worker fallback maps sequentially and stops at item 5.
-        let multi = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            > 1;
-        if multi {
-            assert_eq!(processed.load(Ordering::Relaxed), 63);
-        }
-    }
-
-    #[test]
-    #[should_panic]
-    fn worker_panics_propagate() {
-        let _: Vec<u64> = (0u64..8)
-            .into_par_iter()
-            .map(|i| {
-                if i == 3 {
-                    panic!("boom");
-                }
-                i
-            })
-            .collect();
+        assert_eq!(processed.load(Ordering::Relaxed), 63);
     }
 }

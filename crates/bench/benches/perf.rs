@@ -8,7 +8,7 @@ use loadsteal_core::fixed_point::{solve, FixedPointOptions};
 use loadsteal_core::models::{MeanFieldModel, Rebalance, RebalanceRateFn, SimpleWs, TransferWs};
 use loadsteal_obs::CountingRecorder;
 use loadsteal_ode::{AdaptiveOptions, DormandPrince45, OdeSystem};
-use loadsteal_sim::{run, run_recorded, SimConfig};
+use loadsteal_sim::{replicate, run, run_recorded, SimConfig};
 
 fn bench_deriv(c: &mut Criterion) {
     let mut g = c.benchmark_group("deriv");
@@ -111,5 +111,51 @@ fn bench_simulator(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_deriv, bench_integrate, bench_simulator);
+/// Replication fan-out on the real work-stealing executor: the same
+/// 8-run replicate pinned to a 1-worker and an 8-worker pool. The
+/// runs are independent and seeded per index, so the pair measures
+/// pure executor speedup (results are bit-identical — asserted in
+/// `crates/sim/tests/replicate_parallel.rs`). On a single-CPU host
+/// the two land within noise of each other; the fan-out shows on
+/// machines with spare cores, so treat the committed snapshot numbers
+/// as a 1-CPU floor, not the parallel ceiling (docs/executor.md §5.3).
+fn bench_replicate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("replicate");
+    g.sample_size(10);
+    let mut cfg = SimConfig::paper_default(64, 0.9);
+    cfg.horizon = 300.0;
+    cfg.warmup = 30.0;
+    let runs = 8;
+    let seq = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+    g.bench_function("simple_ws_n64_8runs_1w", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            seq.install(|| replicate(&cfg, runs, seed))
+        })
+    });
+    let par = rayon::ThreadPoolBuilder::new()
+        .num_threads(8)
+        .build()
+        .unwrap();
+    g.bench_function("simple_ws_n64_8runs_8w", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            par.install(|| replicate(&cfg, runs, seed))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_deriv,
+    bench_integrate,
+    bench_simulator,
+    bench_replicate
+);
 criterion_main!(benches);

@@ -732,20 +732,176 @@ pub fn drain(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `loadsteal stealbench` — drive the *real* work-stealing thread pool
+/// with the paper's workload and report what it measurably did.
+///
+/// Each pool worker plays one processor: an open-loop driver submits a
+/// Poisson(λ) task stream to every worker's inbox, tasks occupy their
+/// worker for an Exp(1) service time (scaled by τ wall seconds per
+/// model time unit), and idle workers probe one random victim per
+/// transition-to-empty — the paper's steal rule. With `--trace` the
+/// pool emits the same `loadsteal.trace.v1` events as the simulator,
+/// so `loadsteal report` and the verify harness consume measured
+/// executor traces unchanged.
+pub fn stealbench(a: &Args) -> Result<(), String> {
+    use std::sync::{Arc, Mutex};
+
+    let mut known = vec!["workers", "lambda", "horizon", "tau-ms", "seed"];
+    known.extend_from_slice(OBS_FLAGS);
+    a.ensure_known(&known)?;
+    let cfg = loadsteal_exec::stealbench::StealBenchConfig {
+        workers: a.get_or("workers", 16)?,
+        lambda: a.get_or("lambda", 0.9)?,
+        horizon: a.get_or("horizon", 400.0)?,
+        tau: a.get_or::<f64>("tau-ms", 4.0)? / 1_000.0,
+        seed: a.get_or("seed", 42)?,
+    };
+    cfg.validate()?;
+    let spec = ModelSpec::simple_ws(cfg.lambda);
+    let canonical = spec.to_string();
+
+    let obs = ObsOpts::from_args(a)?;
+    let out = Narrator::new(obs.machine_stdout());
+    let mut rec = obs.recorder()?;
+    // The header carries the canonical model spec, so a downstream
+    // `loadsteal report` resolves the mean-field comparison without
+    // being told the model again.
+    rec.write_header(&TraceHeader {
+        model: Some(canonical.clone()),
+        n: Some(cfg.workers as u64),
+        seed: Some(cfg.seed),
+        runs: Some(1),
+    });
+
+    say!(
+        out,
+        "pool:     {} workers, one steal probe per transition-to-empty, seed {}",
+        cfg.workers,
+        cfg.seed
+    );
+    say!(
+        out,
+        "workload: λ = {} per worker, horizon {} model units, τ = {} ms ({:.1} s wall)",
+        cfg.lambda,
+        cfg.horizon,
+        cfg.tau * 1_000.0,
+        cfg.horizon * cfg.tau
+    );
+
+    let sink = Arc::new(Mutex::new(rec));
+    let outcome = loadsteal_exec::stealbench::run_once(
+        &cfg,
+        Arc::clone(&sink) as Arc<Mutex<dyn Recorder + Send>>,
+    )?;
+    // The pool joined its workers at shutdown, so ours is the last
+    // reference to the recorder.
+    let rec = Arc::try_unwrap(sink)
+        .map_err(|_| "recorder still shared after pool shutdown".to_string())?
+        .into_inner()
+        .map_err(|_| "recorder lock poisoned".to_string())?;
+    let (counts, trace_lines) = rec.finish()?;
+
+    let measured_rate = outcome.steal_success_rate();
+    let pi2 = spec
+        .fixed_point()
+        .ok()
+        .and_then(|fp| fp.task_tails.get(2).copied());
+    say!(
+        out,
+        "driven:   {} tasks submitted, {} completed, {:.2} s wall (sleep overshoot {:.0} µs)",
+        outcome.submitted,
+        outcome.completed,
+        outcome.wall_secs,
+        outcome.sleep_overshoot * 1e6
+    );
+    match pi2 {
+        Some(pi2) => say!(
+            out,
+            "steals:   {} probes, {} hits — success rate {:.4} measured vs π₂ = {pi2:.4} predicted",
+            outcome.stats.steal_attempts,
+            outcome.stats.steal_successes,
+            measured_rate
+        ),
+        None => say!(
+            out,
+            "steals:   {} probes, {} hits — success rate {:.4}",
+            outcome.stats.steal_attempts,
+            outcome.stats.steal_successes,
+            measured_rate
+        ),
+    }
+    if outcome.stats.panics > 0 {
+        say!(
+            out,
+            "warning:  {} task panic(s) isolated",
+            outcome.stats.panics
+        );
+    }
+
+    if obs.metrics_json.is_some() {
+        let reg = Registry::new();
+        reg.counter("exec.submitted").add(outcome.submitted);
+        reg.counter("exec.completed").add(outcome.completed);
+        reg.counter("exec.steal_attempts")
+            .add(outcome.stats.steal_attempts);
+        reg.counter("exec.steal_successes")
+            .add(outcome.stats.steal_successes);
+        reg.counter("exec.panics").add(outcome.stats.panics);
+        reg.counter("exec.trace_events").add(
+            counts.arrivals
+                + counts.completions
+                + counts.steal_attempts
+                + counts.steal_successes
+                + counts.migrations,
+        );
+        reg.gauge("exec.steal_success_rate").set(measured_rate);
+        if let Some(pi2) = pi2 {
+            reg.gauge("exec.predicted_pi2").set(pi2);
+        }
+        reg.gauge("exec.wall_secs").set(outcome.wall_secs);
+        reg.gauge("exec.sleep_overshoot_us")
+            .set(outcome.sleep_overshoot * 1e6);
+        if trace_lines > 0 {
+            reg.counter("trace.lines").add(trace_lines);
+        }
+        export_spans(&reg);
+        let mut m = manifest();
+        m.seed = Some(cfg.seed);
+        m.config("workers", cfg.workers)
+            .config("lambda", cfg.lambda)
+            .config("model", canonical.as_str())
+            .config("horizon", cfg.horizon)
+            .config("tau", cfg.tau);
+        obs.emit(&m, &reg.snapshot())?;
+    }
+    Ok(())
+}
+
 /// `loadsteal report <trace.ndjson>` — reconstruct a timeline from a
 /// trace and compare it against the mean-field prediction.
 pub fn report(a: &Args) -> Result<(), String> {
     a.ensure_known(&["warmup", "lambda", "model", "input"])?;
     let path = a.positional(0).or_else(|| a.raw("input")).ok_or(
-        "usage: loadsteal report <trace.ndjson> [--lossy] [--warmup T] [--model M] [--lambda λ]",
+        "usage: loadsteal report <trace.ndjson|-> [--lossy] [--warmup T] [--model M] [--lambda λ]",
     )?;
     if a.positional(1).is_some() {
         return Err("report takes exactly one trace file".into());
     }
     // Raw bytes, not read_to_string: a trace with one corrupt region
     // should still be reportable under --lossy, with the bad lines
-    // diagnosed individually instead of the whole file rejected.
-    let bytes = std::fs::read(path).map_err(|e| format!("cannot read trace {path:?}: {e}"))?;
+    // diagnosed individually instead of the whole file rejected. `-`
+    // reads stdin so the command pipes directly from
+    // `simulate --trace -` or `stealbench --trace -`.
+    let bytes = if path == "-" {
+        use std::io::Read as _;
+        let mut buf = Vec::new();
+        std::io::stdin()
+            .read_to_end(&mut buf)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read(path).map_err(|e| format!("cannot read trace {path:?}: {e}"))?
+    };
     let mode = if a.switch("lossy") {
         ReadMode::Lossy
     } else {

@@ -97,6 +97,7 @@ fn main() -> ExitCode {
             "stability" => commands::stability(&parsed),
             "converge" => commands::converge(&parsed),
             "drain" => commands::drain(&parsed),
+            "stealbench" => commands::stealbench(&parsed),
             "report" => commands::report(&parsed),
             "jobs" => commands::jobs(&parsed),
             "transient" => commands::transient(&parsed),
@@ -159,11 +160,20 @@ USAGE:
       line; --metrics-json exports converge.* gauges.
   loadsteal drain --initial <m0> [--n N] [--internal λint]
       Static-system drain: mean-field vs simulated makespan.
-  loadsteal report <trace.ndjson> [--lossy] [--warmup T] [--model M] [--lambda λ]
+  loadsteal stealbench [--workers N] [--lambda <λ>] [--horizon T] [--tau-ms ms] [--seed S]
+      Drive the real work-stealing thread pool (Chase–Lev deques, one
+      steal probe per transition-to-empty) with a Poisson(λ) task
+      stream per worker and Exp(1) service times, τ wall-milliseconds
+      per model time unit. Prints the measured steal success rate
+      against the fixed point's π₂; with --trace the pool emits
+      loadsteal.trace.v1 events, so the measured trace pipes straight
+      into `loadsteal report -`.
+  loadsteal report <trace.ndjson|-> [--lossy] [--warmup T] [--model M] [--lambda λ]
       Reconstruct a timeline from an NDJSON trace and compare the
       measured statistics against the mean-field prediction. The model
       is resolved from the trace's header line when neither --model nor
-      --lambda is given.
+      --lambda is given. `-` reads from stdin, piping from
+      `simulate --trace -` or `stealbench --trace -`.
   loadsteal jobs <trace.ndjson|-> [--lossy] [--warmup T]
       Reconstruct per-job causal timelines from a `--trace-jobs` trace:
       sojourn decomposition (queue wait + transfer + service),

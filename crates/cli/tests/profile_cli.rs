@@ -150,7 +150,12 @@ fn profile_command_prints_a_self_time_table_summing_to_wall() {
         .find(|l| l.starts_with("PROFILE"))
         .expect("PROFILE header line");
     // `PROFILE  wall X ms, span self-time total Y ms (Z% of wall)` —
-    // the span self-times must account for the command's wall time.
+    // the span self-times must account for at least the command's wall
+    // time (no unattributed gaps). Replication now runs on the real
+    // work-stealing pool, so the two `sim.run` spans execute on worker
+    // threads concurrently with the main thread's root span: the total
+    // legitimately *exceeds* wall, bounded by root + one span per run
+    // (~300% here) plus scheduling slack.
     let pct: f64 = header
         .split('(')
         .nth(1)
@@ -159,8 +164,9 @@ fn profile_command_prints_a_self_time_table_summing_to_wall() {
         .parse()
         .expect("percentage parses");
     assert!(
-        (95.0..=105.0).contains(&pct),
-        "span self-time sums to within 5% of wall: {header}"
+        (95.0..=320.0).contains(&pct),
+        "span self-time covers wall without over-counting beyond the \
+         root + 2 parallel runs: {header}"
     );
     for col in ["SPAN", "CALLS", "SELF ms", "P99 us"] {
         assert!(stdout.contains(col), "table column {col}: {stdout}");

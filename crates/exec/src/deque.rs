@@ -1,0 +1,442 @@
+//! Chase–Lev work-stealing deque on `std` atomics.
+//!
+//! One [`Worker`] (the owner) pushes and pops at the *bottom* in LIFO
+//! order; any number of [`Stealer`] clones take from the *top* in FIFO
+//! order. The algorithm is the C11 formulation of Lê, Pop, Cohen and
+//! Nardelli ("Correct and efficient work-stealing for weak memory
+//! models", PPoPP 2013), which this module follows operation by
+//! operation; the buffer-reclamation scheme is simpler than the
+//! hazard-pointer/epoch machinery of general-purpose implementations
+//! and is described below.
+//!
+//! # Memory-ordering argument (summary; the long form is in
+//! `docs/executor.md`)
+//!
+//! * `push` writes the slot, then publishes it with a `Release` store
+//!   of `bottom`. A stealer that observes the new `bottom` (via its
+//!   `Acquire` load) therefore also observes the slot contents.
+//! * `pop` first lowers `bottom`, then issues a `SeqCst` fence before
+//!   reading `top`. Symmetrically, `steal` loads `top`, issues a
+//!   `SeqCst` fence, and only then loads `bottom`. The two fences
+//!   order the owner's claim against the thief's: at most one side can
+//!   see the *last* element as available, so the final item is decided
+//!   by the `SeqCst` CAS on `top` and can never be handed out twice.
+//! * `steal` reads the slot *before* its CAS on `top`. That read can
+//!   race with the owner overwriting the slot (wrap-around `push`) or
+//!   with buffer growth; the value is only *kept* when the CAS
+//!   succeeds, which proves no writer has recycled index `t` yet. A
+//!   value obtained from a lost race is `mem::forget`-ten without
+//!   being dropped or inspected, so a torn read is never observed.
+//!
+//! # Buffer reclamation
+//!
+//! Growth allocates a buffer of twice the capacity, copies the live
+//! window `top..bottom`, and publishes it with a `Release` store.
+//! Concurrent stealers may still hold a pointer to the *old* buffer
+//! and read (then discard) slots from it, so the old buffer cannot be
+//! freed at that point. Instead it is parked in a retired list on the
+//! shared channel and freed when the last handle drops — by then no
+//! thread can be inside `steal`. This trades a little memory (retired
+//! buffers accumulate until the deque itself goes away, ~2× the peak
+//! in the geometric-growth worst case) for zero reclamation
+//! synchronization on the steal path. The ABA hazard on the growth
+//! path — a stale stealer reading index `t` from the *old* buffer
+//! after the owner grew and popped past it — is closed by the same
+//! CAS-validates-read rule and regression-tested in
+//! `tests/deque_stress.rs`.
+
+#![allow(unsafe_code)]
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Initial buffer capacity (must be a power of two).
+const MIN_CAP: usize = 64;
+
+/// A circular buffer of possibly-uninitialized slots.
+///
+/// Indexing is by the *unwrapped* deque index; the power-of-two mask
+/// picks the physical slot. Reads and writes are raw (`ptr::read` /
+/// `ptr::write`): slot liveness is tracked by `top`/`bottom` in the
+/// deque, never by the buffer itself.
+struct Buffer<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+}
+
+impl<T> Buffer<T> {
+    fn alloc(cap: usize) -> Box<Self> {
+        debug_assert!(cap.is_power_of_two());
+        let slots = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
+        Box::new(Buffer {
+            slots,
+            mask: cap - 1,
+        })
+    }
+
+    fn cap(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Read the value at deque index `i`.
+    ///
+    /// # Safety
+    /// The caller must either be the owner reading a slot it knows to
+    /// be live, or a stealer that will validate the read with a CAS on
+    /// `top` and `mem::forget` the value on failure.
+    unsafe fn read(&self, i: isize) -> T {
+        let slot = &self.slots[i as usize & self.mask];
+        unsafe { slot.get().read().assume_init() }
+    }
+
+    /// Write `v` into deque index `i`.
+    ///
+    /// # Safety
+    /// Only the owner writes, and only to slots outside the live
+    /// `top..bottom` window (a `push` at `bottom`, or growth copying
+    /// into a fresh buffer).
+    unsafe fn write(&self, i: isize, v: T) {
+        let slot = &self.slots[i as usize & self.mask];
+        unsafe { slot.get().write(MaybeUninit::new(v)) };
+    }
+}
+
+/// State shared between the owner and all stealers.
+struct Inner<T> {
+    /// Next index a stealer will take (FIFO end). Monotonically
+    /// non-decreasing; advanced only by CAS.
+    top: AtomicIsize,
+    /// Next index the owner will push at (LIFO end). Written only by
+    /// the owner (except the lost-pop restore, also owner-side).
+    bottom: AtomicIsize,
+    /// Current buffer. Swapped (with `Release`) only by the owner on
+    /// growth.
+    buffer: AtomicPtr<Buffer<T>>,
+    /// Buffers replaced by growth, kept alive until the deque drops so
+    /// in-flight stealers can still read (and discard) from them.
+    retired: Mutex<Vec<*mut Buffer<T>>>,
+}
+
+// The raw buffer pointers are owned by `Inner` and only dereferenced
+// under the protocol above; `T: Send` is all that moving values across
+// threads requires.
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Exclusive access: drop the live window, then free buffers.
+        let top = self.top.load(Ordering::Relaxed);
+        let bottom = self.bottom.load(Ordering::Relaxed);
+        let buf = self.buffer.load(Ordering::Relaxed);
+        unsafe {
+            for i in top..bottom {
+                drop((*buf).read(i));
+            }
+            drop(Box::from_raw(buf));
+            for old in self.retired.lock().unwrap().drain(..) {
+                drop(Box::from_raw(old));
+            }
+        }
+    }
+}
+
+/// Outcome of a [`Stealer::steal`] attempt.
+#[derive(Debug)]
+pub enum Steal<T> {
+    /// The deque was observed empty.
+    Empty,
+    /// Lost a race with the owner or another stealer; retrying may
+    /// succeed.
+    Retry,
+    /// Took the oldest item.
+    Success(T),
+}
+
+impl<T> Steal<T> {
+    /// `Some` for [`Steal::Success`].
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// The owning endpoint: LIFO push/pop at the bottom.
+///
+/// `Worker` is `Send` but deliberately `!Sync` and not `Clone`: all
+/// owner operations must come from one thread at a time. Methods take
+/// `&self` so the pool can re-enter `push` from a task executing on
+/// the same thread (calls are sequential on one thread, which is all
+/// the algorithm needs).
+pub struct Worker<T> {
+    inner: Arc<Inner<T>>,
+    /// Makes `Worker` `!Sync` (single-owner discipline).
+    _not_sync: PhantomData<std::cell::Cell<()>>,
+}
+
+unsafe impl<T: Send> Send for Worker<T> {}
+
+/// A stealing endpoint: FIFO steal at the top. Freely cloneable and
+/// shareable.
+pub struct Stealer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// Create a new empty deque as an owner/stealer pair.
+pub fn deque<T: Send>() -> (Worker<T>, Stealer<T>) {
+    let buf = Box::into_raw(Buffer::alloc(MIN_CAP));
+    let inner = Arc::new(Inner {
+        top: AtomicIsize::new(0),
+        bottom: AtomicIsize::new(0),
+        buffer: AtomicPtr::new(buf),
+        retired: Mutex::new(Vec::new()),
+    });
+    (
+        Worker {
+            inner: Arc::clone(&inner),
+            _not_sync: PhantomData,
+        },
+        Stealer { inner },
+    )
+}
+
+impl<T: Send> Worker<T> {
+    /// Push `v` at the bottom (the LIFO end).
+    pub fn push(&self, v: T) {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed);
+        let t = inner.top.load(Ordering::Acquire);
+        let mut buf = inner.buffer.load(Ordering::Relaxed);
+        if b - t >= unsafe { (*buf).cap() } as isize {
+            buf = self.grow(b, t, buf);
+        }
+        unsafe { (*buf).write(b, v) };
+        // Publish the slot before the new bottom becomes visible.
+        inner.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Pop from the bottom (most recently pushed). Returns `None` when
+    /// empty.
+    pub fn pop(&self) -> Option<T> {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed) - 1;
+        let buf = inner.buffer.load(Ordering::Relaxed);
+        inner.bottom.store(b, Ordering::Relaxed);
+        // Order the bottom decrement against stealers' top reads: after
+        // this fence, either we see every completed steal in `top`, or
+        // the racing stealer sees our lowered `bottom` and backs off.
+        fence(Ordering::SeqCst);
+        let t = inner.top.load(Ordering::Relaxed);
+        if t <= b {
+            if t == b {
+                // Last element: race the stealers for it via `top`.
+                let won = inner
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                inner.bottom.store(b + 1, Ordering::Relaxed);
+                if !won {
+                    return None; // a stealer got it
+                }
+            }
+            Some(unsafe { (*buf).read(b) })
+        } else {
+            // Already empty; restore bottom.
+            inner.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Best-effort element count (exact when quiescent).
+    pub fn len(&self) -> usize {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        (b - t).max(0) as usize
+    }
+
+    /// Best-effort emptiness check.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Double the buffer, copying the live window `t..b`. Returns the
+    /// new buffer pointer. Only the owner calls this.
+    fn grow(&self, b: isize, t: isize, old: *mut Buffer<T>) -> *mut Buffer<T> {
+        let inner = &*self.inner;
+        let new = Box::into_raw(Buffer::alloc(unsafe { (*old).cap() } * 2));
+        unsafe {
+            for i in t..b {
+                // Indices `t..b` are live and, while we hold the owner
+                // role, only stealers consume them — and a stealer that
+                // takes index i after this copy simply reads the stale
+                // slot from `old` (still allocated) and keeps it only
+                // if its CAS on `top` succeeds. Either buffer yields
+                // the same bits: the owner never mutates a live slot.
+                (*new).write(i, (*old).read(i));
+            }
+        }
+        // Publish the copied window together with the new pointer.
+        inner.buffer.store(new, Ordering::Release);
+        inner.retired.lock().unwrap().push(old);
+        new
+    }
+}
+
+impl<T: Send> Stealer<T> {
+    /// Try to take the oldest item (the FIFO end).
+    pub fn steal(&self) -> Steal<T> {
+        let inner = &*self.inner;
+        let t = inner.top.load(Ordering::Acquire);
+        // Pair with the fence in `pop`: every `bottom` decrement by an
+        // owner that already claimed index `t` is visible below.
+        fence(Ordering::SeqCst);
+        let b = inner.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        // Read the slot *before* claiming it. The read may race with a
+        // wrap-around push or with growth; the CAS below validates it.
+        let buf = inner.buffer.load(Ordering::Acquire);
+        let v = unsafe { (*buf).read(t) };
+        if inner
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            // Someone else consumed index t; our copy may be torn or a
+            // duplicate. Forget it without dropping.
+            std::mem::forget(v);
+            return Steal::Retry;
+        }
+        Steal::Success(v)
+    }
+
+    /// Best-effort element count (exact when quiescent).
+    pub fn len(&self) -> usize {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        (b - t).max(0) as usize
+    }
+
+    /// Best-effort emptiness check.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_is_lifo() {
+        let (w, _s) = deque::<u32>();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn thief_is_fifo() {
+        let (w, s) = deque::<u32>();
+        for i in 0..5 {
+            w.push(i);
+        }
+        assert_eq!(s.steal().success(), Some(0));
+        assert_eq!(s.steal().success(), Some(1));
+        assert_eq!(w.pop(), Some(4));
+        assert_eq!(s.steal().success(), Some(2));
+    }
+
+    #[test]
+    fn growth_preserves_order() {
+        let (w, s) = deque::<usize>();
+        let n = MIN_CAP * 4 + 3; // force two growths
+        for i in 0..n {
+            w.push(i);
+        }
+        assert_eq!(w.len(), n);
+        for i in 0..n {
+            assert_eq!(s.steal().success(), Some(i));
+        }
+        assert!(matches!(s.steal(), Steal::Empty));
+    }
+
+    #[test]
+    fn values_drop_with_the_deque() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let (w, _s) = deque::<D>();
+            for _ in 0..10 {
+                w.push(D);
+            }
+            drop(w.pop()); // 1 explicit
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn two_thread_smoke() {
+        let (w, s) = deque::<u64>();
+        let total = 10_000u64;
+        let thief = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            loop {
+                match s.steal() {
+                    Steal::Success(v) => {
+                        if v == u64::MAX {
+                            break;
+                        }
+                        got.push(v);
+                    }
+                    Steal::Retry | Steal::Empty => std::hint::spin_loop(),
+                }
+            }
+            got
+        });
+        let mut kept = Vec::new();
+        for i in 0..total {
+            w.push(i);
+            if i % 3 == 0 {
+                if let Some(v) = w.pop() {
+                    kept.push(v);
+                }
+            }
+        }
+        while let Some(v) = w.pop() {
+            kept.push(v);
+        }
+        w.push(u64::MAX); // poison pill for the thief
+        let stolen = thief.join().unwrap();
+        let mut all: Vec<u64> = kept.into_iter().chain(stolen).collect();
+        all.sort_unstable();
+        let expect: Vec<u64> = (0..total).collect();
+        assert_eq!(all, expect, "every pushed item seen exactly once");
+    }
+}

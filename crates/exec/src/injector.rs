@@ -1,0 +1,136 @@
+//! Global MPMC injection queue.
+//!
+//! External (non-worker) threads submit work here; any worker drains
+//! it when its own deque runs dry. Unlike the per-worker deques the
+//! injector is deliberately lock-based: it is the *cold* path (batch
+//! submission and occasional pickup), and a `Mutex<VecDeque>` with an
+//! atomic length for the empty fast-path is simpler to reason about
+//! than a lock-free MPMC ring while costing nothing measurable at
+//! this fan-in. The hot path — a worker scheduling its own spawned
+//! subtasks — never touches it.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// FIFO multi-producer multi-consumer queue.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+    len: AtomicUsize,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// Create an empty injector.
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Append one item (FIFO order).
+    pub fn push(&self, v: T) {
+        let mut q = self.queue.lock().unwrap();
+        q.push_back(v);
+        // Under the lock, so `len` can never over-report across a pop.
+        self.len.store(q.len(), Ordering::Release);
+    }
+
+    /// Take the oldest item, if any. Lock-free `None` when empty.
+    pub fn pop(&self) -> Option<T> {
+        if self.len.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let mut q = self.queue.lock().unwrap();
+        let v = q.pop_front();
+        self.len.store(q.len(), Ordering::Release);
+        v
+    }
+
+    /// Current length (exact at the instant of the read).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let inj = Injector::new();
+        inj.push(1);
+        inj.push(2);
+        inj.push(3);
+        assert_eq!(inj.len(), 3);
+        assert_eq!(inj.pop(), Some(1));
+        assert_eq!(inj.pop(), Some(2));
+        assert_eq!(inj.pop(), Some(3));
+        assert_eq!(inj.pop(), None);
+        assert!(inj.is_empty());
+    }
+
+    #[test]
+    fn mpmc_accounts_for_every_item() {
+        let inj = Arc::new(Injector::<u64>::new());
+        let producers = 4;
+        let per = 2_500u64;
+        let mut handles = Vec::new();
+        for p in 0..producers {
+            let inj = Arc::clone(&inj);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per {
+                    inj.push(p * per + i);
+                }
+            }));
+        }
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let inj = Arc::clone(&inj);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    let mut misses = 0;
+                    while misses < 200 {
+                        match inj.pop() {
+                            Some(v) => {
+                                got.push(v);
+                                misses = 0;
+                            }
+                            None => {
+                                misses += 1;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        while let Some(v) = inj.pop() {
+            all.push(v);
+        }
+        all.sort_unstable();
+        let expect: Vec<u64> = (0..producers * per).collect();
+        assert_eq!(all, expect);
+    }
+}

@@ -1,0 +1,278 @@
+//! Rayon-style parallel iterators over the work-stealing pool.
+//!
+//! The surface is the exact subset the workspace uses —
+//! `range.into_par_iter().map(f).collect::<Vec<_>>()` — with the same
+//! three contracts the old sequential shim promised and the
+//! replication driver relies on:
+//!
+//! 1. results come back in **input order** (slot-addressed writes);
+//! 2. panics in workers propagate to the caller — after every sibling
+//!    item has drained (so a 64-item batch with one poisoned item
+//!    still evaluates the other 63, on any worker count);
+//! 3. evaluation of `f` is pure fan-out: each item is claimed by
+//!    exactly one thread.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+use crate::pool::{current_shared, erase_task, global, run_batch, Batch, Pool, Shared};
+
+/// The rayon-style prelude: `use rayon::prelude::*;`.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// The resulting parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// A value-producing parallel pipeline.
+pub trait ParallelIterator: Sized {
+    /// Element type.
+    type Item: Send;
+
+    /// Drive the pipeline, returning elements in input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Map each element through `f` (evaluated on pool workers).
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Execute the pipeline and collect the results.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+}
+
+macro_rules! impl_range_source {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = VecSource<$t>;
+            fn into_par_iter(self) -> VecSource<$t> {
+                VecSource { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range_source!(usize, u64, u32, i64, i32);
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecSource<T>;
+    fn into_par_iter(self) -> VecSource<T> {
+        VecSource { items: self }
+    }
+}
+
+/// A materialized source of work items.
+pub struct VecSource<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecSource<T> {
+    type Item = T;
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Lazily mapped parallel iterator (see [`ParallelIterator::map`]).
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F, R> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(B::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+    fn run(self) -> Vec<R> {
+        // Stay on the pool this thread belongs to (the one `install`
+        // put us on); fall back to the global pool from the outside.
+        let items = self.base.run();
+        match current_shared() {
+            Some(shared) => parallel_map_shared(&shared, items, &self.f),
+            None => parallel_map_shared(global().shared(), items, &self.f),
+        }
+    }
+}
+
+/// Evaluate `f` over `items` on `pool`, preserving input order.
+///
+/// Each item becomes one pool task writing its slot; the caller helps
+/// execute until the batch latch opens, then the first captured panic
+/// (if any) resumes on the caller — after all siblings have drained.
+pub fn parallel_map_on<T: Send, R: Send>(
+    pool: &Pool,
+    items: Vec<T>,
+    f: &(impl Fn(T) -> R + Sync),
+) -> Vec<R> {
+    parallel_map_shared(pool.shared(), items, f)
+}
+
+fn parallel_map_shared<T: Send, R: Send>(
+    shared: &Arc<Shared>,
+    items: Vec<T>,
+    f: &(impl Fn(T) -> R + Sync),
+) -> Vec<R> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        // No fan-out to have, and no siblings whose drain semantics
+        // could differ: evaluate in place.
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Arc<Vec<Mutex<Option<R>>>> = Arc::new((0..n).map(|_| Mutex::new(None)).collect());
+    let batch = Arc::new(Batch::new(n));
+    let jobs: Vec<_> = items
+        .into_iter()
+        .enumerate()
+        .map(|(i, item)| {
+            let slots = Arc::clone(&slots);
+            let batch = Arc::clone(&batch);
+            let job: Box<dyn FnOnce() + Send> = Box::new(move || {
+                match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                    Ok(r) => *slots[i].lock().unwrap() = Some(r),
+                    Err(p) => batch.record_panic(p),
+                }
+                // Release the slot handle *before* opening the latch:
+                // the caller unwraps the slots Arc as soon as the batch
+                // reads done.
+                drop(slots);
+                batch.job_done();
+            });
+            // Safety: `run_batch` does not return before every job has
+            // executed, so the borrows of `f` (and anything captured
+            // by the items) outlive their use.
+            unsafe { erase_task(job) }
+        })
+        .collect();
+    run_batch(shared, jobs, &batch);
+    batch.resume_if_panicked();
+    let slots = Arc::into_inner(slots).expect("all job handles released");
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap()
+                .expect("every slot filled by a completed batch")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use crate::pool::PoolBuilder;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<u64> = (0u64..100).into_par_iter().map(|i| i * i).collect();
+        let expect: Vec<u64> = (0u64..100).map(|i| i * i).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u64> = (0u64..0).into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn vec_source_works() {
+        let out: Vec<u32> = vec![3u32, 1, 4, 1, 5]
+            .into_par_iter()
+            .map(|v| v * 10)
+            .collect();
+        assert_eq!(out, vec![30, 10, 40, 10, 50]);
+    }
+
+    #[test]
+    fn explicit_pool_map() {
+        let pool = PoolBuilder::new().num_threads(3).build();
+        let out = parallel_map_on(&pool, (0..50u32).collect(), &|i| i + 1);
+        assert_eq!(out, (1..=50u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_parallelism_does_not_deadlock() {
+        let pool = PoolBuilder::new().num_threads(2).build();
+        let out = pool.install(|| {
+            let inner: Vec<Vec<u32>> =
+                parallel_map_on(crate::pool::global(), (0u32..4).collect(), &|i| {
+                    (0u32..8).into_par_iter().map(|j| i * 8 + j).collect()
+                });
+            inner
+        });
+        let flat: Vec<u32> = out.into_iter().flatten().collect();
+        assert_eq!(flat, (0u32..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        let _: Vec<u64> = (0u64..8)
+            .into_par_iter()
+            .map(|i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+                i
+            })
+            .collect();
+    }
+
+    /// The watchdog port from the old shim: one poisoned item among 64
+    /// must neither deadlock the batch nor strand the siblings — the
+    /// other 63 all run (on *any* worker count; the old shim's
+    /// single-worker path stopped early), and the panic reaches the
+    /// caller.
+    #[test]
+    fn panicking_worker_does_not_deadlock_or_strand_items() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::{mpsc, Arc};
+        let processed = Arc::new(AtomicU32::new(0));
+        let p = Arc::clone(&processed);
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _: Vec<u64> = (0u64..64)
+                    .into_par_iter()
+                    .map(|i| {
+                        if i == 5 {
+                            panic!("injected worker panic");
+                        }
+                        p.fetch_add(1, Ordering::Relaxed);
+                        i
+                    })
+                    .collect();
+            }));
+            let _ = tx.send(result.is_err());
+        });
+        let panicked = rx
+            .recv_timeout(std::time::Duration::from_secs(30))
+            .expect("parallel map hung after a worker panic");
+        assert!(panicked, "the injected panic must reach the caller");
+        // Drain semantics hold unconditionally now.
+        assert_eq!(processed.load(Ordering::Relaxed), 63);
+    }
+}

@@ -1,0 +1,120 @@
+//! Small self-contained RNG for victim selection and the steal-bench
+//! arrival/service streams. (The workspace `rand` shim lives above
+//! `obs` in the dependency graph; the executor keeps to `std` only.)
+
+/// SplitMix64: the standard seeding/stream-splitting mixer.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256**-class generator (here: SplitMix64-seeded xorshift64*),
+/// good enough for victim picking and exponential sampling; not for
+/// cryptography.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: u64,
+}
+
+impl Rng {
+    /// Seed deterministically from `seed` (any value, including 0).
+    pub fn new(seed: u64) -> Self {
+        let mut st = seed;
+        // One mixing round so consecutive seeds give unrelated streams.
+        let s = splitmix64(&mut st) | 1;
+        Rng { s }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        // xorshift64* (Vigna): passes BigCrush on the high bits.
+        let mut x = self.s;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.s = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform in `[0, 1)` with 53 random bits.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`. `n` must be nonzero.
+    #[inline]
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        // Multiply-shift reduction; bias is < 2^-32 for the small n
+        // (worker counts) used here.
+        (((self.next_u64() >> 32) * n as u64) >> 32) as usize
+    }
+
+    /// Exponential with mean `1/rate`.
+    #[inline]
+    pub fn exp(&mut self, rate: f64) -> f64 {
+        debug_assert!(rate > 0.0);
+        // f64() < 1.0, so 1 - f64() > 0 and ln() is finite.
+        -(1.0 - self.f64()).ln() / rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        let mut c = Rng::new(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::new(7);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_covers_range_roughly_uniformly() {
+        let mut r = Rng::new(1);
+        let n = 8;
+        let mut counts = vec![0usize; n];
+        let draws = 80_000;
+        for _ in 0..draws {
+            counts[r.below(n)] += 1;
+        }
+        let expect = draws / n;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect as f64).abs() < 0.1 * expect as f64,
+                "bucket {i}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn exp_mean_close() {
+        let mut r = Rng::new(9);
+        let rate = 2.0;
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.exp(rate)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -1,0 +1,203 @@
+//! `join` and `scope`: structured fork-join on the pool.
+//!
+//! Semantics follow rayon's: `join(a, b)` runs both closures,
+//! potentially in parallel, and returns both results; `scope(f)` lets
+//! `f` spawn borrowing tasks that are all guaranteed to finish before
+//! `scope` returns. Panics propagate to the caller — after every
+//! sibling in the same scope/batch has drained.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+use crate::pool::{erase_task, global, help_until_done, push_task, Batch};
+
+/// Run `a` and `b`, potentially in parallel on the global pool, and
+/// return both results. The calling thread always executes `a` itself;
+/// `b` is offered to the pool and reclaimed by helping if nobody took
+/// it.
+pub fn join<RA, RB>(a: impl FnOnce() -> RA + Send, b: impl FnOnce() -> RB + Send) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+{
+    let pool = global();
+    let batch = Arc::new(Batch::new(1));
+    let slot: Arc<Mutex<Option<RB>>> = Arc::new(Mutex::new(None));
+    let job = {
+        let batch = Arc::clone(&batch);
+        let slot = Arc::clone(&slot);
+        let job: Box<dyn FnOnce() + Send> = Box::new(move || {
+            match catch_unwind(AssertUnwindSafe(b)) {
+                Ok(r) => *slot.lock().unwrap() = Some(r),
+                Err(p) => batch.record_panic(p),
+            }
+            drop(slot);
+            batch.job_done();
+        });
+        // Safety: `help_until_done` below blocks until the job has
+        // executed.
+        unsafe { erase_task(job) }
+    };
+    // Offer `b` to the pool *before* running `a`, so the two arms can
+    // genuinely overlap; then reclaim it by helping.
+    push_task(pool.shared(), job);
+    let ra = catch_unwind(AssertUnwindSafe(a));
+    // Whatever happened to `a`, `b` must finish before we return or
+    // unwind — its borrows die with this frame.
+    help_until_done(pool.shared(), &batch);
+    match ra {
+        Err(p) => resume_unwind(p),
+        Ok(ra) => {
+            batch.resume_if_panicked();
+            let rb = slot.lock().unwrap().take();
+            (ra, rb.expect("join arm completed without result or panic"))
+        }
+    }
+}
+
+/// A handle for spawning borrowing tasks; see [`scope`].
+pub struct Scope<'scope> {
+    batch: Arc<Batch>,
+    /// Invariant over `'scope` (mirrors `std::thread::Scope`).
+    _marker: std::marker::PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawn a task that may borrow from the enclosing scope. It is
+    /// guaranteed to finish before [`scope`] returns.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.batch.add_jobs(1);
+        let batch = Arc::clone(&self.batch);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let inner = Scope {
+                batch: Arc::clone(&batch),
+                _marker: std::marker::PhantomData,
+            };
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(&inner))) {
+                batch.record_panic(p);
+            }
+            drop(inner);
+            batch.job_done();
+        });
+        // Safety: the `scope` frame waits on this batch before
+        // returning, so `'scope` borrows outlive the task.
+        let job = unsafe { erase_task(job) };
+        push_task(global().shared(), job);
+    }
+}
+
+/// Create a scope in which spawned tasks may borrow local data. All
+/// spawned tasks complete before `scope` returns; the first panic from
+/// `f` or any task resumes on the caller after the rest drain.
+pub fn scope<'scope, R>(f: impl FnOnce(&Scope<'scope>) -> R) -> R {
+    // The batch starts at 1: a guard slot held by this frame so the
+    // latch cannot open while `f` is still spawning.
+    let batch = Arc::new(Batch::new(1));
+    let s = Scope {
+        batch: Arc::clone(&batch),
+        _marker: std::marker::PhantomData,
+    };
+    let r = catch_unwind(AssertUnwindSafe(|| f(&s)));
+    // Release the guard slot, then help until every spawn has run.
+    batch.job_done();
+    help_until_done(global().shared(), &batch);
+    match r {
+        Err(p) => resume_unwind(p),
+        Ok(r) => {
+            batch.resume_if_panicked();
+            r
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "right");
+        assert_eq!(a, 4);
+        assert_eq!(b, "right");
+    }
+
+    #[test]
+    fn join_can_borrow() {
+        let data = [1u32, 2, 3, 4];
+        let (s1, s2) = join(
+            || data[..2].iter().sum::<u32>(),
+            || data[2..].iter().sum::<u32>(),
+        );
+        assert_eq!(s1 + s2, 10);
+    }
+
+    #[test]
+    fn join_propagates_a_panic() {
+        let r = catch_unwind(AssertUnwindSafe(|| join(|| panic!("left"), || 1)));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn join_propagates_b_panic() {
+        let r = catch_unwind(AssertUnwindSafe(|| join(|| 1, || panic!("right"))));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn scope_waits_for_all_spawns() {
+        let hits = AtomicU32::new(0);
+        scope(|s| {
+            for _ in 0..32 {
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn scope_supports_nested_spawns() {
+        let hits = AtomicU32::new(0);
+        scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|s| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                    for _ in 0..3 {
+                        s.spawn(|_| {
+                            hits.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn scope_panic_drains_siblings_then_propagates() {
+        let hits = AtomicU32::new(0);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            scope(|s| {
+                for i in 0..8 {
+                    s.spawn(move |_| {
+                        if i == 2 {
+                            panic!("poisoned spawn");
+                        }
+                    });
+                }
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }));
+        assert!(r.is_err());
+        assert_eq!(
+            hits.load(Ordering::SeqCst),
+            1,
+            "scope body ran to completion"
+        );
+    }
+}

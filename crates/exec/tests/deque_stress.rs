@@ -1,0 +1,248 @@
+//! Stress and property tests for the Chase–Lev deque.
+//!
+//! Three families:
+//!
+//! 1. a **sequential model test** — random push/pop/steal programs
+//!    replayed against a `VecDeque` reference nail the LIFO-owner /
+//!    FIFO-thief contract exactly;
+//! 2. a **randomized multi-thread stress** — one owner interleaving
+//!    pushes and pops with 1–7 concurrent thieves (2–8 threads
+//!    total), asserting every item is consumed exactly once and that
+//!    each thief observes a strictly increasing (FIFO) sequence;
+//! 3. an **ABA regression on the growth path** — repeated
+//!    grow-while-stealing episodes that would double- or mis-deliver
+//!    items if a stale thief's CAS could succeed against a recycled
+//!    index (the retired-buffer design under test).
+//!
+//! `EXEC_STRESS_ITERS` scales the threaded repetitions (CI runs an
+//! elevated count in release mode).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use loadsteal_exec::deque::{deque, Steal};
+use proptest::prelude::*;
+
+/// Threaded-test repetition factor (default quick; CI elevates).
+fn stress_iters() -> usize {
+    std::env::var("EXEC_STRESS_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8)
+}
+
+/// One step of a sequential deque program.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Push,
+    Pop,
+    Steal,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            // Push-biased so the deque actually fills (and grows).
+            Just(Op::Push),
+            Just(Op::Push),
+            Just(Op::Push),
+            Just(Op::Pop),
+            Just(Op::Steal),
+        ],
+        1..600,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Sequential linearization: with no concurrency, `push`/`pop` must
+    /// behave as a stack at the bottom and `steal` as a queue at the
+    /// top — exactly a `VecDeque` with `push_back`/`pop_back`/
+    /// `pop_front`.
+    #[test]
+    fn sequential_ops_match_vecdeque_model(ops in arb_ops()) {
+        let (w, s) = deque::<u64>();
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut next = 0u64;
+        for op in ops {
+            match op {
+                Op::Push => {
+                    w.push(next);
+                    model.push_back(next);
+                    next += 1;
+                }
+                Op::Pop => {
+                    prop_assert_eq!(w.pop(), model.pop_back());
+                }
+                Op::Steal => {
+                    let got = match s.steal() {
+                        Steal::Success(v) => Some(v),
+                        Steal::Empty => None,
+                        Steal::Retry => panic!("sequential steal cannot race"),
+                    };
+                    prop_assert_eq!(got, model.pop_front());
+                }
+            }
+            prop_assert_eq!(w.len(), model.len());
+        }
+    }
+}
+
+proptest! {
+    // Fewer sampled shapes for the threaded stress — each case already
+    // repeats `stress_iters()` rounds, and CI scales that up.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Randomized interleavings across 2–8 threads: every pushed item
+    /// is consumed exactly once (by the owner or exactly one thief),
+    /// and each thief's local steal sequence is strictly increasing —
+    /// the observable face of FIFO-from-the-top.
+    #[test]
+    fn threaded_interleavings_lose_and_duplicate_nothing(
+        thieves in 1usize..8,
+        items in 256usize..2048,
+        pop_stride in 2usize..7,
+    ) {
+        for round in 0..stress_iters() {
+            let (w, s) = deque::<u64>();
+            let stop = Arc::new(AtomicBool::new(false));
+            let handles: Vec<_> = (0..thieves)
+                .map(|_| {
+                    let s = s.clone();
+                    let stop = Arc::clone(&stop);
+                    std::thread::spawn(move || {
+                        let mut got: Vec<u64> = Vec::new();
+                        loop {
+                            match s.steal() {
+                                Steal::Success(v) => got.push(v),
+                                Steal::Retry => std::thread::yield_now(),
+                                Steal::Empty => {
+                                    if stop.load(Ordering::Acquire) {
+                                        break;
+                                    }
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect();
+            let mut owned: Vec<u64> = Vec::new();
+            for i in 0..items as u64 {
+                w.push(i);
+                if i % pop_stride as u64 == round as u64 % pop_stride as u64 {
+                    if let Some(v) = w.pop() {
+                        owned.push(v);
+                    }
+                }
+            }
+            while let Some(v) = w.pop() {
+                owned.push(v);
+            }
+            stop.store(true, Ordering::Release);
+            let mut all = owned;
+            for h in handles {
+                let got = h.join().expect("thief panicked");
+                prop_assert!(
+                    got.windows(2).all(|p| p[0] < p[1]),
+                    "a thief observed a non-increasing steal sequence"
+                );
+                all.extend(got);
+            }
+            // One final sweep: the stop flag may have raced a push.
+            loop {
+                match s.steal() {
+                    Steal::Success(v) => all.push(v),
+                    Steal::Empty => break,
+                    Steal::Retry => std::thread::yield_now(),
+                }
+            }
+            all.sort_unstable();
+            let expect: Vec<u64> = (0..items as u64).collect();
+            prop_assert_eq!(all, expect);
+        }
+    }
+}
+
+/// ABA regression on the circular-buffer growth path. The deque starts
+/// at its minimum capacity (64); each episode pushes far past it —
+/// forcing one or more buffer swaps *while* a thief is mid-steal — and
+/// pops concurrently so indices wrap. If a thief's stale read of a
+/// pre-growth buffer could survive a recycled index, some value would
+/// go missing or arrive twice; retiring old buffers (never reusing
+/// them) plus the CAS-validates-read rule is what this pins.
+#[test]
+fn growth_under_concurrent_stealing_is_aba_safe() {
+    let episodes = 6 * stress_iters();
+    for ep in 0..episodes {
+        let (w, s) = deque::<u64>();
+        let stop = Arc::new(AtomicBool::new(false));
+        let thief = {
+            let s = s.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                loop {
+                    match s.steal() {
+                        Steal::Success(v) => got.push(v),
+                        Steal::Retry => std::thread::yield_now(),
+                        Steal::Empty => {
+                            if stop.load(Ordering::Acquire) {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                got
+            })
+        };
+        // Fill to the brink of capacity, then oscillate push/pop right
+        // at the growth boundary so successive pushes trigger growth
+        // with the thief inside `steal`.
+        let mut owned = Vec::new();
+        let mut next = 0u64;
+        let total = 64 * 8 + (ep as u64 % 64); // several doublings
+        while next < total {
+            let burst = 3 + (ep + next as usize) % 5;
+            for _ in 0..burst {
+                if next < total {
+                    w.push(next);
+                    next += 1;
+                }
+            }
+            if next % 2 == 0 {
+                if let Some(v) = w.pop() {
+                    owned.push(v);
+                }
+            }
+        }
+        while let Some(v) = w.pop() {
+            owned.push(v);
+        }
+        stop.store(true, Ordering::Release);
+        let stolen = thief.join().expect("thief panicked");
+        assert!(
+            stolen.windows(2).all(|p| p[0] < p[1]),
+            "thief order regressed in episode {ep}"
+        );
+        let mut all = owned;
+        all.extend(stolen);
+        loop {
+            match s.steal() {
+                Steal::Success(v) => all.push(v),
+                Steal::Empty => break,
+                Steal::Retry => std::thread::yield_now(),
+            }
+        }
+        all.sort_unstable();
+        assert_eq!(
+            all,
+            (0..total).collect::<Vec<u64>>(),
+            "episode {ep}: items lost or duplicated across growth"
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Determinism of parallel replication under real worker-stealing.
+//!
+//! `replicate` fans runs out over the work-stealing executor; each run
+//! is seeded independently and results land in slot-addressed,
+//! input-ordered storage. Parallelism may therefore change *when* a
+//! replication executes — which worker, in what wall order — but never
+//! *what* it computes. These tests pin that: for fixed seeds the
+//! aggregates are **bit-identical** (`f64::to_bits`, not an epsilon)
+//! across a sequential baseline and pools of 1, 2, and 8 workers.
+
+use loadsteal_sim::{replicate, run_seeded, ReplicateResult, SimConfig};
+
+fn quick_cfg() -> SimConfig {
+    let mut cfg = SimConfig::paper_default(16, 0.7);
+    cfg.horizon = 1_500.0;
+    cfg.warmup = 150.0;
+    cfg
+}
+
+/// Fingerprint every numeric channel of the aggregate at full bit
+/// precision.
+fn fingerprint(r: &ReplicateResult) -> Vec<u64> {
+    let mut bits = vec![r.mean_sojourn().to_bits()];
+    bits.push(r.sojourn_ci().half_width.to_bits());
+    for v in r.mean_load_tails() {
+        bits.push(v.to_bits());
+    }
+    for run in &r.runs {
+        bits.push(run.seed);
+        bits.push(run.tasks_arrived);
+        bits.push(run.tasks_completed);
+        bits.push(run.steal_attempts);
+        bits.push(run.sojourn.mean().to_bits());
+        for &t in &run.load_tails {
+            bits.push(t.to_bits());
+        }
+    }
+    bits
+}
+
+#[test]
+fn parallel_replicate_is_bit_identical_across_worker_counts() {
+    let cfg = quick_cfg();
+    let runs = 6;
+    let seed = 42;
+
+    // Sequential ground truth: drive the engine directly, no pool.
+    let sequential: Vec<u64> = {
+        let results: Vec<_> = (0..runs as u64)
+            .map(|i| run_seeded(&cfg, seed + i))
+            .collect();
+        results
+            .iter()
+            .flat_map(|r| {
+                let mut b = vec![r.seed, r.tasks_completed, r.sojourn.mean().to_bits()];
+                b.extend(r.load_tails.iter().map(|t| t.to_bits()));
+                b
+            })
+            .collect()
+    };
+
+    for workers in [1usize, 2, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(workers)
+            .build()
+            .expect("pool builds");
+        let agg = pool.install(|| replicate(&cfg, runs, seed));
+        assert_eq!(agg.runs.len(), runs);
+        // Per-run values match the sequential engine bit for bit.
+        let got: Vec<u64> = agg
+            .runs
+            .iter()
+            .flat_map(|r| {
+                let mut b = vec![r.seed, r.tasks_completed, r.sojourn.mean().to_bits()];
+                b.extend(r.load_tails.iter().map(|t| t.to_bits()));
+                b
+            })
+            .collect();
+        assert_eq!(
+            got, sequential,
+            "{workers}-worker replicate diverged from the sequential engine"
+        );
+    }
+}
+
+#[test]
+fn aggregates_agree_between_pool_sizes_and_repeats() {
+    let cfg = quick_cfg();
+    let runs = 5;
+    let seed = 7;
+    let mut prints = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(workers)
+            .build()
+            .expect("pool builds");
+        // Twice on the same pool: scheduling order varies, values don't.
+        let a = pool.install(|| replicate(&cfg, runs, seed));
+        let b = pool.install(|| replicate(&cfg, runs, seed));
+        assert_eq!(
+            fingerprint(&a),
+            fingerprint(&b),
+            "repeat on the {workers}-worker pool was not reproducible"
+        );
+        prints.push(fingerprint(&a));
+    }
+    assert_eq!(prints[0], prints[1], "1- vs 2-worker aggregates diverged");
+    assert_eq!(prints[1], prints[2], "2- vs 8-worker aggregates diverged");
+}
+
+#[test]
+fn global_pool_matches_pinned_pools() {
+    let cfg = quick_cfg();
+    let on_global = replicate(&cfg, 4, 1234);
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(3)
+        .build()
+        .expect("pool builds");
+    let pinned = pool.install(|| replicate(&cfg, 4, 1234));
+    assert_eq!(fingerprint(&on_global), fingerprint(&pinned));
+}

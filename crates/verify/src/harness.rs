@@ -26,6 +26,10 @@ pub struct Settings {
     pub horizon: f64,
     /// Warmup discarded from each run (seconds).
     pub warmup: f64,
+    /// Run check bodies concurrently on the work-stealing pool
+    /// (checks marked [`Check::serial`] — wall-clock-sensitive
+    /// executor measurements — still run alone, afterwards).
+    pub parallel: bool,
 }
 
 impl Settings {
@@ -38,6 +42,7 @@ impl Settings {
             runs: 4,
             horizon: 3_000.0,
             warmup: 400.0,
+            parallel: false,
         }
     }
 
@@ -51,6 +56,10 @@ impl Settings {
             runs: 5,
             horizon: 15_000.0,
             warmup: 1_500.0,
+            // The table grids alone are ~15 independent replicated
+            // cells; the pool turns the full tier's wall time into
+            // max(cell) instead of sum(cell) on multi-core hosts.
+            parallel: true,
         }
     }
 
@@ -65,6 +74,7 @@ impl Settings {
             runs: 4,
             horizon: 1_500.0,
             warmup: 200.0,
+            parallel: false,
         }
     }
 }
@@ -93,6 +103,9 @@ pub struct Check {
     pub group: &'static str,
     /// Check name, unique within the group.
     pub name: String,
+    /// Must not run concurrently with other checks (wall-clock-timed
+    /// executor measurements, which CPU contention would distort).
+    pub serial: bool,
     /// The check body.
     pub run: Box<dyn FnOnce() -> Outcome + Send>,
 }
@@ -107,7 +120,21 @@ impl Check {
         Self {
             group,
             name: name.into(),
+            serial: false,
             run: Box::new(run),
+        }
+    }
+
+    /// A check that must run with the machine otherwise quiet (see
+    /// [`Check::serial`]).
+    pub fn serial(
+        group: &'static str,
+        name: impl Into<String>,
+        run: impl FnOnce() -> Outcome + Send + 'static,
+    ) -> Self {
+        Self {
+            serial: true,
+            ..Self::new(group, name, run)
         }
     }
 }
@@ -190,25 +217,55 @@ impl Report {
     }
 }
 
+/// Execute one check body with its profiler spans and timing.
+fn run_one(c: Check) -> CheckResult {
+    // Per-layer and per-check profiler spans: nested so a profiled
+    // `verify` run shows time by layer, then by check within it.
+    let _layer_span = loadsteal_obs::span::span_dyn(format!("verify.{}", c.group));
+    let _check_span = loadsteal_obs::span::span_dyn(format!("verify.{}.{}", c.group, c.name));
+    let start = std::time::Instant::now();
+    let outcome = (c.run)();
+    CheckResult {
+        group: c.group,
+        name: c.name,
+        outcome,
+        wall_ms: start.elapsed().as_secs_f64() * 1_000.0,
+    }
+}
+
 /// Execute checks sequentially (each differential check already
 /// parallelizes its replications internally), timing each body.
 pub fn run_checks(checks: Vec<Check>) -> Report {
-    let mut report = Report::default();
-    for c in checks {
-        // Per-layer and per-check profiler spans: nested so a profiled
-        // `verify` run shows time by layer, then by check within it.
-        let _layer_span = loadsteal_obs::span::span_dyn(format!("verify.{}", c.group));
-        let _check_span = loadsteal_obs::span::span_dyn(format!("verify.{}.{}", c.group, c.name));
-        let start = std::time::Instant::now();
-        let outcome = (c.run)();
-        report.results.push(CheckResult {
-            group: c.group,
-            name: c.name,
-            outcome,
-            wall_ms: start.elapsed().as_secs_f64() * 1_000.0,
-        });
+    Report {
+        results: checks.into_iter().map(run_one).collect(),
     }
-    report
+}
+
+/// Execute check bodies concurrently on the work-stealing pool,
+/// preserving display order in the report. Checks marked
+/// [`Check::serial`] are held back and run one at a time afterwards,
+/// so wall-clock-sensitive measurements see a quiet machine. The
+/// full tier's table grids are the payoff: ~15 independent replicated
+/// cells become max(cell) wall time instead of sum(cell).
+pub fn run_checks_parallel(checks: Vec<Check>) -> Report {
+    let total = checks.len();
+    let (serial, concurrent): (Vec<_>, Vec<_>) =
+        checks.into_iter().enumerate().partition(|(_, c)| c.serial);
+    let mut slots: Vec<Option<CheckResult>> = (0..total).map(|_| None).collect();
+    let done = loadsteal_exec::parallel_map_on(
+        loadsteal_exec::global(),
+        concurrent,
+        &|(i, c): (usize, Check)| (i, run_one(c)),
+    );
+    for (i, r) in done {
+        slots[i] = Some(r);
+    }
+    for (i, c) in serial {
+        slots[i] = Some(run_one(c));
+    }
+    Report {
+        results: slots.into_iter().flatten().collect(),
+    }
 }
 
 #[cfg(test)]

@@ -44,6 +44,12 @@
 //!   log-log slope near −1 (`Θ(1/n)`, Ying's refinement of the Kurtz
 //!   bound); an injected O(1) bias floor must flatten the slope and
 //!   fail.
+//! * **executor** — the *measured* work-stealing thread pool: the real
+//!   Chase–Lev executor driven with the paper's Poisson workload at
+//!   λ = 0.9, its wall-clock trace replayed through the same timeline
+//!   pipeline, steal success rate and tail occupancies required to
+//!   match the mean-field fixed point within the usual CI + `c/n`
+//!   bounds.
 //!
 //! The harness is exposed on the CLI as `loadsteal verify
 //! [--quick|--full]`; the [`sabotage`] module carries a deliberately
@@ -57,6 +63,7 @@ pub mod convergence;
 pub mod determinism;
 pub mod differential;
 pub mod engine;
+pub mod executor;
 pub mod harness;
 pub mod jobs;
 pub mod metamorphic;
@@ -79,15 +86,23 @@ pub fn all_checks(settings: &Settings) -> Vec<Check> {
     checks.extend(jobs::checks(settings));
     checks.extend(transient::checks(settings));
     checks.extend(rate::checks(settings));
+    checks.extend(executor::checks(settings));
     checks
 }
 
 /// Run the harness: every check whose `group:name` contains `filter`
-/// (all of them when `None`), timed, in order.
+/// (all of them when `None`), timed, in order. With
+/// [`Settings::parallel`] set (the full tier), check bodies fan out
+/// over the work-stealing pool — except the serial executor
+/// measurements, which run alone afterwards.
 pub fn run(settings: &Settings, filter: Option<&str>) -> Report {
-    let checks = all_checks(settings)
+    let checks: Vec<Check> = all_checks(settings)
         .into_iter()
         .filter(|c| filter.is_none_or(|f| format!("{}:{}", c.group, c.name).contains(f)))
         .collect();
-    harness::run_checks(checks)
+    if settings.parallel {
+        harness::run_checks_parallel(checks)
+    } else {
+        harness::run_checks(checks)
+    }
 }
