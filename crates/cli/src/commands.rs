@@ -415,6 +415,7 @@ pub fn simulate(a: &Args) -> Result<(), String> {
         n: Some(n as u64),
         seed: Some(seed),
         runs: Some(runs as u64),
+        ..TraceHeader::default()
     });
     let observing = rec.enabled();
 
@@ -744,7 +745,7 @@ pub fn drain(a: &Args) -> Result<(), String> {
 /// so `loadsteal report` and the verify harness consume measured
 /// executor traces unchanged.
 pub fn stealbench(a: &Args) -> Result<(), String> {
-    use std::sync::{Arc, Mutex};
+    use std::sync::Arc;
 
     let mut known = vec!["workers", "lambda", "horizon", "tau-ms", "seed"];
     known.extend_from_slice(OBS_FLAGS);
@@ -771,6 +772,7 @@ pub fn stealbench(a: &Args) -> Result<(), String> {
         n: Some(cfg.workers as u64),
         seed: Some(cfg.seed),
         runs: Some(1),
+        ..TraceHeader::default()
     });
 
     say!(
@@ -788,17 +790,25 @@ pub fn stealbench(a: &Args) -> Result<(), String> {
         cfg.horizon * cfg.tau
     );
 
-    let sink = Arc::new(Mutex::new(rec));
-    let outcome = loadsteal_exec::stealbench::run_once(
+    // Sharded trace path (the default): each worker appends into its
+    // own shard, the driver into shard `workers`, and the merge on
+    // drain restores one globally t-ordered stream. No global sink
+    // lock is taken per event — see docs/telemetry.md.
+    let sink = Arc::new(loadsteal_obs::ShardedRecorder::with_shards(
+        rec,
+        cfg.workers + 1,
+    ));
+    let bench = loadsteal_exec::stealbench::StealBench::new_sharded(
         &cfg,
-        Arc::clone(&sink) as Arc<Mutex<dyn Recorder + Send>>,
+        Arc::clone(&sink) as Arc<dyn loadsteal_obs::ShardSink>,
     )?;
+    bench.drive();
+    let (outcome, per_worker) = bench.finish_detailed();
     // The pool joined its workers at shutdown, so ours is the last
     // reference to the recorder.
     let rec = Arc::try_unwrap(sink)
         .map_err(|_| "recorder still shared after pool shutdown".to_string())?
-        .into_inner()
-        .map_err(|_| "recorder lock poisoned".to_string())?;
+        .finish();
     let (counts, trace_lines) = rec.finish()?;
 
     let measured_rate = outcome.steal_success_rate();
@@ -861,6 +871,7 @@ pub fn stealbench(a: &Args) -> Result<(), String> {
         reg.gauge("exec.wall_secs").set(outcome.wall_secs);
         reg.gauge("exec.sleep_overshoot_us")
             .set(outcome.sleep_overshoot * 1e6);
+        export_worker_gauges(&reg, &per_worker);
         if trace_lines > 0 {
             reg.counter("trace.lines").add(trace_lines);
         }
@@ -1282,8 +1293,11 @@ pub fn verify(a: &Args) -> Result<(), String> {
 /// process exits after serving N requests (the workload is abandoned if
 /// still running); otherwise it serves until the simulation finishes.
 pub fn serve(a: &Args) -> Result<(), String> {
-    use std::io::{Read as _, Write as _};
-
+    // `serve --stealbench` swaps the simulator workload for the real
+    // work-stealing pool and exposes its per-worker gauges.
+    if a.switch("stealbench") {
+        return serve_stealbench(a);
+    }
     let mut known = SIM_FLAGS.to_vec();
     known.extend_from_slice(&["prom-addr", "scrapes"]);
     a.ensure_known(&known)?;
@@ -1339,6 +1353,111 @@ pub fn serve(a: &Args) -> Result<(), String> {
         })
     };
 
+    serve_metrics(addr, scrapes, &registry, || {}, || worker.is_finished())?;
+    if worker.is_finished() {
+        worker
+            .join()
+            .map_err(|_| "simulation worker panicked".to_string())?;
+    }
+    Ok(())
+}
+
+/// `loadsteal serve --stealbench` — drive the real work-stealing pool
+/// (the `stealbench` workload) while serving its live per-worker
+/// gauges: `exec.worker.<i>.deque_depth/inbox_depth/steals/parks/…`
+/// refreshed on every scrape, plus a per-worker-sharded `exec.steals`
+/// counter folded into one total at exposition time.
+fn serve_stealbench(a: &Args) -> Result<(), String> {
+    use std::sync::Arc;
+
+    a.ensure_known(&[
+        "workers",
+        "lambda",
+        "horizon",
+        "tau-ms",
+        "seed",
+        "prom-addr",
+        "scrapes",
+    ])?;
+    let addr = a.raw("prom-addr").unwrap_or("127.0.0.1:9464");
+    let scrapes: u64 = a.get_or("scrapes", 0)?;
+    let cfg = loadsteal_exec::stealbench::StealBenchConfig {
+        workers: a.get_or("workers", 16)?,
+        lambda: a.get_or("lambda", 0.9)?,
+        horizon: a.get_or("horizon", 400.0)?,
+        tau: a.get_or::<f64>("tau-ms", 4.0)? / 1_000.0,
+        seed: a.get_or("seed", 42)?,
+    };
+    let registry = std::sync::Arc::new(Registry::new());
+    let bench = Arc::new(loadsteal_exec::stealbench::StealBench::new_untraced(&cfg)?);
+    let driver = {
+        let bench = Arc::clone(&bench);
+        std::thread::spawn(move || bench.drive())
+    };
+
+    // Steal totals flow through a per-worker-sharded counter: the
+    // refresh below adds each worker's delta into that worker's own
+    // slot, and the scrape reads the folded sum — the registry-side
+    // mirror of the pool's padded per-worker counter discipline.
+    let steals = registry.sharded_counter("exec.steals", cfg.workers);
+    let mut prev_steals = vec![0u64; cfg.workers];
+    let refresh_bench = Arc::clone(&bench);
+    let refresh_registry = std::sync::Arc::clone(&registry);
+    let refresh = move || {
+        let per = refresh_bench.pool().worker_stats();
+        for (i, w) in per.iter().enumerate() {
+            let delta = w.steal_successes.saturating_sub(prev_steals[i]);
+            if delta > 0 {
+                steals.add(i, delta);
+                prev_steals[i] = w.steal_successes;
+            }
+        }
+        export_worker_gauges(&refresh_registry, &per);
+        refresh_registry
+            .gauge("exec.submitted")
+            .set(refresh_bench.submitted_so_far() as f64);
+        let stats = refresh_bench.pool().stats();
+        refresh_registry
+            .gauge("exec.completed")
+            .set(stats.executed as f64);
+    };
+
+    serve_metrics(addr, scrapes, &registry, refresh, || driver.is_finished())?;
+    if driver.is_finished() {
+        driver
+            .join()
+            .map_err(|_| "stealbench driver panicked".to_string())?;
+        if let Ok(bench) = Arc::try_unwrap(bench) {
+            let (outcome, _) = bench.finish_detailed();
+            let out = Narrator::new(false);
+            say!(
+                out,
+                "stealbench: {} submitted, {} completed, {} steal hits / {} probes",
+                outcome.submitted,
+                outcome.completed,
+                outcome.stats.steal_successes,
+                outcome.stats.steal_attempts
+            );
+        }
+    }
+    Ok(())
+}
+
+/// The shared scrape loop behind `loadsteal serve`: bind, announce the
+/// bound address on stdout (the machine-readable contract line), then
+/// answer every GET with the registry in Prometheus text format.
+/// `refresh` runs before each snapshot (live-gauge updates); the loop
+/// ends after `scrapes` requests, or — when `scrapes` is 0 — once
+/// `done` reports the workload finished.
+fn serve_metrics(
+    addr: &str,
+    scrapes: u64,
+    registry: &Registry,
+    mut refresh: impl FnMut(),
+    done: impl Fn() -> bool,
+) -> Result<(), String> {
+    use std::io::{Read as _, Write as _};
+
     let listener = std::net::TcpListener::bind(addr)
         .map_err(|e| format!("--prom-addr: cannot bind {addr:?}: {e}"))?;
     let local = listener
@@ -1376,6 +1495,7 @@ pub fn serve(a: &Args) -> Result<(), String> {
                         break;
                     }
                 }
+                refresh();
                 let body = prometheus_text(&registry.snapshot(), "loadsteal");
                 let resp = format!(
                     "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
@@ -1390,7 +1510,7 @@ pub fn serve(a: &Args) -> Result<(), String> {
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                if scrapes == 0 && worker.is_finished() {
+                if scrapes == 0 && done() {
                     break;
                 }
                 std::thread::sleep(std::time::Duration::from_millis(10));
@@ -1398,12 +1518,29 @@ pub fn serve(a: &Args) -> Result<(), String> {
             Err(e) => return Err(format!("accept failed: {e}")),
         }
     }
-    if worker.is_finished() {
-        worker
-            .join()
-            .map_err(|_| "simulation worker panicked".to_string())?;
-    }
     Ok(())
+}
+
+/// Mirror a per-worker executor snapshot into `exec.worker.<i>.*`
+/// gauges (deque/inbox depth, steals, parks, …) — the rows behind
+/// `loadsteal top` and the `serve --stealbench` Prometheus exposition.
+pub(crate) fn export_worker_gauges(reg: &Registry, per_worker: &[loadsteal_exec::WorkerStats]) {
+    for (i, w) in per_worker.iter().enumerate() {
+        reg.gauge(&format!("exec.worker.{i}.deque_depth"))
+            .set(w.queue_depth as f64);
+        reg.gauge(&format!("exec.worker.{i}.inbox_depth"))
+            .set(w.inbox_depth as f64);
+        reg.gauge(&format!("exec.worker.{i}.executed"))
+            .set(w.executed as f64);
+        reg.gauge(&format!("exec.worker.{i}.steal_attempts"))
+            .set(w.steal_attempts as f64);
+        reg.gauge(&format!("exec.worker.{i}.steals"))
+            .set(w.steal_successes as f64);
+        reg.gauge(&format!("exec.worker.{i}.parks"))
+            .set(w.parks as f64);
+        reg.gauge(&format!("exec.worker.{i}.busy"))
+            .set(if w.busy { 1.0 } else { 0.0 });
+    }
 }
 
 /// Mirror the live span aggregates into a metrics registry (counter
@@ -1430,8 +1567,11 @@ pub fn write_profile(path: &str, report: &loadsteal_obs::ProfileReport) -> Resul
     std::fs::write(path, body).map_err(|e| format!("--profile: cannot write {path:?}: {e}"))
 }
 
-/// Render the `loadsteal profile` report: top spans by self time, then
-/// simulator events/sec per instrumented phase.
+/// Render the `loadsteal profile` report: top spans by self time, a
+/// per-thread self-time decomposition when more than one thread
+/// recorded (concurrent workers make the global sum exceed wall —
+/// it is CPU time, not wall time), then simulator events/sec per
+/// instrumented phase.
 pub fn render_profile(report: &loadsteal_obs::ProfileReport, wall_ms: f64) -> String {
     const TOP: usize = 20;
     let mut out = String::new();
@@ -1441,9 +1581,16 @@ pub fn render_profile(report: &loadsteal_obs::ProfileReport, wall_ms: f64) -> St
     } else {
         0.0
     };
-    out.push_str(&format!(
-        "PROFILE  wall {wall_ms:.1} ms, span self-time total {self_ms:.1} ms ({pct:.1}% of wall)\n",
-    ));
+    let threads = report.thread_spans.len();
+    if threads > 1 {
+        out.push_str(&format!(
+            "PROFILE  wall {wall_ms:.1} ms, span self-time total {self_ms:.1} ms of CPU across {threads} threads ({pct:.1}% of wall; per-thread below)\n",
+        ));
+    } else {
+        out.push_str(&format!(
+            "PROFILE  wall {wall_ms:.1} ms, span self-time total {self_ms:.1} ms ({pct:.1}% of wall)\n",
+        ));
+    }
     let mut spans: Vec<_> = report.spans.iter().collect();
     spans.sort_by(|a, b| b.self_us.total_cmp(&a.self_us));
     let path_w = spans
@@ -1476,6 +1623,39 @@ pub fn render_profile(report: &loadsteal_obs::ProfileReport, wall_ms: f64) -> St
     }
     if spans.len() > TOP {
         out.push_str(&format!("… and {} more spans\n", spans.len() - TOP));
+    }
+    // Per-worker self time: each row is one thread's CPU time inside
+    // spans, which is what can be compared against wall (the global
+    // sum above double-counts concurrency).
+    if threads > 1 {
+        out.push_str("\nTHREADS (self-time by recording thread)\n");
+        let name_w = report
+            .thread_spans
+            .iter()
+            .map(|t| t.name.len())
+            .max()
+            .unwrap_or(6)
+            .max(6);
+        out.push_str(&format!(
+            "{:<name_w$}  {:>9}  {:>11}  {:>6}  HOTTEST SPAN\n",
+            "THREAD", "SPANS", "SELF ms", "WALL%",
+        ));
+        for t in &report.thread_spans {
+            let t_self_ms = t.self_us() / 1_000.0;
+            let t_pct = if wall_ms > 0.0 {
+                100.0 * t_self_ms / wall_ms
+            } else {
+                0.0
+            };
+            let hottest = t.hottest().map(|s| s.path.as_str()).unwrap_or("—");
+            out.push_str(&format!(
+                "{:<name_w$}  {:>9}  {:>11.2}  {:>5.1}%  {hottest}\n",
+                t.name,
+                t.count(),
+                t_self_ms,
+                t_pct,
+            ));
+        }
     }
     // Simulator phase throughput: span count = events of that kind, so
     // count / total-time is the per-phase processing rate.

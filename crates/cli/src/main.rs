@@ -13,6 +13,7 @@
 mod args;
 mod commands;
 mod obs;
+mod top;
 
 use std::process::ExitCode;
 
@@ -24,6 +25,8 @@ const SWITCHES: &[&str] = &[
     "full",
     "flight-recorder",
     "trace-jobs",
+    "stealbench",
+    "once",
 ];
 
 /// Commands that take a positional operand (everything else rejects
@@ -102,6 +105,7 @@ fn main() -> ExitCode {
             "jobs" => commands::jobs(&parsed),
             "transient" => commands::transient(&parsed),
             "serve" => commands::serve(&parsed),
+            "top" => top::top(&parsed),
             "verify" => commands::verify(&parsed),
             "help" | "--help" | "-h" => {
                 println!("{USAGE}");
@@ -189,7 +193,19 @@ USAGE:
   loadsteal serve --prom-addr <host:port> --n <N> --lambda <λ> [sim flags]
       Run a simulation while serving its live metrics registry in
       Prometheus text format (`--prom-addr host:0` picks a free port;
-      `--scrapes N` exits after N scrapes).
+      `--scrapes N` exits after N scrapes). With --stealbench the
+      workload is the real work-stealing pool instead, and the scrape
+      carries live exec.worker.<i>.* per-worker gauges (deque/inbox
+      depth, steals, parks) refreshed per request.
+  loadsteal top [--workers N --lambda <λ> --horizon T --tau-ms ms --seed S]
+                [--interval ms] [--once] [--url http://host:port/metrics]
+      Live dashboard over the work-stealing executor: per-worker deque
+      and inbox depth, steal probes/hits, parks, events/sec, and the
+      measured per-worker λ̂. Without --url it runs the stealbench
+      workload in-process and polls the pool's lock-free per-worker
+      counters; with --url it scrapes a `loadsteal serve` endpoint
+      (including transient.residual_* drift gauges when present).
+      --once prints a single plain frame and exits (CI smoke).
   loadsteal profile <command> [flags]
       Run any subcommand under the hierarchical span profiler and print
       a self-time table (top spans by self time, simulator events/sec
@@ -245,6 +261,10 @@ on every subcommand):
   --metrics-json <file|->   write the loadsteal.run.v1 document (manifest
                             + metrics, including sojourn-time quantile
                             sketches); `-` prints to stdout likewise
+  --trace-sample <k>        keep only every k-th event per kind in the
+                            NDJSON trace (counters stay exact; the header
+                            records the stride so readers know the trace
+                            is sampled). Default 1 = complete trace
   --profile <out>           export the hierarchical span profile: Chrome
                             trace-event JSON (chrome://tracing, Perfetto)
                             by default, folded stacks for inferno /

@@ -43,7 +43,7 @@ mod scope_api;
 pub mod stealbench;
 
 pub use iter::{parallel_map_on, prelude, IntoParallelIterator, ParallelIterator};
-pub use pool::{global, Pool, PoolBuilder, PoolStats, StealMode};
+pub use pool::{global, Pool, PoolBuilder, PoolStats, StealMode, WorkerStats};
 pub use scope_api::{join, scope, Scope};
 
 /// Number of threads the global pool uses (for rayon API parity).

@@ -34,7 +34,7 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use loadsteal_obs::span::span;
-use loadsteal_obs::{Event as ObsEvent, Recorder, SimEventKind};
+use loadsteal_obs::{Event as ObsEvent, Recorder, ShardSink, SimEventKind};
 
 use crate::deque::{self, Steal, Stealer, Worker};
 use crate::injector::Injector;
@@ -71,35 +71,95 @@ pub struct PoolStats {
     pub panics: u64,
 }
 
+/// Live per-worker view (see [`Pool::worker_stats`]). Queue depths are
+/// instantaneous reads of lock-free state; the counters are that
+/// worker's own slots, so a sampler thread sees them without touching
+/// any line the workers write on the hot path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Tasks currently in this worker's deque (excluding one mid-run).
+    pub queue_depth: usize,
+    /// Targeted submissions awaiting inbox drain.
+    pub inbox_depth: usize,
+    /// Tasks this worker executed to completion.
+    pub executed: u64,
+    /// Steal probes this worker issued.
+    pub steal_attempts: u64,
+    /// Probes of this worker's that brought back a task.
+    pub steal_successes: u64,
+    /// Park episodes (blocked-idle transitions).
+    pub parks: u64,
+    /// Currently blocked in `park`.
+    pub parked: bool,
+    /// Currently executing a task body.
+    pub busy: bool,
+}
+
+/// Where trace events go: the legacy single-lock sink, or one shard
+/// per emitting thread (the executor's default — no cross-worker
+/// contention per event).
+enum TraceSink {
+    /// Every emit takes this lock; the timestamp is read *inside* it,
+    /// so the emitted stream is globally monotone in `t` as written.
+    Locked(Arc<Mutex<dyn Recorder + Send>>),
+    /// Every emit stamps `t` on the emitting thread and appends to its
+    /// own shard. Per-shard streams are monotone; the global order is
+    /// recovered by the [`ShardedRecorder`](loadsteal_obs::ShardedRecorder)
+    /// merge on drain.
+    Sharded(Arc<dyn ShardSink>),
+}
+
 /// Wall-clock → model-time trace emission state.
 struct Tracer {
-    sink: Arc<Mutex<dyn Recorder + Send>>,
+    sink: TraceSink,
     epoch: Instant,
     /// Seconds of wall clock per unit of model time.
     tau: f64,
 }
 
 impl Tracer {
-    /// Record one simulator-schema event. The timestamp is taken
-    /// *inside* the sink lock, which makes the emitted stream globally
-    /// monotone in `t` — the property the trace analyzers rely on.
-    fn emit(&self, kind: SimEventKind, proc: usize, src: Option<usize>, count: u32) {
-        let mut sink = self.sink.lock().unwrap();
-        if !sink.enabled() {
-            return;
+    /// Record one simulator-schema event. `shard` identifies the
+    /// emitting thread (worker index, or `n` for the external driver)
+    /// and is ignored by the locked path.
+    fn emit(&self, kind: SimEventKind, proc: usize, src: Option<usize>, count: u32, shard: usize) {
+        match &self.sink {
+            TraceSink::Locked(sink) => {
+                let mut sink = sink.lock().unwrap();
+                if !sink.enabled() {
+                    return;
+                }
+                let t = self.epoch.elapsed().as_secs_f64() / self.tau;
+                sink.record(&ObsEvent::Sim {
+                    kind,
+                    t,
+                    proc: proc as u32,
+                    src: src.map(|s| s as u32),
+                    count,
+                });
+            }
+            TraceSink::Sharded(sink) => {
+                if !sink.enabled() {
+                    return;
+                }
+                let t = self.epoch.elapsed().as_secs_f64() / self.tau;
+                sink.record(
+                    shard,
+                    &ObsEvent::Sim {
+                        kind,
+                        t,
+                        proc: proc as u32,
+                        src: src.map(|s| s as u32),
+                        count,
+                    },
+                );
+            }
         }
-        let t = self.epoch.elapsed().as_secs_f64() / self.tau;
-        sink.record(&ObsEvent::Sim {
-            kind,
-            t,
-            proc: proc as u32,
-            src: src.map(|s| s as u32),
-            count,
-        });
     }
 }
 
-/// Per-worker state visible to every thread.
+/// Per-worker state visible to every thread. Cache-line aligned so
+/// one worker's counter writes never invalidate a neighbor's slot.
+#[repr(align(128))]
 struct WorkerShared {
     stealer: Stealer<Task>,
     inbox: Mutex<VecDeque<Task>>,
@@ -112,6 +172,13 @@ struct WorkerShared {
     parked: AtomicBool,
     park_lock: Mutex<()>,
     park_cv: Condvar,
+    /// Per-worker counter slots: each worker writes only its own,
+    /// [`Pool::stats`] folds them on read (the sharded-counter
+    /// discipline — no shared hot cache line).
+    executed: AtomicU64,
+    steal_attempts: AtomicU64,
+    steal_successes: AtomicU64,
+    parks: AtomicU64,
 }
 
 /// State shared by all workers and external handles.
@@ -123,9 +190,9 @@ pub(crate) struct Shared {
     mode: StealMode,
     tracer: Option<Tracer>,
     seed: u64,
-    executed: AtomicU64,
-    steal_attempts: AtomicU64,
-    steal_successes: AtomicU64,
+    /// Tasks executed by non-worker helper threads (batch helping),
+    /// which have no per-worker slot to charge.
+    external_executed: AtomicU64,
     panics: AtomicU64,
 }
 
@@ -168,9 +235,9 @@ impl Shared {
         self.workers.len()
     }
 
-    fn emit(&self, kind: SimEventKind, proc: usize, src: Option<usize>, count: u32) {
+    fn emit(&self, kind: SimEventKind, proc: usize, src: Option<usize>, count: u32, shard: usize) {
         if let Some(tr) = &self.tracer {
-            tr.emit(kind, proc, src, count);
+            tr.emit(kind, proc, src, count, shard);
         }
     }
 
@@ -185,8 +252,10 @@ impl Shared {
         let r = catch_unwind(AssertUnwindSafe(task));
         if let Some(i) = proc {
             self.workers[i].busy.store(false, Ordering::SeqCst);
+            self.workers[i].executed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.external_executed.fetch_add(1, Ordering::Relaxed);
         }
-        self.executed.fetch_add(1, Ordering::Relaxed);
         if r.is_err() {
             // Batch jobs catch their own panics (drain semantics), so
             // anything reaching here came from a raw `spawn`; isolate
@@ -194,7 +263,7 @@ impl Shared {
             self.panics.fetch_add(1, Ordering::Relaxed);
         }
         if let Some(i) = proc {
-            self.emit(SimEventKind::Completion, i, None, 1);
+            self.emit(SimEventKind::Completion, i, None, 1, i);
         }
     }
 
@@ -233,12 +302,19 @@ impl Shared {
                 v
             }
         };
-        self.steal_attempts.fetch_add(1, Ordering::Relaxed);
-        self.emit(SimEventKind::StealAttempt, ctx.index, None, 1);
+        let me = &self.workers[ctx.index];
+        me.steal_attempts.fetch_add(1, Ordering::Relaxed);
+        self.emit(SimEventKind::StealAttempt, ctx.index, None, 1, ctx.index);
         if let Some(t) = self.probe(victim) {
-            self.steal_successes.fetch_add(1, Ordering::Relaxed);
-            self.emit(SimEventKind::StealSuccess, ctx.index, None, 1);
-            self.emit(SimEventKind::Migration, ctx.index, Some(victim), 1);
+            me.steal_successes.fetch_add(1, Ordering::Relaxed);
+            self.emit(SimEventKind::StealSuccess, ctx.index, None, 1, ctx.index);
+            self.emit(
+                SimEventKind::Migration,
+                ctx.index,
+                Some(victim),
+                1,
+                ctx.index,
+            );
             return Some(t);
         }
         None
@@ -295,12 +371,16 @@ impl Shared {
             if v == ctx.index {
                 continue;
             }
-            self.steal_attempts.fetch_add(1, Ordering::Relaxed);
+            self.workers[ctx.index]
+                .steal_attempts
+                .fetch_add(1, Ordering::Relaxed);
             let mut spins = 0;
             loop {
                 match self.workers[v].stealer.steal() {
                     Steal::Success(t) => {
-                        self.steal_successes.fetch_add(1, Ordering::Relaxed);
+                        self.workers[ctx.index]
+                            .steal_successes
+                            .fetch_add(1, Ordering::Relaxed);
                         return Some(t);
                     }
                     Steal::Empty => break,
@@ -352,6 +432,7 @@ impl Shared {
             return;
         }
         let _span = span("exec.park");
+        me.parks.fetch_add(1, Ordering::Relaxed);
         let mut guard = me.park_lock.lock().unwrap();
         me.parked.store(true, Ordering::SeqCst);
         fence(Ordering::SeqCst);
@@ -482,7 +563,7 @@ pub struct PoolBuilder {
     threads: Option<usize>,
     mode: StealMode,
     seed: u64,
-    tracer: Option<(Arc<Mutex<dyn Recorder + Send>>, f64)>,
+    tracer: Option<(TraceSink, f64)>,
 }
 
 impl Default for PoolBuilder {
@@ -523,16 +604,40 @@ impl PoolBuilder {
 
     /// Emit simulator-schema trace events into `sink`, mapping wall
     /// clock to model time at `tau` seconds per time unit. The epoch
-    /// is the moment [`PoolBuilder::build`] runs.
+    /// is the moment [`PoolBuilder::build`] runs. Every event takes
+    /// the sink lock; prefer [`PoolBuilder::sharded_tracer`] when the
+    /// pool itself is the system under measurement.
     pub fn tracer(mut self, sink: Arc<Mutex<dyn Recorder + Send>>, tau: f64) -> Self {
         assert!(tau > 0.0, "tau must be positive");
-        self.tracer = Some((sink, tau));
+        self.tracer = Some((TraceSink::Locked(sink), tau));
+        self
+    }
+
+    /// Emit trace events through per-thread shards: each worker
+    /// appends to its own shard (no cross-worker lock per event), and
+    /// external [`Pool::submit_to`] callers share shard `n`. The sink
+    /// must provide at least `threads + 1` shards —
+    /// [`PoolBuilder::build`] asserts this — and is expected to
+    /// merge-sort shards back into one `t`-ordered stream on drain
+    /// (what [`loadsteal_obs::ShardedRecorder`] does).
+    pub fn sharded_tracer(mut self, sink: Arc<dyn ShardSink>, tau: f64) -> Self {
+        assert!(tau > 0.0, "tau must be positive");
+        self.tracer = Some((TraceSink::Sharded(sink), tau));
         self
     }
 
     /// Spawn the workers and return the pool handle.
     pub fn build(self) -> Pool {
         let threads = self.threads.unwrap_or_else(default_threads).max(1);
+        if let Some((TraceSink::Sharded(sink), _)) = &self.tracer {
+            assert!(
+                sink.shards() > threads,
+                "sharded tracer needs {} shards ({} workers + 1 driver), sink has {}",
+                threads + 1,
+                threads,
+                sink.shards()
+            );
+        }
         let epoch = Instant::now();
         let mut owners = Vec::with_capacity(threads);
         let mut workers = Vec::with_capacity(threads);
@@ -547,6 +652,10 @@ impl PoolBuilder {
                 parked: AtomicBool::new(false),
                 park_lock: Mutex::new(()),
                 park_cv: Condvar::new(),
+                executed: AtomicU64::new(0),
+                steal_attempts: AtomicU64::new(0),
+                steal_successes: AtomicU64::new(0),
+                parks: AtomicU64::new(0),
             });
         }
         let shared = Arc::new(Shared {
@@ -557,9 +666,7 @@ impl PoolBuilder {
             mode: self.mode,
             tracer: self.tracer.map(|(sink, tau)| Tracer { sink, epoch, tau }),
             seed: self.seed,
-            executed: AtomicU64::new(0),
-            steal_attempts: AtomicU64::new(0),
-            steal_successes: AtomicU64::new(0),
+            external_executed: AtomicU64::new(0),
             panics: AtomicU64::new(0),
         });
         let handles = owners
@@ -618,14 +725,40 @@ impl Pool {
         self.epoch
     }
 
-    /// Snapshot of the pool counters.
+    /// Snapshot of the pool counters: the per-worker slots folded
+    /// together, plus tasks run by external helper threads.
     pub fn stats(&self) -> PoolStats {
-        PoolStats {
-            executed: self.shared.executed.load(Ordering::SeqCst),
-            steal_attempts: self.shared.steal_attempts.load(Ordering::SeqCst),
-            steal_successes: self.shared.steal_successes.load(Ordering::SeqCst),
+        let mut stats = PoolStats {
+            executed: self.shared.external_executed.load(Ordering::SeqCst),
             panics: self.shared.panics.load(Ordering::SeqCst),
+            ..PoolStats::default()
+        };
+        for w in &self.shared.workers {
+            stats.executed += w.executed.load(Ordering::SeqCst);
+            stats.steal_attempts += w.steal_attempts.load(Ordering::SeqCst);
+            stats.steal_successes += w.steal_successes.load(Ordering::SeqCst);
         }
+        stats
+    }
+
+    /// Live per-worker snapshot, indexed by worker. Safe to call from
+    /// any thread at any rate: reads are lock-free loads of each
+    /// worker's own padded slots (the `loadsteal top` poll path).
+    pub fn worker_stats(&self) -> Vec<WorkerStats> {
+        self.shared
+            .workers
+            .iter()
+            .map(|w| WorkerStats {
+                queue_depth: w.stealer.len(),
+                inbox_depth: w.inbox_len.load(Ordering::SeqCst),
+                executed: w.executed.load(Ordering::SeqCst),
+                steal_attempts: w.steal_attempts.load(Ordering::SeqCst),
+                steal_successes: w.steal_successes.load(Ordering::SeqCst),
+                parks: w.parks.load(Ordering::SeqCst),
+                parked: w.parked.load(Ordering::SeqCst),
+                busy: w.busy.load(Ordering::SeqCst),
+            })
+            .collect()
     }
 
     /// Fire-and-forget execution via the global injector.
@@ -644,7 +777,10 @@ impl Pool {
         assert!(index < self.shared.n(), "worker index out of range");
         // Arrival goes on the wire before the task becomes runnable so
         // the trace can never complete a task it has not admitted.
-        self.shared.emit(SimEventKind::Arrival, index, None, 1);
+        // Shard `n` is the external-submitter shard: the driver is not
+        // a worker, so it must not write into any worker's shard.
+        self.shared
+            .emit(SimEventKind::Arrival, index, None, 1, self.shared.n());
         let w = &self.shared.workers[index];
         {
             let mut q = w.inbox.lock().unwrap();
@@ -692,13 +828,19 @@ impl Pool {
     /// Stop the workers, wait for them to exit, and return the final
     /// counters. (Unlike plain `drop`, the returned stats are taken
     /// *after* the last task has finished.)
-    pub fn shutdown(mut self) -> PoolStats {
+    pub fn shutdown(self) -> PoolStats {
+        self.shutdown_detailed().0
+    }
+
+    /// [`shutdown`](Self::shutdown), also returning the settled
+    /// per-worker stats.
+    pub fn shutdown_detailed(mut self) -> (PoolStats, Vec<WorkerStats>) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.wake_all();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
-        self.stats()
+        (self.stats(), self.worker_stats())
     }
 
     pub(crate) fn shared(&self) -> &Arc<Shared> {
@@ -985,5 +1127,49 @@ mod tests {
         let pool = Pool::builder().num_threads(4).build();
         pool.spawn(|| {});
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn worker_stats_fold_into_pool_stats() {
+        let pool = Pool::builder().num_threads(3).build();
+        let hits = Arc::new(AtomicU32::new(0));
+        for i in 0..30 {
+            let hits = Arc::clone(&hits);
+            pool.submit_to(i % 3, move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while pool.stats().executed < 30 {
+            assert!(Instant::now() < deadline, "submissions did not drain");
+            std::thread::yield_now();
+        }
+        let per = pool.worker_stats();
+        let total = pool.stats();
+        assert_eq!(per.len(), 3);
+        // No external helpers ran, so the fold is exact.
+        assert_eq!(per.iter().map(|w| w.executed).sum::<u64>(), total.executed);
+        assert_eq!(
+            per.iter().map(|w| w.steal_attempts).sum::<u64>(),
+            total.steal_attempts
+        );
+        assert_eq!(
+            per.iter().map(|w| w.steal_successes).sum::<u64>(),
+            total.steal_successes
+        );
+        // Each worker executed its targeted share (possibly rebalanced
+        // by steals, but something ran everywhere in aggregate).
+        assert!(per.iter().map(|w| w.queue_depth).sum::<usize>() == 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sharded tracer needs")]
+    fn sharded_tracer_shard_count_is_checked() {
+        use loadsteal_obs::{NullRecorder, ShardedRecorder};
+        let sink: Arc<dyn ShardSink> = Arc::new(ShardedRecorder::with_shards(NullRecorder, 2));
+        let _ = Pool::builder()
+            .num_threads(4)
+            .sharded_tracer(sink, 0.004)
+            .build();
     }
 }

@@ -26,12 +26,13 @@
 //!   measures the typical overshoot, sleeps short by that much, and
 //!   spins the residual microseconds to the deadline.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use loadsteal_obs::Recorder;
+use loadsteal_obs::{Recorder, ShardSink};
 
-use crate::pool::{Pool, PoolStats, StealMode};
+use crate::pool::{Pool, PoolBuilder, PoolStats, StealMode};
 use crate::rng::{splitmix64, Rng};
 
 /// Workload parameters for one measured run.
@@ -193,6 +194,137 @@ fn schedule(cfg: &StealBenchConfig) -> Vec<Arrival> {
     all
 }
 
+/// A measured steal-bench with its pool already built: construct,
+/// [`drive`](StealBench::drive) the Poisson schedule, then
+/// [`finish`](StealBench::finish) to join the workers and collect the
+/// outcome. Between construction and finish, any thread may poll
+/// [`pool`](StealBench::pool)`().worker_stats()` — the live view the
+/// `loadsteal top` dashboard renders while the workload runs.
+pub struct StealBench {
+    cfg: StealBenchConfig,
+    plan: Vec<Arrival>,
+    overshoot: f64,
+    pool: Pool,
+    submitted: AtomicU64,
+    wall_secs: Mutex<f64>,
+}
+
+impl StealBench {
+    /// Build the bench around a classic locked recorder (every trace
+    /// event takes the sink lock; see [`PoolBuilder::tracer`]).
+    pub fn new(
+        cfg: &StealBenchConfig,
+        recorder: Arc<Mutex<dyn Recorder + Send>>,
+    ) -> Result<Self, String> {
+        Self::build(cfg, |b| b.tracer(recorder, cfg.tau))
+    }
+
+    /// Build the bench around a sharded sink: workers trace into their
+    /// own shards, the driver into shard `workers` — no global sink
+    /// lock on the hot path. `sink` needs at least `workers + 1`
+    /// shards (see [`PoolBuilder::sharded_tracer`]).
+    pub fn new_sharded(cfg: &StealBenchConfig, sink: Arc<dyn ShardSink>) -> Result<Self, String> {
+        Self::build(cfg, |b| b.sharded_tracer(sink, cfg.tau))
+    }
+
+    /// Build the bench without any tracer: the pool emits nothing, so
+    /// the workload runs at full speed while observers still poll
+    /// [`pool`](Self::pool)`().worker_stats()` (the `loadsteal top`
+    /// in-process mode, and the overhead baseline).
+    pub fn new_untraced(cfg: &StealBenchConfig) -> Result<Self, String> {
+        Self::build(cfg, |b| b)
+    }
+
+    fn build(
+        cfg: &StealBenchConfig,
+        attach: impl FnOnce(PoolBuilder) -> PoolBuilder,
+    ) -> Result<Self, String> {
+        cfg.validate()?;
+        let plan = schedule(cfg);
+        let overshoot = calibrate_sleep_overshoot();
+        let builder = Pool::builder()
+            .num_threads(cfg.workers)
+            .steal_mode(StealMode::OnEmptyOnce)
+            .seed(cfg.seed ^ 0xD1FF_57EA);
+        let pool = attach(builder).build();
+        Ok(StealBench {
+            cfg: cfg.clone(),
+            plan,
+            overshoot,
+            pool,
+            submitted: AtomicU64::new(0),
+            wall_secs: Mutex::new(0.0),
+        })
+    }
+
+    /// The pool under measurement (poll `worker_stats()` from here).
+    pub fn pool(&self) -> &Pool {
+        &self.pool
+    }
+
+    /// The workload parameters this bench was built with.
+    pub fn config(&self) -> &StealBenchConfig {
+        &self.cfg
+    }
+
+    /// Arrivals submitted so far (grows while [`drive`](Self::drive)
+    /// runs — the dashboard's λ-estimate numerator).
+    pub fn submitted_so_far(&self) -> u64 {
+        self.submitted.load(Ordering::SeqCst)
+    }
+
+    /// Play the pre-generated schedule against the pool: submit each
+    /// arrival at its absolute deadline, then sleep out the horizon.
+    /// Call exactly once, from any one thread.
+    pub fn drive(&self) {
+        let epoch = self.pool.epoch();
+        for a in &self.plan {
+            sleep_until(
+                epoch + Duration::from_secs_f64(a.t * self.cfg.tau),
+                self.overshoot,
+            );
+            let service_wall = Duration::from_secs_f64(a.service * self.cfg.tau);
+            let overshoot = self.overshoot;
+            self.pool.submit_to(a.worker, move || {
+                let deadline = Instant::now() + service_wall;
+                sleep_until(deadline, overshoot);
+            });
+            self.submitted.fetch_add(1, Ordering::SeqCst);
+        }
+        sleep_until(
+            epoch + Duration::from_secs_f64(self.cfg.horizon * self.cfg.tau),
+            self.overshoot,
+        );
+        *self.wall_secs.lock().unwrap() = epoch.elapsed().as_secs_f64();
+    }
+
+    /// Join the workers (in-flight tasks finish and are traced;
+    /// undelivered backlog is discarded) and collect the outcome.
+    pub fn finish(self) -> StealBenchOutcome {
+        self.finish_detailed().0
+    }
+
+    /// [`finish`](Self::finish), also returning the final per-worker
+    /// stats (read after the workers joined, so the counters are
+    /// settled — the `exec.worker.<i>.*` metric source).
+    pub fn finish_detailed(self) -> (StealBenchOutcome, Vec<crate::pool::WorkerStats>) {
+        let submitted = self.submitted.load(Ordering::SeqCst);
+        let wall_secs = *self.wall_secs.lock().unwrap();
+        let overshoot = self.overshoot;
+        let (stats, per_worker) = self.pool.shutdown_detailed();
+        (
+            StealBenchOutcome {
+                stats,
+                submitted,
+                completed: stats.executed,
+                wall_secs,
+                sleep_overshoot: overshoot,
+            },
+            per_worker,
+        )
+    }
+}
+
 /// Run one measured steal-bench: build an [`StealMode::OnEmptyOnce`]
 /// pool tracing into `recorder`, drive the Poisson schedule against
 /// it, and return the counters. The recorder receives the full event
@@ -201,41 +333,20 @@ pub fn run_once(
     cfg: &StealBenchConfig,
     recorder: Arc<Mutex<dyn Recorder + Send>>,
 ) -> Result<StealBenchOutcome, String> {
-    cfg.validate()?;
-    let plan = schedule(cfg);
-    let overshoot = calibrate_sleep_overshoot();
-    let pool = Pool::builder()
-        .num_threads(cfg.workers)
-        .steal_mode(StealMode::OnEmptyOnce)
-        .seed(cfg.seed ^ 0xD1FF_57EA)
-        .tracer(recorder, cfg.tau)
-        .build();
-    let epoch = pool.epoch();
-    let mut submitted = 0u64;
-    for a in &plan {
-        sleep_until(epoch + Duration::from_secs_f64(a.t * cfg.tau), overshoot);
-        let service_wall = Duration::from_secs_f64(a.service * cfg.tau);
-        pool.submit_to(a.worker, move || {
-            let deadline = Instant::now() + service_wall;
-            sleep_until(deadline, overshoot);
-        });
-        submitted += 1;
-    }
-    sleep_until(
-        epoch + Duration::from_secs_f64(cfg.horizon * cfg.tau),
-        overshoot,
-    );
-    let wall_secs = epoch.elapsed().as_secs_f64();
-    // Joins the workers (in-flight tasks finish and are traced);
-    // undelivered backlog is discarded.
-    let stats = pool.shutdown();
-    Ok(StealBenchOutcome {
-        stats,
-        submitted,
-        completed: stats.executed,
-        wall_secs,
-        sleep_overshoot: overshoot,
-    })
+    let bench = StealBench::new(cfg, recorder)?;
+    bench.drive();
+    Ok(bench.finish())
+}
+
+/// [`run_once`] over the sharded trace path: no global sink lock per
+/// event; the sink's drain recovers the globally `t`-ordered stream.
+pub fn run_once_sharded(
+    cfg: &StealBenchConfig,
+    sink: Arc<dyn ShardSink>,
+) -> Result<StealBenchOutcome, String> {
+    let bench = StealBench::new_sharded(cfg, sink)?;
+    bench.drive();
+    Ok(bench.finish())
 }
 
 #[cfg(test)]
@@ -330,5 +441,44 @@ mod tests {
         // At λ=0.7 over 40 time units the system is busy enough that
         // the vast majority of arrivals complete within the horizon.
         assert!(completions as f64 >= 0.8 * arrivals as f64);
+    }
+
+    /// The sharded path must emit the same *kind* of trace the locked
+    /// path does: after the merge-on-drain, globally monotone in `t`
+    /// and count-consistent with the pool's own counters.
+    #[test]
+    fn run_once_sharded_produces_a_consistent_merged_trace() {
+        use loadsteal_obs::{ShardSink, ShardedRecorder};
+        let cfg = tiny();
+        let sharded = Arc::new(ShardedRecorder::with_shards(
+            CollectingRecorder::new(),
+            cfg.workers + 1,
+        ));
+        let out = run_once_sharded(&cfg, Arc::clone(&sharded) as Arc<dyn ShardSink>)
+            .expect("sharded bench runs");
+        let rec = Arc::try_unwrap(sharded)
+            .unwrap_or_else(|_| panic!("pool must release its sink on shutdown"))
+            .finish();
+        let events = rec.events().to_vec();
+        assert!(!events.is_empty(), "merged trace must not be empty");
+        let mut arrivals = 0u64;
+        let mut completions = 0u64;
+        let mut attempts = 0u64;
+        let mut last_t = f64::NEG_INFINITY;
+        for e in &events {
+            if let Event::Sim { kind, t, .. } = e {
+                assert!(*t >= last_t, "merged trace must be monotone in t");
+                last_t = *t;
+                match kind {
+                    SimEventKind::Arrival => arrivals += 1,
+                    SimEventKind::Completion => completions += 1,
+                    SimEventKind::StealAttempt => attempts += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(arrivals, out.submitted);
+        assert_eq!(completions, out.completed);
+        assert_eq!(attempts, out.stats.steal_attempts);
     }
 }

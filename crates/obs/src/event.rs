@@ -319,6 +319,12 @@ pub struct TraceHeader {
     pub seed: Option<u64>,
     /// Number of replications whose events follow.
     pub runs: Option<u64>,
+    /// Per-kind sampling stride: only every `sample`-th event of each
+    /// kind was written (`--trace-sample k`). Absent (or 1) means the
+    /// trace is complete. Sampled traces are for rate/throughput
+    /// analysis — exact replay (queue-depth reconstruction, job
+    /// lifecycles) needs a complete trace.
+    pub sample: Option<u64>,
 }
 
 impl TraceHeader {
@@ -341,6 +347,9 @@ impl TraceHeader {
         }
         if let Some(runs) = self.runs {
             j.field_u64("runs", runs);
+        }
+        if let Some(sample) = self.sample.filter(|&k| k > 1) {
+            j.field_u64("sample", sample);
         }
         j.end_obj();
         j.finish()
@@ -437,6 +446,7 @@ mod tests {
             n: Some(128),
             seed: Some(42),
             runs: Some(3),
+            sample: None,
         };
         let line = full.to_json_line();
         assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
@@ -451,6 +461,21 @@ mod tests {
         let line = sparse.to_json_line();
         assert!(!line.contains("\"n\""), "{line}");
         assert!(!line.contains("seed"), "{line}");
+    }
+
+    #[test]
+    fn header_sample_stride_renders_only_when_sampling() {
+        let sampled = TraceHeader {
+            sample: Some(16),
+            ..TraceHeader::default()
+        };
+        assert!(sampled.to_json_line().contains(r#""sample":16"#));
+        // A stride of 1 is a complete trace — elided like absence.
+        let complete = TraceHeader {
+            sample: Some(1),
+            ..TraceHeader::default()
+        };
+        assert!(!complete.to_json_line().contains("sample"));
     }
 
     #[test]

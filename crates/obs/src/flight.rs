@@ -1,4 +1,4 @@
-//! Crash-safe flight recorder: a fixed-capacity in-memory ring of the
+//! Crash-safe flight recorder: fixed-capacity in-memory rings of the
 //! most recent [`Event`]s that a chained panic hook dumps to
 //! `loadsteal-crash-<pid>.ndjson` — in the working directory by
 //! default, or under the directory named by [`set_dump_dir`] /
@@ -6,24 +6,38 @@
 //! seconds behind for post-mortem analysis.
 //!
 //! The recorder is process-global and off by default. [`install`]
-//! sizes the ring, arms recording, and (once per process) chains a
+//! sizes the rings, arms recording, and (once per process) chains a
 //! panic hook in front of the existing one. [`record`] is a cheap
 //! no-op while disarmed — one relaxed atomic load — so it can sit on
 //! the same recorder tee as tracing without budget impact.
 //!
+//! Armed recording is **per-thread**: each recording thread keeps its
+//! own ring (capacity [`install`]'s argument *per thread*) behind a
+//! mutex only that thread ever locks on the hot path, so the executor
+//! pool's workers never contend on a shared ring or bounce a shared
+//! cache line per event. The rings live in a global registry the
+//! panic hook walks at dump time, merging them into one time-ordered
+//! stream — the same `(t, ring, seq)` merge key the sharded trace
+//! recorder uses, so timeless events stay behind the last timestamped
+//! event of their thread and per-thread order is always preserved. A
+//! worker that died before the crash still contributes its final
+//! events: registry entries outlive their threads.
+//!
 //! The dump is an ordinary `loadsteal.trace.v1` NDJSON stream: the run
-//! header (when one was observed), the buffered events in arrival
-//! order, and a final `{"ev":"panic",…}` line carrying the panic
-//! message and ring statistics. The trace reader parses it strictly.
+//! header (when one was observed), the merged buffered events, and a
+//! final `{"ev":"panic",…}` line carrying the panic message and ring
+//! statistics. The trace reader parses it strictly.
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::event::Event;
 use crate::json::JsonBuf;
+use crate::shard::event_time;
 
-/// Default ring capacity (events) used by the CLI's
+/// Default per-thread ring capacity (events) used by the CLI's
 /// `--flight-recorder` switch.
 pub const DEFAULT_CAPACITY: usize = 4096;
 
@@ -31,24 +45,85 @@ static ACTIVE: AtomicBool = AtomicBool::new(false);
 static HOOKED: AtomicBool = AtomicBool::new(false);
 static DUMPED: AtomicBool = AtomicBool::new(false);
 
-struct Buf {
+/// Per-thread ring capacity, read when a thread creates its ring and
+/// pushed eagerly into existing rings by [`install`].
+static CAP: AtomicUsize = AtomicUsize::new(0);
+
+/// One thread's ring. The owning thread locks it on every record —
+/// uncontended except while a dump or an [`install`]/[`reset`] walk
+/// is in progress.
+struct Ring {
     cap: usize,
-    ring: VecDeque<Event>,
+    /// `(per-thread sequence, event)` in emission order.
+    buf: VecDeque<(u64, Event)>,
+    next_seq: u64,
     dropped: u64,
+}
+
+impl Ring {
+    fn push(&mut self, ev: &Event) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.buf.push_back((seq, *ev));
+    }
+
+    fn clear(&mut self) {
+        self.buf.clear();
+        self.next_seq = 0;
+        self.dropped = 0;
+    }
+}
+
+/// Every thread's ring, in registration order. Entries are never
+/// removed: a dead worker's last events must survive into the dump.
+static REGISTRY: Mutex<Vec<Arc<Mutex<Ring>>>> = Mutex::new(Vec::new());
+
+/// Run header and dump-directory override (touched at run start and
+/// dump time only — never on the per-event path).
+struct Meta {
     header: Option<String>,
     dump_dir: Option<String>,
 }
 
-static BUF: Mutex<Buf> = Mutex::new(Buf {
-    cap: 0,
-    ring: VecDeque::new(),
-    dropped: 0,
+static META: Mutex<Meta> = Mutex::new(Meta {
     header: None,
     dump_dir: None,
 });
 
-fn lock() -> std::sync::MutexGuard<'static, Buf> {
-    BUF.lock().unwrap_or_else(|p| p.into_inner())
+fn meta() -> std::sync::MutexGuard<'static, Meta> {
+    META.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn registry() -> std::sync::MutexGuard<'static, Vec<Arc<Mutex<Ring>>>> {
+    REGISTRY.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn lock_ring(r: &Mutex<Ring>) -> std::sync::MutexGuard<'_, Ring> {
+    r.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+thread_local! {
+    /// This thread's handle into the registry, created on first record.
+    static LOCAL: RefCell<Option<Arc<Mutex<Ring>>>> = const { RefCell::new(None) };
+}
+
+/// Create this thread's ring and register it globally.
+fn register_ring() -> Arc<Mutex<Ring>> {
+    let ring = Arc::new(Mutex::new(Ring {
+        cap: CAP.load(Ordering::Relaxed),
+        buf: VecDeque::new(),
+        next_seq: 0,
+        dropped: 0,
+    }));
+    registry().push(Arc::clone(&ring));
+    ring
 }
 
 /// Whether the flight recorder is armed. One relaxed load.
@@ -57,17 +132,20 @@ pub fn active() -> bool {
     ACTIVE.load(Ordering::Relaxed)
 }
 
-/// Arm the flight recorder with the given ring capacity (events) and
-/// chain the crash-dump panic hook in front of the current one. Safe
-/// to call more than once: later calls resize the ring and re-arm but
-/// never stack a second hook.
+/// Arm the flight recorder with the given per-thread ring capacity
+/// (events) and chain the crash-dump panic hook in front of the
+/// current one. Safe to call more than once: later calls resize every
+/// live ring (trimming oldest-first) and re-arm but never stack a
+/// second hook.
 pub fn install(capacity: usize) {
-    {
-        let mut b = lock();
-        b.cap = capacity.max(1);
-        while b.ring.len() > b.cap {
-            b.ring.pop_front();
-            b.dropped += 1;
+    let cap = capacity.max(1);
+    CAP.store(cap, Ordering::Relaxed);
+    for ring in registry().iter() {
+        let mut r = lock_ring(ring);
+        r.cap = cap;
+        while r.buf.len() > cap {
+            r.buf.pop_front();
+            r.dropped += 1;
         }
     }
     if !HOOKED.swap(true, Ordering::SeqCst) {
@@ -85,21 +163,18 @@ pub fn disarm() {
     ACTIVE.store(false, Ordering::Relaxed);
 }
 
-/// Append one event to the ring, evicting the oldest when full. No-op
-/// while disarmed.
+/// Append one event to the calling thread's ring, evicting its oldest
+/// when full. No-op while disarmed. Touches no shared state beyond
+/// this thread's own (uncontended) ring lock.
 pub fn record(ev: &Event) {
     if !active() {
         return;
     }
-    let mut b = lock();
-    if b.cap == 0 {
-        return;
-    }
-    if b.ring.len() == b.cap {
-        b.ring.pop_front();
-        b.dropped += 1;
-    }
-    b.ring.push_back(*ev);
+    let _ = LOCAL.try_with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let ring = slot.get_or_insert_with(register_ring);
+        lock_ring(ring).push(ev);
+    });
 }
 
 /// Remember the run's trace-header line so crash dumps are
@@ -108,44 +183,81 @@ pub fn set_header(line: String) {
     if !active() {
         return;
     }
-    lock().header = Some(line);
+    meta().header = Some(line);
 }
 
-/// Current `(buffered, dropped)` counts (test/diagnostic aid).
+/// Current `(buffered, dropped)` counts summed over every thread's
+/// ring (test/diagnostic aid).
 pub fn stats() -> (u64, u64) {
-    let b = lock();
-    (b.ring.len() as u64, b.dropped)
+    let mut buffered = 0u64;
+    let mut dropped = 0u64;
+    for ring in registry().iter() {
+        let r = lock_ring(ring);
+        buffered += r.buf.len() as u64;
+        dropped += r.dropped;
+    }
+    (buffered, dropped)
 }
 
-/// Clear the ring, drop the stored header, and reset the
-/// once-per-process dump latch (test aid; the hook stays installed).
+/// Clear every ring, drop the stored header, and reset the
+/// once-per-process dump latch (test aid; the hook and the ring
+/// registry stay in place).
 pub fn reset() {
-    let mut b = lock();
-    b.ring.clear();
-    b.dropped = 0;
-    b.header = None;
+    for ring in registry().iter() {
+        lock_ring(ring).clear();
+    }
+    meta().header = None;
     DUMPED.store(false, Ordering::SeqCst);
 }
 
+/// Snapshot every ring and merge into one time-ordered stream.
+///
+/// Merge key: `(t, ring, seq)` where `t` is the event's own time when
+/// it carries one and otherwise the previous timestamped event's time
+/// in the same ring (`-∞` before any) — identical to the sharded
+/// trace recorder's contract, so per-ring emission order is always
+/// preserved and ties break deterministically by registration order.
+fn merged_events() -> Vec<Event> {
+    let mut keyed: Vec<(f64, usize, u64, Event)> = Vec::new();
+    for (ring_idx, ring) in registry().iter().enumerate() {
+        let r = lock_ring(ring);
+        let mut last = f64::NEG_INFINITY;
+        for (seq, ev) in &r.buf {
+            if let Some(t) = event_time(ev) {
+                last = t;
+            }
+            keyed.push((last, ring_idx, *seq, *ev));
+        }
+    }
+    keyed.sort_by(|a, b| {
+        a.0.total_cmp(&b.0)
+            .then_with(|| a.1.cmp(&b.1))
+            .then_with(|| a.2.cmp(&b.2))
+    });
+    keyed.into_iter().map(|(_, _, _, ev)| ev).collect()
+}
+
 /// Render the dump NDJSON for the current ring contents: optional
-/// header line, buffered events, and a closing panic record carrying
-/// `message`. This is exactly what the panic hook writes to disk.
+/// header line, every thread's buffered events merged time-ordered,
+/// and a closing panic record carrying `message`. This is exactly
+/// what the panic hook writes to disk.
 pub fn render_dump(message: &str, thread: Option<&str>) -> String {
-    let b = lock();
+    let events = merged_events();
+    let (_, dropped) = stats();
     let mut out = String::new();
-    if let Some(h) = &b.header {
+    if let Some(h) = &meta().header {
         out.push_str(h);
         out.push('\n');
     }
-    for ev in &b.ring {
+    for ev in &events {
         out.push_str(&ev.to_json_line());
         out.push('\n');
     }
     let rec = PanicRecord {
         message: message.to_owned(),
         thread: thread.map(str::to_owned),
-        buffered: b.ring.len() as u64,
-        dropped: b.dropped,
+        buffered: events.len() as u64,
+        dropped,
     };
     out.push_str(&rec.to_json_line());
     out.push('\n');
@@ -157,7 +269,7 @@ pub fn render_dump(message: &str, thread: Option<&str>) -> String {
 /// over the `LOADSTEAL_FLIGHT_DIR` environment variable. The directory
 /// is used as given — it is not created.
 pub fn set_dump_dir(dir: Option<String>) {
-    lock().dump_dir = dir;
+    meta().dump_dir = dir;
 }
 
 /// The crash-dump path for this process: the fixed filename
@@ -166,7 +278,7 @@ pub fn set_dump_dir(dir: Option<String>) {
 /// then the working directory.
 pub fn dump_path() -> String {
     let file = format!("loadsteal-crash-{}.ndjson", std::process::id());
-    let dir = lock()
+    let dir = meta()
         .dump_dir
         .clone()
         .or_else(|| std::env::var("LOADSTEAL_FLIGHT_DIR").ok())
@@ -218,9 +330,9 @@ pub struct PanicRecord {
     pub message: String,
     /// Name of the panicking thread, when it had one.
     pub thread: Option<String>,
-    /// Events present in the ring when the dump was taken.
+    /// Events present in the rings when the dump was taken.
     pub buffered: u64,
-    /// Events evicted from the ring before the dump.
+    /// Events evicted from the rings before the dump.
     pub dropped: u64,
 }
 
@@ -246,7 +358,7 @@ mod tests {
     use super::*;
     use crate::json;
 
-    /// The ring is process-global; tests serialize on this.
+    /// The rings are process-global; tests serialize on this.
     fn test_lock() -> std::sync::MutexGuard<'static, ()> {
         static TEST_LOCK: Mutex<()> = Mutex::new(());
         TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner())
@@ -331,6 +443,51 @@ mod tests {
         let first = dump.lines().next().unwrap();
         let v = json::parse(first).unwrap();
         assert_eq!(v.get("ev").and_then(|v| v.as_str()), Some("header"));
+        disarm();
+    }
+
+    #[test]
+    fn concurrent_threads_merge_time_ordered_into_one_dump() {
+        let _l = test_lock();
+        install(64);
+        reset();
+        std::thread::scope(|s| {
+            for w in 0..4u32 {
+                s.spawn(move || {
+                    for i in 0..10 {
+                        record(&Event::Sim {
+                            kind: crate::event::SimEventKind::Completion,
+                            t: f64::from(i),
+                            proc: w,
+                            src: None,
+                            count: i + 1,
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(stats(), (40, 0));
+        let dump = render_dump("boom", Some("exec-worker-0"));
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 41, "40 events + panic line");
+        // Globally nondecreasing in t, and per-thread order preserved
+        // (count is the per-thread sequence stamp).
+        let mut last_t = f64::NEG_INFINITY;
+        let mut next_count = std::collections::BTreeMap::new();
+        for line in &lines[..40] {
+            let v = json::parse(line).unwrap();
+            let t = v.get("t").and_then(|v| v.as_f64()).unwrap();
+            assert!(t >= last_t, "dump regressed in t");
+            last_t = t;
+            let proc = v.get("proc").and_then(|v| v.as_u64()).unwrap();
+            // `count` is elided on the wire when it is 1.
+            let count = v.get("count").and_then(|v| v.as_u64()).unwrap_or(1);
+            let next = next_count.entry(proc).or_insert(1u64);
+            assert_eq!(count, *next, "thread {proc} order broken");
+            *next += 1;
+        }
+        let panic_rec = json::parse(lines[40]).unwrap();
+        assert_eq!(panic_rec.get("buffered").and_then(|v| v.as_u64()), Some(40));
         disarm();
     }
 }

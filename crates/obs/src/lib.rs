@@ -12,8 +12,11 @@
 //!   [`NullRecorder`] is free (its `enabled()` hint lets hot loops skip
 //!   event construction entirely), [`CountingRecorder`] aggregates
 //!   in-memory tallies, [`NdjsonRecorder`] streams one JSON object per
-//!   event line, and [`SharedRecorder`] makes any sink shareable across
-//!   replication worker threads.
+//!   event line, [`SharedRecorder`] makes any sink shareable across
+//!   replication worker threads, and [`ShardedRecorder`] gives each
+//!   producer thread its own contention-free shard, merge-sorted back
+//!   into one globally ordered stream on drain (the executor's trace
+//!   path — see `docs/telemetry.md`).
 //! * **Metrics** ([`registry::Registry`]): named counters, gauges, and
 //!   log2-bucketed histograms, snapshottable into a JSON
 //!   [`registry::MetricsReport`] — the machine-readable footprint of a
@@ -43,6 +46,7 @@ pub mod manifest;
 pub mod prom;
 pub mod recorder;
 pub mod registry;
+pub mod shard;
 pub mod sketch;
 pub mod span;
 pub mod timer;
@@ -55,7 +59,8 @@ pub use recorder::{
     CollectingRecorder, CountingRecorder, EventCounts, NdjsonRecorder, NullRecorder, Recorder,
     RegistryRecorder, SharedRecorder, TailReference,
 };
-pub use registry::{Counter, Gauge, Histogram, MetricsReport, Registry, Sketch};
+pub use registry::{Counter, Gauge, Histogram, MetricsReport, Registry, ShardedCounter, Sketch};
+pub use shard::{ShardSink, ShardedRecorder};
 pub use sketch::{Digest, P2Quantile};
-pub use span::{ProfileReport, SpanAggregate, SpanGuard, SpanInstance, SpanRecord};
+pub use span::{ProfileReport, SpanAggregate, SpanGuard, SpanInstance, SpanRecord, ThreadProfile};
 pub use timer::{ScopedTimer, Stopwatch};

@@ -167,9 +167,19 @@ impl Recorder for CountingRecorder {
 }
 
 /// Streams events as NDJSON (one JSON object per line) to any writer.
+///
+/// Emission is **batched**: rendered lines accumulate in an internal
+/// buffer and reach the writer in [`NdjsonRecorder::BATCH_BYTES`]
+/// chunks, so a million-event trace costs hundreds of `write` calls,
+/// not millions — the amortization that keeps tracing affordable at
+/// n ≥ 65536 simulate scale (see `docs/telemetry.md` for the measured
+/// budget). [`Recorder::flush`] and [`NdjsonRecorder::into_inner`]
+/// push the partial batch through; an I/O error is detected at the
+/// batch boundary that hits it and is sticky from then on.
 #[derive(Debug)]
 pub struct NdjsonRecorder<W: Write> {
     w: W,
+    buf: String,
     lines: u64,
     /// First I/O error encountered, if any; recording keeps counting
     /// but stops writing.
@@ -177,11 +187,16 @@ pub struct NdjsonRecorder<W: Write> {
 }
 
 impl<W: Write> NdjsonRecorder<W> {
-    /// Wrap a writer. Callers that care about syscall overhead should
-    /// pass a `BufWriter`.
+    /// Batch size: lines are handed to the writer once at least this
+    /// many bytes have accumulated (or on flush).
+    pub const BATCH_BYTES: usize = 64 * 1024;
+
+    /// Wrap a writer. Batching happens here, so a raw `File` works;
+    /// a `BufWriter` adds nothing but another copy.
     pub fn new(w: W) -> Self {
         Self {
             w,
+            buf: String::with_capacity(Self::BATCH_BYTES + 256),
             lines: 0,
             error: None,
         }
@@ -192,53 +207,61 @@ impl<W: Write> NdjsonRecorder<W> {
         self.lines
     }
 
-    /// First I/O error encountered while writing, if any.
+    /// First I/O error encountered while writing, if any. Only errors
+    /// from batches already pushed are visible; flush first for an
+    /// up-to-date answer.
     pub fn io_error(&self) -> Option<&std::io::Error> {
         self.error.as_ref()
     }
 
     /// Flush and return the inner writer (and the first error, if any).
     pub fn into_inner(mut self) -> (W, Option<std::io::Error>) {
-        let _ = self.w.flush();
+        self.write_batch();
+        if self.error.is_none() {
+            if let Err(e) = self.w.flush() {
+                self.error = Some(e);
+            }
+        }
         (self.w, self.error)
     }
 
     /// Write one pre-rendered NDJSON line verbatim (the trace-header
     /// path; [`Recorder::record`] covers ordinary events). Counts
-    /// toward [`NdjsonRecorder::lines`] and shares the sticky-error
-    /// behavior.
+    /// toward [`NdjsonRecorder::lines`] and shares the batching and
+    /// sticky-error behavior.
     pub fn write_line(&mut self, line: &str) {
         self.lines += 1;
         if self.error.is_some() {
             return;
         }
-        if let Err(e) = self
-            .w
-            .write_all(line.as_bytes())
-            .and_then(|_| self.w.write_all(b"\n"))
-        {
-            self.error = Some(e);
+        self.buf.push_str(line);
+        self.buf.push('\n');
+        if self.buf.len() >= Self::BATCH_BYTES {
+            self.write_batch();
         }
+    }
+
+    /// Push the accumulated batch to the writer.
+    fn write_batch(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        if self.error.is_none() {
+            if let Err(e) = self.w.write_all(self.buf.as_bytes()) {
+                self.error = Some(e);
+            }
+        }
+        self.buf.clear();
     }
 }
 
 impl<W: Write> Recorder for NdjsonRecorder<W> {
     fn record(&mut self, ev: &Event) {
-        self.lines += 1;
-        if self.error.is_some() {
-            return;
-        }
-        let line = ev.to_json_line();
-        if let Err(e) = self
-            .w
-            .write_all(line.as_bytes())
-            .and_then(|_| self.w.write_all(b"\n"))
-        {
-            self.error = Some(e);
-        }
+        self.write_line(&ev.to_json_line());
     }
 
     fn flush(&mut self) {
+        self.write_batch();
         if self.error.is_none() {
             if let Err(e) = self.w.flush() {
                 self.error = Some(e);
@@ -745,6 +768,50 @@ mod tests {
         }
         assert!(text.contains("\"ev\":\"completion\""));
         assert!(text.contains("\"ev\":\"heartbeat\""));
+    }
+
+    #[test]
+    fn ndjson_recorder_amortizes_write_calls() {
+        use std::rc::Rc;
+        /// Counts `write` calls so the batching is observable.
+        struct CountingWriter {
+            calls: std::rc::Rc<std::cell::Cell<usize>>,
+            out: Vec<u8>,
+        }
+        impl std::io::Write for CountingWriter {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.calls.set(self.calls.get() + 1);
+                self.out.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let calls = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mut r = NdjsonRecorder::new(CountingWriter {
+            calls: Rc::clone(&calls),
+            out: Vec::new(),
+        });
+        let n = 20_000u64;
+        for i in 0..n {
+            r.record(&Event::Sim {
+                kind: SimEventKind::Arrival,
+                t: i as f64,
+                proc: 0,
+                src: None,
+                count: 1,
+            });
+        }
+        let (w, err) = r.into_inner();
+        assert!(err.is_none());
+        assert!(
+            calls.get() < 100,
+            "{n} events must batch into few writes, got {}",
+            calls.get()
+        );
+        let text = String::from_utf8(w.out).unwrap();
+        assert_eq!(text.lines().count(), n as usize);
     }
 
     #[test]

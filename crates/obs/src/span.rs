@@ -108,6 +108,9 @@ impl LocalAgg {
 
 struct ThreadState {
     tid: u32,
+    /// OS thread name at first span, if any (`exec-worker-<i>` for the
+    /// pool's workers) — carried into the per-thread profile view.
+    name: Option<String>,
     stack: Vec<Frame>,
     agg: BTreeMap<&'static str, LocalAgg>,
     /// Memo of `(parent_path, name) → full path` so the global intern
@@ -119,11 +122,13 @@ struct ThreadState {
 
 impl ThreadState {
     fn new() -> Self {
+        let name = std::thread::current().name().map(str::to_owned);
         let mut g = global().lock().unwrap_or_else(|p| p.into_inner());
         let tid = g.next_tid;
         g.next_tid += 1;
         Self {
             tid,
+            name,
             stack: Vec::new(),
             agg: BTreeMap::new(),
             paths: BTreeMap::new(),
@@ -156,8 +161,17 @@ thread_local! {
 // ---------------------------------------------------------------------
 // Global merged profile.
 
+/// One thread's merged aggregates inside the global profile, keyed by
+/// the profiler tid so re-flushes from the same thread accumulate.
+#[derive(Default)]
+struct ThreadAgg {
+    name: Option<String>,
+    agg: BTreeMap<&'static str, LocalAgg>,
+}
+
 struct GlobalProfile {
     agg: BTreeMap<&'static str, LocalAgg>,
+    threads: BTreeMap<u32, ThreadAgg>,
     instances: Vec<SpanInstance>,
     dropped: u64,
     next_tid: u32,
@@ -166,6 +180,7 @@ struct GlobalProfile {
 fn global() -> &'static Mutex<GlobalProfile> {
     static GLOBAL: Mutex<GlobalProfile> = Mutex::new(GlobalProfile {
         agg: BTreeMap::new(),
+        threads: BTreeMap::new(),
         instances: Vec::new(),
         dropped: 0,
         next_tid: 0,
@@ -175,6 +190,13 @@ fn global() -> &'static Mutex<GlobalProfile> {
 
 fn merge_into_global(state: ThreadState) {
     let mut g = global().lock().unwrap_or_else(|p| p.into_inner());
+    let per_thread = g.threads.entry(state.tid).or_default();
+    if per_thread.name.is_none() {
+        per_thread.name = state.name;
+    }
+    for (path, la) in &state.agg {
+        per_thread.agg.entry(path).or_default().merge(la);
+    }
     for (path, la) in &state.agg {
         g.agg.entry(path).or_default().merge(la);
     }
@@ -282,6 +304,7 @@ fn exit_current() {
         if state.stack.is_empty() {
             let flushed = ThreadState {
                 tid: state.tid,
+                name: state.name.clone(),
                 stack: Vec::new(),
                 agg: std::mem::take(&mut state.agg),
                 paths: BTreeMap::new(),
@@ -307,6 +330,7 @@ pub fn flush_thread() {
         // memo, and any still-open frames in place.
         let flushed = ThreadState {
             tid: state.tid,
+            name: state.name.clone(),
             stack: Vec::new(),
             agg: std::mem::take(&mut state.agg),
             paths: BTreeMap::new(),
@@ -325,6 +349,7 @@ pub fn reset() {
     });
     let mut g = global().lock().unwrap_or_else(|p| p.into_inner());
     g.agg.clear();
+    g.threads.clear();
     g.instances.clear();
     g.dropped = 0;
 }
@@ -334,15 +359,25 @@ pub fn reset() {
 pub fn snapshot() -> ProfileReport {
     flush_thread();
     let g = global().lock().unwrap_or_else(|p| p.into_inner());
-    let spans = g
-        .agg
+    let to_aggregates = |agg: &BTreeMap<&'static str, LocalAgg>| -> Vec<SpanAggregate> {
+        agg.iter()
+            .map(|(path, la)| SpanAggregate {
+                path: (*path).to_owned(),
+                count: la.count,
+                total_us: la.total_us,
+                self_us: la.self_us,
+                durations: la.durations.clone(),
+            })
+            .collect()
+    };
+    let spans = to_aggregates(&g.agg);
+    let thread_spans = g
+        .threads
         .iter()
-        .map(|(path, la)| SpanAggregate {
-            path: (*path).to_owned(),
-            count: la.count,
-            total_us: la.total_us,
-            self_us: la.self_us,
-            durations: la.durations.clone(),
+        .map(|(tid, t)| ThreadProfile {
+            tid: *tid,
+            name: t.name.clone().unwrap_or_else(|| format!("thread-{tid}")),
+            spans: to_aggregates(&t.agg),
         })
         .collect();
     let mut instances = g.instances.clone();
@@ -353,6 +388,7 @@ pub fn snapshot() -> ProfileReport {
     });
     ProfileReport {
         spans,
+        thread_spans,
         instances,
         dropped_instances: g.dropped,
     }
@@ -419,12 +455,50 @@ pub struct SpanInstance {
     pub dur_us: f64,
 }
 
+/// One thread's slice of the profile: the same per-path aggregates,
+/// restricted to spans that closed on that thread. With concurrent
+/// worker threads, the *global* self-time sum exceeds the process
+/// wall clock (every busy thread contributes wall time in parallel);
+/// the per-thread view is what compares meaningfully against wall.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadProfile {
+    /// Profiler-assigned thread id (first-span order, matches
+    /// [`SpanInstance::tid`]).
+    pub tid: u32,
+    /// OS thread name at first span (`exec-worker-<i>` for pool
+    /// workers), or `thread-<tid>` when unnamed.
+    pub name: String,
+    /// Per-path aggregates for this thread, sorted by path.
+    pub spans: Vec<SpanAggregate>,
+}
+
+impl ThreadProfile {
+    /// Sum of self time over this thread's span paths, microseconds.
+    pub fn self_us(&self) -> f64 {
+        self.spans.iter().map(|s| s.self_us).sum()
+    }
+
+    /// Completed span count on this thread.
+    pub fn count(&self) -> u64 {
+        self.spans.iter().map(|s| s.count).sum()
+    }
+
+    /// The path with the most self time on this thread, if any.
+    pub fn hottest(&self) -> Option<&SpanAggregate> {
+        self.spans
+            .iter()
+            .max_by(|a, b| a.self_us.total_cmp(&b.self_us))
+    }
+}
+
 /// A merged snapshot of the profiler: aggregates, retained instances,
 /// and the overflow count.
 #[derive(Debug, Clone, Default)]
 pub struct ProfileReport {
     /// Per-path aggregates, sorted by path.
     pub spans: Vec<SpanAggregate>,
+    /// The same aggregates split by recording thread, sorted by tid.
+    pub thread_spans: Vec<ThreadProfile>,
     /// Retained span instances (capped at [`MAX_INSTANCES`]), sorted
     /// by thread then start time.
     pub instances: Vec<SpanInstance>,
@@ -434,8 +508,10 @@ pub struct ProfileReport {
 
 impl ProfileReport {
     /// Sum of self time over every span path, microseconds. With a
-    /// root span wrapping the whole command this equals the profiled
-    /// wall time.
+    /// root span wrapping the whole command on a single thread this
+    /// equals the profiled wall time; with worker threads it is the
+    /// *CPU* time across all of them and can legitimately exceed wall
+    /// (see [`ThreadProfile`] for the per-thread decomposition).
     pub fn total_self_us(&self) -> f64 {
         self.spans.iter().map(|s| s.self_us).sum()
     }
@@ -624,6 +700,49 @@ mod tests {
         assert_eq!(w.count, 2);
         let tids: BTreeSet<u32> = r.instances.iter().map(|i| i.tid).collect();
         assert_eq!(tids.len(), 2, "each worker gets its own tid");
+    }
+
+    #[test]
+    fn per_thread_view_splits_self_time_by_worker() {
+        let _l = lock();
+        set_enabled(true);
+        reset();
+        for i in 0..2 {
+            std::thread::Builder::new()
+                .name(format!("hammer-{i}"))
+                .spawn(|| {
+                    let _g = span("worker");
+                    spin_us(100);
+                })
+                .unwrap()
+                .join()
+                .unwrap();
+        }
+        set_enabled(false);
+        let r = snapshot();
+        let workers: Vec<_> = r
+            .thread_spans
+            .iter()
+            .filter(|t| t.name.starts_with("hammer-"))
+            .collect();
+        assert_eq!(workers.len(), 2, "one per-thread profile per worker");
+        for t in &workers {
+            assert_eq!(t.count(), 1);
+            assert!(t.self_us() > 0.0);
+            assert_eq!(t.hottest().unwrap().path, "worker");
+        }
+        // The per-thread slices partition the global aggregate.
+        let global_self: f64 = r
+            .spans
+            .iter()
+            .filter(|s| s.path == "worker")
+            .map(|s| s.self_us)
+            .sum();
+        let split: f64 = workers.iter().map(|t| t.self_us()).sum();
+        assert!(
+            (global_self - split).abs() < 1e-6,
+            "global {global_self} vs per-thread sum {split}"
+        );
     }
 
     #[test]

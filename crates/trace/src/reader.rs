@@ -248,6 +248,7 @@ fn parse_header(v: &JsonValue) -> Result<TraceHeader, (usize, String)> {
         n: opt_u64_field(v, "n")?,
         seed: opt_u64_field(v, "seed")?,
         runs: opt_u64_field(v, "runs")?,
+        sample: opt_u64_field(v, "sample")?,
     })
 }
 
@@ -801,6 +802,7 @@ garbage
             n: Some(128),
             seed: Some(42),
             runs: Some(4),
+            sample: Some(8),
         };
         let text = format!(
             "{}\n{}\n",

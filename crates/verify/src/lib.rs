@@ -4,7 +4,7 @@
 //! with the mean-field fixed points (Tables 1–4, Theorems 1–2). The
 //! three top-level integration tests spot-check a couple of variants
 //! with hand-picked tolerances; this crate systematizes the check into
-//! eight layers, each a family of pass/fail [`harness::Check`]s:
+//! ten layers, each a family of pass/fail [`harness::Check`]s:
 //!
 //! * **differential** — every simulable variant paired with its ODE
 //!   fixed point, agreement asserted within confidence-interval-derived
@@ -50,6 +50,12 @@
 //!   pipeline, steal success rate and tail occupancies required to
 //!   match the mean-field fixed point within the usual CI + `c/n`
 //!   bounds.
+//! * **overhead** — the telemetry pipeline itself: the sharded
+//!   recorder must serialize the same event multiset as the locked
+//!   recorder (bit-for-bit, on deterministic concurrent streams and
+//!   pinned-seed executor runs) while preserving per-shard order in
+//!   the merge, and full NDJSON tracing on the sim bench must cost at
+//!   most a declared wall-clock budget over the untraced run.
 //!
 //! The harness is exposed on the CLI as `loadsteal verify
 //! [--quick|--full]`; the [`sabotage`] module carries a deliberately
@@ -67,6 +73,7 @@ pub mod executor;
 pub mod harness;
 pub mod jobs;
 pub mod metamorphic;
+pub mod overhead;
 pub mod rate;
 pub mod sabotage;
 pub mod stat;
@@ -87,6 +94,7 @@ pub fn all_checks(settings: &Settings) -> Vec<Check> {
     checks.extend(transient::checks(settings));
     checks.extend(rate::checks(settings));
     checks.extend(executor::checks(settings));
+    checks.extend(overhead::checks(settings));
     checks
 }
 
